@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Ablation for Section IV-D: the two legal CM orderings of the issue
+ * queue (wakeup < issue < enter vs issue < wakeup < enter).
+ *
+ * Part 1 demonstrates a result the full core makes concrete: with
+ * pipelined stage latches (deq < enq), the issue < wakeup ordering
+ * closes a combinational cycle through the writeback stage, and the
+ * elaborator rejects the design — the same check the BSV compiler
+ * performs. The ordering exploration therefore runs on the paper's
+ * own Section IV testbench (Part 2), where the execution pipeline is
+ * built from conflict-free FIFOs: both orderings elaborate and the
+ * "fast" one issues a woken instruction in the same cycle.
+ */
+#include <cstdio>
+#include <deque>
+
+#include "core/cmd.hh"
+#include "proc/system.hh"
+
+using namespace cmd;
+using namespace riscy;
+
+namespace {
+
+/** Minimal uop for the testbench. */
+struct TInst {
+    uint8_t src = 0, dst = 0;
+};
+
+uint64_t
+runChain(IssueQueue::Ordering order, uint32_t chainLen)
+{
+    Kernel k;
+    IssueQueue iq(k, "iq", 8, order);
+    CfFifo<Uop> exec1(k, "exec1", 2), exec2(k, "exec2", 2);
+    Scoreboard sb(k, "sb", 128);
+
+    std::deque<Uop> program;
+    for (uint32_t i = 0; i < chainLen; i++) {
+        Uop u;
+        u.inst = isa::decode(0x00b50533); // add (reads rs1/rs2)
+        u.ps1 = static_cast<PhysReg>(i);
+        u.ps2 = 0;
+        u.pd = static_cast<PhysReg>(i + 1);
+        u.hasPd = true;
+        program.push_back(u);
+    }
+    Reg<uint32_t> retired(k, "retired", 0);
+
+    Rule &wb = k.rule("doRegWrite", [&] {
+        Uop u = exec2.deq();
+        iq.wakeup(u.pd);
+        sb.setReady(u.pd);
+        retired.write(retired.read() + 1);
+    });
+    wb.when([&] { return exec2.canDeq(); });
+    wb.uses({&exec2.deqM, &iq.wakeupM, &sb.setReadyM});
+
+    Rule &ex = k.rule("doExec", [&] { exec2.enq(exec1.deq()); });
+    ex.when([&] { return exec1.canDeq() && exec2.canEnq(); });
+    ex.uses({&exec1.deqM, &exec2.enqM});
+
+    Rule &iss = k.rule("doIssue", [&] { exec1.enq(iq.issue()); });
+    iss.when([&] { return iq.canIssue() && exec1.canEnq(); });
+    iss.uses({&iq.issueM, &exec1.enqM});
+
+    Rule &ren = k.rule("doRename", [&] {
+        require(!program.empty() && iq.canEnter());
+        Uop u = program.front();
+        bool rdy1 = sb.rdy(u.ps1);
+        sb.setNotReady(u.pd);
+        iq.enter(u, rdy1, true);
+        program.pop_front();
+    });
+    ren.when([&] { return !program.empty(); });
+    ren.uses({&sb.rdyM, &sb.setNotReadyM, &iq.enterM});
+
+    k.elaborate();
+    // Register 0 starts ready; the chain wakes up link by link.
+    k.runUntil([&] { return retired.read() == chainLen; }, 100000);
+    return k.cycleCount();
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("\n== Ablation: IQ conflict-matrix ordering ==\n");
+
+    // Part 1: the full core rejects issue < wakeup < enter.
+    {
+        SystemConfig cfg = SystemConfig::riscyooTPlus();
+        cfg.core.iqOrder = IssueQueue::Ordering::IssueWakeupEnter;
+        cfg.cores = 1;
+        bool rejected = false;
+        try {
+            System sys(cfg);
+            sys.elaborate();
+        } catch (const ElaborationError &e) {
+            rejected = true;
+            std::printf("full core with issue<wakeup<enter: REJECTED "
+                        "at elaboration\n  (%.120s...)\n", e.what());
+        }
+        if (!rejected)
+            std::printf("full core with issue<wakeup<enter: "
+                        "unexpectedly elaborated!\n");
+        std::printf("with pipelined stage latches (deq<enq), "
+                    "issue<wakeup closes a combinational cycle through "
+                    "write-back -- the elaborator catches it, like the "
+                    "BSV compiler (paper Section II).\n\n");
+    }
+
+    // Part 2: both orderings on the Section IV testbench.
+    uint32_t n = 96;
+    uint64_t fast =
+        runChain(IssueQueue::Ordering::WakeupIssueEnter, n);
+    uint64_t slow =
+        runChain(IssueQueue::Ordering::IssueWakeupEnter, n);
+    std::printf("dependence chain of %u:\n", n);
+    std::printf("  wakeup<issue<enter : %6llu cycles\n",
+                (unsigned long long)fast);
+    std::printf("  issue<wakeup<enter : %6llu cycles\n",
+                (unsigned long long)slow);
+    std::printf("the paper's preferred ordering saves %.1f%% "
+                "(Section IV-D: wake and issue in the same cycle)\n",
+                100.0 * double(slow - fast) / double(slow));
+    return 0;
+}

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Shared harness for the figure-reproduction benchmarks: run a
+ * workload on a named configuration, collect event counts, and print
+ * paper-style rows. Each fig*_ binary regenerates one table/figure of
+ * the paper's evaluation (Section VI); EXPERIMENTS.md records the
+ * paper-vs-measured comparison.
+ */
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "workloads/workloads.hh"
+
+namespace riscy::bench {
+
+using workloads::Image;
+using workloads::Workload;
+
+struct RunResult {
+    uint64_t cycles = 0;
+    uint64_t instret = 0;
+    System::EventCounts ev;
+    double ipc() const { return double(instret) / double(cycles); }
+    /** Paper's single-core metric: 1 / cycle count. */
+    double perf() const { return 1.0 / double(cycles); }
+    double
+    perKilo(uint64_t n) const
+    {
+        return 1000.0 * double(n) / double(instret);
+    }
+};
+
+/** Run one single-threaded workload on a fresh system. */
+inline RunResult
+runOn(const SystemConfig &cfg, const Workload &w,
+      uint64_t maxCycles = 400000000)
+{
+    System sys(cfg);
+    Image img = w.build(sys, 1);
+    sys.elaborate();
+    RunResult r;
+    r.cycles = workloads::runToCompletion(sys, img, maxCycles);
+    r.instret = sys.instret(0);
+    r.ev = sys.events(0);
+    return r;
+}
+
+/** Run one PARSEC workload with @p threads on the quad-core. */
+inline uint64_t
+runParsecRoi(bool tso, const Workload &w, uint32_t threads,
+             uint64_t maxCycles = 400000000)
+{
+    SystemConfig cfg = SystemConfig::multicore(tso);
+    System sys(cfg);
+    Image img = w.build(sys, threads);
+    sys.elaborate();
+    workloads::runToCompletion(sys, img, maxCycles);
+    return workloads::roiCycles(sys);
+}
+
+inline void
+printHeader(const std::string &title,
+            const std::vector<std::string> &cols)
+{
+    std::printf("\n== %s ==\n%-14s", title.c_str(), "benchmark");
+    for (const auto &c : cols)
+        std::printf(" %12s", c.c_str());
+    std::printf("\n");
+}
+
+inline void
+printRow(const std::string &name, const std::vector<double> &vals,
+         const char *fmt = " %12.3f")
+{
+    std::printf("%-14s", name.c_str());
+    for (double v : vals)
+        std::printf(fmt, v);
+    std::printf("\n");
+    std::fflush(stdout);
+}
+
+inline double
+geomean(const std::vector<double> &v)
+{
+    double acc = 1.0;
+    for (double x : v)
+        acc *= x;
+    return std::pow(acc, 1.0 / double(v.size()));
+}
+
+inline double
+harmonicMean(const std::vector<double> &v)
+{
+    double acc = 0;
+    for (double x : v)
+        acc += 1.0 / x;
+    return double(v.size()) / acc;
+}
+
+} // namespace riscy::bench

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Paper Fig. 15: performance of RiscyOO-T+ normalized to RiscyOO-B
+ * per SPEC-profile benchmark (higher is better). The paper reports a
+ * 29% geometric-mean gain with ~2x on astar; the shape to reproduce
+ * is "TLB-miss-heavy benchmarks (mcf/astar/omnetpp) gain the most,
+ * low-miss benchmarks are flat".
+ */
+#include <cmath>
+
+#include "bench_common.hh"
+
+using namespace riscy;
+using namespace riscy::bench;
+
+int
+main()
+{
+    auto specs = workloads::specWorkloads();
+    printHeader("Fig. 15: RiscyOO-T+ performance normalized to RiscyOO-B",
+                {"B-cycles", "T+-cycles", "normPerf"});
+    std::vector<double> norms;
+    for (const auto &w : specs) {
+        RunResult b = runOn(SystemConfig::riscyooB(), w);
+        RunResult t = runOn(SystemConfig::riscyooTPlus(), w);
+        double norm = double(b.cycles) / double(t.cycles);
+        norms.push_back(norm);
+        printRow(w.name, {double(b.cycles), double(t.cycles), norm},
+                 " %12.3g");
+    }
+    printRow("geo-mean", {0, 0, geomean(norms)}, " %12.3g");
+    std::printf("(paper: geo-mean 1.29, astar ~2.0)\n");
+    return 0;
+}

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Paper Fig. 16: L1 D TLB misses, L2 TLB misses, branch
+ * mispredictions, L1 D cache misses and L2 misses per thousand
+ * instructions on RiscyOO-T+. Shape to reproduce: mcf/astar/omnetpp
+ * tower in the TLB columns; libquantum towers in the cache columns;
+ * hmmer/h264ref are near zero everywhere; sjeng/gobmk lead BrPred.
+ */
+#include "bench_common.hh"
+
+using namespace riscy;
+using namespace riscy::bench;
+
+int
+main()
+{
+    auto specs = workloads::specWorkloads();
+    printHeader("Fig. 16: misses per kilo-instruction (RiscyOO-T+)",
+                {"DTLB", "L2TLB", "BrPred", "D$", "L2$"});
+    for (const auto &w : specs) {
+        RunResult r = runOn(SystemConfig::riscyooTPlus(), w);
+        printRow(w.name,
+                 {r.perKilo(r.ev.dtlbMisses), r.perKilo(r.ev.l2tlbMisses),
+                  r.perKilo(r.ev.branchMispredicts),
+                  r.perKilo(r.ev.l1dMisses), r.perKilo(r.ev.l2Misses)});
+    }
+    std::printf("(paper: mcf/astar/omnetpp DTLB 91-133; hmmer/h264ref "
+                "near zero; sjeng BrPred ~29)\n");
+    return 0;
+}

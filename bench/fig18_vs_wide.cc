@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Paper Fig. 18: commercial ARM cores (A57 3-wide, Denver 7-wide)
+ * normalized to RiscyOO-T+. We stand in wider configurations of our
+ * own core (see DESIGN.md substitutions). Shape: the wide cores win
+ * on dense/low-miss benchmarks (hmmer, h264ref) and on streaming
+ * (libquantum, via prefetch), while T+ catches up or wins on the
+ * TLB-bound pointer chasers (mcf, astar, omnetpp).
+ */
+#include "bench_common.hh"
+
+using namespace riscy;
+using namespace riscy::bench;
+
+int
+main()
+{
+    auto specs = workloads::specWorkloads();
+    printHeader("Fig. 18: wide stand-ins normalized to RiscyOO-T+",
+                {"Wide-3", "Wide-7"});
+    std::vector<double> g3, g7;
+    for (const auto &w : specs) {
+        RunResult t = runOn(SystemConfig::riscyooTPlus(), w);
+        RunResult w3 = runOn(SystemConfig::wide3(), w);
+        RunResult w7 = runOn(SystemConfig::wide7(), w);
+        double n3 = double(t.cycles) / w3.cycles;
+        double n7 = double(t.cycles) / w7.cycles;
+        g3.push_back(n3);
+        g7.push_back(n7);
+        printRow(w.name, {n3, n7});
+    }
+    printRow("geo-mean", {geomean(g3), geomean(g7)});
+    std::printf("(paper: A57 1.34x, Denver 1.45x of T+; T+ wins "
+                "mcf/astar/omnetpp)\n");
+    return 0;
+}

@@ -1,0 +1,289 @@
+/**
+ * @file
+ * The paper's Section IV case study, runnable: an instruction issue
+ * queue (IQ) and a register ready-bit file (RDYB) composed by three
+ * rules — doRename, doIssue, doRegWrite (Figs. 5-8).
+ *
+ * Three experiments:
+ *  1. the paper's recommended CM (setReady < rdy/setNotReady and
+ *     wakeup < issue < enter): all three rules fire in one cycle and
+ *     a woken instruction issues the same cycle;
+ *  2. the alternative legal ordering issue < wakeup < enter: still
+ *     correct, one cycle slower per wakeup (Section IV-D);
+ *  3. a *degraded* RDYB without internal bypass (rdy/setNotReady <
+ *     setReady): doRename and doRegWrite can no longer share a cycle
+ *     — less concurrency, but provably still correct, which is the
+ *     paper's central point about reasoning with conflict matrices.
+ *
+ *   ./build/examples/iq_concurrency
+ */
+#include <cstdio>
+#include <deque>
+#include <vector>
+
+#include "core/cmd.hh"
+
+using namespace cmd;
+
+namespace {
+
+struct MiniInst {
+    uint8_t src1, src2, dst;
+};
+
+/** Paper Fig. 7: the RDYB interface (register presence bits). */
+class Rdyb : public Module
+{
+  public:
+    Rdyb(Kernel &k, const std::string &name, bool internalBypass)
+        : Module(k, name, Conflict::CF),
+          rdyM(method("rdy")), setReadyM(method("setReady")),
+          setNotReadyM(method("setNotReady")),
+          bits_(k, name + ".bits", 128, 1)
+    {
+        selfCf(rdyM);
+        if (internalBypass) {
+            // setReady < {rdy, setNotReady}: a wakeup is visible to a
+            // rename in the same cycle.
+            lt(setReadyM, rdyM);
+            lt(setReadyM, setNotReadyM);
+        } else {
+            // No bypass: rename's reads happen logically first.
+            lt(rdyM, setReadyM);
+            lt(setNotReadyM, setReadyM);
+        }
+    }
+
+    bool
+    rdy(uint8_t r)
+    {
+        rdyM();
+        return bits_.read(r) != 0;
+    }
+
+    void
+    setReady(uint8_t r)
+    {
+        setReadyM();
+        bits_.write(r, 1);
+    }
+
+    void
+    setNotReady(uint8_t r)
+    {
+        setNotReadyM();
+        bits_.write(r, 0);
+    }
+
+    Method &rdyM, &setReadyM, &setNotReadyM;
+
+  private:
+    RegArray<uint8_t> bits_;
+};
+
+/** Paper Fig. 7: the IQ interface. */
+class Iq : public Module
+{
+  public:
+    enum class Order { WakeupIssueEnter, IssueWakeupEnter };
+
+    Iq(Kernel &k, const std::string &name, Order order)
+        : Module(k, name, Conflict::CF),
+          enterM(method("enter")), wakeupM(method("wakeup")),
+          issueM(method("issue")),
+          arr_(k, name + ".arr", 8), count_(k, name + ".count", 0)
+    {
+        if (order == Order::WakeupIssueEnter) {
+            lt(wakeupM, issueM);
+            lt(issueM, enterM);
+            lt(wakeupM, enterM);
+        } else {
+            lt(issueM, wakeupM);
+            lt(wakeupM, enterM);
+            lt(issueM, enterM);
+        }
+    }
+
+    bool canEnter() const { return count_.read() < 8; }
+    bool
+    canIssue() const
+    {
+        for (uint32_t i = 0; i < 8; i++) {
+            const Entry &e = arr_.read(i);
+            if (e.valid && e.rdy1 && e.rdy2)
+                return true;
+        }
+        return false;
+    }
+
+    void
+    enter(MiniInst inst, bool rdy1, bool rdy2)
+    {
+        enterM();
+        require(count_.read() < 8);
+        for (uint32_t i = 0; i < 8; i++) {
+            if (!arr_.read(i).valid) {
+                arr_.write(i, {true, inst, rdy1, rdy2});
+                count_.write(count_.read() + 1);
+                return;
+            }
+        }
+        require(false);
+    }
+
+    void
+    wakeup(uint8_t dst)
+    {
+        wakeupM();
+        for (uint32_t i = 0; i < 8; i++) {
+            Entry e = arr_.read(i);
+            if (!e.valid)
+                continue;
+            bool touch = false;
+            if (e.inst.src1 == dst && !e.rdy1) {
+                e.rdy1 = true;
+                touch = true;
+            }
+            if (e.inst.src2 == dst && !e.rdy2) {
+                e.rdy2 = true;
+                touch = true;
+            }
+            if (touch)
+                arr_.write(i, e);
+        }
+    }
+
+    MiniInst
+    issue()
+    {
+        issueM();
+        for (uint32_t i = 0; i < 8; i++) {
+            const Entry &e = arr_.read(i);
+            if (e.valid && e.rdy1 && e.rdy2) {
+                MiniInst out = e.inst;
+                arr_.write(i, Entry{});
+                count_.write(count_.read() - 1);
+                return out;
+            }
+        }
+        require(false);
+        return {};
+    }
+
+    Method &enterM, &wakeupM, &issueM;
+
+  private:
+    struct Entry {
+        bool valid = false;
+        MiniInst inst{};
+        bool rdy1 = false, rdy2 = false;
+    };
+
+    RegArray<Entry> arr_;
+    Reg<uint32_t> count_;
+};
+
+/**
+ * The Fig. 6 design: a renamer feeding the IQ, a 3-cycle execution
+ * pipeline, and a register-write stage doing the wakeups. Runs a
+ * dependence chain and reports the cycles taken.
+ */
+uint64_t
+runChain(const char *label, bool rdybBypass, Iq::Order order,
+         uint32_t chainLen, bool dependent = true)
+{
+    Kernel k;
+    Rdyb rdyb(k, "rdyb", rdybBypass);
+    Iq iq(k, "iq", order);
+    // A tiny 2-stage "execution pipeline". Conflict-free FIFOs keep
+    // the pipeline from imposing its own rule ordering, so both legal
+    // IQ orderings remain schedulable (with issue < wakeup, a
+    // pipeline FIFO's deq < enq would close a combinational cycle —
+    // try it: the elaborator reports it, like the BSV compiler).
+    CfFifo<MiniInst> exec1(k, "exec1", 2);
+    CfFifo<MiniInst> exec2(k, "exec2", 2);
+
+    // Dependent: inst i reads reg i, writes reg i+1 (a pure chain,
+    // latency-bound). Independent: everyone reads reg 0 (throughput-
+    // bound, which is where rule concurrency shows).
+    std::deque<MiniInst> program;
+    for (uint32_t i = 0; i < chainLen; i++) {
+        uint8_t src = dependent ? static_cast<uint8_t>(i) : 0;
+        program.push_back({src, src, static_cast<uint8_t>(i + 1)});
+    }
+    Reg<uint32_t> retired(k, "retired", 0);
+
+    // Fig. 8, rule doRegWrite (registered first; fires logically
+    // before doIssue and doRename under the recommended CM).
+    Rule &regWrite = k.rule("doRegWrite", [&] {
+        MiniInst wb = exec2.deq();
+        iq.wakeup(wb.dst);
+        rdyb.setReady(wb.dst);
+        retired.write(retired.read() + 1);
+    });
+    regWrite.when([&] { return exec2.canDeq(); });
+    regWrite.uses({&exec2.deqM, &iq.wakeupM, &rdyb.setReadyM});
+
+    Rule &execMove = k.rule("doExec", [&] { exec2.enq(exec1.deq()); });
+    execMove.when([&] { return exec1.canDeq() && exec2.canEnq(); });
+    execMove.uses({&exec1.deqM, &exec2.enqM});
+
+    // Fig. 8, rule doIssue.
+    Rule &issue = k.rule("doIssue", [&] { exec1.enq(iq.issue()); });
+    issue.when([&] { return iq.canIssue() && exec1.canEnq(); });
+    issue.uses({&iq.issueM, &exec1.enqM});
+
+    // Fig. 8, rule doRename.
+    Rule &rename = k.rule("doRename", [&] {
+        require(!program.empty() && iq.canEnter());
+        MiniInst d = program.front();
+        bool rdy1 = rdyb.rdy(d.src1);
+        bool rdy2 = rdyb.rdy(d.src2);
+        rdyb.setNotReady(d.dst);
+        iq.enter(d, rdy1, rdy2);
+        program.pop_front();
+    });
+    rename.when([&] { return !program.empty(); });
+    rename.uses({&rdyb.rdyM, &rdyb.setNotReadyM, &iq.enterM});
+
+    k.elaborate();
+    k.runUntil([&] { return retired.read() == chainLen; }, 100000);
+
+    // Show whether the CM let doRegWrite and doRename share cycles.
+    std::printf("%-34s %5llu cycles for a %u-chain"
+                "  (regWrite fired %llu, rename fired %llu)\n",
+                label, (unsigned long long)k.cycleCount(), chainLen,
+                (unsigned long long)regWrite.firedCount(),
+                (unsigned long long)rename.firedCount());
+    return k.cycleCount();
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Section IV: atomicity across IQ and RDYB\n");
+    std::printf("----------------------------------------\n");
+    uint32_t n = 64;
+    std::printf("latency experiment (dependence chain):\n");
+    uint64_t fast = runChain("  bypass RDYB, wakeup<issue<enter",
+                             true, Iq::Order::WakeupIssueEnter, n);
+    uint64_t slow = runChain("  bypass RDYB, issue<wakeup<enter",
+                             true, Iq::Order::IssueWakeupEnter, n);
+    std::printf("\nthroughput experiment (independent instructions):\n");
+    uint64_t thrFast = runChain("  bypass RDYB (full concurrency)",
+                                true, Iq::Order::WakeupIssueEnter, n,
+                                false);
+    uint64_t degraded = runChain("  no-bypass RDYB (degraded CM)",
+                                 false, Iq::Order::WakeupIssueEnter, n,
+                                 false);
+    std::printf("\nwakeup<issue<enter saves %.1f%% latency over "
+                "issue<wakeup (paper Section IV-D)\n",
+                100.0 * double(slow - fast) / double(slow));
+    std::printf("the no-bypass RDYB costs %.1f%% throughput — doRename "
+                "and doRegWrite can no longer share a cycle, but the "
+                "design is still correct (paper Section IV-C)\n",
+                100.0 * double(degraded - thrFast) / double(thrFast));
+    return 0;
+}

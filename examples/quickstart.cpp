@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Quickstart: the paper's Section III walk-through in runnable form.
+ *
+ * Builds the GCD module of Fig. 2 as a CMD module (guarded interface
+ * methods + an internal rule), demonstrates latency-insensitivity,
+ * then wraps two of them behind the *same interface* (Fig. 4) and
+ * shows the streaming throughput nearly doubling — without the
+ * clients changing a single line.
+ *
+ *   cmake --build build && ./build/examples/quickstart
+ */
+#include <cstdio>
+
+#include "core/cmd.hh"
+
+using namespace cmd;
+
+namespace {
+
+/** Paper Fig. 2: mkGCD. */
+class Gcd : public Module
+{
+  public:
+    Gcd(Kernel &k, const std::string &name)
+        : Module(k, name),
+          startM(method("start")), getResultM(method("getResult")),
+          x_(k, name + ".x", 0u), y_(k, name + ".y", 0u),
+          busy_(k, name + ".busy", false)
+    {
+        // Both methods update `busy`, so they conflict — exactly what
+        // the BSV compiler would derive for Fig. 2.
+        conflictPair(startM, getResultM);
+
+        kernel().rule(name + ".doGCD", [this] {
+            require(x_.read() != 0);
+            if (x_.read() >= y_.read()) {
+                x_.write(x_.read() - y_.read());
+            } else {
+                // Reads see rule-start values: this swaps.
+                x_.write(y_.read());
+                y_.write(x_.read());
+            }
+        }).when([this] { return x_.read() != 0; });
+    }
+
+    void
+    start(uint32_t a, uint32_t b)
+    {
+        startM();
+        require(!busy_.read()); // the guard of Fig. 2
+        x_.write(a);
+        y_.write(b == 0 ? a : b);
+        busy_.write(true);
+    }
+
+    uint32_t
+    getResult()
+    {
+        getResultM();
+        require(busy_.read() && x_.read() == 0);
+        busy_.write(false);
+        return y_.read();
+    }
+
+    Method &startM, &getResultM;
+
+  private:
+    Reg<uint32_t> x_, y_;
+    Reg<bool> busy_;
+};
+
+/** Paper Fig. 4: mkTwoGCD — same interface, twice the units. */
+class TwoGcd : public Module
+{
+  public:
+    TwoGcd(Kernel &k, const std::string &name)
+        : Module(k, name),
+          startM(method("start")), getResultM(method("getResult")),
+          g1_(k, name + ".g1"), g2_(k, name + ".g2"),
+          inTurn_(k, name + ".inTurn", true),
+          outTurn_(k, name + ".outTurn", true)
+    {
+        // The round-robin guarantees concurrent start/getResult touch
+        // different sub-GCDs, so the pair is conflict-free; the
+        // runtime CM enforcement still serializes the cycles where
+        // both point at the same unit.
+        cf(startM, getResultM);
+        startM.subcalls({&g1_.startM, &g2_.startM});
+        getResultM.subcalls({&g1_.getResultM, &g2_.getResultM});
+    }
+
+    void
+    start(uint32_t a, uint32_t b)
+    {
+        startM();
+        if (inTurn_.read())
+            g1_.start(a, b);
+        else
+            g2_.start(a, b);
+        inTurn_.write(!inTurn_.read());
+    }
+
+    uint32_t
+    getResult()
+    {
+        getResultM();
+        uint32_t y =
+            outTurn_.read() ? g1_.getResult() : g2_.getResult();
+        outTurn_.write(!outTurn_.read());
+        return y;
+    }
+
+    Method &startM, &getResultM;
+
+  private:
+    Gcd g1_, g2_;
+    Reg<bool> inTurn_, outTurn_;
+};
+
+/** Stream @p jobs GCD requests through G; return cycles taken. */
+template <typename G>
+uint64_t
+stream(const char *label, uint32_t jobs)
+{
+    Kernel k;
+    G g(k, "gcd");
+    Reg<uint32_t> started(k, "started", 0);
+    Reg<uint32_t> done(k, "done", 0);
+    Reg<uint64_t> checksum(k, "checksum", 0);
+
+    Rule &feed = k.rule("feed", [&] {
+        require(started.read() < jobs);
+        g.start(1071 + started.read() * 3, 462);
+        started.write(started.read() + 1);
+    });
+    feed.uses({&g.startM});
+    Rule &drain = k.rule("drain", [&] {
+        checksum.write(checksum.read() + g.getResult());
+        done.write(done.read() + 1);
+    });
+    drain.uses({&g.getResultM});
+
+    k.elaborate();
+    k.runUntil([&] { return done.read() == jobs; }, 1000000);
+    std::printf("%-10s %4u jobs in %6llu cycles (checksum %llu)\n",
+                label, jobs, (unsigned long long)k.cycleCount(),
+                (unsigned long long)checksum.read());
+    return k.cycleCount();
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("CMD quickstart: the paper's GCD example\n");
+    std::printf("---------------------------------------\n");
+
+    // 1. Latency-insensitive single requests.
+    {
+        Kernel k;
+        Gcd g(k, "gcd");
+        k.elaborate();
+        uint32_t result = 0;
+        k.runAtomically([&] { g.start(1071, 462); });
+        k.runUntil(
+            [&] {
+                return k.runAtomically([&] { result = g.getResult(); });
+            },
+            100000);
+        std::printf("gcd(1071, 462) = %u\n\n", result);
+    }
+
+    // 2. Same interface, double the units, ~double the throughput.
+    uint64_t one = stream<Gcd>("one-unit", 128);
+    uint64_t two = stream<TwoGcd>("two-unit", 128);
+    std::printf("\nspeedup from swapping the implementation: %.2fx\n",
+                double(one) / double(two));
+    std::printf("(clients did not change: that is composable modular "
+                "refinement)\n");
+    return 0;
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Run an assembled RISC-V program on the full RiscyOO-T+ system and
+ * print a commit trace plus the microarchitectural event counters —
+ * the library's bread-and-butter use case.
+ *
+ *   ./build/examples/run_program [--trace]
+ */
+#include <cstdio>
+#include <cstring>
+
+#include "asmkit/assembler.hh"
+#include "isa/inst.hh"
+#include "proc/system.hh"
+
+using namespace riscy;
+using namespace riscy::asmkit;
+
+int
+main(int argc, char **argv)
+{
+    bool trace = argc > 1 && std::strcmp(argv[1], "--trace") == 0;
+
+    // A little program: iterative fibonacci with memoization in
+    // memory, then exit(fib(30) mod 1e9).
+    constexpr Addr entry = kDramBase;
+    Addr table = kDramBase + 0x10000;
+    Assembler a(entry);
+    a.li(s0, table);
+    a.li(t0, 0);
+    a.sd(t0, 0, s0); // fib[0] = 0
+    a.li(t1, 1);
+    a.sd(t1, 8, s0); // fib[1] = 1
+    a.li(s1, 2);
+    a.li(s2, 31);
+    auto loop = a.newLabel();
+    a.bind(loop);
+    a.slli(t2, s1, 3);
+    a.add(t2, s0, t2);
+    a.ld(t3, -8, t2);
+    a.ld(t4, -16, t2);
+    a.add(t5, t3, t4);
+    a.sd(t5, 0, t2);
+    a.addi(s1, s1, 1);
+    a.bne(s1, s2, loop);
+    a.ld(a0, 30 * 8, s0);
+    a.li(t6, 1000000000);
+    a.remu(a0, a0, t6);
+    // exit(a0)
+    a.slli(a0, a0, 1);
+    a.ori(a0, a0, 1);
+    a.li(t6, kMmioBase);
+    a.sd(a0, 0, t6);
+    auto spin = a.newLabel();
+    a.bind(spin);
+    a.j(spin);
+
+    System sys(SystemConfig::riscyooTPlus());
+    a.load(sys.mem(), entry);
+    sys.elaborate();
+
+    if (trace) {
+        sys.setOnCommit(0, [](const CommitRecord &r) {
+            std::printf("  %#10llx  %-28s", (unsigned long long)r.pc,
+                        isa::disasm(isa::decode(r.raw)).c_str());
+            if (r.hasRd)
+                std::printf(" x%-2d = %#llx", r.rd,
+                            (unsigned long long)r.rdVal);
+            std::printf("\n");
+        });
+    }
+
+    sys.start(entry, 0, {kDramBase + 0x100000});
+    if (!sys.run(2000000)) {
+        std::fprintf(stderr, "program did not finish\n");
+        return 1;
+    }
+
+    auto ev = sys.events(0);
+    std::printf("exit code       : %llu (fib(30) = 832040)\n",
+                (unsigned long long)sys.host().exitCode(0));
+    std::printf("cycles          : %llu\n",
+                (unsigned long long)ev.cycles);
+    std::printf("instructions    : %llu (IPC %.3f)\n",
+                (unsigned long long)ev.instret,
+                double(ev.instret) / double(ev.cycles));
+    std::printf("br mispredicts  : %llu\n",
+                (unsigned long long)ev.branchMispredicts);
+    std::printf("L1D misses      : %llu\n",
+                (unsigned long long)ev.l1dMisses);
+    std::printf("DTLB misses     : %llu\n",
+                (unsigned long long)ev.dtlbMisses);
+    std::printf("\nrerun with --trace for the commit stream\n");
+    return sys.host().exitCode(0) == 832040 ? 0 : 1;
+}

@@ -1,0 +1,261 @@
+#include "asmkit/assembler.hh"
+
+#include "core/log.hh"
+
+namespace riscy::asmkit {
+
+namespace {
+
+uint32_t
+rtype(unsigned f7, int rs2, int rs1, unsigned f3, int rd, unsigned opc)
+{
+    return (f7 << 25) | (rs2 << 20) | (rs1 << 15) | (f3 << 12) | (rd << 7) |
+           opc;
+}
+
+uint32_t
+itype(int32_t imm, int rs1, unsigned f3, int rd, unsigned opc)
+{
+    return (static_cast<uint32_t>(imm & 0xfff) << 20) | (rs1 << 15) |
+           (f3 << 12) | (rd << 7) | opc;
+}
+
+uint32_t
+stype(int32_t imm, int rs2, int rs1, unsigned f3, unsigned opc)
+{
+    uint32_t u = static_cast<uint32_t>(imm) & 0xfff;
+    return ((u >> 5) << 25) | (rs2 << 20) | (rs1 << 15) | (f3 << 12) |
+           ((u & 0x1f) << 7) | opc;
+}
+
+uint32_t
+btype(int32_t imm, int rs2, int rs1, unsigned f3)
+{
+    uint32_t u = static_cast<uint32_t>(imm);
+    return (((u >> 12) & 1) << 31) | (((u >> 5) & 0x3f) << 25) |
+           (rs2 << 20) | (rs1 << 15) | (f3 << 12) | (((u >> 1) & 0xf) << 8) |
+           (((u >> 11) & 1) << 7) | 0x63;
+}
+
+uint32_t
+utype(int32_t hi20, int rd, unsigned opc)
+{
+    return (static_cast<uint32_t>(hi20 & 0xfffff) << 12) | (rd << 7) | opc;
+}
+
+uint32_t
+jtype(int32_t imm, int rd)
+{
+    uint32_t u = static_cast<uint32_t>(imm);
+    return (((u >> 20) & 1) << 31) | (((u >> 1) & 0x3ff) << 21) |
+           (((u >> 11) & 1) << 20) | (((u >> 12) & 0xff) << 12) | (rd << 7) |
+           0x6f;
+}
+
+uint32_t
+amo(unsigned f5, int rs2, int rs1, bool isD, int rd)
+{
+    return (f5 << 27) | (rs2 << 20) | (rs1 << 15) | ((isD ? 3u : 2u) << 12) |
+           (rd << 7) | 0x2f;
+}
+
+} // namespace
+
+Assembler::Label
+Assembler::newLabel()
+{
+    labels_.push_back(~0ull);
+    return Label{static_cast<int>(labels_.size()) - 1};
+}
+
+void
+Assembler::bind(Label l)
+{
+    if (l.id < 0 || labels_[l.id] != ~0ull)
+        cmd::panic("assembler: bad/duplicate label bind");
+    labels_[l.id] = here();
+}
+
+Addr
+Assembler::labelAddr(Label l) const
+{
+    if (l.id < 0 || labels_[l.id] == ~0ull)
+        cmd::panic("assembler: unbound label queried");
+    return labels_[l.id];
+}
+
+void
+Assembler::emitBranch(unsigned f3, int rs1, int rs2, Label t)
+{
+    fixups_.push_back({code_.size(), t.id, Fixup::Kind::Branch});
+    code_.push_back(btype(0, rs2, rs1, f3));
+}
+
+void Assembler::lui(int rd, int32_t hi20) { word(utype(hi20, rd, 0x37)); }
+void Assembler::auipc(int rd, int32_t hi20) { word(utype(hi20, rd, 0x17)); }
+
+void
+Assembler::jal(int rd, Label target)
+{
+    fixups_.push_back({code_.size(), target.id, Fixup::Kind::Jal});
+    code_.push_back(jtype(0, rd));
+}
+
+void Assembler::jalr(int rd, int rs1, int32_t off)
+{
+    word(itype(off, rs1, 0, rd, 0x67));
+}
+
+void Assembler::beq(int rs1, int rs2, Label t) { emitBranch(0, rs1, rs2, t); }
+void Assembler::bne(int rs1, int rs2, Label t) { emitBranch(1, rs1, rs2, t); }
+void Assembler::blt(int rs1, int rs2, Label t) { emitBranch(4, rs1, rs2, t); }
+void Assembler::bge(int rs1, int rs2, Label t) { emitBranch(5, rs1, rs2, t); }
+void Assembler::bltu(int rs1, int rs2, Label t) { emitBranch(6, rs1, rs2, t); }
+void Assembler::bgeu(int rs1, int rs2, Label t) { emitBranch(7, rs1, rs2, t); }
+
+void Assembler::lb(int rd, int32_t o, int rs1) { word(itype(o, rs1, 0, rd, 0x03)); }
+void Assembler::lh(int rd, int32_t o, int rs1) { word(itype(o, rs1, 1, rd, 0x03)); }
+void Assembler::lw(int rd, int32_t o, int rs1) { word(itype(o, rs1, 2, rd, 0x03)); }
+void Assembler::ld(int rd, int32_t o, int rs1) { word(itype(o, rs1, 3, rd, 0x03)); }
+void Assembler::lbu(int rd, int32_t o, int rs1) { word(itype(o, rs1, 4, rd, 0x03)); }
+void Assembler::lhu(int rd, int32_t o, int rs1) { word(itype(o, rs1, 5, rd, 0x03)); }
+void Assembler::lwu(int rd, int32_t o, int rs1) { word(itype(o, rs1, 6, rd, 0x03)); }
+void Assembler::sb(int rs2, int32_t o, int rs1) { word(stype(o, rs2, rs1, 0, 0x23)); }
+void Assembler::sh(int rs2, int32_t o, int rs1) { word(stype(o, rs2, rs1, 1, 0x23)); }
+void Assembler::sw(int rs2, int32_t o, int rs1) { word(stype(o, rs2, rs1, 2, 0x23)); }
+void Assembler::sd(int rs2, int32_t o, int rs1) { word(stype(o, rs2, rs1, 3, 0x23)); }
+
+void Assembler::addi(int rd, int rs1, int32_t i) { word(itype(i, rs1, 0, rd, 0x13)); }
+void Assembler::slti(int rd, int rs1, int32_t i) { word(itype(i, rs1, 2, rd, 0x13)); }
+void Assembler::sltiu(int rd, int rs1, int32_t i) { word(itype(i, rs1, 3, rd, 0x13)); }
+void Assembler::xori(int rd, int rs1, int32_t i) { word(itype(i, rs1, 4, rd, 0x13)); }
+void Assembler::ori(int rd, int rs1, int32_t i) { word(itype(i, rs1, 6, rd, 0x13)); }
+void Assembler::andi(int rd, int rs1, int32_t i) { word(itype(i, rs1, 7, rd, 0x13)); }
+void Assembler::slli(int rd, int rs1, unsigned sh) { word(itype(sh, rs1, 1, rd, 0x13)); }
+void Assembler::srli(int rd, int rs1, unsigned sh) { word(itype(sh, rs1, 5, rd, 0x13)); }
+void Assembler::srai(int rd, int rs1, unsigned sh)
+{
+    word(itype(0x400 | sh, rs1, 5, rd, 0x13));
+}
+
+void Assembler::add(int rd, int a, int b) { word(rtype(0, b, a, 0, rd, 0x33)); }
+void Assembler::sub(int rd, int a, int b) { word(rtype(0x20, b, a, 0, rd, 0x33)); }
+void Assembler::sll(int rd, int a, int b) { word(rtype(0, b, a, 1, rd, 0x33)); }
+void Assembler::slt(int rd, int a, int b) { word(rtype(0, b, a, 2, rd, 0x33)); }
+void Assembler::sltu(int rd, int a, int b) { word(rtype(0, b, a, 3, rd, 0x33)); }
+void Assembler::xor_(int rd, int a, int b) { word(rtype(0, b, a, 4, rd, 0x33)); }
+void Assembler::srl(int rd, int a, int b) { word(rtype(0, b, a, 5, rd, 0x33)); }
+void Assembler::sra(int rd, int a, int b) { word(rtype(0x20, b, a, 5, rd, 0x33)); }
+void Assembler::or_(int rd, int a, int b) { word(rtype(0, b, a, 6, rd, 0x33)); }
+void Assembler::and_(int rd, int a, int b) { word(rtype(0, b, a, 7, rd, 0x33)); }
+
+void Assembler::addiw(int rd, int rs1, int32_t i) { word(itype(i, rs1, 0, rd, 0x1b)); }
+void Assembler::slliw(int rd, int rs1, unsigned sh) { word(itype(sh, rs1, 1, rd, 0x1b)); }
+void Assembler::srliw(int rd, int rs1, unsigned sh) { word(itype(sh, rs1, 5, rd, 0x1b)); }
+void Assembler::sraiw(int rd, int rs1, unsigned sh)
+{
+    word(itype(0x400 | sh, rs1, 5, rd, 0x1b));
+}
+void Assembler::addw(int rd, int a, int b) { word(rtype(0, b, a, 0, rd, 0x3b)); }
+void Assembler::subw(int rd, int a, int b) { word(rtype(0x20, b, a, 0, rd, 0x3b)); }
+void Assembler::sllw(int rd, int a, int b) { word(rtype(0, b, a, 1, rd, 0x3b)); }
+void Assembler::srlw(int rd, int a, int b) { word(rtype(0, b, a, 5, rd, 0x3b)); }
+void Assembler::sraw(int rd, int a, int b) { word(rtype(0x20, b, a, 5, rd, 0x3b)); }
+
+void Assembler::fence() { word(0x0ff0000f); }
+void Assembler::fence_i() { word(0x0000100f); }
+void Assembler::ecall() { word(0x00000073); }
+void Assembler::ebreak() { word(0x00100073); }
+void Assembler::mret() { word(0x30200073); }
+void Assembler::wfi() { word(0x10500073); }
+
+void Assembler::csrrw(int rd, uint16_t c, int rs1) { word(itype(c, rs1, 1, rd, 0x73)); }
+void Assembler::csrrs(int rd, uint16_t c, int rs1) { word(itype(c, rs1, 2, rd, 0x73)); }
+void Assembler::csrrc(int rd, uint16_t c, int rs1) { word(itype(c, rs1, 3, rd, 0x73)); }
+void Assembler::csrrwi(int rd, uint16_t c, unsigned z) { word(itype(c, z, 5, rd, 0x73)); }
+
+void Assembler::mul(int rd, int a, int b) { word(rtype(1, b, a, 0, rd, 0x33)); }
+void Assembler::mulh(int rd, int a, int b) { word(rtype(1, b, a, 1, rd, 0x33)); }
+void Assembler::mulhu(int rd, int a, int b) { word(rtype(1, b, a, 3, rd, 0x33)); }
+void Assembler::div(int rd, int a, int b) { word(rtype(1, b, a, 4, rd, 0x33)); }
+void Assembler::divu(int rd, int a, int b) { word(rtype(1, b, a, 5, rd, 0x33)); }
+void Assembler::rem(int rd, int a, int b) { word(rtype(1, b, a, 6, rd, 0x33)); }
+void Assembler::remu(int rd, int a, int b) { word(rtype(1, b, a, 7, rd, 0x33)); }
+void Assembler::mulw(int rd, int a, int b) { word(rtype(1, b, a, 0, rd, 0x3b)); }
+void Assembler::divw(int rd, int a, int b) { word(rtype(1, b, a, 4, rd, 0x3b)); }
+void Assembler::remw(int rd, int a, int b) { word(rtype(1, b, a, 6, rd, 0x3b)); }
+
+void Assembler::lr_w(int rd, int rs1) { word(amo(0x02, 0, rs1, false, rd)); }
+void Assembler::sc_w(int rd, int rs2, int rs1) { word(amo(0x03, rs2, rs1, false, rd)); }
+void Assembler::lr_d(int rd, int rs1) { word(amo(0x02, 0, rs1, true, rd)); }
+void Assembler::sc_d(int rd, int rs2, int rs1) { word(amo(0x03, rs2, rs1, true, rd)); }
+void Assembler::amoswap_w(int rd, int rs2, int rs1) { word(amo(0x01, rs2, rs1, false, rd)); }
+void Assembler::amoadd_w(int rd, int rs2, int rs1) { word(amo(0x00, rs2, rs1, false, rd)); }
+void Assembler::amoswap_d(int rd, int rs2, int rs1) { word(amo(0x01, rs2, rs1, true, rd)); }
+void Assembler::amoadd_d(int rd, int rs2, int rs1) { word(amo(0x00, rs2, rs1, true, rd)); }
+void Assembler::amoor_d(int rd, int rs2, int rs1) { word(amo(0x08, rs2, rs1, true, rd)); }
+void Assembler::amoand_d(int rd, int rs2, int rs1) { word(amo(0x0c, rs2, rs1, true, rd)); }
+void Assembler::amomax_d(int rd, int rs2, int rs1) { word(amo(0x14, rs2, rs1, true, rd)); }
+void Assembler::amomin_d(int rd, int rs2, int rs1) { word(amo(0x10, rs2, rs1, true, rd)); }
+
+void
+Assembler::li(int rd, int64_t value)
+{
+    if (value >= INT32_MIN && value <= INT32_MAX) {
+        int32_t v = static_cast<int32_t>(value);
+        int32_t lo = (v << 20) >> 20; // low 12, sign-extended
+        int32_t hi = (v - lo) >> 12;
+        if (hi != 0) {
+            lui(rd, hi);
+            if (lo != 0)
+                addiw(rd, rd, lo);
+        } else {
+            addi(rd, 0, lo);
+        }
+        return;
+    }
+    int64_t lo = (value << 52) >> 52;
+    li(rd, (value - lo) >> 12);
+    slli(rd, rd, 12);
+    if (lo != 0)
+        addi(rd, rd, static_cast<int32_t>(lo));
+}
+
+void
+Assembler::resolveFixups()
+{
+    for (const Fixup &f : fixups_) {
+        if (labels_[f.label] == ~0ull)
+            cmd::panic("assembler: unbound label in fixup at word %zu",
+                       f.index);
+        Addr pc = base_ + f.index * 4;
+        int64_t delta = static_cast<int64_t>(labels_[f.label]) -
+                        static_cast<int64_t>(pc);
+        uint32_t &w = code_[f.index];
+        if (f.kind == Fixup::Kind::Branch) {
+            if (delta < -4096 || delta > 4094)
+                cmd::panic("assembler: branch offset %lld out of range",
+                           (long long)delta);
+            unsigned f3 = (w >> 12) & 7;
+            int rs1 = (w >> 15) & 31;
+            int rs2 = (w >> 20) & 31;
+            w = btype(static_cast<int32_t>(delta), rs2, rs1, f3);
+        } else {
+            if (delta < -(1 << 20) || delta >= (1 << 20))
+                cmd::panic("assembler: jal offset %lld out of range",
+                           (long long)delta);
+            int rd = (w >> 7) & 31;
+            w = jtype(static_cast<int32_t>(delta), rd);
+        }
+    }
+    fixups_.clear();
+}
+
+void
+Assembler::load(PhysMem &mem, Addr pa)
+{
+    resolveFixups();
+    mem.writeBlock(pa, code_.data(), code_.size() * 4);
+}
+
+} // namespace riscy::asmkit

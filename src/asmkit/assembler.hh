@@ -1,0 +1,187 @@
+/**
+ * @file
+ * A small RV64IMA assembler used to author workload kernels and test
+ * programs directly in C++ (there is no cross-compiler in this
+ * environment; the paper's SPEC/PARSEC binaries are replaced by
+ * kernels written against this API — see DESIGN.md).
+ *
+ * Supports labels with forward references (branch/jal fixups), the
+ * usual pseudo-instructions (li, mv, j, ret, nop), and loading the
+ * assembled text into a PhysMem image.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mem/memory.hh"
+
+namespace riscy::asmkit {
+
+using riscy::Addr;
+
+/** ABI register names for readability at call sites. */
+enum GprName : int {
+    zero = 0, ra = 1, sp = 2, gp = 3, tp = 4,
+    t0 = 5, t1 = 6, t2 = 7,
+    s0 = 8, s1 = 9,
+    a0 = 10, a1 = 11, a2 = 12, a3 = 13, a4 = 14, a5 = 15, a6 = 16,
+    a7 = 17,
+    s2 = 18, s3 = 19, s4 = 20, s5 = 21, s6 = 22, s7 = 23, s8 = 24,
+    s9 = 25, s10 = 26, s11 = 27,
+    t3 = 28, t4 = 29, t5 = 30, t6 = 31,
+};
+
+class Assembler
+{
+  public:
+    explicit Assembler(Addr base) : base_(base) {}
+
+    /** An assembly label; create with newLabel(), place with bind(). */
+    struct Label {
+        int id = -1;
+    };
+
+    Label newLabel();
+    void bind(Label l);
+    /** Current emission address. */
+    Addr here() const { return base_ + code_.size() * 4; }
+    Addr base() const { return base_; }
+    /** Address a bound label resolves to. */
+    Addr labelAddr(Label l) const;
+
+    /** Emit a raw 32-bit word (escape hatch / data in text). */
+    void word(uint32_t w) { code_.push_back(w); }
+
+    // ---- RV64I ----
+    void lui(int rd, int32_t hi20);
+    void auipc(int rd, int32_t hi20);
+    void jal(int rd, Label target);
+    void jalr(int rd, int rs1, int32_t off);
+    void beq(int rs1, int rs2, Label t);
+    void bne(int rs1, int rs2, Label t);
+    void blt(int rs1, int rs2, Label t);
+    void bge(int rs1, int rs2, Label t);
+    void bltu(int rs1, int rs2, Label t);
+    void bgeu(int rs1, int rs2, Label t);
+    void lb(int rd, int32_t off, int rs1);
+    void lh(int rd, int32_t off, int rs1);
+    void lw(int rd, int32_t off, int rs1);
+    void ld(int rd, int32_t off, int rs1);
+    void lbu(int rd, int32_t off, int rs1);
+    void lhu(int rd, int32_t off, int rs1);
+    void lwu(int rd, int32_t off, int rs1);
+    void sb(int rs2, int32_t off, int rs1);
+    void sh(int rs2, int32_t off, int rs1);
+    void sw(int rs2, int32_t off, int rs1);
+    void sd(int rs2, int32_t off, int rs1);
+    void addi(int rd, int rs1, int32_t imm);
+    void slti(int rd, int rs1, int32_t imm);
+    void sltiu(int rd, int rs1, int32_t imm);
+    void xori(int rd, int rs1, int32_t imm);
+    void ori(int rd, int rs1, int32_t imm);
+    void andi(int rd, int rs1, int32_t imm);
+    void slli(int rd, int rs1, unsigned sh);
+    void srli(int rd, int rs1, unsigned sh);
+    void srai(int rd, int rs1, unsigned sh);
+    void add(int rd, int rs1, int rs2);
+    void sub(int rd, int rs1, int rs2);
+    void sll(int rd, int rs1, int rs2);
+    void slt(int rd, int rs1, int rs2);
+    void sltu(int rd, int rs1, int rs2);
+    void xor_(int rd, int rs1, int rs2);
+    void srl(int rd, int rs1, int rs2);
+    void sra(int rd, int rs1, int rs2);
+    void or_(int rd, int rs1, int rs2);
+    void and_(int rd, int rs1, int rs2);
+    void addiw(int rd, int rs1, int32_t imm);
+    void slliw(int rd, int rs1, unsigned sh);
+    void srliw(int rd, int rs1, unsigned sh);
+    void sraiw(int rd, int rs1, unsigned sh);
+    void addw(int rd, int rs1, int rs2);
+    void subw(int rd, int rs1, int rs2);
+    void sllw(int rd, int rs1, int rs2);
+    void srlw(int rd, int rs1, int rs2);
+    void sraw(int rd, int rs1, int rs2);
+    void fence();
+    void fence_i();
+    void ecall();
+    void ebreak();
+    void mret();
+    void wfi();
+    void csrrw(int rd, uint16_t csr, int rs1);
+    void csrrs(int rd, uint16_t csr, int rs1);
+    void csrrc(int rd, uint16_t csr, int rs1);
+    void csrrwi(int rd, uint16_t csr, unsigned zimm);
+
+    // ---- RV64M ----
+    void mul(int rd, int rs1, int rs2);
+    void mulh(int rd, int rs1, int rs2);
+    void mulhu(int rd, int rs1, int rs2);
+    void div(int rd, int rs1, int rs2);
+    void divu(int rd, int rs1, int rs2);
+    void rem(int rd, int rs1, int rs2);
+    void remu(int rd, int rs1, int rs2);
+    void mulw(int rd, int rs1, int rs2);
+    void divw(int rd, int rs1, int rs2);
+    void remw(int rd, int rs1, int rs2);
+
+    // ---- RV64A ----
+    void lr_w(int rd, int rs1);
+    void sc_w(int rd, int rs2, int rs1);
+    void lr_d(int rd, int rs1);
+    void sc_d(int rd, int rs2, int rs1);
+    void amoswap_w(int rd, int rs2, int rs1);
+    void amoadd_w(int rd, int rs2, int rs1);
+    void amoswap_d(int rd, int rs2, int rs1);
+    void amoadd_d(int rd, int rs2, int rs1);
+    void amoor_d(int rd, int rs2, int rs1);
+    void amoand_d(int rd, int rs2, int rs1);
+    void amomax_d(int rd, int rs2, int rs1);
+    void amomin_d(int rd, int rs2, int rs1);
+
+    // ---- pseudo-instructions ----
+    void nop() { addi(0, 0, 0); }
+    void mv(int rd, int rs1) { addi(rd, rs1, 0); }
+    void j(Label t) { jal(0, t); }
+    void ret() { jalr(0, 1, 0); }
+    void call(Label t) { jal(1, t); }
+    void csrr(int rd, uint16_t csr) { csrrs(rd, csr, 0); }
+    void csrw(uint16_t csr, int rs1) { csrrw(0, csr, rs1); }
+    void beqz(int rs1, Label t) { beq(rs1, 0, t); }
+    void bnez(int rs1, Label t) { bne(rs1, 0, t); }
+    /** Materialize an arbitrary 64-bit constant into rd. */
+    void li(int rd, int64_t value);
+
+    /** The assembled words. */
+    const std::vector<uint32_t> &code() const { return code_; }
+    /** Total size in bytes. */
+    size_t sizeBytes() const { return code_.size() * 4; }
+
+    /**
+     * Resolve all fixups and copy the text into @p mem at the base
+     * physical address @p pa (the base_ passed at construction is the
+     * *virtual* address labels/branches are computed against).
+     */
+    void load(PhysMem &mem, Addr pa);
+    /** load() at pa == base (identity-mapped text). */
+    void load(PhysMem &mem) { load(mem, base_); }
+
+  private:
+    struct Fixup {
+        size_t index;  ///< word index in code_
+        int label;
+        enum class Kind : uint8_t { Branch, Jal } kind;
+    };
+
+    void emitBranch(unsigned f3, int rs1, int rs2, Label t);
+    void resolveFixups();
+
+    Addr base_;
+    std::vector<uint32_t> code_;
+    std::vector<Addr> labels_;      // resolved addresses (~0 = unbound)
+    std::vector<Fixup> fixups_;
+};
+
+} // namespace riscy::asmkit

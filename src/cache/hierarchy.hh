@@ -1,0 +1,76 @@
+/**
+ * @file
+ * MemHierarchy: assembles the coherent memory system of Fig. 11 —
+ * per-core L1 I/D caches, the cache cross bar (per-child timed
+ * channels + L2 arbitration), the shared inclusive L2, the page-walk
+ * ports, and the DRAM model.
+ */
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cache/l2.hh"
+
+namespace riscy {
+
+struct MemHierarchyConfig {
+    uint32_t cores = 1;
+    L1Cache::Config l1d{32, 8, 8, true};
+    L1Cache::Config l1i{32, 8, 4, false};
+    L2Cache::Config l2{1024, 16, 16};
+    Dram::Config dram{120, 24, 10};
+    uint32_t childChanDelay = 1;  ///< cross-bar hop toward L2
+    uint32_t parentChanDelay = 6; ///< L2 pipeline + hop toward the L1s
+    uint32_t walkPortDelay = 1;
+};
+
+class MemHierarchy
+{
+  public:
+    MemHierarchy(cmd::Kernel &k, const std::string &name, PhysMem &mem,
+                 const MemHierarchyConfig &cfg)
+        : cfg_(cfg)
+    {
+        dram_ = std::make_unique<Dram>(k, name + ".dram", mem, cfg.dram);
+        std::vector<CacheChannel *> chans;
+        std::vector<UncachedPort *> ports;
+        for (uint32_t i = 0; i < cfg.cores; i++) {
+            auto mkChan = [&](const std::string &n) {
+                chan_.push_back(std::make_unique<CacheChannel>(
+                    k, n, cfg.childChanDelay, cfg.parentChanDelay));
+                return chan_.back().get();
+            };
+            CacheChannel *dc = mkChan(name + cmd::strfmt(".chanD%u", i));
+            CacheChannel *ic = mkChan(name + cmd::strfmt(".chanI%u", i));
+            dcache_.push_back(std::make_unique<L1Cache>(
+                k, name + cmd::strfmt(".l1d%u", i), cfg.l1d, *dc));
+            icache_.push_back(std::make_unique<L1Cache>(
+                k, name + cmd::strfmt(".l1i%u", i), cfg.l1i, *ic));
+            chans.push_back(dc);
+            chans.push_back(ic);
+            walk_.push_back(std::make_unique<UncachedPort>(
+                k, name + cmd::strfmt(".walk%u", i), cfg.walkPortDelay));
+            ports.push_back(walk_.back().get());
+        }
+        l2_ = std::make_unique<L2Cache>(k, name + ".l2", cfg.l2, chans,
+                                        ports, *dram_);
+    }
+
+    L1Cache &dcache(uint32_t i) { return *dcache_[i]; }
+    L1Cache &icache(uint32_t i) { return *icache_[i]; }
+    UncachedPort &walkPort(uint32_t i) { return *walk_[i]; }
+    L2Cache &l2() { return *l2_; }
+    Dram &dram() { return *dram_; }
+    const MemHierarchyConfig &config() const { return cfg_; }
+
+  private:
+    MemHierarchyConfig cfg_;
+    std::vector<std::unique_ptr<CacheChannel>> chan_;
+    std::vector<std::unique_ptr<L1Cache>> dcache_, icache_;
+    std::vector<std::unique_ptr<UncachedPort>> walk_;
+    std::unique_ptr<L2Cache> l2_;
+    std::unique_ptr<Dram> dram_;
+};
+
+} // namespace riscy

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Non-blocking L1 cache (used for both I and D sides).
+ *
+ * Interface follows the paper's L1 D description (Section V-B):
+ * req/respLd/respSt/writeData, extended with a commit-time atomic port
+ * for LR/SC/AMO (the paper performs atomics at commit). The cache is
+ * an MSI child of the shared L2; see msg.hh for the protocol shape.
+ *
+ * Microarchitecture: one request processed per cycle; misses allocate
+ * an MSHR (max `mshrs` in flight, one per line) with a short waiter
+ * list so that secondary *load* misses to an in-flight line piggyback
+ * on the outstanding fill (secondary stores stall the request queue —
+ * a documented simplification relative to RiscyOO's full merging).
+ * Store responses lock the line until writeData is applied, matching
+ * the paper's "cache remains locked until writeData is called".
+ *
+ * The D-side raises an eviction hook on every transition to I; the
+ * TSO LSQ uses it to kill speculative loads (paper's cacheEvict), and
+ * it also clears the LR reservation.
+ */
+#pragma once
+
+#include <functional>
+
+#include "core/cmd.hh"
+#include "core/timed_fifo.hh"
+#include "cache/msg.hh"
+#include "isa/inst.hh"
+
+namespace riscy {
+
+/** One hop of the child/parent channel bundle (created by the system). */
+struct CacheChannel {
+    CacheChannel(cmd::Kernel &k, const std::string &name,
+                 uint32_t toParentDelay, uint32_t fromParentDelay)
+        : req(k, name + ".req", 8, toParentDelay),
+          resp(k, name + ".resp", 8, toParentDelay),
+          fromParent(k, name + ".fromParent", 8, fromParentDelay)
+    {
+    }
+
+    cmd::TimedFifo<UpgradeReq> req;
+    cmd::TimedFifo<DowngradeResp> resp;
+    cmd::TimedFifo<FromParent> fromParent;
+};
+
+class L1Cache : public cmd::Module
+{
+  public:
+    struct Config {
+        uint32_t sizeKb = 32;
+        uint32_t ways = 8;
+        uint32_t mshrs = 8;
+        bool allowStores = true;
+        /** Next-line prefetch on load misses (the wide stand-ins). */
+        bool prefetchNextLine = false;
+    };
+
+    /** A request from the core side. */
+    struct Req {
+        enum class Kind : uint8_t { Ld, St, Atomic };
+        Kind kind = Kind::Ld;
+        uint8_t id = 0;
+        Addr addr = 0;
+        // Atomic-only payload:
+        isa::Op amoOp = isa::Op::ILLEGAL;
+        uint64_t operand = 0;
+        uint8_t bytes = 8;
+    };
+
+    struct LdResp {
+        uint8_t id;
+        Line line;
+    };
+
+    struct AtomicResp {
+        uint8_t id;
+        uint64_t value; ///< loaded value (or SC success code 0/1)
+    };
+
+    L1Cache(cmd::Kernel &k, const std::string &name, const Config &cfg,
+            CacheChannel &chan);
+
+    // ---- core-side interface methods
+    /** Request a load of the line containing @p addr. */
+    void reqLd(uint8_t id, Addr addr);
+    /** Request store permission for the line containing @p addr. */
+    void reqSt(uint8_t id, Addr addr);
+    /** Request a commit-time atomic (LR/SC/AMO) on @p addr. */
+    void reqAtomic(uint8_t id, Addr addr, isa::Op op, uint64_t operand,
+                   uint8_t bytes);
+    /** Next load response (guarded). */
+    LdResp respLd();
+    /** Next store-permission response; locks the line (guarded). */
+    uint8_t respSt();
+    /** Apply store data to the locked line and unlock it. */
+    void writeData(Addr addr, uint64_t value, uint8_t bytes);
+    /** Apply a store-buffer entry (scattered bytes) and unlock. */
+    void writeLineData(Addr line, const Line &data, uint64_t byteMask);
+    /** Next atomic response (guarded). */
+    AtomicResp respAtomic();
+    /**
+     * Hint: acquire @p want permission on the line of @p addr without
+     * returning data (store prefetch from the SQ — the paper's
+     * unimplemented "store-prefetch requests" — or software hints).
+     * Dropped when the prefetch queue is full.
+     */
+    void prefetchHint(Addr addr, Msi want);
+
+    // ---- probes
+    bool canReq() const { return reqQ_.canEnq(); }
+    bool respLdReady() const { return respLdQ_.canDeq(); }
+    bool respStReady() const { return respStQ_.canDeq(); }
+    bool respAtomicReady() const { return respAtomicQ_.canDeq(); }
+    /** Test/debug probe: current MSI state of the line holding addr. */
+    Msi
+    probeState(Addr addr) const
+    {
+        int w = findWay(lineAddr(addr));
+        if (w < 0)
+            return Msi::I;
+        return static_cast<Msi>(
+            state_.read(slot(setOf(lineAddr(addr)), w)));
+    }
+
+    /**
+     * Install the eviction hook (TSO cacheEvict). @p methods are the
+     * interface methods the hook calls, declared as subcalls of the
+     * internal rules so the schedule stays sound.
+     */
+    void setEvictHook(std::function<void(Addr)> hook,
+                      const std::vector<const cmd::Method *> &methods);
+
+    cmd::Method &reqLdM, &reqStM, &reqAtomicM, &respLdM, &respStM,
+        &writeDataM, &respAtomicM, &prefetchHintM;
+
+  private:
+    static constexpr uint8_t kMaxWait = 6;
+
+    struct Waiter {
+        uint8_t kind = 0;
+        uint8_t id = 0;
+        uint8_t amoOpRaw = 0;
+        uint8_t bytes = 0;
+        uint64_t operand = 0;
+        uint16_t off = 0;
+    };
+
+    struct Mshr {
+        bool valid = false;
+        uint8_t phase = 0; ///< 0 = WaitGrant, 1 = Drain
+        Addr line = 0;
+        uint8_t want = 0;
+        uint16_t way = 0;
+        uint8_t nWait = 0;
+        uint8_t served = 0;
+        Waiter waiters[kMaxWait];
+    };
+
+    // geometry helpers
+    uint32_t setOf(Addr line) const
+    {
+        return static_cast<uint32_t>((line >> kLineShift) & (sets_ - 1));
+    }
+    Addr tagOf(Addr line) const { return line >> kLineShift; }
+    uint32_t slot(uint32_t set, uint32_t way) const
+    {
+        return set * ways_ + way;
+    }
+    /** Way holding @p line, or -1. */
+    int findWay(Addr line) const;
+    int findMshr(Addr line) const;
+    int freeMshr() const;
+    int pickVictim(uint32_t set) const;
+    void doEvictNotice(Addr line);
+    uint64_t performAtomic(const Waiter &w, uint32_t sl, Addr line);
+    void serveWaiter(const Waiter &w, uint32_t sl, Addr line);
+
+    // rules
+    void ruleProcessReq();
+    void rulePrefetch();
+    void ruleFromParent();
+    void ruleDrain();
+    /** Start a line transaction; shared by demand misses and
+     *  prefetches. @return false if no MSHR/victim was available. */
+    bool allocateMiss(Addr ln, uint8_t want, const Waiter *w);
+
+    Config cfg_;
+    uint32_t sets_, ways_;
+    CacheChannel &chan_;
+
+    cmd::RegArray<Addr> tags_;
+    cmd::RegArray<uint8_t> state_;
+    cmd::RegArray<uint8_t> lockedSt_;
+    cmd::RegArray<uint8_t> wayBusy_;
+    cmd::RegArray<Line> data_;
+    cmd::RegArray<uint8_t> lruPtr_;
+    cmd::RegArray<Mshr> mshr_;
+    cmd::Reg<Addr> resvLine_;
+    cmd::Reg<bool> resvValid_;
+
+    struct PrefReq {
+        Addr line = 0;
+        uint8_t want = 0;
+    };
+
+    cmd::CfFifo<Req> reqQ_;
+    cmd::CfFifo<PrefReq> prefQ_;
+    cmd::CfFifo<LdResp> respLdQ_;
+    cmd::CfFifo<uint8_t> respStQ_;
+    cmd::CfFifo<AtomicResp> respAtomicQ_;
+
+    std::function<void(Addr)> evictHook_;
+    cmd::Rule *rules_[4] = {};
+
+    cmd::Stat &ldHits_, &ldMisses_, &stHits_, &stMisses_, &evictions_,
+        &invalidations_, &atomicOps_;
+};
+
+} // namespace riscy

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Shared, inclusive L2 cache running the MSI directory protocol.
+ *
+ * The L2 is the coherence parent of every L1 (D and I side of every
+ * core) and additionally serves uncached line reads for the page-table
+ * walkers (the paper's "page walk cross bar" traffic). Transactions
+ * are serialized per line: at most one open transaction per line
+ * address, which together with the virtual-channel split in msg.hh
+ * makes the protocol race-free (see the proof sketch there).
+ *
+ * The cross bars of Fig. 11 appear here as the round-robin arbitration
+ * the rules perform over the per-child channels; the channels
+ * themselves are TimedFifos, so cross-bar/pipeline latency is a
+ * configuration parameter.
+ */
+#pragma once
+
+#include "cache/l1.hh"
+#include "mem/dram.hh"
+
+namespace riscy {
+
+/** Uncached read response: the line address and its data. */
+struct UncachedResp {
+    Addr line = 0;
+    Line data;
+};
+
+/** Walker-side uncached read port (created by the system assembly). */
+struct UncachedPort {
+    UncachedPort(cmd::Kernel &k, const std::string &name, uint32_t delay)
+        : req(k, name + ".req", 2, delay), resp(k, name + ".resp", 2, delay)
+    {
+    }
+
+    cmd::TimedFifo<Addr> req;
+    cmd::TimedFifo<UncachedResp> resp;
+};
+
+class L2Cache : public cmd::Module
+{
+  public:
+    static constexpr uint32_t kMaxChildren = 8;
+
+    struct Config {
+        uint32_t sizeKb = 1024;
+        uint32_t ways = 16;
+        uint32_t txns = 16;
+        /** Grant E on sharer-free read misses (MESI extension). */
+        bool mesi = false;
+    };
+
+    L2Cache(cmd::Kernel &k, const std::string &name, const Config &cfg,
+            std::vector<CacheChannel *> children,
+            std::vector<UncachedPort *> uncached, Dram &dram);
+
+  private:
+    struct DirEntry {
+        uint8_t st[kMaxChildren] = {};
+    };
+
+    enum Phase : uint8_t {
+        EvictWait = 0,
+        EvictWb = 1,
+        NeedFill = 2,
+        WaitDram = 3,
+        WaitAcks = 4,
+        Grant = 5,
+    };
+
+    struct Txn {
+        bool valid = false;
+        Addr line = 0;
+        int8_t child = -1; ///< requesting child, -1 for uncached port
+        uint8_t port = 0;  ///< uncached port index when child == -1
+        uint8_t want = 0;
+        uint8_t phase = 0;
+        uint8_t pendingAcks = 0;
+        uint16_t way = 0;
+        bool victimValid = false;
+        Addr victimLine = 0;
+    };
+
+    uint32_t setOf(Addr line) const
+    {
+        return static_cast<uint32_t>((line >> kLineShift) & (sets_ - 1));
+    }
+    uint32_t slot(uint32_t set, uint32_t way) const
+    {
+        return set * ways_ + way;
+    }
+    int findWay(Addr line) const;
+    /** MESI: promote a sharer-free S grant to E. */
+    Msi upgradeGrant(const DirEntry &d, int child, Msi want) const;
+    /** True if any transaction blocks starting one on @p line. */
+    bool lineBlocked(Addr line) const;
+    int freeTxn() const;
+    int pickVictim(uint32_t set) const;
+
+    void ruleDrainResp();
+    void ruleStartTxn();
+    void ruleTxnStep();
+    void ruleDramResp();
+
+    /** Downgrade targets for a hit on @p line requested by @p child. */
+    uint32_t computeTargets(uint32_t sl, int child, Msi want,
+                            Msi &downTo) const;
+
+    Config cfg_;
+    uint32_t sets_, ways_;
+    std::vector<CacheChannel *> children_;
+    std::vector<UncachedPort *> uncached_;
+    Dram &dram_;
+
+    cmd::RegArray<Addr> tags_;
+    cmd::RegArray<uint8_t> valid_;
+    cmd::RegArray<uint8_t> dirty_;
+    cmd::RegArray<uint8_t> wayBusy_;
+    cmd::RegArray<DirEntry> dir_;
+    cmd::RegArray<Line> data_;
+    cmd::RegArray<uint8_t> lruPtr_;
+    cmd::RegArray<Txn> txn_;
+    cmd::Reg<uint32_t> rrChild_;
+
+    cmd::Stat &hits_, &misses_, &writebacks_, &downgrades_,
+        &uncachedReqs_, &eGrants_;
+};
+
+} // namespace riscy

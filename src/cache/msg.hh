@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Message and line types for the MSI-coherent cache hierarchy.
+ *
+ * The protocol follows the hierarchical MSI design the paper's memory
+ * system uses (formally verified by Vijayaraghavan et al. [41]):
+ *
+ *  - child-to-parent traffic travels on two virtual channels per
+ *    child: a *request* channel (upgrade requests) and a *response*
+ *    channel (downgrade acks and voluntary writebacks). Responses can
+ *    always be consumed, so requests blocked behind an open
+ *    transaction can never deadlock the acks the transaction needs.
+ *  - parent-to-child traffic shares one ordered channel (grants and
+ *    downgrade requests), which keeps grant/downgrade races resolved
+ *    by FIFO order.
+ *  - the parent serializes transactions per line: at most one open
+ *    transaction per line address.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "mem/memory.hh"
+
+namespace riscy {
+
+/** A 64-byte cache line. */
+struct Line {
+    uint64_t w[8] = {};
+
+    uint64_t
+    read(unsigned byteOff, unsigned bytes) const
+    {
+        uint64_t v = 0;
+        const uint8_t *p = reinterpret_cast<const uint8_t *>(w) + byteOff;
+        for (unsigned i = 0; i < bytes; i++)
+            v |= static_cast<uint64_t>(p[i]) << (8 * i);
+        return v;
+    }
+
+    void
+    write(unsigned byteOff, uint64_t v, unsigned bytes)
+    {
+        uint8_t *p = reinterpret_cast<uint8_t *>(w) + byteOff;
+        for (unsigned i = 0; i < bytes; i++)
+            p[i] = static_cast<uint8_t>(v >> (8 * i));
+    }
+};
+
+constexpr unsigned kLineShift = 6;
+constexpr Addr kLineBytes = 1u << kLineShift;
+
+inline Addr
+lineAddr(Addr a)
+{
+    return a & ~static_cast<Addr>(kLineBytes - 1);
+}
+
+inline unsigned
+lineOffset(Addr a)
+{
+    return static_cast<unsigned>(a & (kLineBytes - 1));
+}
+
+/**
+ * Coherence permission lattice: I < S < E < M. The base protocol is
+ * MSI (the paper's, formally verified in [41]); E is the paper's
+ * suggested MESI extension ("it should not be difficult to extend the
+ * MSI protocol to a MESI protocol"), enabled by L2Cache::Config::mesi:
+ * a read miss with no other sharers is granted E, and the owner may
+ * upgrade E -> M silently on a store (no new L2 transaction). The
+ * parent treats a child in E as a possible owner of dirty data, so
+ * every recall of an >=E child fetches its copy.
+ */
+enum class Msi : uint8_t {
+    I = 0,
+    S = 1,
+    E = 2,
+    M = 3,
+};
+
+inline const char *
+toString(Msi s)
+{
+    switch (s) {
+      case Msi::I:
+        return "I";
+      case Msi::S:
+        return "S";
+      case Msi::E:
+        return "E";
+      default:
+        return "M";
+    }
+}
+
+/** Child-to-parent request: "raise my permission on line to want". */
+struct UpgradeReq {
+    Addr line = 0;
+    Msi want = Msi::S;
+};
+
+/** Child-to-parent response: downgrade ack or voluntary writeback. */
+struct DowngradeResp {
+    Addr line = 0;
+    Msi newState = Msi::I; ///< child's state after the downgrade
+    bool hasData = false;  ///< dirty data travels with the message
+    bool voluntary = false; ///< eviction writeback (not an ack)
+    Line data;
+};
+
+/** Parent-to-child message kinds. */
+enum class FromParentKind : uint8_t {
+    Grant,        ///< permission (and possibly data) granted
+    DowngradeReq, ///< reduce your permission on this line
+};
+
+struct FromParent {
+    FromParentKind kind = FromParentKind::Grant;
+    Addr line = 0;
+    Msi state = Msi::I; ///< granted state / downgrade target
+    bool hasData = false;
+    Line data;
+};
+
+} // namespace riscy

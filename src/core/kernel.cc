@@ -1,0 +1,614 @@
+#include "core/kernel.hh"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+namespace cmd {
+
+Conflict
+invert(Conflict c)
+{
+    switch (c) {
+      case Conflict::LT:
+        return Conflict::GT;
+      case Conflict::GT:
+        return Conflict::LT;
+      default:
+        return c;
+    }
+}
+
+const char *
+toString(Conflict c)
+{
+    switch (c) {
+      case Conflict::C:
+        return "C";
+      case Conflict::LT:
+        return "<";
+      case Conflict::GT:
+        return ">";
+      case Conflict::CF:
+        return "CF";
+    }
+    return "?";
+}
+
+// ---------------------------------------------------------------- StateBase
+
+StateBase::StateBase(Kernel &kernel, std::string name)
+    : kernel_(kernel), name_(std::move(name))
+{
+    kernel_.registerState(this);
+}
+
+StateBase::~StateBase()
+{
+    kernel_.unregisterState(this);
+}
+
+// ------------------------------------------------------------------- Method
+
+Method::Method(Module &owner, std::string name, uint32_t localIdx)
+    : owner_(owner), name_(std::move(name)), localIdx_(localIdx)
+{
+}
+
+std::string
+Method::fullName() const
+{
+    return owner_.name() + "." + name_;
+}
+
+Method &
+Method::subcalls(std::initializer_list<const Method *> ms)
+{
+    subcalls_.insert(subcalls_.end(), ms.begin(), ms.end());
+    return *this;
+}
+
+void
+Method::operator()() const
+{
+    owner_.kernel().onMethodCall(*this);
+}
+
+// ------------------------------------------------------------------- Module
+
+Module::Module(Kernel &kernel, std::string name, Conflict defaultCm)
+    : kernel_(kernel), name_(std::move(name)), defaultCm_(defaultCm)
+{
+    kernel_.registerModule(this);
+}
+
+Module::~Module() = default;
+
+Method &
+Module::method(const std::string &name)
+{
+    if (kernel_.elaborated())
+        panic("%s: method '%s' declared after elaboration", name_.c_str(),
+              name.c_str());
+    if (methods_.size() >= 64)
+        panic("%s: more than 64 methods in one module", name_.c_str());
+    methods_.emplace_back(Method(*this, name,
+                                 static_cast<uint32_t>(methods_.size())));
+    return methods_.back();
+}
+
+void
+Module::setCm(const Method &a, const Method &b, Conflict rel)
+{
+    if (kernel_.elaborated())
+        panic("%s: CM changed after elaboration", name_.c_str());
+    if (&a.owner() != this || &b.owner() != this)
+        panic("%s: CM entry for foreign method", name_.c_str());
+    cmOverride_[{a.localIndex(), b.localIndex()}] = rel;
+    cmOverride_[{b.localIndex(), a.localIndex()}] = invert(rel);
+}
+
+Conflict
+Module::cm(const Method &a, const Method &b) const
+{
+    auto it = cmOverride_.find({a.localIndex(), b.localIndex()});
+    if (it != cmOverride_.end())
+        return it->second;
+    return a.localIndex() == b.localIndex() ? Conflict::C : defaultCm_;
+}
+
+void
+Module::syncMasks()
+{
+    uint64_t now = kernel_.cycleCount();
+    if (firedEpoch_ != now) {
+        firedEpoch_ = now;
+        firedMask_ = 0;
+    }
+}
+
+void
+Module::noteRuleCall(uint64_t bit)
+{
+    ruleMask_ |= bit;
+}
+
+// --------------------------------------------------------------------- Rule
+
+Rule::Rule(Kernel &kernel, std::string name, std::function<void()> body,
+           uint32_t prio)
+    : kernel_(kernel), name_(std::move(name)), body_(std::move(body)),
+      prio_(prio)
+{
+}
+
+Rule &
+Rule::uses(std::initializer_list<const Method *> ms)
+{
+    if (kernel_.elaborated())
+        panic("rule %s: uses() after elaboration", name_.c_str());
+    uses_.insert(uses_.end(), ms.begin(), ms.end());
+    return *this;
+}
+
+Rule &
+Rule::uses(const std::vector<const Method *> &ms)
+{
+    if (kernel_.elaborated())
+        panic("rule %s: uses() after elaboration", name_.c_str());
+    uses_.insert(uses_.end(), ms.begin(), ms.end());
+    return *this;
+}
+
+Rule &
+Rule::when(std::function<bool()> guard)
+{
+    guard_ = std::move(guard);
+    return *this;
+}
+
+Rule &
+Rule::setEnabled(bool e)
+{
+    enabled_ = e;
+    return *this;
+}
+
+// ------------------------------------------------------------------- Kernel
+
+Kernel::Kernel() = default;
+Kernel::~Kernel() = default;
+
+void
+Kernel::registerState(StateBase *s)
+{
+    if (elaborated_)
+        panic("state %s created after elaboration", s->name().c_str());
+    states_.push_back(s);
+}
+
+void
+Kernel::unregisterState(StateBase *s)
+{
+    auto it = std::find(states_.begin(), states_.end(), s);
+    if (it != states_.end())
+        states_.erase(it);
+}
+
+void
+Kernel::registerModule(Module *m)
+{
+    if (elaborated_)
+        panic("module %s created after elaboration", m->name().c_str());
+    modules_.push_back(m);
+}
+
+Rule &
+Kernel::rule(const std::string &name, std::function<void()> body)
+{
+    if (elaborated_)
+        panic("rule %s created after elaboration", name.c_str());
+    rules_.emplace_back(Rule(*this, name, std::move(body),
+                             static_cast<uint32_t>(rules_.size())));
+    rulePtrs_.push_back(&rules_.back());
+    return rules_.back();
+}
+
+void
+Kernel::onMethodCall(const Method &m)
+{
+    if (!inRule_)
+        panic("method %s called outside any rule or atomic action",
+              m.fullName().c_str());
+
+    Module &mod = m.owner_;
+    mod.syncMasks();
+    uint64_t bit = 1ull << m.localIdx_;
+
+    // Two conflicting methods inside one atomic action is a static
+    // design error, not a scheduling outcome.
+    if (mod.ruleMask_ & m.intraConflictMask_) {
+        for (uint32_t i = 0; i < mod.methods_.size(); i++) {
+            if ((mod.ruleMask_ & m.intraConflictMask_ & (1ull << i))) {
+                panic("rule %s calls conflicting methods %s and %s",
+                      currentRule_ ? currentRule_->name().c_str() : "<atomic>",
+                      mod.methods_[i].fullName().c_str(),
+                      m.fullName().c_str());
+            }
+        }
+    }
+
+    // CM legality versus rules that already fired this cycle: every
+    // already-fired method n must satisfy CM(n, m) in {<, CF}.
+    if (mod.firedMask_ & m.illegalBeforeMask_)
+        throw CmBlock{&m};
+
+    // Declaration check (the "compiler" check): a named rule may only
+    // call methods in its declared closure.
+    if (currentRule_ && !m.usedByRule_.empty() &&
+        !m.usedByRule_[currentRule_->id_]) {
+        panic("rule %s calls undeclared method %s (add it to uses())",
+              currentRule_->name().c_str(), m.fullName().c_str());
+    }
+
+    if (!mod.inRuleList_) {
+        mod.inRuleList_ = true;
+        touchedModules_.push_back(&mod);
+    }
+    mod.noteRuleCall(bit);
+}
+
+void
+Kernel::noteStateTouched(StateBase *s)
+{
+    touched_.push_back(s);
+}
+
+void
+Kernel::commitRuleEffects()
+{
+    for (StateBase *s : touched_)
+        s->commitStaged();
+    touched_.clear();
+    for (Module *m : touchedModules_) {
+        m->syncMasks();
+        m->firedMask_ |= m->ruleMask_;
+        m->ruleMask_ = 0;
+        m->inRuleList_ = false;
+    }
+    touchedModules_.clear();
+}
+
+void
+Kernel::abortRuleEffects()
+{
+    for (StateBase *s : touched_)
+        s->abortStaged();
+    touched_.clear();
+    for (Module *m : touchedModules_) {
+        m->ruleMask_ = 0;
+        m->inRuleList_ = false;
+    }
+    touchedModules_.clear();
+}
+
+bool
+Kernel::tryFire(Rule &r)
+{
+    if (!r.enabled_) {
+        r.last_ = Rule::Outcome::Disabled;
+        return false;
+    }
+    if (r.guard_ && !r.guard_()) {
+        r.last_ = Rule::Outcome::GuardFalse;
+        r.guardAborts_.inc();
+        return false;
+    }
+
+    inRule_ = true;
+    currentRule_ = &r;
+    bool fired = false;
+    try {
+        r.body_();
+        fired = true;
+    } catch (const GuardFail &) {
+        r.last_ = Rule::Outcome::GuardFalse;
+        r.guardAborts_.inc();
+    } catch (const CmBlock &) {
+        r.last_ = Rule::Outcome::CmBlocked;
+        r.cmAborts_.inc();
+    }
+    inRule_ = false;
+    currentRule_ = nullptr;
+
+    if (fired) {
+        commitRuleEffects();
+        r.last_ = Rule::Outcome::Fired;
+        r.fired_.inc();
+    } else {
+        abortRuleEffects();
+    }
+    return fired;
+}
+
+bool
+Kernel::runAtomically(const std::function<void()> &fn)
+{
+    if (inRule_)
+        panic("runAtomically() nested inside a rule");
+    if (!elaborated_)
+        panic("runAtomically() before elaboration");
+    inRule_ = true;
+    bool fired = false;
+    try {
+        fn();
+        fired = true;
+    } catch (const GuardFail &) {
+    } catch (const CmBlock &) {
+    }
+    inRule_ = false;
+    if (fired)
+        commitRuleEffects();
+    else
+        abortRuleEffects();
+    return fired;
+}
+
+uint32_t
+Kernel::cycle()
+{
+    if (!elaborated_)
+        panic("cycle() before elaboration");
+    cycle_++;
+    uint32_t fired = 0;
+    for (Rule *r : schedule_) {
+        if (tryFire(*r))
+            fired++;
+    }
+    return fired;
+}
+
+uint64_t
+Kernel::run(uint64_t n)
+{
+    uint64_t fired = 0;
+    for (uint64_t i = 0; i < n; i++)
+        fired += cycle();
+    return fired;
+}
+
+bool
+Kernel::runUntil(const std::function<bool()> &done, uint64_t maxCycles)
+{
+    for (uint64_t i = 0; i < maxCycles; i++) {
+        if (done())
+            return true;
+        cycle();
+    }
+    return done();
+}
+
+Conflict
+Kernel::computeRuleRelation(const Rule &a, const Rule &b) const
+{
+    bool anyC = false, anyLt = false, anyGt = false;
+    for (const auto &[ma, pa] : a.closure_) {
+        for (const auto &[mb, pb] : b.closure_) {
+            if (&ma->owner() != &mb->owner())
+                continue;
+            // A pair reached through two parent methods of one module
+            // is governed by the parent's own CM entry (which the
+            // outer loops also visit directly); skip the shadowed
+            // submodule pair. See Method::subcalls().
+            bool viaSubcall = pa != ma || pb != mb;
+            if (viaSubcall && &pa->owner() == &pb->owner())
+                continue;
+            Conflict rel = ma->owner().cm(*ma, *mb);
+            switch (rel) {
+              case Conflict::C:
+                anyC = true;
+                break;
+              case Conflict::LT:
+                anyLt = true;
+                break;
+              case Conflict::GT:
+                anyGt = true;
+                break;
+              case Conflict::CF:
+                break;
+            }
+        }
+    }
+    if (anyC || (anyLt && anyGt))
+        return Conflict::C;
+    if (anyLt)
+        return Conflict::LT;
+    if (anyGt)
+        return Conflict::GT;
+    return Conflict::CF;
+}
+
+void
+Kernel::elaborate()
+{
+    if (elaborated_)
+        panic("elaborate() called twice");
+
+    // Materialize per-module method masks.
+    for (Module *mod : modules_) {
+        uint32_t n = static_cast<uint32_t>(mod->methods_.size());
+        mod->cmFlat_.assign(size_t(n) * n, Conflict::CF);
+        for (uint32_t i = 0; i < n; i++) {
+            for (uint32_t j = 0; j < n; j++) {
+                mod->cmFlat_[size_t(i) * n + j] =
+                    mod->cm(mod->methods_[i], mod->methods_[j]);
+            }
+        }
+        for (uint32_t j = 0; j < n; j++) {
+            Method &m = mod->methods_[j];
+            m.illegalBeforeMask_ = 0;
+            m.intraConflictMask_ = 0;
+            for (uint32_t i = 0; i < n; i++) {
+                Conflict rel = mod->cmFlat_[size_t(i) * n + j];
+                if (rel == Conflict::C || rel == Conflict::GT)
+                    m.illegalBeforeMask_ |= 1ull << i;
+                if (rel == Conflict::C)
+                    m.intraConflictMask_ |= 1ull << i;
+            }
+        }
+    }
+
+    // Assign rule ids and compute transitive method closures.
+    uint32_t nRules = static_cast<uint32_t>(rules_.size());
+    for (uint32_t i = 0; i < nRules; i++)
+        rulePtrs_[i]->id_ = i;
+    for (Rule *r : rulePtrs_) {
+        std::vector<std::pair<const Method *, const Method *>> work;
+        for (const Method *m : r->uses_)
+            work.emplace_back(m, m);
+        r->closure_.clear();
+        while (!work.empty()) {
+            auto [m, anc] = work.back();
+            work.pop_back();
+            if (std::find(r->closure_.begin(), r->closure_.end(),
+                          std::make_pair(m, anc)) != r->closure_.end())
+                continue;
+            r->closure_.push_back({m, anc});
+            for (const Method *s : m->subcalls_)
+                work.emplace_back(s, anc);
+        }
+    }
+
+    // Fill the per-method declaration bitmaps.
+    for (Module *mod : modules_) {
+        for (Method &m : mod->methods_)
+            m.usedByRule_.assign(nRules, false);
+    }
+    for (Rule *r : rulePtrs_) {
+        for (const auto &[m, anc] : r->closure_)
+            const_cast<Method *>(m)->usedByRule_[r->id_] = true;
+    }
+
+    // Rule-level CM and the "<" precedence graph.
+    ruleCm_.assign(size_t(nRules) * nRules, Conflict::CF);
+    std::vector<std::vector<uint32_t>> succ(nRules);
+    std::vector<uint32_t> indeg(nRules, 0);
+    for (uint32_t i = 0; i < nRules; i++) {
+        for (uint32_t j = i + 1; j < nRules; j++) {
+            Conflict rel = computeRuleRelation(*rulePtrs_[i], *rulePtrs_[j]);
+            ruleCm_[size_t(i) * nRules + j] = rel;
+            ruleCm_[size_t(j) * nRules + i] = invert(rel);
+            if (rel == Conflict::LT) {
+                succ[i].push_back(j);
+                indeg[j]++;
+            } else if (rel == Conflict::GT) {
+                succ[j].push_back(i);
+                indeg[i]++;
+            }
+        }
+    }
+
+    // Stable topological sort (registration order breaks ties). A
+    // cycle of "<" edges is a combinational cycle.
+    schedule_.clear();
+    std::vector<bool> placed(nRules, false);
+    for (uint32_t placedCount = 0; placedCount < nRules;) {
+        bool progress = false;
+        for (uint32_t i = 0; i < nRules; i++) {
+            if (placed[i] || indeg[i] != 0)
+                continue;
+            placed[i] = true;
+            placedCount++;
+            progress = true;
+            schedule_.push_back(rulePtrs_[i]);
+            for (uint32_t j : succ[i])
+                indeg[j]--;
+        }
+        if (!progress) {
+            std::string names;
+            for (uint32_t i = 0; i < nRules; i++) {
+                if (!placed[i])
+                    names += " " + rulePtrs_[i]->name();
+            }
+            throw ElaborationError(
+                "combinational cycle among rules:" + names);
+        }
+    }
+
+    elaborated_ = true;
+}
+
+Conflict
+Kernel::ruleRelation(const Rule &a, const Rule &b) const
+{
+    if (!elaborated_)
+        panic("ruleRelation() before elaboration");
+    return ruleCm_[size_t(a.id_) * rules_.size() + b.id_];
+}
+
+std::vector<uint8_t>
+Kernel::snapshot() const
+{
+    if (inRule_)
+        panic("snapshot() inside a rule");
+    std::vector<uint8_t> out;
+    out.resize(sizeof(cycle_));
+    std::copy_n(reinterpret_cast<const uint8_t *>(&cycle_), sizeof(cycle_),
+                out.begin());
+    for (const StateBase *s : states_)
+        s->save(out);
+    return out;
+}
+
+void
+Kernel::restore(const std::vector<uint8_t> &snap)
+{
+    if (inRule_)
+        panic("restore() inside a rule");
+    const uint8_t *p = snap.data();
+    std::copy_n(p, sizeof(cycle_), reinterpret_cast<uint8_t *>(&cycle_));
+    p += sizeof(cycle_);
+    for (StateBase *s : states_)
+        s->restore(p);
+    if (p != snap.data() + snap.size())
+        panic("snapshot size mismatch on restore");
+}
+
+std::string
+Kernel::progressReport() const
+{
+    std::ostringstream os;
+    for (const Rule *r : schedule_) {
+        const char *o = "?";
+        switch (r->last_) {
+          case Rule::Outcome::NotTried:
+            o = "not-tried";
+            break;
+          case Rule::Outcome::Disabled:
+            o = "disabled";
+            break;
+          case Rule::Outcome::GuardFalse:
+            o = "guard-false";
+            break;
+          case Rule::Outcome::CmBlocked:
+            o = "cm-blocked";
+            break;
+          case Rule::Outcome::Fired:
+            o = "fired";
+            break;
+        }
+        os << r->name() << ": last=" << o << " fired=" << r->firedCount()
+           << " guardAborts=" << r->guardAbortCount()
+           << " cmAborts=" << r->cmAbortCount() << '\n';
+    }
+    return os.str();
+}
+
+void
+Kernel::dumpStats(std::ostream &os) const
+{
+    for (const Module *m : modules_)
+        const_cast<Module *>(m)->stats().dump(os, m->name());
+}
+
+} // namespace cmd

@@ -1,0 +1,458 @@
+/**
+ * @file
+ * The CMD (Composable Modular Design) execution kernel.
+ *
+ * This implements, as an embedded C++ framework, the design discipline
+ * of "Composable Building Blocks to Open up Processor Design"
+ * (Zhang, Wright, Bourgeat, Arvind — MICRO 2018):
+ *
+ *  - Modules expose *interface methods* that combinationally access
+ *    and atomically update module-internal state.
+ *  - Every method is *guarded*: calling a method whose guard is false
+ *    aborts the calling rule, which then "does nothing".
+ *  - Modules are composed by *rules* (atomic transactions) that call
+ *    methods of several modules. A rule either updates all the called
+ *    modules or none of them.
+ *  - Intra-cycle concurrency is governed by each module's *Conflict
+ *    Matrix* (CM): for two methods f1, f2 the CM entry is one of
+ *    C (conflict: may not fire in the same cycle), < (net effect is
+ *    f1-then-f2), > (net effect is f2-then-f1), or CF (conflict-free:
+ *    order does not matter).
+ *
+ * Execution model. One call to Kernel::cycle() is one clock. Within a
+ * cycle the scheduler attempts rules one-by-one in a fixed *schedule
+ * order* computed at elaboration (a topological order of the
+ * rule-level CM's "<" edges; a cycle of "<" edges is reported as a
+ * combinational cycle, like the BSV compiler does). Because rules that
+ * fire in the same cycle really do execute sequentially, the promise
+ * that "the resulting behavior can always be expressed as executing
+ * rules one-by-one" holds by construction; the CM machinery determines
+ * *which* rules may share a cycle and in what order, i.e. it makes the
+ * simulation cycle-faithful to the hardware the BSV compiler would
+ * generate.
+ *
+ * Enforcement (the role the BSV compiler plays in the paper):
+ *  - a rule may only call methods it declared with Rule::uses()
+ *    (plus methods reachable through Method::subcalls());
+ *  - a method call is *CM-legal* only if, for every method of the same
+ *    module already called by a rule that fired earlier this cycle,
+ *    the CM entry permits earlier-before-this (i.e. is "<" or CF);
+ *    otherwise the calling rule is blocked out of this cycle;
+ *  - two methods with a C entry may never be called by the same rule;
+ *  - state written twice by one rule (through Reg and friends) is a
+ *    design error (double write), as in BSV.
+ *
+ * State visibility. All state lives in Reg / RegArray / Ehr elements
+ * (see reg.hh, ehr.hh). Reads performed by a rule see the values as of
+ * the start of that rule; writes are journaled and commit only if the
+ * rule fires. Hence "x <= y; y <= x" swaps, and an aborted rule leaves
+ * no trace. A rule firing later in the same cycle sees the committed
+ * effects of earlier rules — exactly the "<" semantics.
+ */
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/log.hh"
+#include "core/stats.hh"
+
+namespace cmd {
+
+class Kernel;
+class Module;
+class Method;
+class Rule;
+
+/** Conflict-matrix entry for a pair of methods (or rules). */
+enum class Conflict : uint8_t {
+    C,  ///< conflict: may not execute in the same cycle
+    LT, ///< first < second: net effect is first-then-second
+    GT, ///< first > second: net effect is second-then-first
+    CF, ///< conflict-free: order does not affect the final state
+};
+
+/** Invert a CM entry (the relation seen from the other operand). */
+Conflict invert(Conflict c);
+
+/** Printable name of a CM entry. */
+const char *toString(Conflict c);
+
+/**
+ * Thrown when a guard is false: the enclosing rule aborts and "does
+ * nothing". This is the implicit-guard mechanism of CMD; raise it via
+ * cmd::require().
+ */
+struct GuardFail
+{
+};
+
+/**
+ * Thrown when a method call would violate the conflict matrix given
+ * the rules already fired this cycle: the rule is blocked out of this
+ * cycle (it may fire on a later one). This corresponds to the BSV
+ * scheduler refusing to fire two rules together.
+ */
+struct CmBlock
+{
+    const Method *method = nullptr;
+};
+
+/** Raised on design errors detected at elaboration time. */
+class ElaborationError : public std::runtime_error
+{
+  public:
+    explicit ElaborationError(const std::string &what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
+/** Guard helper: abort the current rule unless @p cond holds. */
+inline void
+require(bool cond)
+{
+    if (!cond)
+        throw GuardFail{};
+}
+
+/**
+ * Base class for all state elements (registers, register arrays,
+ * EHRs). Writes are staged during rule execution and either committed
+ * or discarded when the rule ends; this is what makes rules atomic.
+ */
+class StateBase
+{
+  public:
+    StateBase(Kernel &kernel, std::string name);
+    virtual ~StateBase();
+
+    StateBase(const StateBase &) = delete;
+    StateBase &operator=(const StateBase &) = delete;
+
+    const std::string &name() const { return name_; }
+
+    /** Apply this rule's staged writes to the committed value. */
+    virtual void commitStaged() = 0;
+    /** Discard this rule's staged writes. */
+    virtual void abortStaged() = 0;
+
+    /** Append the committed value to a snapshot buffer. */
+    virtual void save(std::vector<uint8_t> &out) const = 0;
+    /** Restore the committed value from a snapshot buffer. */
+    virtual void restore(const uint8_t *&in) = 0;
+
+  protected:
+    Kernel &kernel_;
+
+  private:
+    std::string name_;
+};
+
+/**
+ * An interface method of a module. Calling the method object records
+ * the call with the kernel, which enforces declaration and CM
+ * legality. The C++ member function implementing the method should
+ * invoke this at its top, then check its guard with cmd::require().
+ */
+class Method
+{
+  public:
+    /** Record a call to this method from the current rule. */
+    void operator()() const;
+
+    Module &owner() const { return owner_; }
+    const std::string &name() const { return name_; }
+    /** Fully qualified "module.method" name. */
+    std::string fullName() const;
+    uint32_t localIndex() const { return localIdx_; }
+
+    /**
+     * Declare that this method internally calls the given methods of
+     * submodules. Used at elaboration to compute the transitive
+     * method set of every rule, so that rule-level CM entries account
+     * for methods hidden behind module boundaries.
+     *
+     * When two rules reach the same submodule through two *parent*
+     * methods of one module, the parent's declared CM entry for that
+     * method pair is authoritative and the submodule pair does not
+     * contribute to the rule relation. This lets a module like the
+     * paper's round-robin TwoGCD declare start CF getResult even
+     * though each sub-GCD's start conflicts with its getResult: the
+     * parent guarantees (dynamically) that concurrent calls touch
+     * different sub-units, and the always-on runtime CM enforcement
+     * still catches the cycles where they collide on one unit.
+     */
+    Method &subcalls(std::initializer_list<const Method *> ms);
+
+  private:
+    friend class Module;
+    friend class Kernel;
+
+    Method(Module &owner, std::string name, uint32_t localIdx);
+
+    Module &owner_;
+    std::string name_;
+    uint32_t localIdx_;
+    std::vector<const Method *> subcalls_;
+
+    // Computed at elaboration from the module CM:
+    /// bits of same-module methods that, once fired earlier this
+    /// cycle, make calling this method illegal (CM entry C or >).
+    uint64_t illegalBeforeMask_ = 0;
+    /// bits of same-module methods that may not be called by the same
+    /// rule as this one (CM entry C).
+    uint64_t intraConflictMask_ = 0;
+    /// per-rule declaration bitmap, indexed by rule id.
+    std::vector<bool> usedByRule_;
+};
+
+/**
+ * Base class for CMD modules. A module owns state elements, declares
+ * interface methods and their conflict matrix, and may register
+ * internal rules.
+ *
+ * The conflict matrix defaults to @p defaultCm for distinct method
+ * pairs and to C for a method against itself (a method may be called
+ * at most once per cycle unless declared selfCf()).
+ */
+class Module
+{
+  public:
+    Module(Kernel &kernel, std::string name, Conflict defaultCm = Conflict::C);
+    virtual ~Module();
+
+    Module(const Module &) = delete;
+    Module &operator=(const Module &) = delete;
+
+    Kernel &kernel() const { return kernel_; }
+    const std::string &name() const { return name_; }
+
+    /** Statistics group for this module. */
+    StatGroup &stats() { return stats_; }
+
+    /** Conflict-matrix entry for a pair of this module's methods. */
+    Conflict cm(const Method &a, const Method &b) const;
+
+  protected:
+    /** Declare a new interface method. */
+    Method &method(const std::string &name);
+
+    /** Set CM(a, b) = rel (and CM(b, a) = invert(rel)). */
+    void setCm(const Method &a, const Method &b, Conflict rel);
+
+    /** Sugar: a happens-before b when both fire in one cycle. */
+    void lt(const Method &a, const Method &b) { setCm(a, b, Conflict::LT); }
+    /** Sugar: a and b are conflict-free. */
+    void cf(const Method &a, const Method &b) { setCm(a, b, Conflict::CF); }
+    /** Sugar: a and b may not share a cycle. */
+    void conflictPair(const Method &a, const Method &b)
+    {
+        setCm(a, b, Conflict::C);
+    }
+    /** Allow a to be called any number of times per cycle. */
+    void selfCf(const Method &a) { setCm(a, a, Conflict::CF); }
+
+  private:
+    friend class Kernel;
+    friend class Method;
+
+    /** Epoch-synchronize per-cycle masks. */
+    void syncMasks();
+    /** Record a tentative (current-rule) call of local method bit. */
+    void noteRuleCall(uint64_t bit);
+
+    Kernel &kernel_;
+    std::string name_;
+    Conflict defaultCm_;
+    StatGroup stats_;
+
+    std::deque<Method> methods_;
+    std::map<std::pair<uint32_t, uint32_t>, Conflict> cmOverride_;
+    std::vector<Conflict> cmFlat_; // methods^2, filled at elaboration
+
+    // Per-cycle scheduling state (epoch-stamped, no per-cycle reset):
+    uint64_t firedMask_ = 0;  ///< methods called by rules fired this cycle
+    uint64_t firedEpoch_ = ~0ull;
+    uint64_t ruleMask_ = 0;   ///< methods called by the rule in flight
+    bool inRuleList_ = false; ///< registered on the kernel's touch list
+};
+
+/**
+ * A rule: a guarded atomic action composing module methods. Rules are
+ * created through Kernel::rule() and configured fluently.
+ */
+class Rule
+{
+  public:
+    /**
+     * Declare the methods this rule may call. Strict by default:
+     * calling an undeclared method is a design error. Subcalls of
+     * declared methods are implicitly included.
+     */
+    Rule &uses(std::initializer_list<const Method *> ms);
+    /** Same, from a dynamically built list. */
+    Rule &uses(const std::vector<const Method *> &ms);
+
+    /**
+     * Cheap explicit guard evaluated before attempting the body. Use
+     * it for the common not-ready conditions so the (exception-based)
+     * implicit-guard path stays off the fast path.
+     */
+    Rule &when(std::function<bool()> guard);
+
+    /** Enable or disable the rule at runtime (e.g. config variants). */
+    Rule &setEnabled(bool e);
+
+    const std::string &name() const { return name_; }
+    bool enabled() const { return enabled_; }
+
+    /** Number of cycles in which this rule fired. */
+    uint64_t firedCount() const { return fired_.value(); }
+    /** Aborts due to a false guard (explicit or implicit). */
+    uint64_t guardAbortCount() const { return guardAborts_.value(); }
+    /** Aborts due to CM conflicts with already-fired rules. */
+    uint64_t cmAbortCount() const { return cmAborts_.value(); }
+
+    /** What happened to this rule in the most recent cycle. */
+    enum class Outcome : uint8_t {
+        NotTried,
+        Disabled,
+        GuardFalse,
+        CmBlocked,
+        Fired,
+    };
+    Outcome lastOutcome() const { return last_; }
+
+  private:
+    friend class Kernel;
+
+    Rule(Kernel &kernel, std::string name, std::function<void()> body,
+         uint32_t prio);
+
+    Kernel &kernel_;
+    std::string name_;
+    std::function<void()> body_;
+    std::function<bool()> guard_;
+    std::vector<const Method *> uses_;
+    /// transitive method set as (method, declared ancestor) pairs
+    std::vector<std::pair<const Method *, const Method *>> closure_;
+    bool enabled_ = true;
+    uint32_t prio_;  // registration order; schedule tiebreak
+    uint32_t id_ = 0;
+    Stat fired_, guardAborts_, cmAborts_;
+    Outcome last_ = Outcome::NotTried;
+};
+
+/**
+ * The simulation kernel: owns the rule schedule and drives cycles.
+ * One Kernel is one clock domain; an entire multicore design lives in
+ * a single kernel, as in the paper's FPGA prototype.
+ */
+class Kernel
+{
+  public:
+    Kernel();
+    ~Kernel();
+
+    Kernel(const Kernel &) = delete;
+    Kernel &operator=(const Kernel &) = delete;
+
+    /** Register a top-level rule. Rules execute in elaborated order. */
+    Rule &rule(const std::string &name, std::function<void()> body);
+
+    /**
+     * Finish construction: materialize conflict matrices, compute
+     * rule-level CM entries and the schedule order, and verify there
+     * is no combinational cycle. Must be called exactly once, before
+     * the first cycle(). Throws ElaborationError on design errors.
+     */
+    void elaborate();
+    bool elaborated() const { return elaborated_; }
+
+    /** Execute one clock cycle. @return number of rules fired. */
+    uint32_t cycle();
+
+    /** Run @p n cycles. @return rules fired in total. */
+    uint64_t run(uint64_t n);
+
+    /**
+     * Run until @p done returns true, at most @p maxCycles cycles.
+     * @return true if @p done was satisfied.
+     */
+    bool runUntil(const std::function<bool()> &done, uint64_t maxCycles);
+
+    /** Current cycle number (count of completed/active cycles). */
+    uint64_t cycleCount() const { return cycle_; }
+
+    /**
+     * Execute @p fn as an anonymous atomic action within the current
+     * cycle — the testbench's way of poking a design. Obeys the same
+     * CM and atomicity discipline as a rule (no uses-declaration
+     * check). @return true if it committed, false if a guard failed.
+     */
+    bool runAtomically(const std::function<void()> &fn);
+
+    /** Rule-level CM entry computed at elaboration (for tests). */
+    Conflict ruleRelation(const Rule &a, const Rule &b) const;
+
+    /** Rules in schedule order (valid after elaborate()). */
+    const std::vector<Rule *> &scheduleOrder() const { return schedule_; }
+
+    /** All rules in registration order. */
+    const std::vector<Rule *> &rules() const { return rulePtrs_; }
+
+    /** Snapshot all architectural state (between cycles only). */
+    std::vector<uint8_t> snapshot() const;
+    /** Restore a snapshot taken from the same elaborated design. */
+    void restore(const std::vector<uint8_t> &snap);
+
+    /** Human-readable report of each rule's last outcome and stats. */
+    std::string progressReport() const;
+
+    /** Dump every module's statistics group. */
+    void dumpStats(std::ostream &os) const;
+
+    // ---- framework-internal interface (used by Method/State/Module)
+    void registerState(StateBase *s);
+    void unregisterState(StateBase *s);
+    void registerModule(Module *m);
+    void onMethodCall(const Method &m);
+    void noteStateTouched(StateBase *s);
+    bool inRule() const { return inRule_; }
+
+  private:
+    friend class Module;
+
+    /** Attempt one rule; commit or roll back. @return fired? */
+    bool tryFire(Rule &r);
+    void commitRuleEffects();
+    void abortRuleEffects();
+
+    /** Compute the CM relation of rule a before rule b. */
+    Conflict computeRuleRelation(const Rule &a, const Rule &b) const;
+
+    std::vector<StateBase *> states_;
+    std::vector<Module *> modules_;
+    std::deque<Rule> rules_;
+    std::vector<Rule *> rulePtrs_;
+    std::vector<Rule *> schedule_;
+    std::vector<Conflict> ruleCm_; // rules^2, flattened
+
+    bool elaborated_ = false;
+    uint64_t cycle_ = 0;
+
+    // Per-rule transaction state:
+    bool inRule_ = false;
+    const Rule *currentRule_ = nullptr;
+    std::vector<StateBase *> touched_;
+    std::vector<Module *> touchedModules_;
+};
+
+} // namespace cmd

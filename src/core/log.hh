@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Logging and error-reporting helpers for the CMD framework.
+ *
+ * Follows the gem5 convention: panic() for "this is a bug in the
+ * framework or design, abort", fatal() for "the user configured
+ * something impossible, exit cleanly", warn()/inform() for status.
+ */
+#pragma once
+
+#include <cstdarg>
+#include <cstdint>
+#include <string>
+
+namespace cmd {
+
+/** Verbosity levels for trace(). */
+enum class LogLevel : int {
+    Quiet = 0,
+    Info = 1,
+    Debug = 2,
+    Trace = 3,
+};
+
+/** Global log verbosity; messages above this level are dropped. */
+LogLevel logLevel();
+void setLogLevel(LogLevel lvl);
+
+/** printf-style formatting into a std::string. */
+std::string strfmt(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+std::string vstrfmt(const char *fmt, va_list ap);
+
+/**
+ * Report an internal invariant violation and abort. Use for
+ * conditions that indicate a bug in the framework or in a design
+ * built on it, never for user-configuration errors.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an unrecoverable user/configuration error and exit(1).
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Non-fatal diagnostic for suspicious but tolerable conditions. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Status message for the user. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Leveled trace output, prefixed with the current level tag. */
+void trace(LogLevel lvl, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+} // namespace cmd

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Journaled state elements: Reg<T> and RegArray<T>.
+ *
+ * Reads performed inside a rule return the committed value as of the
+ * start of that rule (so "x.write(y.read()); y.write(x.read())" swaps,
+ * matching BSV register semantics). Writes are staged and applied only
+ * if the rule commits, which is what makes rules atomic. A rule firing
+ * later in the same cycle observes the committed writes of earlier
+ * rules — the "<" ordering of the conflict matrix.
+ *
+ * readStable() additionally exposes the value as of the *start of the
+ * cycle*, regardless of what earlier rules committed. Module
+ * implementations use it to realize conflict-free (CF) method pairs
+ * whose guards must not depend on intra-cycle execution order (see
+ * fifo.hh's CfFifo).
+ */
+#pragma once
+
+#include <cstring>
+#include <type_traits>
+#include <vector>
+
+#include "core/kernel.hh"
+
+namespace cmd {
+
+/** A single register holding a trivially copyable value. */
+template <typename T>
+class Reg : public StateBase
+{
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "Reg<T> requires trivially copyable T (snapshots)");
+
+  public:
+    Reg(Kernel &kernel, std::string name, T init = T{})
+        : StateBase(kernel, std::move(name)), cur_(init)
+    {
+    }
+
+    /** Committed value (as of the start of the current rule). */
+    const T &read() const { return cur_; }
+
+    /** Value as of the start of the current cycle. */
+    const T &readStable() const
+    {
+        return stableCycle_ == kernel_.cycleCount() ? stable_ : cur_;
+    }
+
+    /** Stage a write; commits only if the enclosing rule fires. */
+    void
+    write(const T &v)
+    {
+        if (stagedValid_)
+            panic("%s: double write within one rule", name().c_str());
+        staged_ = v;
+        stagedValid_ = true;
+        kernel_.noteStateTouched(this);
+    }
+
+    void
+    commitStaged() override
+    {
+        uint64_t now = kernel_.cycleCount();
+        if (stableCycle_ != now) {
+            stableCycle_ = now;
+            stable_ = cur_;
+        }
+        cur_ = staged_;
+        stagedValid_ = false;
+    }
+
+    void abortStaged() override { stagedValid_ = false; }
+
+    void
+    save(std::vector<uint8_t> &out) const override
+    {
+        const uint8_t *p = reinterpret_cast<const uint8_t *>(&cur_);
+        out.insert(out.end(), p, p + sizeof(T));
+    }
+
+    void
+    restore(const uint8_t *&in) override
+    {
+        std::memcpy(&cur_, in, sizeof(T));
+        in += sizeof(T);
+        stagedValid_ = false;
+        stableCycle_ = ~0ull;
+    }
+
+  private:
+    T cur_;
+    T staged_{};
+    T stable_{};
+    bool stagedValid_ = false;
+    uint64_t stableCycle_ = ~0ull;
+};
+
+/**
+ * A register array (register file / RAM macro) with per-element
+ * journaled writes. Element reads see committed state; writes commit
+ * in program order within the rule. Writing the same index twice in
+ * one rule is a design error.
+ */
+template <typename T>
+class RegArray : public StateBase
+{
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "RegArray<T> requires trivially copyable T");
+
+  public:
+    RegArray(Kernel &kernel, std::string name, size_t size, T init = T{})
+        : StateBase(kernel, std::move(name)), cur_(size, init)
+    {
+    }
+
+    size_t size() const { return cur_.size(); }
+
+    const T &
+    read(size_t idx) const
+    {
+        return cur_[checkIdx(idx)];
+    }
+
+    /** Value of element @p idx as of the start of the current cycle. */
+    const T &
+    readStable(size_t idx) const
+    {
+        checkIdx(idx);
+        if (historyCycle_ == kernel_.cycleCount()) {
+            for (const auto &h : history_) {
+                if (h.first == idx)
+                    return h.second;
+            }
+        }
+        return cur_[idx];
+    }
+
+    void
+    write(size_t idx, const T &v)
+    {
+        checkIdx(idx);
+        for (const auto &w : staged_) {
+            if (w.first == idx)
+                panic("%s[%zu]: double write within one rule",
+                      name().c_str(), idx);
+        }
+        if (staged_.empty())
+            kernel_.noteStateTouched(this);
+        staged_.emplace_back(idx, v);
+    }
+
+    void
+    commitStaged() override
+    {
+        uint64_t now = kernel_.cycleCount();
+        if (historyCycle_ != now) {
+            historyCycle_ = now;
+            history_.clear();
+        }
+        for (const auto &w : staged_) {
+            bool seen = false;
+            for (const auto &h : history_) {
+                if (h.first == w.first) {
+                    seen = true;
+                    break;
+                }
+            }
+            if (!seen)
+                history_.emplace_back(w.first, cur_[w.first]);
+            cur_[w.first] = w.second;
+        }
+        staged_.clear();
+    }
+
+    void abortStaged() override { staged_.clear(); }
+
+    void
+    save(std::vector<uint8_t> &out) const override
+    {
+        const uint8_t *p = reinterpret_cast<const uint8_t *>(cur_.data());
+        out.insert(out.end(), p, p + sizeof(T) * cur_.size());
+    }
+
+    void
+    restore(const uint8_t *&in) override
+    {
+        std::memcpy(cur_.data(), in, sizeof(T) * cur_.size());
+        in += sizeof(T) * cur_.size();
+        staged_.clear();
+        history_.clear();
+        historyCycle_ = ~0ull;
+    }
+
+  private:
+    size_t
+    checkIdx(size_t idx) const
+    {
+        if (idx >= cur_.size())
+            panic("%s: index %zu out of range %zu", name().c_str(), idx,
+                  cur_.size());
+        return idx;
+    }
+
+    std::vector<T> cur_;
+    std::vector<std::pair<size_t, T>> staged_;
+    /// old values of elements overwritten this cycle (for readStable)
+    std::vector<std::pair<size_t, T>> history_;
+    uint64_t historyCycle_ = ~0ull;
+};
+
+} // namespace cmd

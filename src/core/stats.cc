@@ -1,0 +1,45 @@
+#include "core/stats.hh"
+
+namespace cmd {
+
+Stat &
+StatGroup::counter(const std::string &name)
+{
+    auto it = stats_.find(name);
+    if (it == stats_.end()) {
+        it = stats_.emplace(name, Stat{}).first;
+        order_.emplace_back(name, &it->second);
+    }
+    return it->second;
+}
+
+bool
+StatGroup::has(const std::string &name) const
+{
+    return stats_.count(name) != 0;
+}
+
+uint64_t
+StatGroup::get(const std::string &name) const
+{
+    auto it = stats_.find(name);
+    return it == stats_.end() ? 0 : it->second.value();
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto &kv : order_)
+        kv.second->reset();
+}
+
+void
+StatGroup::dump(std::ostream &os, const std::string &prefix) const
+{
+    for (const auto &kv : order_) {
+        os << prefix << '.' << kv.first << ' ' << kv.second->value()
+           << '\n';
+    }
+}
+
+} // namespace cmd

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Lightweight statistics package for CMD designs.
+ *
+ * Modules create named counters inside a StatGroup; the group can be
+ * dumped as text or walked programmatically by benchmark harnesses.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cmd {
+
+/** A single monotonically updated 64-bit statistic. */
+class Stat
+{
+  public:
+    Stat() = default;
+
+    void inc(uint64_t n = 1) { value_ += n; }
+    void set(uint64_t v) { value_ = v; }
+    uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    uint64_t value_ = 0;
+};
+
+/**
+ * A named collection of statistics. Hierarchy is by dotted names;
+ * groups are cheap and live for the life of the simulation.
+ */
+class StatGroup
+{
+  public:
+    /** Create or fetch a counter named @p name within this group. */
+    Stat &counter(const std::string &name);
+
+    /** True if a counter with this name exists. */
+    bool has(const std::string &name) const;
+
+    /** Value of an existing counter; 0 if absent. */
+    uint64_t get(const std::string &name) const;
+
+    /** All counters in insertion order. */
+    const std::vector<std::pair<std::string, Stat *>> &all() const
+    {
+        return order_;
+    }
+
+    /** Reset every counter in the group to zero. */
+    void resetAll();
+
+    /** Dump "prefix.name value" lines. */
+    void dump(std::ostream &os, const std::string &prefix) const;
+
+  private:
+    std::map<std::string, Stat> stats_;
+    std::vector<std::pair<std::string, Stat *>> order_;
+};
+
+} // namespace cmd

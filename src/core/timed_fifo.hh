@@ -1,0 +1,94 @@
+/**
+ * @file
+ * TimedFifo<T>: a conflict-free FIFO whose elements only become
+ * visible a fixed number of cycles after they were enqueued. The
+ * standard way to model pipeline/wire/array latency (L2 pipeline
+ * depth, DRAM access time) without giving up latency-insensitive
+ * interfaces: consumers simply see deq's guard stay false until the
+ * element has "aged".
+ */
+#pragma once
+
+#include "core/fifo.hh"
+
+namespace cmd {
+
+template <typename T>
+class TimedFifo : public Module
+{
+  public:
+    TimedFifo(Kernel &kernel, const std::string &name, uint32_t capacity,
+              uint32_t delay)
+        : Module(kernel, name, Conflict::C),
+          enqM(method("enq")), deqM(method("deq")), firstM(method("first")),
+          delay_(delay), cap_(capacity),
+          data_(kernel, name + ".data", capacity),
+          ready_(kernel, name + ".ready", capacity),
+          head_(kernel, name + ".head", 0),
+          tail_(kernel, name + ".tail", 0),
+          count_(kernel, name + ".count", 0)
+    {
+        cf(enqM, deqM);
+        cf(enqM, firstM);
+        cf(firstM, deqM);
+        selfCf(firstM);
+    }
+
+    // ---- probes (when() guards, testbenches)
+    bool canEnq() const { return count_.readStable() < cap_; }
+    bool
+    canDeq() const
+    {
+        return count_.readStable() > 0 &&
+               kernel().cycleCount() >= ready_.readStable(head_.readStable());
+    }
+    uint32_t size() const { return count_.read(); }
+
+    /** Enqueue; becomes visible @p delay cycles from now. */
+    void
+    enq(const T &v)
+    {
+        enqM();
+        require(count_.readStable() < cap_);
+        uint32_t t = tail_.readStable();
+        data_.write(t, v);
+        ready_.write(t, kernel().cycleCount() + delay_);
+        tail_.write(next(t));
+        count_.write(count_.read() + 1);
+    }
+
+    /** Dequeue the oldest aged element. */
+    T
+    deq()
+    {
+        deqM();
+        require(canDeq());
+        uint32_t h = head_.readStable();
+        T v = data_.readStable(h);
+        head_.write(next(h));
+        count_.write(count_.read() - 1);
+        return v;
+    }
+
+    /** Peek the oldest aged element. */
+    T
+    first()
+    {
+        firstM();
+        require(canDeq());
+        return data_.readStable(head_.readStable());
+    }
+
+    Method &enqM, &deqM, &firstM;
+
+  private:
+    uint32_t next(uint32_t i) const { return i + 1 == cap_ ? 0 : i + 1; }
+
+    uint32_t delay_;
+    uint32_t cap_;
+    RegArray<T> data_;
+    RegArray<uint64_t> ready_;
+    Reg<uint32_t> head_, tail_, count_;
+};
+
+} // namespace cmd

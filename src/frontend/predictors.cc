@@ -1,0 +1,184 @@
+#include "frontend/predictors.hh"
+
+namespace riscy {
+
+using namespace cmd;
+
+// -------------------------------------------------------------------- Btb
+
+Btb::Btb(Kernel &k, const std::string &name, uint32_t entries)
+    : Module(k, name, Conflict::CF),
+      predictM(method("predict")), updateM(method("update")),
+      entries_(entries), arr_(k, name + ".arr", entries)
+{
+    selfCf(predictM);
+    selfCf(updateM); // both ALU pipes may resolve branches in a cycle
+}
+
+uint64_t
+Btb::predict(uint64_t pc) const
+{
+    predictM();
+    const Entry &e = arr_.read(idx(pc));
+    return (e.valid && e.pc == pc) ? e.target : 0;
+}
+
+void
+Btb::update(uint64_t pc, uint64_t target, bool taken)
+{
+    updateM();
+    if (taken) {
+        arr_.write(idx(pc), {true, pc, target});
+    } else {
+        const Entry &e = arr_.read(idx(pc));
+        if (e.valid && e.pc == pc)
+            arr_.write(idx(pc), Entry{});
+    }
+}
+
+// ---------------------------------------------------------- TournamentBp
+
+TournamentBp::TournamentBp(Kernel &k, const std::string &name)
+    : Module(k, name, Conflict::CF),
+      predictM(method("predict")), updateM(method("update")),
+      localHist_(k, name + ".lhist", kLocal, 0),
+      localCtr_(k, name + ".lctr", kLocal, 3),
+      globalCtr_(k, name + ".gctr", kGlobal, 1),
+      choiceCtr_(k, name + ".cctr", kGlobal, 1)
+{
+    selfCf(predictM);
+    selfCf(updateM);
+}
+
+bool
+TournamentBp::predict(uint64_t pc, uint16_t ghist) const
+{
+    predictM();
+    uint16_t lh = localHist_.read(li(pc));
+    bool localTaken = localCtr_.read(lh & (kLocal - 1)) >= 4;
+    bool globalTaken = globalCtr_.read(gi(ghist)) >= 2;
+    bool useGlobal = choiceCtr_.read(gi(ghist)) >= 2;
+    return useGlobal ? globalTaken : localTaken;
+}
+
+void
+TournamentBp::update(uint64_t pc, uint16_t ghist, bool taken)
+{
+    updateM();
+    uint16_t lh = localHist_.read(li(pc));
+    uint32_t lci = lh & (kLocal - 1);
+    uint8_t lc = localCtr_.read(lci);
+    uint8_t gc = globalCtr_.read(gi(ghist));
+    bool localTaken = lc >= 4;
+    bool globalTaken = gc >= 2;
+
+    // Choice: trained toward whichever component was right.
+    if (localTaken != globalTaken) {
+        uint8_t ch = choiceCtr_.read(gi(ghist));
+        if (globalTaken == taken && ch < 3)
+            choiceCtr_.write(gi(ghist), ch + 1);
+        else if (localTaken == taken && ch > 0)
+            choiceCtr_.write(gi(ghist), ch - 1);
+    }
+
+    localCtr_.write(lci, taken ? (lc < 7 ? lc + 1 : 7)
+                               : (lc > 0 ? lc - 1 : 0));
+    globalCtr_.write(gi(ghist), taken ? (gc < 3 ? gc + 1 : 3)
+                                      : (gc > 0 ? gc - 1 : 0));
+    localHist_.write(li(pc), static_cast<uint16_t>((lh << 1) | taken) &
+                                 0x3ff);
+}
+
+// -------------------------------------------------------------------- Ras
+
+Ras::Ras(Kernel &k, const std::string &name, uint32_t entries)
+    : Module(k, name, Conflict::CF),
+      pushM(method("push")), popM(method("pop")),
+      entries_(entries), stack_(k, name + ".stack", entries, 0),
+      sp_(k, name + ".sp", 0), depth_(k, name + ".depth", 0)
+{
+}
+
+void
+Ras::push(uint64_t retAddr)
+{
+    pushM();
+    stack_.write(sp_.read(), retAddr);
+    sp_.write((sp_.read() + 1) % entries_);
+    if (depth_.read() < entries_)
+        depth_.write(depth_.read() + 1);
+}
+
+uint64_t
+Ras::pop()
+{
+    popM();
+    if (depth_.read() == 0)
+        return 0;
+    uint32_t p = (sp_.read() + entries_ - 1) % entries_;
+    sp_.write(p);
+    depth_.write(depth_.read() - 1);
+    return stack_.read(p);
+}
+
+uint64_t
+Ras::top() const
+{
+    if (depth_.read() == 0)
+        return 0;
+    return stack_.read((sp_.read() + entries_ - 1) % entries_);
+}
+
+// ------------------------------------------------------------ EpochManager
+
+EpochManager::EpochManager(Kernel &k, const std::string &name)
+    : Module(k, name, Conflict::CF),
+      redirectM(method("redirect")), resteerM(method("resteer")),
+      setFetchPcM(method("setFetchPc")),
+      fetchEpoch_(k, name + ".fetchEpoch", 0),
+      renameEpoch_(k, name + ".renameEpoch", 0),
+      fetchPc_(k, name + ".pc", 0),
+      lastRedirect_(k, name + ".lastRedirect", ~0ull)
+{
+    // A redirect never loses to the fetch rule's own PC advance:
+    // setFetchPc is skipped in a cycle that redirected (whichever
+    // order the two fired in), and the fetch rule stalls one cycle.
+    selfCf(redirectM); // two same-cycle mispredicts: the older (last
+                       // in schedule order) wins the fetch PC
+}
+
+bool
+EpochManager::redirectedThisCycle() const
+{
+    return lastRedirect_.read() == kernel().cycleCount();
+}
+
+void
+EpochManager::redirect(uint64_t pc)
+{
+    redirectM();
+    fetchEpoch_.write(fetchEpoch_.read() + 1);
+    renameEpoch_.write(renameEpoch_.read() + 1);
+    fetchPc_.write(pc);
+    lastRedirect_.write(kernel().cycleCount());
+}
+
+void
+EpochManager::resteer(uint64_t pc)
+{
+    resteerM();
+    fetchEpoch_.write(fetchEpoch_.read() + 1);
+    fetchPc_.write(pc);
+    lastRedirect_.write(kernel().cycleCount());
+}
+
+void
+EpochManager::setFetchPc(uint64_t pc)
+{
+    setFetchPcM();
+    if (redirectedThisCycle())
+        return;
+    fetchPc_.write(pc);
+}
+
+} // namespace riscy

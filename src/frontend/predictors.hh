@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Front-end predictors: direct-mapped BTB, Alpha-21264-style
+ * tournament direction predictor, return address stack, and the epoch
+ * manager used to discard wrong-path fetches (paper Fig. 9).
+ *
+ * Prediction/update are value/action methods on CMD modules; the
+ * fetch and execute rules compose them. All methods are declared
+ * conflict-free against each other except where a real port conflict
+ * exists — predictors are read-predict / write-update structures and
+ * the rare same-cycle same-entry update races are benign (documented
+ * in the paper's sense: less concurrency never breaks correctness).
+ */
+#pragma once
+
+#include "core/cmd.hh"
+#include "mem/memory.hh"
+
+namespace riscy {
+
+/** 256-entry direct-mapped branch target buffer. */
+class Btb : public cmd::Module
+{
+  public:
+    Btb(cmd::Kernel &k, const std::string &name, uint32_t entries = 256);
+
+    /** Predicted target of a taken control transfer at @p pc (0 if none). */
+    uint64_t predict(uint64_t pc) const;
+    /** Install/refresh the mapping pc -> target. */
+    void update(uint64_t pc, uint64_t target, bool taken);
+
+    cmd::Method &predictM, &updateM;
+
+  private:
+    struct Entry {
+        bool valid = false;
+        uint64_t pc = 0;
+        uint64_t target = 0;
+    };
+
+    uint32_t idx(uint64_t pc) const { return (pc >> 2) & (entries_ - 1); }
+
+    uint32_t entries_;
+    cmd::RegArray<Entry> arr_;
+};
+
+/**
+ * Tournament predictor (local + global + choice), after the Alpha
+ * 21264 [47]: 1K x 10-bit local histories into 1K 3-bit counters,
+ * 4K 2-bit global counters, 4K 2-bit choice counters.
+ */
+class TournamentBp : public cmd::Module
+{
+  public:
+    TournamentBp(cmd::Kernel &k, const std::string &name);
+
+    /** Direction prediction for branch at @p pc under history @p ghist. */
+    bool predict(uint64_t pc, uint16_t ghist) const;
+    /** Train on a resolved branch. */
+    void update(uint64_t pc, uint16_t ghist, bool taken);
+
+    cmd::Method &predictM, &updateM;
+
+  private:
+    static constexpr uint32_t kLocal = 1024;
+    static constexpr uint32_t kGlobal = 4096;
+
+    uint32_t li(uint64_t pc) const { return (pc >> 2) & (kLocal - 1); }
+    uint32_t gi(uint16_t gh) const { return gh & (kGlobal - 1); }
+
+    cmd::RegArray<uint16_t> localHist_;
+    cmd::RegArray<uint8_t> localCtr_; ///< 3-bit
+    cmd::RegArray<uint8_t> globalCtr_; ///< 2-bit
+    cmd::RegArray<uint8_t> choiceCtr_; ///< 2-bit, 1 = prefer global
+};
+
+/** 8-entry return address stack. */
+class Ras : public cmd::Module
+{
+  public:
+    Ras(cmd::Kernel &k, const std::string &name, uint32_t entries = 8);
+
+    void push(uint64_t retAddr);
+    /** Pop and return the predicted return target (0 if empty). */
+    uint64_t pop();
+    uint64_t top() const;
+
+    cmd::Method &pushM, &popM;
+
+  private:
+    uint32_t entries_;
+    cmd::RegArray<uint64_t> stack_;
+    cmd::Reg<uint32_t> sp_;
+    cmd::Reg<uint32_t> depth_;
+};
+
+/**
+ * Epoch manager with the classic two-level scheme:
+ *
+ *  - the *fetch* epoch distinguishes in-flight fetches (f2q/f3q)
+ *    issued before a redirect from those after; it is bumped by both
+ *    front-end re-steers and execute/commit redirects.
+ *  - the *rename* epoch invalidates decoded-but-not-renamed uops
+ *    (the instruction queue); it is bumped ONLY by execute/commit
+ *    redirects. A front-end re-steer discovers that the *next* fetch
+ *    address was wrong — the already-decoded older instructions are
+ *    still correct-path and must not be dropped.
+ */
+class EpochManager : public cmd::Module
+{
+  public:
+    EpochManager(cmd::Kernel &k, const std::string &name);
+
+    uint8_t current() const { return fetchEpoch_.read(); }
+    uint8_t renameEpoch() const { return renameEpoch_.read(); }
+    bool isStale(uint8_t e) const { return e != fetchEpoch_.read(); }
+    bool
+    isStaleRename(uint8_t e) const
+    {
+        return e != renameEpoch_.read();
+    }
+    /** True if some rule already redirected fetch this cycle. */
+    bool redirectedThisCycle() const;
+    /** Full redirect (mispredict/flush): bumps both epochs. */
+    void redirect(uint64_t pc);
+    /** Front-end re-steer: bumps only the fetch epoch. */
+    void resteer(uint64_t pc);
+    /** Consumed by the fetch rule: where to fetch next. */
+    uint64_t fetchPc() const { return fetchPc_.read(); }
+    void setFetchPc(uint64_t pc);
+
+    cmd::Method &redirectM, &resteerM, &setFetchPcM;
+
+  private:
+    cmd::Reg<uint8_t> fetchEpoch_;
+    cmd::Reg<uint8_t> renameEpoch_;
+    cmd::Reg<uint64_t> fetchPc_;
+    cmd::Reg<uint64_t> lastRedirect_;
+};
+
+} // namespace riscy

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * The minimal CSR file shared by the golden model and the cores.
+ *
+ * Simplifications relative to a full privileged implementation
+ * (documented in DESIGN.md): a single privilege level, with address
+ * translation controlled purely by satp; no interrupts; traps always
+ * vector through mtvec.
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace riscy::isa {
+
+constexpr uint16_t kCsrSatp = 0x180;
+constexpr uint16_t kCsrMstatus = 0x300;
+constexpr uint16_t kCsrMtvec = 0x305;
+constexpr uint16_t kCsrMscratch = 0x340;
+constexpr uint16_t kCsrMepc = 0x341;
+constexpr uint16_t kCsrMcause = 0x342;
+constexpr uint16_t kCsrMtval = 0x343;
+constexpr uint16_t kCsrCycle = 0xc00;
+constexpr uint16_t kCsrTime = 0xc01;
+constexpr uint16_t kCsrInstret = 0xc02;
+constexpr uint16_t kCsrMhartid = 0xf14;
+
+/** Architectural CSR state (trivially copyable: lives in Reg<>). */
+struct CsrState {
+    uint64_t mstatus = 0;
+    uint64_t mtvec = 0;
+    uint64_t mscratch = 0;
+    uint64_t mepc = 0;
+    uint64_t mcause = 0;
+    uint64_t mtval = 0;
+    uint64_t satp = 0;
+
+    /**
+     * Read a CSR. @return false for an unimplemented address (the
+     * caller raises an illegal-instruction trap).
+     * @param cycle/instret/hartId supply the read-only counters.
+     */
+    bool
+    read(uint16_t addr, uint64_t cycle, uint64_t instret, uint32_t hartId,
+         uint64_t &out) const
+    {
+        switch (addr) {
+          case kCsrSatp:
+            out = satp;
+            return true;
+          case kCsrMstatus:
+            out = mstatus;
+            return true;
+          case kCsrMtvec:
+            out = mtvec;
+            return true;
+          case kCsrMscratch:
+            out = mscratch;
+            return true;
+          case kCsrMepc:
+            out = mepc;
+            return true;
+          case kCsrMcause:
+            out = mcause;
+            return true;
+          case kCsrMtval:
+            out = mtval;
+            return true;
+          case kCsrCycle:
+          case kCsrTime:
+            out = cycle;
+            return true;
+          case kCsrInstret:
+            out = instret;
+            return true;
+          case kCsrMhartid:
+            out = hartId;
+            return true;
+          default:
+            return false;
+        }
+    }
+
+    /** Write a CSR. @return false for read-only/unknown addresses. */
+    bool
+    write(uint16_t addr, uint64_t v)
+    {
+        switch (addr) {
+          case kCsrSatp:
+            satp = v;
+            return true;
+          case kCsrMstatus:
+            mstatus = v;
+            return true;
+          case kCsrMtvec:
+            mtvec = v;
+            return true;
+          case kCsrMscratch:
+            mscratch = v;
+            return true;
+          case kCsrMepc:
+            mepc = v;
+            return true;
+          case kCsrMcause:
+            mcause = v;
+            return true;
+          case kCsrMtval:
+            mtval = v;
+            return true;
+          default:
+            return false;
+        }
+    }
+
+    /** True if reads of this CSR differ between timing models. */
+    static bool
+    isVolatile(uint16_t addr)
+    {
+        return addr == kCsrCycle || addr == kCsrTime ||
+               addr == kCsrInstret;
+    }
+};
+
+} // namespace riscy::isa

@@ -1,0 +1,269 @@
+#include "isa/exec.hh"
+
+#include "core/log.hh"
+
+namespace riscy::isa {
+
+namespace {
+
+inline uint64_t
+sext32(uint64_t v)
+{
+    return static_cast<uint64_t>(static_cast<int64_t>(static_cast<int32_t>(v)));
+}
+
+inline int64_t s64(uint64_t v) { return static_cast<int64_t>(v); }
+
+uint64_t
+mulh(int64_t a, int64_t b)
+{
+    return static_cast<uint64_t>(
+        (static_cast<__int128>(a) * static_cast<__int128>(b)) >> 64);
+}
+
+uint64_t
+mulhsu(int64_t a, uint64_t b)
+{
+    return static_cast<uint64_t>(
+        (static_cast<__int128>(a) * static_cast<unsigned __int128>(b)) >>
+        64);
+}
+
+uint64_t
+mulhu(uint64_t a, uint64_t b)
+{
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(a) *
+         static_cast<unsigned __int128>(b)) >> 64);
+}
+
+} // namespace
+
+uint64_t
+aluCompute(const Inst &inst, uint64_t a, uint64_t b, uint64_t pc)
+{
+    int64_t imm = inst.imm;
+    switch (inst.op) {
+      case Op::LUI:
+        return static_cast<uint64_t>(imm);
+      case Op::AUIPC:
+        return pc + static_cast<uint64_t>(imm);
+      case Op::JAL:
+      case Op::JALR:
+        return pc + 4; // link value
+      case Op::ADDI:
+        return a + imm;
+      case Op::SLTI:
+        return s64(a) < imm ? 1 : 0;
+      case Op::SLTIU:
+        return a < static_cast<uint64_t>(imm) ? 1 : 0;
+      case Op::XORI:
+        return a ^ imm;
+      case Op::ORI:
+        return a | imm;
+      case Op::ANDI:
+        return a & imm;
+      case Op::SLLI:
+        return a << (imm & 63);
+      case Op::SRLI:
+        return a >> (imm & 63);
+      case Op::SRAI:
+        return static_cast<uint64_t>(s64(a) >> (imm & 63));
+      case Op::ADD:
+        return a + b;
+      case Op::SUB:
+        return a - b;
+      case Op::SLL:
+        return a << (b & 63);
+      case Op::SLT:
+        return s64(a) < s64(b) ? 1 : 0;
+      case Op::SLTU:
+        return a < b ? 1 : 0;
+      case Op::XOR:
+        return a ^ b;
+      case Op::SRL:
+        return a >> (b & 63);
+      case Op::SRA:
+        return static_cast<uint64_t>(s64(a) >> (b & 63));
+      case Op::OR:
+        return a | b;
+      case Op::AND:
+        return a & b;
+      case Op::ADDIW:
+        return sext32(a + imm);
+      case Op::SLLIW:
+        return sext32(a << (imm & 31));
+      case Op::SRLIW:
+        return sext32(static_cast<uint32_t>(a) >> (imm & 31));
+      case Op::SRAIW:
+        return sext32(
+            static_cast<uint64_t>(static_cast<int32_t>(a) >> (imm & 31)));
+      case Op::ADDW:
+        return sext32(a + b);
+      case Op::SUBW:
+        return sext32(a - b);
+      case Op::SLLW:
+        return sext32(a << (b & 31));
+      case Op::SRLW:
+        return sext32(static_cast<uint32_t>(a) >> (b & 31));
+      case Op::SRAW:
+        return sext32(
+            static_cast<uint64_t>(static_cast<int32_t>(a) >> (b & 31)));
+      case Op::MUL:
+        return a * b;
+      case Op::MULH:
+        return mulh(s64(a), s64(b));
+      case Op::MULHSU:
+        return mulhsu(s64(a), b);
+      case Op::MULHU:
+        return mulhu(a, b);
+      case Op::DIV:
+        if (b == 0)
+            return ~0ull;
+        if (s64(a) == INT64_MIN && s64(b) == -1)
+            return a;
+        return static_cast<uint64_t>(s64(a) / s64(b));
+      case Op::DIVU:
+        return b == 0 ? ~0ull : a / b;
+      case Op::REM:
+        if (b == 0)
+            return a;
+        if (s64(a) == INT64_MIN && s64(b) == -1)
+            return 0;
+        return static_cast<uint64_t>(s64(a) % s64(b));
+      case Op::REMU:
+        return b == 0 ? a : a % b;
+      case Op::MULW:
+        return sext32(a * b);
+      case Op::DIVW: {
+        int32_t x = static_cast<int32_t>(a), y = static_cast<int32_t>(b);
+        if (y == 0)
+            return ~0ull;
+        if (x == INT32_MIN && y == -1)
+            return sext32(static_cast<uint32_t>(x));
+        return sext32(static_cast<uint32_t>(x / y));
+      }
+      case Op::DIVUW: {
+        uint32_t x = static_cast<uint32_t>(a), y = static_cast<uint32_t>(b);
+        return y == 0 ? ~0ull : sext32(x / y);
+      }
+      case Op::REMW: {
+        int32_t x = static_cast<int32_t>(a), y = static_cast<int32_t>(b);
+        if (y == 0)
+            return sext32(static_cast<uint32_t>(x));
+        if (x == INT32_MIN && y == -1)
+            return 0;
+        return sext32(static_cast<uint32_t>(x % y));
+      }
+      case Op::REMUW: {
+        uint32_t x = static_cast<uint32_t>(a), y = static_cast<uint32_t>(b);
+        return y == 0 ? sext32(x) : sext32(x % y);
+      }
+      default:
+        cmd::panic("aluCompute: non-ALU op %s", opName(inst.op));
+    }
+}
+
+bool
+branchTaken(const Inst &inst, uint64_t a, uint64_t b)
+{
+    switch (inst.op) {
+      case Op::BEQ:
+        return a == b;
+      case Op::BNE:
+        return a != b;
+      case Op::BLT:
+        return s64(a) < s64(b);
+      case Op::BGE:
+        return s64(a) >= s64(b);
+      case Op::BLTU:
+        return a < b;
+      case Op::BGEU:
+        return a >= b;
+      default:
+        cmd::panic("branchTaken: non-branch op %s", opName(inst.op));
+    }
+}
+
+uint64_t
+controlTarget(const Inst &inst, uint64_t pc, uint64_t rs1)
+{
+    if (inst.isJalr())
+        return (rs1 + static_cast<uint64_t>(inst.imm)) & ~1ull;
+    return pc + static_cast<uint64_t>(inst.imm);
+}
+
+uint64_t
+amoCompute(Op op, uint64_t memVal, uint64_t operand)
+{
+    bool isW = op < Op::AMOSWAP_D;
+    if (isW) {
+        memVal = sext32(memVal);
+        operand = sext32(operand);
+    }
+    uint64_t result;
+    switch (op) {
+      case Op::AMOSWAP_W: case Op::AMOSWAP_D:
+        result = operand;
+        break;
+      case Op::AMOADD_W: case Op::AMOADD_D:
+        result = memVal + operand;
+        break;
+      case Op::AMOXOR_W: case Op::AMOXOR_D:
+        result = memVal ^ operand;
+        break;
+      case Op::AMOAND_W: case Op::AMOAND_D:
+        result = memVal & operand;
+        break;
+      case Op::AMOOR_W: case Op::AMOOR_D:
+        result = memVal | operand;
+        break;
+      case Op::AMOMIN_W: case Op::AMOMIN_D:
+        result = s64(memVal) < s64(operand) ? memVal : operand;
+        break;
+      case Op::AMOMAX_W: case Op::AMOMAX_D:
+        result = s64(memVal) > s64(operand) ? memVal : operand;
+        break;
+      case Op::AMOMINU_W: case Op::AMOMINU_D:
+        result = memVal < operand ? memVal : operand;
+        break;
+      case Op::AMOMAXU_W: case Op::AMOMAXU_D:
+        result = memVal > operand ? memVal : operand;
+        break;
+      default:
+        cmd::panic("amoCompute: non-AMO op %s", opName(op));
+    }
+    // W-form AMOs store 32 bits; keep the canonical sign-extended form.
+    return isW ? sext32(result) : result;
+}
+
+uint64_t
+loadExtend(Op op, uint64_t raw)
+{
+    switch (op) {
+      case Op::LB:
+        return static_cast<uint64_t>(
+            static_cast<int64_t>(static_cast<int8_t>(raw)));
+      case Op::LH:
+        return static_cast<uint64_t>(
+            static_cast<int64_t>(static_cast<int16_t>(raw)));
+      case Op::LW:
+      case Op::LR_W:
+        return sext32(raw);
+      case Op::LD:
+      case Op::LR_D:
+        return raw;
+      case Op::LBU:
+        return raw & 0xff;
+      case Op::LHU:
+        return raw & 0xffff;
+      case Op::LWU:
+        return raw & 0xffffffffull;
+      default:
+        if (op >= Op::AMOSWAP_W && op < Op::AMOSWAP_D)
+            return sext32(raw); // W-form AMO load value
+        return raw;
+    }
+}
+
+} // namespace riscy::isa

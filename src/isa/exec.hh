@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Functional execution helpers shared by every core model and the
+ * golden interpreter: ALU ops, branch resolution, AMO combine, and
+ * load-value extension.
+ */
+#pragma once
+
+#include "isa/inst.hh"
+
+namespace riscy::isa {
+
+/**
+ * Compute the result of a non-memory, non-control instruction.
+ * @param inst decoded instruction
+ * @param a rs1 value (ignored where unused)
+ * @param b rs2 value (ignored where unused)
+ * @param pc the instruction's PC (for AUIPC/JAL/JALR link values)
+ */
+uint64_t aluCompute(const Inst &inst, uint64_t a, uint64_t b, uint64_t pc);
+
+/** Branch condition for Bxx given rs1/rs2 values. */
+bool branchTaken(const Inst &inst, uint64_t a, uint64_t b);
+
+/**
+ * Control-flow target: branch/JAL -> pc+imm, JALR -> (rs1+imm)&~1.
+ * Only meaningful for control-flow instructions.
+ */
+uint64_t controlTarget(const Inst &inst, uint64_t pc, uint64_t rs1);
+
+/** AMO read-modify-write combine: new memory value. */
+uint64_t amoCompute(Op op, uint64_t memVal, uint64_t operand);
+
+/** Sign-/zero-extend a raw little-endian load value per the opcode. */
+uint64_t loadExtend(Op op, uint64_t raw);
+
+} // namespace riscy::isa

@@ -1,0 +1,204 @@
+#include "isa/golden.hh"
+
+#include "core/log.hh"
+#include "isa/exec.hh"
+
+namespace riscy::isa {
+
+GoldenModel::GoldenModel(PhysMem &mem, HostDevice &host, uint32_t hartId,
+                         Addr resetPc)
+    : mem_(mem), host_(host), hartId_(hartId), pc_(resetPc)
+{
+}
+
+void
+GoldenModel::setReg(unsigned i, uint64_t v)
+{
+    if (i != 0)
+        regs_[i] = v;
+}
+
+GoldenModel::Xlate
+GoldenModel::translate(Addr va, AccessType type) const
+{
+    if (!satpSv39(csr_.satp))
+        return {false, va};
+    Addr tableBase = satpRoot(csr_.satp);
+    for (int level = kSv39Levels - 1; level >= 0; level--) {
+        Addr pteAddr = tableBase + vpn(va, level) * 8;
+        uint64_t pte = mem_.read(pteAddr, 8);
+        if (!(pte & PTE_V))
+            return {true, 0};
+        if (pteLeaf(pte)) {
+            // Permission check.
+            if (type == AccessType::Fetch && !(pte & PTE_X))
+                return {true, 0};
+            if (type == AccessType::Load && !(pte & PTE_R))
+                return {true, 0};
+            if (type == AccessType::Store && !(pte & PTE_W))
+                return {true, 0};
+            // Superpage alignment check.
+            uint64_t ppn = ptePpn(pte);
+            uint64_t levelMask = (1ull << (9 * level)) - 1;
+            if (ppn & levelMask)
+                return {true, 0};
+            uint64_t pageOff = va & ((1ull << (kPageShift + 9 * level)) - 1);
+            return {false, (ppn << kPageShift) | pageOff};
+        }
+        tableBase = ptePpn(pte) << kPageShift;
+    }
+    return {true, 0};
+}
+
+GoldenModel::Commit
+GoldenModel::trap(Commit c, Cause cause, uint64_t tval)
+{
+    c.trapped = true;
+    c.cause = static_cast<uint64_t>(cause);
+    c.hasRd = false;
+    csr_.mepc = c.pc;
+    csr_.mcause = c.cause;
+    csr_.mtval = tval;
+    if (csr_.mtvec == 0) {
+        cmd::panic("golden hart %u: trap cause %llu at pc %#llx with no "
+                   "handler (mtvec=0)", hartId_,
+                   (unsigned long long)c.cause, (unsigned long long)c.pc);
+    }
+    c.nextPc = csr_.mtvec & ~3ull;
+    pc_ = c.nextPc;
+    instret_++;
+    return c;
+}
+
+uint64_t
+GoldenModel::memLoad(Addr pa, const Inst &inst)
+{
+    uint64_t raw;
+    if (isMmioAddr(pa))
+        raw = host_.load(hartId_, pa);
+    else
+        raw = mem_.read(pa, inst.memBytes());
+    return loadExtend(inst.op, raw);
+}
+
+void
+GoldenModel::memStore(Addr pa, uint64_t v, unsigned bytes)
+{
+    if (isMmioAddr(pa))
+        host_.store(hartId_, pa, v, instret_);
+    else
+        mem_.write(pa, v, bytes);
+}
+
+GoldenModel::Commit
+GoldenModel::step()
+{
+    Commit c;
+    c.pc = pc_;
+
+    // Fetch.
+    Xlate fx = translate(pc_, AccessType::Fetch);
+    if (fx.fault)
+        return trap(c, Cause::FetchPageFault, pc_);
+    c.raw = static_cast<uint32_t>(mem_.read(fx.pa, 4));
+    c.inst = decode(c.raw);
+    const Inst &d = c.inst;
+    if (d.op == Op::ILLEGAL)
+        return trap(c, Cause::IllegalInst, c.raw);
+
+    uint64_t a = regs_[d.rs1];
+    uint64_t b = regs_[d.rs2];
+    uint64_t nextPc = pc_ + 4;
+    uint64_t rdVal = 0;
+    bool hasRd = d.writesRd();
+
+    if (d.isBranch()) {
+        if (branchTaken(d, a, b))
+            nextPc = controlTarget(d, pc_, a);
+    } else if (d.isJal() || d.isJalr()) {
+        rdVal = pc_ + 4;
+        nextPc = controlTarget(d, pc_, a);
+    } else if (d.isLoad() || d.isLr()) {
+        Addr va = d.isLr() ? a : a + static_cast<uint64_t>(d.imm);
+        if (va & (d.memBytes() - 1))
+            return trap(c, Cause::LoadMisaligned, va);
+        Xlate x = translate(va, AccessType::Load);
+        if (x.fault)
+            return trap(c, Cause::LoadPageFault, va);
+        rdVal = memLoad(x.pa, d);
+        if (d.isLr()) {
+            hasReservation_ = true;
+            reservation_ = x.pa & ~7ull;
+        }
+    } else if (d.isStore() || d.isSc()) {
+        Addr va = d.isSc() ? a : a + static_cast<uint64_t>(d.imm);
+        if (va & (d.memBytes() - 1))
+            return trap(c, Cause::StoreMisaligned, va);
+        Xlate x = translate(va, AccessType::Store);
+        if (x.fault)
+            return trap(c, Cause::StorePageFault, va);
+        if (d.isSc()) {
+            bool ok = hasReservation_ && reservation_ == (x.pa & ~7ull);
+            hasReservation_ = false;
+            if (ok)
+                memStore(x.pa, b, d.memBytes());
+            rdVal = ok ? 0 : 1;
+        } else {
+            memStore(x.pa, b, d.memBytes());
+        }
+    } else if (d.isAmoRmw()) {
+        Addr va = a;
+        if (va & (d.memBytes() - 1))
+            return trap(c, Cause::StoreMisaligned, va);
+        Xlate x = translate(va, AccessType::Store);
+        if (x.fault)
+            return trap(c, Cause::StorePageFault, va);
+        uint64_t old = memLoad(x.pa, d);
+        memStore(x.pa, amoCompute(d.op, old, b), d.memBytes());
+        rdVal = old;
+    } else if (d.isCsr()) {
+        uint64_t operand = (d.op >= Op::CSRRWI) ? d.rs1 : a;
+        uint64_t old = 0;
+        if (!csr_.read(d.csr, instret_, instret_, hartId_, old))
+            return trap(c, Cause::IllegalInst, c.raw);
+        bool doWrite = (d.op == Op::CSRRW || d.op == Op::CSRRWI) ||
+                       ((d.op == Op::CSRRS || d.op == Op::CSRRSI ||
+                         d.op == Op::CSRRC || d.op == Op::CSRRCI) &&
+                        d.rs1 != 0);
+        uint64_t newVal = old;
+        if (d.op == Op::CSRRW || d.op == Op::CSRRWI)
+            newVal = operand;
+        else if (d.op == Op::CSRRS || d.op == Op::CSRRSI)
+            newVal = old | operand;
+        else
+            newVal = old & ~operand;
+        if (doWrite && !csr_.write(d.csr, newVal))
+            return trap(c, Cause::IllegalInst, c.raw);
+        rdVal = old;
+        c.volatileRd = CsrState::isVolatile(d.csr);
+    } else if (d.op == Op::ECALL) {
+        return trap(c, Cause::EcallM, 0);
+    } else if (d.op == Op::EBREAK) {
+        return trap(c, Cause::Breakpoint, 0);
+    } else if (d.op == Op::MRET) {
+        nextPc = csr_.mepc;
+    } else if (d.op == Op::FENCE || d.op == Op::FENCE_I ||
+               d.op == Op::WFI) {
+        // Architecturally a no-op for a single in-order stream.
+    } else {
+        rdVal = aluCompute(d, a, b, pc_);
+    }
+
+    if (hasRd) {
+        setReg(d.rd, rdVal);
+        c.hasRd = true;
+        c.rd = d.rd;
+        c.rdVal = rdVal;
+    }
+    c.nextPc = nextPc;
+    pc_ = nextPc;
+    instret_++;
+    return c;
+}
+
+} // namespace riscy::isa

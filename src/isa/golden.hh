@@ -1,0 +1,77 @@
+/**
+ * @file
+ * GoldenModel: an architectural RV64IMA interpreter, playing the role
+ * Spike plays for RiscyOO — the oracle that every core model is
+ * co-simulated against (commit-by-commit) in the test suite.
+ */
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "isa/csr.hh"
+#include "isa/inst.hh"
+#include "isa/sv39.hh"
+#include "mem/memory.hh"
+
+namespace riscy::isa {
+
+class GoldenModel
+{
+  public:
+    GoldenModel(PhysMem &mem, HostDevice &host, uint32_t hartId,
+                Addr resetPc);
+
+    /** Result of retiring one instruction. */
+    struct Commit {
+        uint64_t pc = 0;
+        uint32_t raw = 0;
+        Inst inst;
+        bool hasRd = false;
+        uint8_t rd = 0;
+        uint64_t rdVal = 0;
+        /** rdVal depends on the timing model (cycle CSR, etc.). */
+        bool volatileRd = false;
+        bool trapped = false;
+        uint64_t cause = 0;
+        uint64_t nextPc = 0;
+    };
+
+    /** Execute and retire exactly one instruction. */
+    Commit step();
+
+    bool halted() const { return host_.exited(hartId_); }
+
+    uint64_t pc() const { return pc_; }
+    void setPc(uint64_t pc) { pc_ = pc; }
+    uint64_t reg(unsigned i) const { return regs_[i]; }
+    void setReg(unsigned i, uint64_t v);
+    uint64_t instret() const { return instret_; }
+    const CsrState &csrs() const { return csr_; }
+    CsrState &csrs() { return csr_; }
+
+    /** Sv39 translation result. */
+    struct Xlate {
+        bool fault = false;
+        Addr pa = 0;
+    };
+    /** Translate @p va for @p type under the current satp. */
+    Xlate translate(Addr va, AccessType type) const;
+
+  private:
+    Commit trap(Commit c, Cause cause, uint64_t tval);
+    uint64_t memLoad(Addr pa, const Inst &inst);
+    void memStore(Addr pa, uint64_t v, unsigned bytes);
+
+    PhysMem &mem_;
+    HostDevice &host_;
+    uint32_t hartId_;
+    uint64_t pc_;
+    std::array<uint64_t, 32> regs_{};
+    CsrState csr_;
+    uint64_t instret_ = 0;
+    bool hasReservation_ = false;
+    Addr reservation_ = 0;
+};
+
+} // namespace riscy::isa

@@ -1,0 +1,338 @@
+#include "isa/inst.hh"
+
+#include <cstdio>
+
+namespace riscy::isa {
+
+namespace {
+
+inline uint32_t
+bits(uint32_t v, unsigned hi, unsigned lo)
+{
+    return (v >> lo) & ((1u << (hi - lo + 1)) - 1);
+}
+
+inline int64_t
+signExtend(uint64_t v, unsigned width)
+{
+    uint64_t m = 1ull << (width - 1);
+    return static_cast<int64_t>((v ^ m) - m);
+}
+
+int64_t
+immI(uint32_t raw)
+{
+    return signExtend(bits(raw, 31, 20), 12);
+}
+
+int64_t
+immS(uint32_t raw)
+{
+    return signExtend((bits(raw, 31, 25) << 5) | bits(raw, 11, 7), 12);
+}
+
+int64_t
+immB(uint32_t raw)
+{
+    uint64_t v = (bits(raw, 31, 31) << 12) | (bits(raw, 7, 7) << 11) |
+                 (bits(raw, 30, 25) << 5) | (bits(raw, 11, 8) << 1);
+    return signExtend(v, 13);
+}
+
+int64_t
+immU(uint32_t raw)
+{
+    return signExtend(bits(raw, 31, 12) << 12, 32);
+}
+
+int64_t
+immJ(uint32_t raw)
+{
+    uint64_t v = (bits(raw, 31, 31) << 20) | (bits(raw, 19, 12) << 12) |
+                 (bits(raw, 20, 20) << 11) | (bits(raw, 30, 21) << 1);
+    return signExtend(v, 21);
+}
+
+} // namespace
+
+Inst
+decode(uint32_t raw)
+{
+    Inst d;
+    d.raw = raw;
+    d.rd = bits(raw, 11, 7);
+    d.rs1 = bits(raw, 19, 15);
+    d.rs2 = bits(raw, 24, 20);
+    uint32_t opcode = bits(raw, 6, 0);
+    uint32_t f3 = bits(raw, 14, 12);
+    uint32_t f7 = bits(raw, 31, 25);
+
+    switch (opcode) {
+      case 0x37:
+        d.op = Op::LUI;
+        d.imm = immU(raw);
+        break;
+      case 0x17:
+        d.op = Op::AUIPC;
+        d.imm = immU(raw);
+        break;
+      case 0x6f:
+        d.op = Op::JAL;
+        d.imm = immJ(raw);
+        break;
+      case 0x67:
+        d.op = f3 == 0 ? Op::JALR : Op::ILLEGAL;
+        d.imm = immI(raw);
+        break;
+      case 0x63: {
+        static const Op ops[8] = {Op::BEQ, Op::BNE, Op::ILLEGAL,
+                                  Op::ILLEGAL, Op::BLT, Op::BGE, Op::BLTU,
+                                  Op::BGEU};
+        d.op = ops[f3];
+        d.imm = immB(raw);
+        break;
+      }
+      case 0x03: {
+        static const Op ops[8] = {Op::LB, Op::LH, Op::LW, Op::LD, Op::LBU,
+                                  Op::LHU, Op::LWU, Op::ILLEGAL};
+        d.op = ops[f3];
+        d.imm = immI(raw);
+        break;
+      }
+      case 0x23: {
+        static const Op ops[8] = {Op::SB, Op::SH, Op::SW, Op::SD,
+                                  Op::ILLEGAL, Op::ILLEGAL, Op::ILLEGAL,
+                                  Op::ILLEGAL};
+        d.op = ops[f3];
+        d.imm = immS(raw);
+        break;
+      }
+      case 0x13: // OP-IMM
+        d.imm = immI(raw);
+        switch (f3) {
+          case 0:
+            d.op = Op::ADDI;
+            break;
+          case 1:
+            d.op = bits(raw, 31, 26) == 0 ? Op::SLLI : Op::ILLEGAL;
+            d.imm = bits(raw, 25, 20);
+            break;
+          case 2:
+            d.op = Op::SLTI;
+            break;
+          case 3:
+            d.op = Op::SLTIU;
+            break;
+          case 4:
+            d.op = Op::XORI;
+            break;
+          case 5:
+            if (bits(raw, 31, 26) == 0)
+                d.op = Op::SRLI;
+            else if (bits(raw, 31, 26) == 0x10)
+                d.op = Op::SRAI;
+            else
+                d.op = Op::ILLEGAL;
+            d.imm = bits(raw, 25, 20);
+            break;
+          case 6:
+            d.op = Op::ORI;
+            break;
+          case 7:
+            d.op = Op::ANDI;
+            break;
+        }
+        break;
+      case 0x1b: // OP-IMM-32
+        d.imm = immI(raw);
+        switch (f3) {
+          case 0:
+            d.op = Op::ADDIW;
+            break;
+          case 1:
+            d.op = f7 == 0 ? Op::SLLIW : Op::ILLEGAL;
+            d.imm = bits(raw, 24, 20);
+            break;
+          case 5:
+            if (f7 == 0)
+                d.op = Op::SRLIW;
+            else if (f7 == 0x20)
+                d.op = Op::SRAIW;
+            else
+                d.op = Op::ILLEGAL;
+            d.imm = bits(raw, 24, 20);
+            break;
+          default:
+            d.op = Op::ILLEGAL;
+            break;
+        }
+        break;
+      case 0x33: // OP
+        if (f7 == 0x01) {
+            static const Op ops[8] = {Op::MUL, Op::MULH, Op::MULHSU,
+                                      Op::MULHU, Op::DIV, Op::DIVU,
+                                      Op::REM, Op::REMU};
+            d.op = ops[f3];
+        } else if (f7 == 0) {
+            static const Op ops[8] = {Op::ADD, Op::SLL, Op::SLT, Op::SLTU,
+                                      Op::XOR, Op::SRL, Op::OR, Op::AND};
+            d.op = ops[f3];
+        } else if (f7 == 0x20) {
+            d.op = f3 == 0 ? Op::SUB : (f3 == 5 ? Op::SRA : Op::ILLEGAL);
+        } else {
+            d.op = Op::ILLEGAL;
+        }
+        break;
+      case 0x3b: // OP-32
+        if (f7 == 0x01) {
+            static const Op ops[8] = {Op::MULW, Op::ILLEGAL, Op::ILLEGAL,
+                                      Op::ILLEGAL, Op::DIVW, Op::DIVUW,
+                                      Op::REMW, Op::REMUW};
+            d.op = ops[f3];
+        } else if (f7 == 0) {
+            static const Op ops[8] = {Op::ADDW, Op::SLLW, Op::ILLEGAL,
+                                      Op::ILLEGAL, Op::ILLEGAL, Op::SRLW,
+                                      Op::ILLEGAL, Op::ILLEGAL};
+            d.op = ops[f3];
+        } else if (f7 == 0x20) {
+            d.op = f3 == 0 ? Op::SUBW : (f3 == 5 ? Op::SRAW : Op::ILLEGAL);
+        } else {
+            d.op = Op::ILLEGAL;
+        }
+        break;
+      case 0x0f:
+        d.op = f3 == 0 ? Op::FENCE : (f3 == 1 ? Op::FENCE_I : Op::ILLEGAL);
+        break;
+      case 0x73: // SYSTEM
+        if (f3 == 0) {
+            if (raw == 0x00000073)
+                d.op = Op::ECALL;
+            else if (raw == 0x00100073)
+                d.op = Op::EBREAK;
+            else if (raw == 0x30200073)
+                d.op = Op::MRET;
+            else if (raw == 0x10500073)
+                d.op = Op::WFI;
+            else
+                d.op = Op::ILLEGAL;
+        } else {
+            static const Op ops[8] = {Op::ILLEGAL, Op::CSRRW, Op::CSRRS,
+                                      Op::CSRRC, Op::ILLEGAL, Op::CSRRWI,
+                                      Op::CSRRSI, Op::CSRRCI};
+            d.op = ops[f3];
+            d.csr = static_cast<uint16_t>(bits(raw, 31, 20));
+            if (f3 >= 5)
+                d.imm = d.rs1; // zimm
+        }
+        break;
+      case 0x2f: { // AMO
+        uint32_t f5 = bits(raw, 31, 27);
+        bool isD = f3 == 3;
+        if (f3 != 2 && f3 != 3) {
+            d.op = Op::ILLEGAL;
+            break;
+        }
+        switch (f5) {
+          case 0x02:
+            d.op = d.rs2 == 0 ? (isD ? Op::LR_D : Op::LR_W) : Op::ILLEGAL;
+            break;
+          case 0x03:
+            d.op = isD ? Op::SC_D : Op::SC_W;
+            break;
+          case 0x01:
+            d.op = isD ? Op::AMOSWAP_D : Op::AMOSWAP_W;
+            break;
+          case 0x00:
+            d.op = isD ? Op::AMOADD_D : Op::AMOADD_W;
+            break;
+          case 0x04:
+            d.op = isD ? Op::AMOXOR_D : Op::AMOXOR_W;
+            break;
+          case 0x0c:
+            d.op = isD ? Op::AMOAND_D : Op::AMOAND_W;
+            break;
+          case 0x08:
+            d.op = isD ? Op::AMOOR_D : Op::AMOOR_W;
+            break;
+          case 0x10:
+            d.op = isD ? Op::AMOMIN_D : Op::AMOMIN_W;
+            break;
+          case 0x14:
+            d.op = isD ? Op::AMOMAX_D : Op::AMOMAX_W;
+            break;
+          case 0x18:
+            d.op = isD ? Op::AMOMINU_D : Op::AMOMINU_W;
+            break;
+          case 0x1c:
+            d.op = isD ? Op::AMOMAXU_D : Op::AMOMAXU_W;
+            break;
+          default:
+            d.op = Op::ILLEGAL;
+            break;
+        }
+        break;
+      }
+      default:
+        d.op = Op::ILLEGAL;
+        break;
+    }
+    if (d.op == Op::ILLEGAL) {
+        d.rd = d.rs1 = d.rs2 = 0;
+        d.imm = 0;
+    }
+    // The rd field bits of S-/B-type encodings are immediate bits;
+    // clear them so downstream consumers never see a phantom dest.
+    if (d.isStore() || d.isBranch())
+        d.rd = 0;
+    return d;
+}
+
+const char *
+opName(Op op)
+{
+    static const char *names[] = {
+        "lui", "auipc", "jal", "jalr",
+        "beq", "bne", "blt", "bge", "bltu", "bgeu",
+        "lb", "lh", "lw", "ld", "lbu", "lhu", "lwu",
+        "sb", "sh", "sw", "sd",
+        "addi", "slti", "sltiu", "xori", "ori", "andi", "slli", "srli",
+        "srai",
+        "add", "sub", "sll", "slt", "sltu", "xor", "srl", "sra", "or",
+        "and",
+        "addiw", "slliw", "srliw", "sraiw", "addw", "subw", "sllw", "srlw",
+        "sraw",
+        "fence", "fence.i",
+        "ecall", "ebreak", "mret", "wfi",
+        "csrrw", "csrrs", "csrrc", "csrrwi", "csrrsi", "csrrci",
+        "mul", "mulh", "mulhsu", "mulhu", "div", "divu", "rem", "remu",
+        "mulw", "divw", "divuw", "remw", "remuw",
+        "lr.w", "sc.w", "lr.d", "sc.d",
+        "amoswap.w", "amoadd.w", "amoxor.w", "amoand.w", "amoor.w",
+        "amomin.w", "amomax.w", "amominu.w", "amomaxu.w",
+        "amoswap.d", "amoadd.d", "amoxor.d", "amoand.d", "amoor.d",
+        "amomin.d", "amomax.d", "amominu.d", "amomaxu.d",
+        "illegal",
+    };
+    return names[static_cast<unsigned>(op)];
+}
+
+std::string
+disasm(const Inst &inst)
+{
+    char buf[96];
+    if (inst.isCsr()) {
+        std::snprintf(buf, sizeof(buf), "%s x%u, %#x, x%u", opName(inst.op),
+                      inst.rd, inst.csr, inst.rs1);
+    } else if (inst.isBranch() || inst.isStore()) {
+        std::snprintf(buf, sizeof(buf), "%s x%u, x%u, %lld",
+                      opName(inst.op), inst.rs1, inst.rs2,
+                      (long long)inst.imm);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%s x%u, x%u, x%u, %lld",
+                      opName(inst.op), inst.rd, inst.rs1, inst.rs2,
+                      (long long)inst.imm);
+    }
+    return buf;
+}
+
+} // namespace riscy::isa

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * RV64IMA (+Zicsr) instruction definitions and the decoder.
+ *
+ * One Op value per architectural operation; Inst carries the decoded
+ * fields every pipeline stage needs. The same decode() feeds the OOO
+ * core, the in-order baseline, and the golden model.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace riscy::isa {
+
+enum class Op : uint8_t {
+    // RV64I
+    LUI, AUIPC, JAL, JALR,
+    BEQ, BNE, BLT, BGE, BLTU, BGEU,
+    LB, LH, LW, LD, LBU, LHU, LWU,
+    SB, SH, SW, SD,
+    ADDI, SLTI, SLTIU, XORI, ORI, ANDI, SLLI, SRLI, SRAI,
+    ADD, SUB, SLL, SLT, SLTU, XOR, SRL, SRA, OR, AND,
+    ADDIW, SLLIW, SRLIW, SRAIW, ADDW, SUBW, SLLW, SRLW, SRAW,
+    FENCE, FENCE_I,
+    ECALL, EBREAK, MRET, WFI,
+    CSRRW, CSRRS, CSRRC, CSRRWI, CSRRSI, CSRRCI,
+    // RV64M
+    MUL, MULH, MULHSU, MULHU, DIV, DIVU, REM, REMU,
+    MULW, DIVW, DIVUW, REMW, REMUW,
+    // RV64A
+    LR_W, SC_W, LR_D, SC_D,
+    AMOSWAP_W, AMOADD_W, AMOXOR_W, AMOAND_W, AMOOR_W,
+    AMOMIN_W, AMOMAX_W, AMOMINU_W, AMOMAXU_W,
+    AMOSWAP_D, AMOADD_D, AMOXOR_D, AMOAND_D, AMOOR_D,
+    AMOMIN_D, AMOMAX_D, AMOMINU_D, AMOMAXU_D,
+    ILLEGAL,
+};
+
+/** A decoded instruction. */
+struct Inst {
+    Op op = Op::ILLEGAL;
+    uint8_t rd = 0;
+    uint8_t rs1 = 0;
+    uint8_t rs2 = 0;
+    int64_t imm = 0;
+    uint16_t csr = 0;   ///< CSR address for Zicsr ops
+    uint32_t raw = 0;   ///< original encoding
+
+    bool isBranch() const { return op >= Op::BEQ && op <= Op::BGEU; }
+    bool isJal() const { return op == Op::JAL; }
+    bool isJalr() const { return op == Op::JALR; }
+    bool isControlFlow() const { return isBranch() || isJal() || isJalr(); }
+    bool isLoad() const { return op >= Op::LB && op <= Op::LWU; }
+    bool isStore() const { return op >= Op::SB && op <= Op::SD; }
+    bool isLr() const { return op == Op::LR_W || op == Op::LR_D; }
+    bool isSc() const { return op == Op::SC_W || op == Op::SC_D; }
+    bool isAmoRmw() const
+    {
+        return op >= Op::AMOSWAP_W && op <= Op::AMOMAXU_D;
+    }
+    /** Any A-extension access (LR/SC/AMO). */
+    bool isAtomic() const { return isLr() || isSc() || isAmoRmw(); }
+    /** Any instruction that occupies an LSQ slot. */
+    bool isMem() const { return isLoad() || isStore() || isAtomic(); }
+    /** Occupies a load-queue slot (loads and LR). */
+    bool isLq() const { return isLoad() || isLr(); }
+    /** Occupies a store-queue slot (stores, SC, AMO read-modify-write). */
+    bool isSq() const { return isStore() || isSc() || isAmoRmw(); }
+    bool isFence() const { return op == Op::FENCE || op == Op::FENCE_I; }
+    bool isCsr() const { return op >= Op::CSRRW && op <= Op::CSRRCI; }
+    bool isSystem() const
+    {
+        return op == Op::ECALL || op == Op::EBREAK || op == Op::MRET ||
+               op == Op::WFI || isCsr() || isFence();
+    }
+    bool isMulDiv() const { return op >= Op::MUL && op <= Op::REMUW; }
+    bool isDiv() const
+    {
+        return op == Op::DIV || op == Op::DIVU || op == Op::REM ||
+               op == Op::REMU || op == Op::DIVW || op == Op::DIVUW ||
+               op == Op::REMW || op == Op::REMUW;
+    }
+
+    /** Memory access size in bytes (loads/stores/atomics). */
+    unsigned
+    memBytes() const
+    {
+        switch (op) {
+          case Op::LB: case Op::LBU: case Op::SB:
+            return 1;
+          case Op::LH: case Op::LHU: case Op::SH:
+            return 2;
+          case Op::LW: case Op::LWU: case Op::SW:
+          case Op::LR_W: case Op::SC_W:
+            return 4;
+          default:
+            if (isAmoRmw())
+                return (op >= Op::AMOSWAP_D) ? 8 : 4;
+            return 8;
+        }
+    }
+
+    bool
+    writesRd() const
+    {
+        if (rd == 0)
+            return false;
+        return !(isBranch() || isStore() || isFence() || op == Op::ECALL ||
+                 op == Op::EBREAK || op == Op::MRET || op == Op::WFI ||
+                 op == Op::ILLEGAL);
+    }
+
+    bool
+    readsRs1() const
+    {
+        switch (op) {
+          case Op::LUI: case Op::AUIPC: case Op::JAL: case Op::FENCE:
+          case Op::FENCE_I: case Op::ECALL: case Op::EBREAK: case Op::MRET:
+          case Op::WFI: case Op::CSRRWI: case Op::CSRRSI: case Op::CSRRCI:
+          case Op::ILLEGAL:
+            return false;
+          default:
+            return rs1 != 0;
+        }
+    }
+
+    bool
+    readsRs2() const
+    {
+        if (isBranch() || isStore() || isSc() || isAmoRmw())
+            return rs2 != 0;
+        switch (op) {
+          case Op::ADD: case Op::SUB: case Op::SLL: case Op::SLT:
+          case Op::SLTU: case Op::XOR: case Op::SRL: case Op::SRA:
+          case Op::OR: case Op::AND: case Op::ADDW: case Op::SUBW:
+          case Op::SLLW: case Op::SRLW: case Op::SRAW:
+            return rs2 != 0;
+          default:
+            return isMulDiv() && rs2 != 0;
+        }
+    }
+
+    bool operator==(const Inst &o) const
+    {
+        return op == o.op && rd == o.rd && rs1 == o.rs1 && rs2 == o.rs2 &&
+               imm == o.imm && csr == o.csr;
+    }
+};
+
+/** Decode a 32-bit RV64IMA+Zicsr encoding. */
+Inst decode(uint32_t raw);
+
+/** One-line disassembly for traces and test messages. */
+std::string disasm(const Inst &inst);
+
+/** Printable mnemonic of an Op. */
+const char *opName(Op op);
+
+} // namespace riscy::isa

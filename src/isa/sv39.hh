@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Sv39 virtual-memory constants shared by the golden model, the TLBs,
+ * and the hardware page-table walker.
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace riscy::isa {
+
+/** PTE flag bits. */
+enum PteBits : uint64_t {
+    PTE_V = 1 << 0,
+    PTE_R = 1 << 1,
+    PTE_W = 1 << 2,
+    PTE_X = 1 << 3,
+    PTE_U = 1 << 4,
+    PTE_G = 1 << 5,
+    PTE_A = 1 << 6,
+    PTE_D = 1 << 7,
+};
+
+constexpr unsigned kPageShift = 12;
+constexpr uint64_t kPageSize = 1ull << kPageShift;
+constexpr unsigned kSv39Levels = 3;
+constexpr uint64_t kSatpModeSv39 = 8ull << 60;
+
+/** VPN field of @p va for page-table level @p level (0 = leaf). */
+inline uint64_t
+vpn(uint64_t va, unsigned level)
+{
+    return (va >> (kPageShift + 9 * level)) & 0x1ff;
+}
+
+/** Virtual page number (all 27 bits). */
+inline uint64_t
+fullVpn(uint64_t va)
+{
+    return (va >> kPageShift) & ((1ull << 27) - 1);
+}
+
+/** Physical page number stored in a PTE. */
+inline uint64_t
+ptePpn(uint64_t pte)
+{
+    return (pte >> 10) & ((1ull << 44) - 1);
+}
+
+inline uint64_t
+makePte(uint64_t pa, uint64_t flags)
+{
+    return ((pa >> kPageShift) << 10) | flags;
+}
+
+inline bool
+pteLeaf(uint64_t pte)
+{
+    return (pte & (PTE_R | PTE_X)) != 0;
+}
+
+/** Root page-table physical address from a satp value. */
+inline uint64_t
+satpRoot(uint64_t satp)
+{
+    return (satp & ((1ull << 44) - 1)) << kPageShift;
+}
+
+inline bool
+satpSv39(uint64_t satp)
+{
+    return (satp >> 60) == 8;
+}
+
+/** Memory access type, for permission checks and fault causes. */
+enum class AccessType : uint8_t {
+    Fetch,
+    Load,
+    Store,
+};
+
+/** Trap cause codes (mcause) used in this project. */
+enum class Cause : uint64_t {
+    IllegalInst = 2,
+    Breakpoint = 3,
+    LoadMisaligned = 4,
+    StoreMisaligned = 6,
+    EcallM = 11,
+    FetchPageFault = 12,
+    LoadPageFault = 13,
+    StorePageFault = 15,
+};
+
+inline Cause
+pageFaultCause(AccessType t)
+{
+    switch (t) {
+      case AccessType::Fetch:
+        return Cause::FetchPageFault;
+      case AccessType::Load:
+        return Cause::LoadPageFault;
+      default:
+        return Cause::StorePageFault;
+    }
+}
+
+} // namespace riscy::isa

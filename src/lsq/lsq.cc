@@ -1,0 +1,548 @@
+#include "lsq/lsq.hh"
+
+#include "isa/exec.hh"
+
+namespace riscy {
+
+using namespace cmd;
+
+Lsq::Lsq(Kernel &k, const std::string &name, uint32_t lqSize,
+         uint32_t sqSize, bool tso)
+    : Module(k, name, Conflict::CF),
+      enqLdM(method("enqLd")), enqStM(method("enqSt")),
+      updateLdM(method("updateLd")), updateStM(method("updateSt")),
+      issueLdM(method("issueLd")), respLdM(method("respLd")),
+      wakeupBySBDeqM(method("wakeupBySBDeq")),
+      cacheEvictM(method("cacheEvict")),
+      setAtCommitStM(method("setAtCommitSt")),
+      markStIssuedM(method("markStIssued")),
+      markStPrefetchedM(method("markStPrefetched")),
+      deqLdM(method("deqLd")),
+      deqStM(method("deqSt")), dropLdM(method("dropLd")),
+      wrongSpecM(method("wrongSpec")), correctSpecM(method("correctSpec")),
+      flushM(method("flushAll")),
+      lqSize_(lqSize), sqSize_(sqSize), tso_(tso),
+      lq_(k, name + ".lq", lqSize), sq_(k, name + ".sq", sqSize),
+      lqWaitWrongPath_(k, name + ".lqWwp", lqSize, 0),
+      lqHead_(k, name + ".lqHead", 0), lqTail_(k, name + ".lqTail", 0),
+      lqCount_(k, name + ".lqCount", 0),
+      sqHead_(k, name + ".sqHead", 0), sqTail_(k, name + ".sqTail", 0),
+      sqCount_(k, name + ".sqCount", 0),
+      memSeq_(k, name + ".memSeq", 0),
+      ldKills_(stats().counter("ldKills")),
+      evictKills_(stats().counter("evictKills")),
+      forwards_(stats().counter("forwards")),
+      stalls_(stats().counter("stalls"))
+{
+    // Paper Section V-C: issueLd < wakeupBySBDeq so that doIssueLd and
+    // doRespSt can fire in one cycle with doIssueLd logically first.
+    lt(issueLdM, wakeupBySBDeqM);
+    selfCf(wrongSpecM);
+    selfCf(correctSpecM);
+    selfCf(setAtCommitStM); // two stores may commit in one group
+    selfCf(updateLdM);      // addr-calc misalign + TLB response
+    selfCf(updateStM);
+    lt(wrongSpecM, enqLdM);
+    lt(wrongSpecM, enqStM);
+    lt(updateLdM, wrongSpecM);
+    lt(updateStM, wrongSpecM);
+    lt(respLdM, wrongSpecM);
+    setCm(flushM, enqLdM, Conflict::C);
+    setCm(flushM, enqStM, Conflict::C);
+    setCm(flushM, deqLdM, Conflict::C);
+    setCm(flushM, deqStM, Conflict::C);
+}
+
+uint8_t
+Lsq::enqLd(isa::Op op, uint8_t bytes, RobIdx rob, PhysReg pd, bool hasPd,
+           SpecMask mask)
+{
+    enqLdM();
+    require(lqCount_.read() < lqSize_);
+    uint32_t i = lqTail_.read();
+    LqEntry e;
+    e.valid = true;
+    e.state = LdState::Idle;
+    e.op = op;
+    e.bytes = bytes;
+    e.rob = rob;
+    e.pd = pd;
+    e.hasPd = hasPd;
+    e.memSeq = memSeq_.read();
+    e.specMask = mask;
+    lq_.write(i, e);
+    lqTail_.write((i + 1) % lqSize_);
+    lqCount_.write(lqCount_.read() + 1);
+    memSeq_.write(memSeq_.read() + 1);
+    return static_cast<uint8_t>(i);
+}
+
+uint8_t
+Lsq::enqSt(isa::Op op, uint8_t bytes, RobIdx rob, PhysReg pd, bool hasPd,
+           SpecMask mask)
+{
+    enqStM();
+    require(sqCount_.read() < sqSize_);
+    uint32_t i = sqTail_.read();
+    SqEntry e;
+    e.valid = true;
+    e.op = op;
+    e.bytes = bytes;
+    e.rob = rob;
+    e.pd = pd;
+    e.hasPd = hasPd;
+    e.memSeq = memSeq_.read();
+    e.specMask = mask;
+    sq_.write(i, e);
+    sqTail_.write((i + 1) % sqSize_);
+    sqCount_.write(sqCount_.read() + 1);
+    memSeq_.write(memSeq_.read() + 1);
+    return static_cast<uint8_t>(i);
+}
+
+void
+Lsq::updateLd(uint8_t idx, Addr va, Addr pa, bool fault, uint8_t cause,
+              bool mmio)
+{
+    updateLdM();
+    LqEntry e = lq_.read(idx);
+    if (!e.valid)
+        panic("%s: updateLd on invalid entry %u", name().c_str(), idx);
+    e.va = va;
+    e.pa = pa;
+    e.addrValid = !fault;
+    e.fault = fault;
+    e.cause = cause;
+    e.mmio = mmio;
+    lq_.write(idx, e);
+}
+
+void
+Lsq::updateSt(uint8_t idx, Addr va, Addr pa, bool fault, uint8_t cause,
+              bool mmio, uint64_t data)
+{
+    updateStM();
+    SqEntry e = sq_.read(idx);
+    if (!e.valid)
+        panic("%s: updateSt on invalid entry %u", name().c_str(), idx);
+    e.va = va;
+    e.pa = pa;
+    e.addrValid = !fault;
+    e.fault = fault;
+    e.cause = cause;
+    e.mmio = mmio;
+    e.data = data;
+    e.dataValid = true;
+    sq_.write(idx, e);
+
+    // Memory-dependency violation: younger loads that already read an
+    // overlapping location are marked to-be-killed (paper update()).
+    if (!fault && !mmio) {
+        for (uint32_t n = 0; n < lqCount_.read(); n++) {
+            uint32_t i = (lqHead_.read() + n) % lqSize_;
+            LqEntry ld = lq_.read(i);
+            if (!ld.valid || ld.killed || ld.memSeq < e.memSeq ||
+                !ld.addrValid)
+                continue;
+            if (ld.state == LdState::Idle)
+                continue;
+            if (overlap(ld.pa, ld.bytes, pa, e.bytes)) {
+                ld.killed = true;
+                lq_.write(i, ld);
+                ldKills_.inc();
+            }
+        }
+    }
+}
+
+int
+Lsq::getIssueLd() const
+{
+    for (uint32_t n = 0; n < lqCount_.read(); n++) {
+        uint32_t i = (lqHead_.read() + n) % lqSize_;
+        const LqEntry &e = lq_.read(i);
+        if (e.valid && e.state == LdState::Idle && e.addrValid &&
+            !e.fault && !e.mmio && !e.killed &&
+            e.stallSrc == StallSrc::None && !lqWaitWrongPath_.read(i) &&
+            !isa::Inst{e.op}.isAtomic())
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+Lsq::IssueResult
+Lsq::issueLd(uint8_t idx, const StoreBuffer::SearchResult &sb, bool useSb,
+             uint64_t &fwdValue)
+{
+    issueLdM();
+    LqEntry e = lq_.read(idx);
+    require(e.valid && e.state == LdState::Idle);
+
+    // Search older stores in the SQ, youngest first.
+    int bestSq = -1;
+    uint32_t bestSeq = 0;
+    for (uint32_t n = 0; n < sqCount_.read(); n++) {
+        uint32_t i = (sqHead_.read() + n) % sqSize_;
+        const SqEntry &st = sq_.read(i);
+        if (!st.valid || st.memSeq > e.memSeq || !st.addrValid)
+            continue;
+        if (!overlap(st.pa, st.bytes, e.pa, e.bytes))
+            continue;
+        if (bestSq < 0 || st.memSeq > bestSeq) {
+            bestSq = static_cast<int>(i);
+            bestSeq = st.memSeq;
+        }
+    }
+
+    if (bestSq >= 0) {
+        const SqEntry &st = sq_.read(bestSq);
+        if (covers(st.pa, st.bytes, e.pa, e.bytes) && st.dataValid &&
+            !isa::Inst{st.op}.isAtomic()) {
+            unsigned shift = static_cast<unsigned>((e.pa - st.pa) * 8);
+            fwdValue = isa::loadExtend(e.op, st.data >> shift);
+            // The value is delivered through the forward queue, so the
+            // entry waits in Issued like a cache request (respLd will
+            // complete it after the PRF write).
+            e.state = LdState::Issued;
+            lq_.write(idx, e);
+            forwards_.inc();
+            return IssueResult::Forward;
+        }
+        // Partially overlapped or data-not-ready older store: stall
+        // until that SQ entry drains (paper: record the source).
+        e.stallSrc = StallSrc::SqEntry;
+        e.stallIdx = static_cast<uint8_t>(bestSq);
+        lq_.write(idx, e);
+        stalls_.inc();
+        return IssueResult::Stall;
+    }
+
+    if (useSb && sb.full) {
+        fwdValue = isa::loadExtend(e.op, sb.data);
+        e.state = LdState::Issued;
+        lq_.write(idx, e);
+        forwards_.inc();
+        return IssueResult::Forward;
+    }
+    if (useSb && sb.partial) {
+        e.stallSrc = StallSrc::SbEntry;
+        e.stallIdx = sb.idx;
+        lq_.write(idx, e);
+        stalls_.inc();
+        return IssueResult::Stall;
+    }
+
+    e.state = LdState::Issued;
+    lq_.write(idx, e);
+    return IssueResult::ToCache;
+}
+
+bool
+Lsq::respLd(uint8_t idx, uint64_t value)
+{
+    respLdM();
+    if (lqWaitWrongPath_.read(idx)) {
+        // Paper: the stale response clears the wait bit; the (possibly
+        // reallocated) entry may issue afterwards.
+        lqWaitWrongPath_.write(idx, 0);
+        return true;
+    }
+    LqEntry e = lq_.read(idx);
+    if (!e.valid || e.state != LdState::Issued)
+        panic("%s: respLd for idle entry %u", name().c_str(), idx);
+    e.state = LdState::Done;
+    e.data = value;
+    lq_.write(idx, e);
+    return false;
+}
+
+void
+Lsq::wakeupBySBDeq(uint8_t sbIdx)
+{
+    wakeupBySBDeqM();
+    for (uint32_t n = 0; n < lqCount_.read(); n++) {
+        uint32_t i = (lqHead_.read() + n) % lqSize_;
+        LqEntry e = lq_.read(i);
+        if (e.valid && e.stallSrc == StallSrc::SbEntry &&
+            e.stallIdx == sbIdx) {
+            e.stallSrc = StallSrc::None;
+            lq_.write(i, e);
+        }
+    }
+}
+
+void
+Lsq::cacheEvict(Addr line)
+{
+    cacheEvictM();
+    // TSO: a load that already read a value from this line, but is not
+    // yet safely ordered (still in the LQ), read a possibly stale
+    // value (paper cacheEvict).
+    for (uint32_t n = 0; n < lqCount_.read(); n++) {
+        uint32_t i = (lqHead_.read() + n) % lqSize_;
+        LqEntry e = lq_.read(i);
+        if (e.valid && !e.killed && e.addrValid &&
+            (e.state == LdState::Done || e.state == LdState::Issued) &&
+            lineAddr(e.pa) == line && !e.mmio) {
+            e.killed = true;
+            lq_.write(i, e);
+            evictKills_.inc();
+        }
+    }
+}
+
+void
+Lsq::setAtCommitSt(uint8_t idx)
+{
+    setAtCommitStM();
+    SqEntry e = sq_.read(idx);
+    if (!e.valid)
+        panic("%s: setAtCommitSt on invalid entry %u", name().c_str(),
+              idx);
+    e.committed = true;
+    sq_.write(idx, e);
+}
+
+bool
+Lsq::olderStoreAddrUnknown(const LqEntry &e) const
+{
+    for (uint32_t n = 0; n < sqCount_.read(); n++) {
+        uint32_t i = (sqHead_.read() + n) % sqSize_;
+        const SqEntry &st = sq_.read(i);
+        if (st.valid && st.memSeq < e.memSeq && !st.addrValid &&
+            !st.fault)
+            return true;
+    }
+    return false;
+}
+
+bool
+Lsq::canDeqLd() const
+{
+    if (lqCount_.read() == 0)
+        return false;
+    const LqEntry &e = lq_.read(lqHead_.read());
+    if (!e.valid)
+        return false;
+    if (e.mmio && !e.fault)
+        return false; // handled at commit via dropLd
+    if (e.fault || e.killed)
+        return true;
+    if (e.state != LdState::Done || olderStoreAddrUnknown(e))
+        return false;
+    if (tso_) {
+        // TSO: an older atomic performs only at commit; a load must
+        // stay in the LQ (killable by cacheEvict) until every older
+        // atomic has left the SQ, or it could retire a value read
+        // before the atomic's access (the lock-acquire hole).
+        for (uint32_t n = 0; n < sqCount_.read(); n++) {
+            uint32_t i = (sqHead_.read() + n) % sqSize_;
+            const SqEntry &st = sq_.read(i);
+            if (st.valid && st.memSeq < e.memSeq &&
+                isa::Inst{st.op}.isAtomic())
+                return false;
+        }
+    }
+    return true;
+}
+
+Lsq::LqEntry
+Lsq::deqLd()
+{
+    deqLdM();
+    require(canDeqLd());
+    uint32_t i = lqHead_.read();
+    LqEntry e = lq_.read(i);
+    // A killed load that is mid-flight keeps its wait-wrong-path slot
+    // bit so a stale response cannot be taken by a new occupant.
+    if (e.killed && e.state == LdState::Issued)
+        lqWaitWrongPath_.write(i, 1);
+    lq_.write(i, LqEntry{});
+    lqHead_.write((i + 1) % lqSize_);
+    lqCount_.write(lqCount_.read() - 1);
+    return e;
+}
+
+Lsq::LqEntry
+Lsq::dropLd()
+{
+    dropLdM();
+    require(lqCount_.read() > 0);
+    uint32_t i = lqHead_.read();
+    LqEntry e = lq_.read(i);
+    if (e.state == LdState::Issued)
+        lqWaitWrongPath_.write(i, 1);
+    lq_.write(i, LqEntry{});
+    lqHead_.write((i + 1) % lqSize_);
+    lqCount_.write(lqCount_.read() - 1);
+    return e;
+}
+
+bool
+Lsq::canIssueSt() const
+{
+    if (sqCount_.read() == 0)
+        return false;
+    const SqEntry &e = sq_.read(sqHead_.read());
+    return e.valid && e.committed && e.addrValid && !e.mmio && !e.fault &&
+           !e.cacheIssued && isa::Inst{e.op}.isStore();
+}
+
+void
+Lsq::markStIssued(uint8_t idx)
+{
+    markStIssuedM();
+    SqEntry e = sq_.read(idx);
+    e.cacheIssued = true;
+    sq_.write(idx, e);
+}
+
+int
+Lsq::getStPrefetch() const
+{
+    for (uint32_t n = 0; n < sqCount_.read(); n++) {
+        uint32_t i = (sqHead_.read() + n) % sqSize_;
+        const SqEntry &e = sq_.read(i);
+        if (e.valid && e.addrValid && !e.mmio && !e.fault &&
+            !e.cacheIssued && !e.prefetched &&
+            isa::Inst{e.op}.isStore())
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+void
+Lsq::markStPrefetched(uint8_t idx)
+{
+    markStPrefetchedM();
+    SqEntry e = sq_.read(idx);
+    e.prefetched = true;
+    sq_.write(idx, e);
+}
+
+bool
+Lsq::canDeqStToSb(const StoreBuffer &sb) const
+{
+    if (sqCount_.read() == 0)
+        return false;
+    const SqEntry &e = sq_.read(sqHead_.read());
+    return e.valid && e.committed && e.addrValid && !e.mmio && !e.fault &&
+           isa::Inst{e.op}.isStore() && sb.canEnq(e.pa);
+}
+
+Lsq::SqEntry
+Lsq::deqSt()
+{
+    deqStM();
+    require(sqCount_.read() > 0);
+    uint32_t i = sqHead_.read();
+    SqEntry e = sq_.read(i);
+
+    // Release loads that stalled on this SQ entry.
+    for (uint32_t n = 0; n < lqCount_.read(); n++) {
+        uint32_t li = (lqHead_.read() + n) % lqSize_;
+        LqEntry ld = lq_.read(li);
+        if (ld.valid && ld.stallSrc == StallSrc::SqEntry &&
+            ld.stallIdx == i) {
+            ld.stallSrc = StallSrc::None;
+            lq_.write(li, ld);
+        }
+    }
+
+    sq_.write(i, SqEntry{});
+    sqHead_.write((i + 1) % sqSize_);
+    sqCount_.write(sqCount_.read() - 1);
+    return e;
+}
+
+void
+Lsq::wrongSpec(SpecMask deadMask)
+{
+    wrongSpecM();
+    // Killed entries are the youngest suffix of each queue.
+    uint32_t keep = 0;
+    for (uint32_t n = 0; n < lqCount_.read(); n++) {
+        uint32_t i = (lqHead_.read() + n) % lqSize_;
+        LqEntry e = lq_.read(i);
+        if (e.specMask & deadMask) {
+            if (e.state == LdState::Issued)
+                lqWaitWrongPath_.write(i, 1);
+            lq_.write(i, LqEntry{});
+        } else {
+            keep = n + 1;
+        }
+    }
+    lqTail_.write((lqHead_.read() + keep) % lqSize_);
+    lqCount_.write(keep);
+
+    keep = 0;
+    for (uint32_t n = 0; n < sqCount_.read(); n++) {
+        uint32_t i = (sqHead_.read() + n) % sqSize_;
+        SqEntry e = sq_.read(i);
+        if (e.specMask & deadMask) {
+            sq_.write(i, SqEntry{});
+        } else {
+            keep = n + 1;
+        }
+    }
+    sqTail_.write((sqHead_.read() + keep) % sqSize_);
+    sqCount_.write(keep);
+}
+
+void
+Lsq::correctSpec(SpecMask mask)
+{
+    correctSpecM();
+    for (uint32_t n = 0; n < lqCount_.read(); n++) {
+        uint32_t i = (lqHead_.read() + n) % lqSize_;
+        LqEntry e = lq_.read(i);
+        if (e.valid && (e.specMask & mask)) {
+            e.specMask &= ~mask;
+            lq_.write(i, e);
+        }
+    }
+    for (uint32_t n = 0; n < sqCount_.read(); n++) {
+        uint32_t i = (sqHead_.read() + n) % sqSize_;
+        SqEntry e = sq_.read(i);
+        if (e.valid && (e.specMask & mask)) {
+            e.specMask &= ~mask;
+            sq_.write(i, e);
+        }
+    }
+}
+
+void
+Lsq::flushAll()
+{
+    flushM();
+    for (uint32_t n = 0; n < lqCount_.read(); n++) {
+        uint32_t i = (lqHead_.read() + n) % lqSize_;
+        LqEntry e = lq_.read(i);
+        if (e.valid && e.state == LdState::Issued)
+            lqWaitWrongPath_.write(i, 1);
+        lq_.write(i, LqEntry{});
+    }
+    lqHead_.write(0);
+    lqTail_.write(0);
+    lqCount_.write(0);
+
+    // Committed stores must drain; everything younger dies. Committed
+    // entries are a prefix of the SQ.
+    uint32_t keep = 0;
+    for (uint32_t n = 0; n < sqCount_.read(); n++) {
+        uint32_t i = (sqHead_.read() + n) % sqSize_;
+        SqEntry e = sq_.read(i);
+        if (e.valid && e.committed) {
+            if (n != keep)
+                panic("%s: committed store not at SQ prefix",
+                      name().c_str());
+            keep = n + 1;
+        } else {
+            sq_.write(i, SqEntry{});
+        }
+    }
+    sqTail_.write((sqHead_.read() + keep) % sqSize_);
+    sqCount_.write(keep);
+}
+
+} // namespace riscy

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * The load-store queue (paper Section V-B): split LQ and SQ keeping
+ * in-flight loads and stores in program order, with the paper's
+ * method set — enq, update, getIssueLd/issueLd, respLd,
+ * wakeupBySBDeq, cacheEvict, setAtCommit, firstLd/firstSt,
+ * deqLd/deqSt — plus wrongSpec/correctSpec like every speculative
+ * module.
+ *
+ * Memory-dependency speculation: loads issue past older stores with
+ * unknown addresses; update() of a store address searches younger
+ * loads that already obtained a value from an overlapping location
+ * and marks them to-be-killed (squashed when they reach commit).
+ * Under TSO, cacheEvict() additionally kills completed loads whose
+ * line leaves the L1 D cache (paper's TSO load-load ordering
+ * enforcement); WMM needs neither that nor store-buffer kills.
+ */
+#pragma once
+
+#include "core/cmd.hh"
+#include "isa/sv39.hh"
+#include "lsq/store_buffer.hh"
+#include "ooo/uop.hh"
+
+namespace riscy {
+
+class Lsq : public cmd::Module
+{
+  public:
+    Lsq(cmd::Kernel &k, const std::string &name, uint32_t lqSize,
+        uint32_t sqSize, bool tso);
+
+    /** Load-queue entry states. */
+    enum class LdState : uint8_t { Idle, Issued, Done };
+    /** What stalls a load retry (paper: "records the source"). */
+    enum class StallSrc : uint8_t { None, SqEntry, SbEntry };
+
+    struct LqEntry {
+        bool valid = false;
+        LdState state = LdState::Idle;
+        isa::Op op = isa::Op::ILLEGAL;
+        uint8_t bytes = 0;
+        RobIdx rob = 0;
+        PhysReg pd = 0;
+        bool hasPd = false;
+        uint32_t memSeq = 0;
+        Addr va = 0, pa = 0;
+        bool addrValid = false;
+        bool mmio = false;
+        bool fault = false;
+        uint8_t cause = 0;
+        bool killed = false;
+        StallSrc stallSrc = StallSrc::None;
+        uint8_t stallIdx = 0;
+        uint64_t data = 0;
+        SpecMask specMask = 0;
+    };
+
+    struct SqEntry {
+        bool valid = false;
+        isa::Op op = isa::Op::ILLEGAL;
+        uint8_t bytes = 0;
+        RobIdx rob = 0;
+        PhysReg pd = 0; ///< SC/AMO destination
+        bool hasPd = false;
+        uint32_t memSeq = 0;
+        Addr va = 0, pa = 0;
+        bool addrValid = false;
+        bool mmio = false;
+        bool fault = false;
+        uint8_t cause = 0;
+        uint64_t data = 0;
+        bool dataValid = false;
+        bool committed = false;
+        bool cacheIssued = false;  ///< TSO: request sent to the L1 D
+        bool prefetched = false;   ///< store-prefetch hint sent
+        SpecMask specMask = 0;
+    };
+
+    /** Outcome of issueLd (paper Fig. 10). */
+    enum class IssueResult : uint8_t { ToCache, Forward, Stall };
+
+    // ---- probes
+    bool canEnqLd() const { return lqCount_.read() < lqSize_; }
+    bool canEnqSt() const { return sqCount_.read() < sqSize_; }
+    bool lqEmpty() const { return lqCount_.read() == 0; }
+    bool sqEmpty() const { return sqCount_.read() == 0; }
+    uint32_t lqCount() const { return lqCount_.read(); }
+    uint32_t sqCount() const { return sqCount_.read(); }
+    const LqEntry &lqEntry(uint8_t i) const { return lq_.read(i); }
+    const SqEntry &sqEntry(uint8_t i) const { return sq_.read(i); }
+    uint8_t lqHeadIdx() const { return static_cast<uint8_t>(lqHead_.read()); }
+    uint8_t sqHeadIdx() const { return static_cast<uint8_t>(sqHead_.read()); }
+    const LqEntry &firstLd() const { return lq_.read(lqHead_.read()); }
+    const SqEntry &firstSt() const { return sq_.read(sqHead_.read()); }
+    /** Index of a ready-to-issue load, or -1 (paper getIssueLd). */
+    int getIssueLd() const;
+    /** Can the oldest load retire from the LQ? (see deqLd) */
+    bool canDeqLd() const;
+    /** An SQ store ready to go to the cache (TSO; paper issueSt). */
+    bool canIssueSt() const;
+    /** An SQ store ready to move to the SB (WMM). */
+    bool canDeqStToSb(const StoreBuffer &sb) const;
+    /** An SQ entry eligible for a store-prefetch hint, or -1. The
+     *  paper notes the SQ "can issue as many store-prefetch requests
+     *  as it wants" but left the feature unimplemented. */
+    int getStPrefetch() const;
+
+    // ---- interface methods (paper Section V-B)
+    /** Allocate an LQ slot at rename; @return the slot index. */
+    uint8_t enqLd(isa::Op op, uint8_t bytes, RobIdx rob, PhysReg pd,
+                  bool hasPd, SpecMask mask);
+    /** Allocate an SQ slot at rename. */
+    uint8_t enqSt(isa::Op op, uint8_t bytes, RobIdx rob, PhysReg pd,
+                  bool hasPd, SpecMask mask);
+    /** Translation (and store data) arrive (paper update). */
+    void updateLd(uint8_t idx, Addr va, Addr pa, bool fault, uint8_t cause,
+                  bool mmio);
+    void updateSt(uint8_t idx, Addr va, Addr pa, bool fault, uint8_t cause,
+                  bool mmio, uint64_t data);
+    /** Try to issue the load at @p idx (paper issueLd). */
+    IssueResult issueLd(uint8_t idx, const StoreBuffer::SearchResult &sb,
+                        bool useSb, uint64_t &fwdValue);
+    /** Memory (or forward-queue) response; @return true = wrong path. */
+    bool respLd(uint8_t idx, uint64_t value);
+    /** A store-buffer entry drained (WMM): clear matching stalls. */
+    void wakeupBySBDeq(uint8_t sbIdx);
+    /** A cache line left the L1 D (TSO): kill stale completed loads. */
+    void cacheEvict(Addr line);
+    /** The ROB head reached this store: it may access memory now. */
+    void setAtCommitSt(uint8_t idx);
+    /** TSO: the head store's cache request has been sent. */
+    void markStIssued(uint8_t idx);
+    /** A store-prefetch hint was sent for this entry. */
+    void markStPrefetched(uint8_t idx);
+    /** Retire the oldest load; returns it (paper deqLd). */
+    LqEntry deqLd();
+    /** Retire the oldest store (after cache write / SB insert). */
+    SqEntry deqSt();
+    /** Free the oldest load without retiring side effects (MMIO/LR). */
+    LqEntry dropLd();
+    void wrongSpec(SpecMask deadMask);
+    void correctSpec(SpecMask mask);
+    /** Commit-time flush: drop everything uncommitted. */
+    void flushAll();
+
+    cmd::Method &enqLdM, &enqStM, &updateLdM, &updateStM, &issueLdM,
+        &respLdM, &wakeupBySBDeqM, &cacheEvictM, &setAtCommitStM,
+        &markStIssuedM, &markStPrefetchedM, &deqLdM, &deqStM, &dropLdM,
+        &wrongSpecM,
+        &correctSpecM, &flushM;
+
+  private:
+    static bool
+    overlap(Addr aPa, uint8_t aBytes, Addr bPa, uint8_t bBytes)
+    {
+        return aPa < bPa + bBytes && bPa < aPa + aBytes;
+    }
+    static bool
+    covers(Addr stPa, uint8_t stBytes, Addr ldPa, uint8_t ldBytes)
+    {
+        return stPa <= ldPa && ldPa + ldBytes <= stPa + stBytes;
+    }
+    /** Is there an older store with unknown address or undrained
+     *  overlapping data hazard for load @p e? Used by deqLd. */
+    bool olderStoreAddrUnknown(const LqEntry &e) const;
+
+    uint32_t lqSize_, sqSize_;
+    bool tso_;
+    cmd::RegArray<LqEntry> lq_;
+    cmd::RegArray<SqEntry> sq_;
+    /// paper: "waiting for wrong path response" bit, kept per slot so
+    /// the slot can be reallocated but not issued until cleared
+    cmd::RegArray<uint8_t> lqWaitWrongPath_;
+    cmd::Reg<uint32_t> lqHead_, lqTail_, lqCount_;
+    cmd::Reg<uint32_t> sqHead_, sqTail_, sqCount_;
+    cmd::Reg<uint32_t> memSeq_;
+    cmd::Stat &ldKills_, &evictKills_, &forwards_, &stalls_;
+};
+
+} // namespace riscy

@@ -1,0 +1,136 @@
+#include "lsq/store_buffer.hh"
+
+namespace riscy {
+
+using namespace cmd;
+
+StoreBuffer::StoreBuffer(Kernel &k, const std::string &name,
+                         uint32_t entries)
+    : Module(k, name, Conflict::CF),
+      enqM(method("enq")), issueM(method("issue")), deqM(method("deq")),
+      searchM(method("search")),
+      entries_(entries), arr_(k, name + ".arr", entries),
+      used_(k, name + ".used", 0),
+      coalesced_(stats().counter("coalesced")),
+      issued_(stats().counter("issued"))
+{
+    selfCf(searchM);
+    // Paper Section V-C: search < deq lets doIssueLd appear to execute
+    // before doRespSt when both fire in one cycle.
+    lt(searchM, deqM);
+    lt(searchM, enqM);
+    lt(issueM, deqM);
+}
+
+bool
+StoreBuffer::canEnq(Addr addr) const
+{
+    return findLine(lineAddr(addr)) >= 0 || used_.read() < entries_;
+}
+
+int
+StoreBuffer::findLine(Addr line) const
+{
+    for (uint32_t i = 0; i < entries_; i++) {
+        if (arr_.read(i).valid && arr_.read(i).line == line)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+int
+StoreBuffer::findFree() const
+{
+    for (uint32_t i = 0; i < entries_; i++) {
+        if (!arr_.read(i).valid)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+int
+StoreBuffer::findUnissued() const
+{
+    for (uint32_t i = 0; i < entries_; i++) {
+        if (arr_.read(i).valid && !arr_.read(i).issued)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+void
+StoreBuffer::enq(Addr addr, uint64_t data, uint8_t bytes)
+{
+    enqM();
+    Addr line = lineAddr(addr);
+    unsigned off = lineOffset(addr);
+    int i = findLine(line);
+    if (i >= 0) {
+        Entry e = arr_.read(i);
+        e.data.write(off, data, bytes);
+        e.byteMask |= ((1ull << bytes) - 1) << off;
+        arr_.write(i, e);
+        coalesced_.inc();
+        return;
+    }
+    i = findFree();
+    require(i >= 0);
+    Entry e;
+    e.valid = true;
+    e.issued = false;
+    e.line = line;
+    e.data.write(off, data, bytes);
+    e.byteMask = ((1ull << bytes) - 1) << off;
+    arr_.write(i, e);
+    used_.write(used_.read() + 1);
+}
+
+uint8_t
+StoreBuffer::issue(Addr &line)
+{
+    issueM();
+    int i = findUnissued();
+    require(i >= 0);
+    Entry e = arr_.read(i);
+    e.issued = true;
+    arr_.write(i, e);
+    line = e.line;
+    issued_.inc();
+    return static_cast<uint8_t>(i);
+}
+
+StoreBuffer::DeqResult
+StoreBuffer::deq(uint8_t idx)
+{
+    deqM();
+    Entry e = arr_.read(idx);
+    if (!e.valid)
+        panic("%s: deq of invalid entry %u", name().c_str(), idx);
+    arr_.write(idx, Entry{});
+    used_.write(used_.read() - 1);
+    return {e.line, e.data, e.byteMask};
+}
+
+StoreBuffer::SearchResult
+StoreBuffer::search(Addr addr, uint8_t bytes) const
+{
+    searchM();
+    SearchResult r;
+    int i = findLine(lineAddr(addr));
+    if (i < 0)
+        return r;
+    const Entry &e = arr_.read(i);
+    unsigned off = lineOffset(addr);
+    uint64_t want = ((1ull << bytes) - 1) << off;
+    if ((e.byteMask & want) == want) {
+        r.full = true;
+        r.idx = static_cast<uint8_t>(i);
+        r.data = e.data.read(off, bytes);
+    } else if (e.byteMask & want) {
+        r.partial = true;
+        r.idx = static_cast<uint8_t>(i);
+    }
+    return r;
+}
+
+} // namespace riscy

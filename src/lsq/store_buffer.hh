@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Store buffer (paper Section V-B): holds committed stores that have
+ * not yet been written into the L1 D cache. Used by the WMM memory
+ * model; TSO bypasses it (stores issue from the SQ head). Coalesces
+ * same-line stores and answers load forwarding searches.
+ */
+#pragma once
+
+#include "cache/msg.hh"
+#include "core/cmd.hh"
+
+namespace riscy {
+
+class StoreBuffer : public cmd::Module
+{
+  public:
+    StoreBuffer(cmd::Kernel &k, const std::string &name, uint32_t entries);
+
+    struct SearchResult {
+        bool full = false;    ///< all requested bytes present
+        bool partial = false; ///< some but not all bytes present
+        uint8_t idx = 0;      ///< entry that matched
+        uint64_t data = 0;    ///< value when full
+    };
+
+    struct DeqResult {
+        Addr line = 0;
+        Line data;
+        uint64_t byteMask = 0;
+    };
+
+    // ---- probes
+    bool empty() const { return used_.read() == 0; }
+    /** Can a store to @p addr enter (free entry or coalescible)? */
+    bool canEnq(Addr addr) const;
+    bool canIssue() const { return findUnissued() >= 0; }
+
+    /** Insert (possibly coalescing) a committed store. */
+    void enq(Addr addr, uint64_t data, uint8_t bytes);
+    /** Pick an unissued entry and mark it issued; returns its index. */
+    uint8_t issue(Addr &line);
+    /** Remove entry @p idx, returning its contents (paper deq). */
+    DeqResult deq(uint8_t idx);
+    /** Forwarding search for a load (paper search). */
+    SearchResult search(Addr addr, uint8_t bytes) const;
+
+    cmd::Method &enqM, &issueM, &deqM, &searchM;
+
+  private:
+    struct Entry {
+        bool valid = false;
+        bool issued = false;
+        Addr line = 0;
+        Line data;
+        uint64_t byteMask = 0;
+    };
+
+    int findLine(Addr line) const;
+    int findFree() const;
+    int findUnissued() const;
+
+    uint32_t entries_;
+    cmd::RegArray<Entry> arr_;
+    cmd::Reg<uint32_t> used_;
+    cmd::Stat &coalesced_, &issued_;
+};
+
+} // namespace riscy

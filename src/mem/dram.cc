@@ -1,0 +1,60 @@
+#include "mem/dram.hh"
+
+namespace riscy {
+
+using namespace cmd;
+
+Dram::Dram(Kernel &k, const std::string &name, PhysMem &mem,
+           const Config &cfg)
+    : Module(k, name, Conflict::CF),
+      reqM(method("req")), respM(method("resp")),
+      cfg_(cfg), mem_(mem),
+      reqQ_(k, name + ".reqQ", 8),
+      respQ_(k, name + ".respQ", cfg.maxInflight, cfg.latency),
+      lastIssue_(k, name + ".lastIssue", 0),
+      reads_(stats().counter("reads")), writes_(stats().counter("writes"))
+{
+    reqM.subcalls({&reqQ_.enqM});
+    respM.subcalls({&respQ_.deqM});
+
+    Rule &ri = k.rule(name + ".issue", [this] { ruleIssue(); });
+    ri.when([this] {
+        return reqQ_.canDeq() &&
+               kernel().cycleCount() >=
+                   lastIssue_.read() + cfg_.issueInterval;
+    });
+    ri.uses({&reqQ_.firstM, &reqQ_.deqM, &respQ_.enqM});
+}
+
+void
+Dram::req(bool isWrite, Addr line, const Line &data)
+{
+    reqM();
+    reqQ_.enq({isWrite, line, data});
+}
+
+Dram::Resp
+Dram::resp()
+{
+    respM();
+    return respQ_.deq();
+}
+
+void
+Dram::ruleIssue()
+{
+    require(kernel().cycleCount() >=
+            lastIssue_.read() + cfg_.issueInterval);
+    ReqMsg m = reqQ_.first();
+    if (m.isWrite) {
+        writeLine(mem_, m.line, m.data);
+        writes_.inc();
+    } else {
+        respQ_.enq({m.line, readLine(mem_, m.line)});
+        reads_.inc();
+    }
+    reqQ_.deq();
+    lastIssue_.write(kernel().cycleCount());
+}
+
+} // namespace riscy

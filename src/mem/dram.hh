@@ -1,0 +1,76 @@
+/**
+ * @file
+ * DRAM timing model: fixed access latency, bounded outstanding
+ * requests, and a line-per-N-cycles bandwidth cap (the paper models
+ * 120-cycle latency and 12.8 GB/s for a 2 GHz clock, i.e. one 64 B
+ * line per 10 cycles). Backed by PhysMem for data.
+ */
+#pragma once
+
+#include "cache/msg.hh"
+#include "core/cmd.hh"
+#include "core/timed_fifo.hh"
+
+namespace riscy {
+
+class Dram : public cmd::Module
+{
+  public:
+    struct Config {
+        uint32_t latency = 120;       ///< cycles from issue to response
+        uint32_t maxInflight = 24;    ///< outstanding read responses
+        uint32_t issueInterval = 10;  ///< min cycles between line issues
+    };
+
+    struct Resp {
+        Addr line;
+        Line data;
+    };
+
+    Dram(cmd::Kernel &k, const std::string &name, PhysMem &mem,
+         const Config &cfg);
+
+    /** Enqueue a line read or write. */
+    void req(bool isWrite, Addr line, const Line &data);
+    /** Next read response (guarded). */
+    Resp resp();
+
+    bool canReq() const { return reqQ_.canEnq(); }
+    bool respReady() const { return respQ_.canDeq(); }
+
+    cmd::Method &reqM, &respM;
+
+  private:
+    void ruleIssue();
+
+    struct ReqMsg {
+        bool isWrite;
+        Addr line;
+        Line data;
+    };
+
+    Config cfg_;
+    PhysMem &mem_;
+    cmd::CfFifo<ReqMsg> reqQ_;
+    cmd::TimedFifo<Resp> respQ_;
+    cmd::Reg<uint64_t> lastIssue_;
+    cmd::Stat &reads_, &writes_;
+};
+
+/** Copy a line out of physical memory. */
+inline Line
+readLine(const PhysMem &mem, Addr line)
+{
+    Line l;
+    mem.readBlock(line, l.w, kLineBytes);
+    return l;
+}
+
+/** Copy a line into physical memory. */
+inline void
+writeLine(PhysMem &mem, Addr line, const Line &data)
+{
+    mem.writeBlock(line, data.w, kLineBytes);
+}
+
+} // namespace riscy

@@ -1,0 +1,150 @@
+#include "mem/memory.hh"
+
+#include <cstdio>
+#include <cstring>
+
+#include "core/log.hh"
+
+namespace riscy {
+
+const uint8_t *
+PhysMem::pageFor(Addr a) const
+{
+    Addr pageAddr = a >> kPageShift;
+    auto it = pages_.find(pageAddr);
+    if (it == pages_.end()) {
+        it = pages_.emplace(pageAddr, std::vector<uint8_t>(kPageSize, 0))
+                 .first;
+    }
+    return it->second.data();
+}
+
+uint8_t *
+PhysMem::pageForWrite(Addr a)
+{
+    return const_cast<uint8_t *>(pageFor(a));
+}
+
+uint8_t
+PhysMem::read8(Addr a) const
+{
+    return pageFor(a)[a & (kPageSize - 1)];
+}
+
+void
+PhysMem::write8(Addr a, uint8_t v)
+{
+    pageForWrite(a)[a & (kPageSize - 1)] = v;
+}
+
+uint64_t
+PhysMem::read(Addr a, unsigned bytes) const
+{
+    if (a & (bytes - 1))
+        cmd::panic("PhysMem: misaligned read of %u bytes at %#llx", bytes,
+                   (unsigned long long)a);
+    uint64_t v = 0;
+    std::memcpy(&v, pageFor(a) + (a & (kPageSize - 1)), bytes);
+    return v;
+}
+
+void
+PhysMem::write(Addr a, uint64_t v, unsigned bytes)
+{
+    if (a & (bytes - 1))
+        cmd::panic("PhysMem: misaligned write of %u bytes at %#llx", bytes,
+                   (unsigned long long)a);
+    std::memcpy(pageForWrite(a) + (a & (kPageSize - 1)), &v, bytes);
+}
+
+void
+PhysMem::writeBlock(Addr a, const void *src, size_t len)
+{
+    const uint8_t *p = static_cast<const uint8_t *>(src);
+    while (len) {
+        size_t off = a & (kPageSize - 1);
+        size_t chunk = std::min<size_t>(len, kPageSize - off);
+        std::memcpy(pageForWrite(a) + off, p, chunk);
+        a += chunk;
+        p += chunk;
+        len -= chunk;
+    }
+}
+
+void
+PhysMem::readBlock(Addr a, void *dst, size_t len) const
+{
+    uint8_t *p = static_cast<uint8_t *>(dst);
+    while (len) {
+        size_t off = a & (kPageSize - 1);
+        size_t chunk = std::min<size_t>(len, kPageSize - off);
+        std::memcpy(p, pageFor(a) + off, chunk);
+        a += chunk;
+        p += chunk;
+        len -= chunk;
+    }
+}
+
+HostDevice::HostDevice(uint32_t harts)
+    : exited_(harts, false), exitCode_(harts, 0), roiBegin_(harts, 0),
+      roiEnd_(harts, 0)
+{
+}
+
+void
+HostDevice::store(uint32_t hart, Addr addr, uint64_t value, uint64_t now)
+{
+    switch (static_cast<HostReg>(addr - kMmioBase)) {
+      case HostReg::Exit:
+        exited_[hart] = true;
+        exitCode_[hart] = value >> 1;
+        break;
+      case HostReg::Putchar:
+        console_.push_back(static_cast<char>(value));
+        break;
+      case HostReg::RoiBegin:
+        roiBegin_[hart] = now;
+        break;
+      case HostReg::RoiEnd:
+        roiEnd_[hart] = now;
+        break;
+      case HostReg::PutHex: {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%#llx\n",
+                      (unsigned long long)value);
+        console_ += buf;
+        break;
+      }
+      case HostReg::Fail:
+        failed_ = true;
+        failCode_ = value;
+        break;
+      default:
+        cmd::warn("HostDevice: store to unknown MMIO %#llx",
+                  (unsigned long long)addr);
+        break;
+    }
+}
+
+uint64_t
+HostDevice::load(uint32_t hart, Addr addr) const
+{
+    switch (static_cast<HostReg>(addr - kMmioBase)) {
+      case HostReg::Exit:
+        return exited_[hart] ? (exitCode_[hart] << 1) | 1 : 0;
+      default:
+        return 0;
+    }
+}
+
+bool
+HostDevice::allExited() const
+{
+    for (bool e : exited_) {
+        if (!e)
+            return false;
+    }
+    return true;
+}
+
+} // namespace riscy

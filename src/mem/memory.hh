@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Physical memory and the MMIO host device.
+ *
+ * PhysMem is a sparse, page-granular byte store shared by every agent
+ * in a simulation (golden model, caches, page walkers). It is plain
+ * state, not a CMD module: timing is modeled by the cache hierarchy
+ * and DRAM model that sit in front of it.
+ *
+ * HostDevice stands in for the paper's "Linux environment": a tiny
+ * MMIO block providing console output, per-hart exit, a pass/fail
+ * assertion channel, and region-of-interest (ROI) markers used by the
+ * PARSEC-style benchmarks to delimit their parallel phase.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace riscy {
+
+using Addr = uint64_t;
+
+/** Base of simulated DRAM (standard RISC-V memory map). */
+constexpr Addr kDramBase = 0x8000'0000ull;
+/** Base of the MMIO host device. */
+constexpr Addr kMmioBase = 0x4000'0000ull;
+constexpr Addr kMmioSize = 0x1000;
+
+inline bool
+isMmioAddr(Addr a)
+{
+    return a >= kMmioBase && a < kMmioBase + kMmioSize;
+}
+
+/** MMIO register offsets within the host device. */
+enum class HostReg : Addr {
+    Exit = 0x00,     ///< write (code << 1) | 1 to halt the hart
+    Putchar = 0x08,  ///< write a byte to the console
+    RoiBegin = 0x10, ///< mark start of the region of interest
+    RoiEnd = 0x18,   ///< mark end of the region of interest
+    PutHex = 0x20,   ///< print a 64-bit value in hex
+    Fail = 0x28,     ///< assertion failure with a code
+};
+
+/** Sparse physical memory, 4 KiB pages, zero-initialized. */
+class PhysMem
+{
+  public:
+    static constexpr unsigned kPageShift = 12;
+    static constexpr Addr kPageSize = 1ull << kPageShift;
+
+    uint8_t read8(Addr a) const;
+    void write8(Addr a, uint8_t v);
+
+    /** Naturally aligned accesses of 1/2/4/8 bytes. */
+    uint64_t read(Addr a, unsigned bytes) const;
+    void write(Addr a, uint64_t v, unsigned bytes);
+
+    /** Bulk helpers for loaders and testbenches. */
+    void writeBlock(Addr a, const void *src, size_t len);
+    void readBlock(Addr a, void *dst, size_t len) const;
+
+    /** Number of distinct pages ever touched. */
+    size_t touchedPages() const { return pages_.size(); }
+
+  private:
+    const uint8_t *pageFor(Addr a) const;
+    uint8_t *pageForWrite(Addr a);
+
+    mutable std::unordered_map<Addr, std::vector<uint8_t>> pages_;
+};
+
+/**
+ * The MMIO host device. Shared by all harts; each hart reports its
+ * own exit status. Writes are modeled as having no side effects on
+ * memory, so speculative cores must only access it non-speculatively
+ * (the paper's MMIO-at-commit rule).
+ */
+class HostDevice
+{
+  public:
+    explicit HostDevice(uint32_t harts);
+
+    /** Perform an MMIO store from @p hart. */
+    void store(uint32_t hart, Addr addr, uint64_t value, uint64_t now);
+    /** Perform an MMIO load from @p hart (status readback). */
+    uint64_t load(uint32_t hart, Addr addr) const;
+
+    bool exited(uint32_t hart) const { return exited_[hart]; }
+    bool allExited() const;
+    uint64_t exitCode(uint32_t hart) const { return exitCode_[hart]; }
+    bool failed() const { return failed_; }
+    uint64_t failCode() const { return failCode_; }
+
+    /** ROI timestamps (value of @p now passed at the marker). */
+    uint64_t roiBegin(uint32_t hart) const { return roiBegin_[hart]; }
+    uint64_t roiEnd(uint32_t hart) const { return roiEnd_[hart]; }
+
+    const std::string &console() const { return console_; }
+
+  private:
+    std::vector<bool> exited_;
+    std::vector<uint64_t> exitCode_;
+    std::vector<uint64_t> roiBegin_, roiEnd_;
+    bool failed_ = false;
+    uint64_t failCode_ = 0;
+    std::string console_;
+};
+
+} // namespace riscy

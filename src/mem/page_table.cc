@@ -1,0 +1,75 @@
+#include "mem/page_table.hh"
+
+#include "core/log.hh"
+
+namespace riscy {
+
+using namespace isa;
+
+AddressSpace::AddressSpace(PhysMem &mem, FrameAllocator &frames)
+    : mem_(mem), frames_(frames)
+{
+    root_ = allocTable();
+}
+
+Addr
+AddressSpace::allocTable()
+{
+    Addr a = frames_.alloc(PhysMem::kPageSize);
+    // Frames are zero on first touch in PhysMem, so the table starts
+    // with every PTE invalid.
+    return a;
+}
+
+Addr
+AddressSpace::walkToLeafSlot(Addr va)
+{
+    Addr table = root_;
+    for (int level = kSv39Levels - 1; level > 0; level--) {
+        Addr slot = table + vpn(va, level) * 8;
+        uint64_t pte = mem_.read(slot, 8);
+        if (!(pte & PTE_V)) {
+            Addr child = allocTable();
+            mem_.write(slot, makePte(child, PTE_V), 8);
+            table = child;
+        } else {
+            if (pteLeaf(pte))
+                cmd::panic("AddressSpace: superpage collision at %#llx",
+                           (unsigned long long)va);
+            table = ptePpn(pte) << kPageShift;
+        }
+    }
+    return table + vpn(va, 0) * 8;
+}
+
+void
+AddressSpace::map(Addr va, Addr pa, uint64_t flags)
+{
+    if ((va | pa) & (PhysMem::kPageSize - 1))
+        cmd::panic("AddressSpace: unaligned map %#llx -> %#llx",
+                   (unsigned long long)va, (unsigned long long)pa);
+    Addr slot = walkToLeafSlot(va);
+    mem_.write(slot, makePte(pa, flags | PTE_V | PTE_A | PTE_D), 8);
+}
+
+void
+AddressSpace::mapRange(Addr va, Addr pa, size_t len, uint64_t flags)
+{
+    for (size_t off = 0; off < len; off += PhysMem::kPageSize)
+        map(va + off, pa + off, flags);
+}
+
+void
+AddressSpace::unmap(Addr va)
+{
+    Addr slot = walkToLeafSlot(va);
+    mem_.write(slot, 0, 8);
+}
+
+uint64_t
+AddressSpace::satp() const
+{
+    return kSatpModeSv39 | (root_ >> kPageShift);
+}
+
+} // namespace riscy

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Sv39 page-table builder: constructs in-memory page tables for the
+ * workloads' address spaces (the role the OS kernel plays on the
+ * paper's Linux setup). Also provides a trivial physical-frame bump
+ * allocator for laying out workload images.
+ */
+#pragma once
+
+#include "isa/sv39.hh"
+#include "mem/memory.hh"
+
+namespace riscy {
+
+/** Bump allocator over physical DRAM frames. */
+class FrameAllocator
+{
+  public:
+    explicit FrameAllocator(Addr start) : next_(start) {}
+
+    /** Allocate @p bytes rounded up to whole pages. */
+    Addr
+    alloc(size_t bytes)
+    {
+        Addr a = next_;
+        size_t pages =
+            (bytes + PhysMem::kPageSize - 1) / PhysMem::kPageSize;
+        next_ += pages * PhysMem::kPageSize;
+        return a;
+    }
+
+    Addr next() const { return next_; }
+
+  private:
+    Addr next_;
+};
+
+/**
+ * An Sv39 address space under construction. Page-table pages are
+ * drawn from the supplied frame allocator; the resulting satp value
+ * activates the space on a hart.
+ */
+class AddressSpace
+{
+  public:
+    AddressSpace(PhysMem &mem, FrameAllocator &frames);
+
+    /** Map one 4 KiB page va -> pa with PTE @p flags (V implied). */
+    void map(Addr va, Addr pa, uint64_t flags);
+
+    /** Map a contiguous range (page-aligned). */
+    void mapRange(Addr va, Addr pa, size_t len, uint64_t flags);
+
+    /** Map pa -> pa for a range (used for bare-metal-style layouts). */
+    void
+    identityMapRange(Addr pa, size_t len, uint64_t flags)
+    {
+        mapRange(pa, pa, len, flags);
+    }
+
+    /** Remove the leaf mapping of @p va (for page-fault tests). */
+    void unmap(Addr va);
+
+    /** satp value (Sv39 mode + root PPN). */
+    uint64_t satp() const;
+
+    Addr root() const { return root_; }
+
+  private:
+    Addr allocTable();
+    /** Physical address of the leaf PTE slot for va, building levels. */
+    Addr walkToLeafSlot(Addr va);
+
+    PhysMem &mem_;
+    FrameAllocator &frames_;
+    Addr root_;
+};
+
+} // namespace riscy

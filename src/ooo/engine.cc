@@ -1,0 +1,383 @@
+#include "ooo/engine.hh"
+
+namespace riscy {
+
+using namespace cmd;
+
+// -------------------------------------------------------------------- Prf
+
+Prf::Prf(Kernel &k, const std::string &name, uint32_t numPhys)
+    : Module(k, name, Conflict::CF),
+      readM(method("read")), writeM(method("write")),
+      setNotReadyM(method("setNotReady")),
+      setAllReadyM(method("setAllReady")),
+      num_(numPhys), vals_(k, name + ".vals", numPhys, 0),
+      presence_(k, name + ".presence", numPhys, 1)
+{
+    selfCf(readM);
+    selfCf(writeM);      // distinct destinations by construction
+    selfCf(setNotReadyM);
+}
+
+uint64_t
+Prf::read(PhysReg r) const
+{
+    readM();
+    require(presence_.read(r) != 0);
+    return vals_.read(r);
+}
+
+void
+Prf::write(PhysReg r, uint64_t v)
+{
+    writeM();
+    vals_.write(r, v);
+    presence_.write(r, 1);
+}
+
+void
+Prf::setNotReady(PhysReg r)
+{
+    setNotReadyM();
+    presence_.write(r, 0);
+}
+
+void
+Prf::setAllReady()
+{
+    setAllReadyM();
+    for (uint32_t i = 0; i < num_; i++) {
+        if (!presence_.read(i))
+            presence_.write(i, 1);
+    }
+}
+
+// -------------------------------------------------------------- Scoreboard
+
+Scoreboard::Scoreboard(Kernel &k, const std::string &name, uint32_t numPhys)
+    : Module(k, name, Conflict::CF),
+      rdyM(method("rdy")), setReadyM(method("setReady")),
+      setNotReadyM(method("setNotReady")),
+      setAllReadyM(method("setAllReady")),
+      bits_(k, name + ".bits", numPhys, 1)
+{
+    selfCf(rdyM);
+    selfCf(setReadyM);
+    selfCf(setNotReadyM);
+    // Paper Section IV-C: setReady happens logically before the
+    // rename-stage reads and clears, enabling doRegWrite < doRename.
+    lt(setReadyM, rdyM);
+    lt(setReadyM, setNotReadyM);
+}
+
+bool
+Scoreboard::rdy(PhysReg r) const
+{
+    rdyM();
+    return bits_.read(r) != 0;
+}
+
+void
+Scoreboard::setReady(PhysReg r)
+{
+    setReadyM();
+    bits_.write(r, 1);
+}
+
+void
+Scoreboard::setNotReady(PhysReg r)
+{
+    setNotReadyM();
+    bits_.write(r, 0);
+}
+
+void
+Scoreboard::setAllReady()
+{
+    setAllReadyM();
+    for (uint32_t i = 0; i < bits_.size(); i++) {
+        if (!bits_.read(i))
+            bits_.write(i, 1);
+    }
+}
+
+// ------------------------------------------------------------- SpecManager
+
+SpecManager::SpecManager(Kernel &k, const std::string &name,
+                         uint32_t numTags)
+    : Module(k, name, Conflict::CF),
+      allocM(method("alloc")), commitM(method("commit")),
+      squashM(method("squash")), clearM(method("clear")),
+      numTags_(numTags), active_(k, name + ".active", 0),
+      dependsMask_(k, name + ".depends", numTags, 0)
+{
+    if (numTags > 16)
+        cmd::fatal("%s: at most 16 speculation tags", name.c_str());
+    selfCf(squashM);
+    selfCf(commitM);
+}
+
+bool
+SpecManager::canAlloc() const
+{
+    return active_.read() != (1u << numTags_) - 1;
+}
+
+uint8_t
+SpecManager::alloc()
+{
+    allocM();
+    SpecMask act = active_.read();
+    for (uint32_t t = 0; t < numTags_; t++) {
+        if (!(act & (1u << t))) {
+            active_.write(act | (1u << t));
+            dependsMask_.write(t, act);
+            return static_cast<uint8_t>(t);
+        }
+    }
+    require(false);
+    return 0;
+}
+
+void
+SpecManager::commit(uint8_t tag)
+{
+    commitM();
+    active_.write(active_.read() & ~(1u << tag));
+    // Drop the resolved tag from the other tags' dependency masks.
+    for (uint32_t t = 0; t < numTags_; t++) {
+        SpecMask d = dependsMask_.read(t);
+        if (d & (1u << tag))
+            dependsMask_.write(t, d & ~(1u << tag));
+    }
+}
+
+SpecMask
+SpecManager::squash(uint8_t tag)
+{
+    squashM();
+    SpecMask dead = 1u << tag;
+    // Every tag that was allocated while `tag` was active is younger
+    // and dies with it.
+    for (uint32_t t = 0; t < numTags_; t++) {
+        if ((active_.read() & (1u << t)) &&
+            (dependsMask_.read(t) & (1u << tag)))
+            dead |= 1u << t;
+    }
+    active_.write(active_.read() & ~dead);
+    return dead;
+}
+
+void
+SpecManager::clear()
+{
+    clearM();
+    active_.write(0);
+}
+
+// ------------------------------------------------------------- RenameTable
+
+RenameTable::RenameTable(Kernel &k, const std::string &name,
+                         uint32_t numTags)
+    : Module(k, name, Conflict::CF),
+      setSpecM(method("setSpec")), setCommittedM(method("setCommitted")),
+      snapshotM(method("snapshot")), rollbackM(method("rollback")),
+      resetM(method("reset")),
+      spec_(k, name + ".spec", 32), comm_(k, name + ".comm", 32),
+      snaps_(k, name + ".snaps", size_t(numTags) * 32)
+{
+    selfCf(setSpecM);      // distinct arch regs within a rename group
+    selfCf(setCommittedM);
+    selfCf(rollbackM);     // two same-cycle mispredicts roll back in
+    selfCf(snapshotM);     // schedule order; the older one wins last
+    // Identity map at reset: arch i -> phys i.
+    // (RegArray has no per-element init; done by the core at time 0.)
+}
+
+void
+RenameTable::setSpec(uint8_t arch, PhysReg pr)
+{
+    setSpecM();
+    spec_.write(arch, pr);
+}
+
+void
+RenameTable::setCommitted(uint8_t arch, PhysReg pr)
+{
+    setCommittedM();
+    comm_.write(arch, pr);
+}
+
+void
+RenameTable::snapshot(uint8_t tag)
+{
+    snapshotM();
+    for (uint32_t i = 0; i < 32; i++)
+        snaps_.write(size_t(tag) * 32 + i, spec_.read(i));
+}
+
+void
+RenameTable::snapshotFrom(uint8_t tag, const PhysReg *map32)
+{
+    snapshotM();
+    for (uint32_t i = 0; i < 32; i++)
+        snaps_.write(size_t(tag) * 32 + i, map32[i]);
+}
+
+void
+RenameTable::initIdentity()
+{
+    for (uint32_t i = 0; i < 32; i++) {
+        spec_.write(i, static_cast<PhysReg>(i));
+        comm_.write(i, static_cast<PhysReg>(i));
+    }
+}
+
+void
+RenameTable::rollback(uint8_t tag)
+{
+    rollbackM();
+    for (uint32_t i = 0; i < 32; i++)
+        spec_.write(i, snaps_.read(size_t(tag) * 32 + i));
+}
+
+void
+RenameTable::reset()
+{
+    resetM();
+    for (uint32_t i = 0; i < 32; i++)
+        spec_.write(i, comm_.read(i));
+}
+
+// ---------------------------------------------------------------- FreeList
+
+FreeList::FreeList(Kernel &k, const std::string &name, uint32_t numPhys,
+                   uint32_t numTags)
+    : Module(k, name, Conflict::CF),
+      allocM(method("alloc")), freeM(method("freeGroup")),
+      snapshotM(method("snapshot")), rollbackM(method("rollback")),
+      rebuildM(method("rebuild")),
+      num_(numPhys), ring_(k, name + ".ring", numPhys, 0),
+      head_(k, name + ".head", 0), count_(k, name + ".count", 0),
+      snapHead_(k, name + ".snapHead", numTags, 0)
+{
+    selfCf(rollbackM);
+}
+
+PhysReg
+FreeList::alloc()
+{
+    allocM();
+    require(count_.read() > 0);
+    PhysReg r = ring_.read(head_.read());
+    head_.write((head_.read() + 1) % num_);
+    count_.write(count_.read() - 1);
+    return r;
+}
+
+void
+FreeList::allocGroup(PhysReg *out, uint32_t n)
+{
+    allocM();
+    require(count_.read() >= n);
+    for (uint32_t i = 0; i < n; i++)
+        out[i] = ring_.read((head_.read() + i) % num_);
+    head_.write((head_.read() + n) % num_);
+    count_.write(count_.read() - n);
+}
+
+void
+FreeList::initRange(uint32_t first, uint32_t n)
+{
+    for (uint32_t i = 0; i < n; i++)
+        ring_.write(i, static_cast<PhysReg>(first + i));
+    head_.write(0);
+    count_.write(n);
+}
+
+void
+FreeList::freeGroup(const PhysReg *regs, uint32_t n)
+{
+    freeM();
+    for (uint32_t i = 0; i < n; i++) {
+        uint32_t end = (head_.read() + count_.read() + i) % num_;
+        ring_.write(end, regs[i]);
+    }
+    count_.write(count_.read() + n);
+}
+
+void
+FreeList::snapshot(uint8_t tag)
+{
+    snapshotM();
+    snapHead_.write(tag, head_.read());
+}
+
+void
+FreeList::snapshotAt(uint8_t tag, uint32_t alreadyAllocated)
+{
+    snapshotM();
+    snapHead_.write(tag, (head_.read() + alreadyAllocated) % num_);
+}
+
+void
+FreeList::rollback(uint8_t tag)
+{
+    rollbackM();
+    uint32_t sh = snapHead_.read(tag);
+    uint32_t reclaimed = (head_.read() + num_ - sh) % num_;
+    head_.write(sh);
+    count_.write(count_.read() + reclaimed);
+}
+
+void
+FreeList::rebuild(const RenameTable &rt)
+{
+    rebuildM();
+    bool live[256] = {};
+    for (uint32_t i = 0; i < 32; i++)
+        live[rt.committed(static_cast<uint8_t>(i))] = true;
+    uint32_t n = 0;
+    for (uint32_t r = 0; r < num_; r++) {
+        if (!live[r])
+            ring_.write(n++, static_cast<PhysReg>(r));
+    }
+    head_.write(0);
+    count_.write(n);
+}
+
+// ------------------------------------------------------------------ Bypass
+
+Bypass::Bypass(Kernel &k, const std::string &name, uint32_t ports)
+    : Module(k, name, Conflict::CF),
+      setM(method("set")), getM(method("get")),
+      slots_(k, name + ".slots", ports)
+{
+    selfCf(setM); // distinct ports by construction
+    selfCf(getM);
+    lt(setM, getM); // paper: set < get
+}
+
+void
+Bypass::set(uint32_t port, PhysReg pd, uint64_t val)
+{
+    setM();
+    slots_.write(port, {kernel().cycleCount(), pd, val});
+}
+
+bool
+Bypass::get(PhysReg ps, uint64_t &val) const
+{
+    getM();
+    uint64_t now = kernel().cycleCount();
+    for (uint32_t i = 0; i < slots_.size(); i++) {
+        const Slot &s = slots_.read(i);
+        if (s.cycle == now && s.pd == ps) {
+            val = s.val;
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace riscy

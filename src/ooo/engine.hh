@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Rename-engine modules of the OOO core: physical register file with
+ * true presence bits (the paper's RDYB), the optimistic Scoreboard,
+ * the speculative/committed rename table with per-tag checkpoints,
+ * the free list, the speculation-tag manager, and the bypass network.
+ *
+ * Conflict-matrix declarations follow Section IV of the paper:
+ * Scoreboard.setReady < {rdy, setNotReady}, Bypass.set < get, and the
+ * rollback/flush methods are conflict-free under the one-atomic-kill
+ * discipline described in spec_fifo.hh.
+ */
+#pragma once
+
+#include "core/cmd.hh"
+#include "ooo/uop.hh"
+
+namespace riscy {
+
+/** Physical register file + presence bits (paper's PRF and RDYB). */
+class Prf : public cmd::Module
+{
+  public:
+    Prf(cmd::Kernel &k, const std::string &name, uint32_t numPhys);
+
+    uint32_t numPhys() const { return num_; }
+
+    /** Value of a present register (reg-read stage; guarded). */
+    uint64_t read(PhysReg r) const;
+    bool present(PhysReg r) const { return presence_.read(r) != 0; }
+    /** Raw value probe (commit trace / testbench; no guard). */
+    uint64_t peek(PhysReg r) const { return vals_.read(r); }
+    /** Write a result and set its presence bit. */
+    void write(PhysReg r, uint64_t v);
+    /** Clear presence when @p r is allocated as a new destination. */
+    void setNotReady(PhysReg r);
+    /** After a flush every live (committed) register has its value. */
+    void setAllReady();
+
+    cmd::Method &readM, &writeM, &setNotReadyM, &setAllReadyM;
+
+  private:
+    uint32_t num_;
+    cmd::RegArray<uint64_t> vals_;
+    cmd::RegArray<uint8_t> presence_;
+};
+
+/** Optimistic presence bits consulted when entering an IQ. */
+class Scoreboard : public cmd::Module
+{
+  public:
+    Scoreboard(cmd::Kernel &k, const std::string &name, uint32_t numPhys);
+
+    bool rdy(PhysReg r) const;
+    void setReady(PhysReg r);
+    void setNotReady(PhysReg r);
+    void setAllReady();
+
+    cmd::Method &rdyM, &setReadyM, &setNotReadyM, &setAllReadyM;
+
+  private:
+    cmd::RegArray<uint8_t> bits_;
+};
+
+/**
+ * Speculation-tag manager (paper Section V): a finite set of tag bits
+ * assigned to branches/JALRs; younger instructions carry the tags of
+ * the unresolved older branches in their specMask.
+ */
+class SpecManager : public cmd::Module
+{
+  public:
+    SpecManager(cmd::Kernel &k, const std::string &name, uint32_t numTags);
+
+    uint32_t numTags() const { return numTags_; }
+    /** Mask of currently active (unresolved) tags. */
+    SpecMask activeMask() const { return active_.read(); }
+    bool canAlloc() const;
+
+    /** Allocate a tag for a branch (guarded on availability). */
+    uint8_t alloc();
+    /** Branch resolved correctly: retire its tag. */
+    void commit(uint8_t tag);
+    /**
+     * Branch at @p tag mispredicted: free it and every younger tag.
+     * @return the mask of all freed tags (callers kill with it).
+     */
+    SpecMask squash(uint8_t tag);
+    /** Full flush: no active speculation. */
+    void clear();
+
+    cmd::Method &allocM, &commitM, &squashM, &clearM;
+
+  private:
+    uint32_t numTags_;
+    cmd::Reg<SpecMask> active_;
+    /// tags active when each tag was allocated (age ordering)
+    cmd::RegArray<SpecMask> dependsMask_;
+};
+
+/** Speculative + committed rename tables with per-tag checkpoints. */
+class RenameTable : public cmd::Module
+{
+  public:
+    RenameTable(cmd::Kernel &k, const std::string &name, uint32_t numTags);
+
+    PhysReg spec(uint8_t arch) const { return spec_.read(arch); }
+    PhysReg committed(uint8_t arch) const { return comm_.read(arch); }
+
+    /** Speculative mapping update at rename. */
+    void setSpec(uint8_t arch, PhysReg pr);
+    /** Committed mapping update at commit. */
+    void setCommitted(uint8_t arch, PhysReg pr);
+    /** Take a checkpoint for @p tag (at branch rename). */
+    void snapshot(uint8_t tag);
+    /**
+     * Checkpoint from the rename rule's local working map (captures
+     * mappings of earlier slots in the same rename group).
+     */
+    void snapshotFrom(uint8_t tag, const PhysReg *map32);
+    /** One-time reset: arch i -> phys i (call inside runAtomically). */
+    void initIdentity();
+    /** Restore the checkpoint of @p tag (branch mispredict). */
+    void rollback(uint8_t tag);
+    /** Full flush: speculative table := committed table. */
+    void reset();
+
+    cmd::Method &setSpecM, &setCommittedM, &snapshotM, &rollbackM, &resetM;
+
+  private:
+    cmd::RegArray<PhysReg> spec_, comm_;
+    cmd::RegArray<PhysReg> snaps_; ///< numTags x 32
+};
+
+/** Free list of physical registers, with per-tag head checkpoints. */
+class FreeList : public cmd::Module
+{
+  public:
+    FreeList(cmd::Kernel &k, const std::string &name, uint32_t numPhys,
+             uint32_t numTags);
+
+    bool canAlloc(uint32_t n = 1) const { return count_.read() >= n; }
+
+    /** Pop a free register (guarded). */
+    PhysReg alloc();
+    /** Pop @p n registers at once (2-wide rename). */
+    void allocGroup(PhysReg *out, uint32_t n);
+    /** The i-th register alloc would return (rename look-ahead). */
+    PhysReg
+    peekFree(uint32_t i) const
+    {
+        return ring_.read((head_.read() + i) % num_);
+    }
+    /** Return up to @p n registers freed at commit (stale mappings). */
+    void freeGroup(const PhysReg *regs, uint32_t n);
+    void snapshot(uint8_t tag);
+    /** Checkpoint as if @p alreadyAllocated more regs were popped. */
+    void snapshotAt(uint8_t tag, uint32_t alreadyAllocated);
+    void rollback(uint8_t tag);
+    /** Rebuild as "every register not in the committed map" (flush). */
+    void rebuild(const RenameTable &rt);
+    /** One-time reset: registers [first, first+n) are free. */
+    void initRange(uint32_t first, uint32_t n);
+
+    cmd::Method &allocM, &freeM, &snapshotM, &rollbackM, &rebuildM;
+
+  private:
+    uint32_t num_;
+    cmd::RegArray<PhysReg> ring_;
+    cmd::Reg<uint32_t> head_, count_;
+    cmd::RegArray<uint32_t> snapHead_;
+
+    friend class RenameTable;
+};
+
+/**
+ * The bypass network (paper Section V-A): Exec and Reg-Write rules
+ * publish ALU results with set; Reg-Read rules search the values
+ * published in the same cycle with get. set < get.
+ */
+class Bypass : public cmd::Module
+{
+  public:
+    Bypass(cmd::Kernel &k, const std::string &name, uint32_t ports);
+
+    /** Publish a result on @p port for this cycle. */
+    void set(uint32_t port, PhysReg pd, uint64_t val);
+    /** Search this cycle's published results for @p ps. */
+    bool get(PhysReg ps, uint64_t &val) const;
+
+    cmd::Method &setM, &getM;
+
+  private:
+    struct Slot {
+        uint64_t cycle = ~0ull;
+        PhysReg pd = 0;
+        uint64_t val = 0;
+    };
+
+    cmd::RegArray<Slot> slots_;
+};
+
+} // namespace riscy

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * GroupFifo<T>: a FIFO with superscalar enq/deq group ports, used for
+ * the fetch-to-rename instruction queue. Wrong-path entries are
+ * filtered by epoch at rename, so no kill support is needed here.
+ */
+#pragma once
+
+#include "core/cmd.hh"
+
+namespace riscy {
+
+template <typename T>
+class GroupFifo : public cmd::Module
+{
+  public:
+    GroupFifo(cmd::Kernel &k, const std::string &name, uint32_t capacity)
+        : Module(k, name, cmd::Conflict::CF),
+          enqM(method("enqGroup")), deqM(method("deqN")),
+          cap_(capacity), arr_(k, name + ".arr", capacity),
+          head_(k, name + ".head", 0), tail_(k, name + ".tail", 0),
+          count_(k, name + ".count", 0)
+    {
+        lt(deqM, enqM);
+        setCm(enqM, enqM, cmd::Conflict::C);
+        setCm(deqM, deqM, cmd::Conflict::C);
+    }
+
+    // ---- probes
+    uint32_t size() const { return count_.read(); }
+    bool canEnq(uint32_t n) const { return count_.read() + n <= cap_; }
+    /** The i-th oldest element (i < size()). */
+    const T &
+    peek(uint32_t i) const
+    {
+        return arr_.read((head_.read() + i) % cap_);
+    }
+
+    void
+    enqGroup(const T *es, uint32_t n)
+    {
+        enqM();
+        cmd::require(count_.read() + n <= cap_);
+        for (uint32_t i = 0; i < n; i++)
+            arr_.write((tail_.read() + i) % cap_, es[i]);
+        tail_.write((tail_.read() + n) % cap_);
+        count_.write(count_.read() + n);
+    }
+
+    void
+    deqN(uint32_t n)
+    {
+        deqM();
+        cmd::require(count_.read() >= n && n > 0);
+        head_.write((head_.read() + n) % cap_);
+        count_.write(count_.read() - n);
+    }
+
+    cmd::Method &enqM, &deqM;
+
+  private:
+    uint32_t cap_;
+    cmd::RegArray<T> arr_;
+    cmd::Reg<uint32_t> head_, tail_, count_;
+};
+
+} // namespace riscy

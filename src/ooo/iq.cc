@@ -1,0 +1,144 @@
+#include "ooo/iq.hh"
+
+namespace riscy {
+
+using namespace cmd;
+
+IssueQueue::IssueQueue(Kernel &k, const std::string &name, uint32_t size,
+                       Ordering order)
+    : Module(k, name, Conflict::CF),
+      enterM(method("enter")), wakeupM(method("wakeup")),
+      issueM(method("issue")), wrongSpecM(method("wrongSpec")),
+      correctSpecM(method("correctSpec")), clearM(method("clearAll")),
+      size_(size), arr_(k, name + ".arr", size),
+      count_(k, name + ".count", 0), nextAge_(k, name + ".age", 0)
+{
+    if (order == Ordering::WakeupIssueEnter) {
+        lt(wakeupM, issueM);
+        lt(issueM, enterM);
+        lt(wakeupM, enterM);
+    } else {
+        lt(issueM, wakeupM);
+        lt(wakeupM, enterM);
+        lt(issueM, enterM);
+    }
+    selfCf(wakeupM);
+    selfCf(wrongSpecM);
+    selfCf(correctSpecM);
+    lt(wrongSpecM, enterM);
+    setCm(clearM, enterM, Conflict::C);
+    setCm(clearM, issueM, Conflict::C);
+}
+
+void
+IssueQueue::enter(const Uop &u, bool rdy1, bool rdy2)
+{
+    enterM();
+    require(count_.read() < size_);
+    for (uint32_t i = 0; i < size_; i++) {
+        if (!arr_.read(i).valid) {
+            Entry e;
+            e.valid = true;
+            e.uop = u;
+            e.rdy1 = rdy1;
+            e.rdy2 = rdy2;
+            e.age = nextAge_.read();
+            arr_.write(i, e);
+            nextAge_.write(nextAge_.read() + 1);
+            count_.write(count_.read() + 1);
+            return;
+        }
+    }
+    require(false);
+}
+
+void
+IssueQueue::wakeup(PhysReg pd)
+{
+    wakeupM();
+    for (uint32_t i = 0; i < size_; i++) {
+        Entry e = arr_.read(i);
+        if (!e.valid)
+            continue;
+        bool touched = false;
+        if (!e.rdy1 && e.uop.ps1 == pd && e.uop.inst.readsRs1()) {
+            e.rdy1 = true;
+            touched = true;
+        }
+        if (!e.rdy2 && e.uop.ps2 == pd && e.uop.inst.readsRs2()) {
+            e.rdy2 = true;
+            touched = true;
+        }
+        if (touched)
+            arr_.write(i, e);
+    }
+}
+
+int
+IssueQueue::findReady() const
+{
+    int best = -1;
+    uint64_t bestAge = ~0ull;
+    for (uint32_t i = 0; i < size_; i++) {
+        const Entry &e = arr_.read(i);
+        if (e.valid && e.rdy1 && e.rdy2 && e.age < bestAge) {
+            best = static_cast<int>(i);
+            bestAge = e.age;
+        }
+    }
+    return best;
+}
+
+Uop
+IssueQueue::issue()
+{
+    issueM();
+    int i = findReady();
+    require(i >= 0);
+    Uop u = arr_.read(i).uop;
+    arr_.write(i, Entry{});
+    count_.write(count_.read() - 1);
+    return u;
+}
+
+void
+IssueQueue::wrongSpec(SpecMask deadMask)
+{
+    wrongSpecM();
+    uint32_t killed = 0;
+    for (uint32_t i = 0; i < size_; i++) {
+        const Entry &e = arr_.read(i);
+        if (e.valid && (e.uop.specMask & deadMask)) {
+            arr_.write(i, Entry{});
+            killed++;
+        }
+    }
+    if (killed)
+        count_.write(count_.read() - killed);
+}
+
+void
+IssueQueue::correctSpec(SpecMask mask)
+{
+    correctSpecM();
+    for (uint32_t i = 0; i < size_; i++) {
+        Entry e = arr_.read(i);
+        if (e.valid && (e.uop.specMask & mask)) {
+            e.uop.specMask &= ~mask;
+            arr_.write(i, e);
+        }
+    }
+}
+
+void
+IssueQueue::clearAll()
+{
+    clearM();
+    for (uint32_t i = 0; i < size_; i++) {
+        if (arr_.read(i).valid)
+            arr_.write(i, Entry{});
+    }
+    count_.write(0);
+}
+
+} // namespace riscy

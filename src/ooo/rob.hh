@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Reorder buffer (paper Section V-A). Keeps all in-flight renamed
+ * instructions in program order; carries per-entry speculation masks,
+ * completion and exception state, and the load-kill flag the LSQ sets
+ * through setAtLSQDeq. Superscalar insert/commit is expressed as
+ * group methods (enqGroup/deqGroup) as the hardware's 2-way ports.
+ */
+#pragma once
+
+#include "core/cmd.hh"
+#include "ooo/uop.hh"
+
+namespace riscy {
+
+struct RobEntry {
+    bool valid = false;
+    uint64_t pc = 0;
+    isa::Inst inst;
+    PhysReg pd = 0, stalePd = 0;
+    bool hasPd = false;
+    uint8_t lsqIdx = 0;
+    SpecMask specMask = 0;
+    uint8_t specTag = 0;
+    bool hasSpecTag = false;
+    bool done = false;
+    bool exception = false;
+    uint8_t cause = 0;
+    uint64_t tval = 0;
+    bool ldKilled = false;  ///< memory-order violation: flush at commit
+    bool isMmio = false;    ///< non-speculative access at commit
+    bool atCommitSent = false;
+};
+
+class Rob : public cmd::Module
+{
+  public:
+    Rob(cmd::Kernel &k, const std::string &name, uint32_t size);
+
+    uint32_t size() const { return size_; }
+
+    // ---- probes
+    bool canEnq(uint32_t n) const { return count_.read() + n <= size_; }
+    bool empty() const { return count_.read() == 0; }
+    uint32_t count() const { return count_.read(); }
+    /** Index the i-th enqueued entry will occupy (paper getEnqIndex). */
+    RobIdx
+    enqIndex(uint32_t i) const
+    {
+        return static_cast<RobIdx>((tail_.read() + i) % size_);
+    }
+    bool frontValid() const { return count_.read() > 0; }
+    RobIdx frontIdx() const { return static_cast<RobIdx>(head_.read()); }
+    const RobEntry &front() const { return arr_.read(head_.read()); }
+    /** Entry after the head (for 2-way commit). */
+    const RobEntry &
+    second() const
+    {
+        return arr_.read((head_.read() + 1) % size_);
+    }
+    bool hasSecond() const { return count_.read() > 1; }
+    const RobEntry &entry(RobIdx i) const { return arr_.read(i); }
+
+    // ---- interface methods
+    /** Insert up to two renamed instructions (guarded on space). */
+    void enqGroup(const RobEntry *es, uint32_t n);
+    /** Retire the oldest @p n instructions (commit). */
+    void deqGroup(uint32_t n);
+    /** Mark an instruction complete (paper setNonMemCompleted). */
+    void markDone(RobIdx i);
+    /** Record what translation discovered (paper setAfterTranslation). */
+    void setAfterTranslation(RobIdx i, bool mmio, bool exception,
+                             uint8_t cause, uint64_t tval, bool markDone);
+    /** Final load status from the LSQ (paper setAtLSQDeq). */
+    void setAtLSQDeq(RobIdx i, bool killed, bool exception, uint8_t cause,
+                     uint64_t tval);
+    /** Remember that the commit-time action was already launched. */
+    void setAtCommitSent(RobIdx i);
+    /** Kill every entry whose mask intersects @p deadMask. */
+    void wrongSpec(SpecMask deadMask);
+    /** Clear @p mask bits from every entry. */
+    void correctSpec(SpecMask mask);
+    /** Commit-time flush. */
+    void clearAll();
+
+    cmd::Method &enqM, &deqM, &markDoneM, &setAfterTranslationM,
+        &setAtLSQDeqM, &setAtCommitSentM, &wrongSpecM, &correctSpecM,
+        &clearM;
+
+  private:
+    uint32_t size_;
+    cmd::RegArray<RobEntry> arr_;
+    cmd::Reg<uint32_t> head_, tail_, count_;
+};
+
+} // namespace riscy

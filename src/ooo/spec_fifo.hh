@@ -1,0 +1,193 @@
+/**
+ * @file
+ * SpecFifo<T>: a FIFO whose occupants are speculative instructions.
+ *
+ * Implements the paper's rule that "every module that keeps
+ * speculation-related instructions must keep speculation masks and
+ * provide a correctSpec method to clear bits from speculation masks,
+ * and a wrongSpec method to kill instructions". Used for pipeline
+ * stage latches between issue/reg-read/execute/write-back and for the
+ * various pending queues of the load-store unit.
+ *
+ * T must expose a `specMask` field.
+ *
+ * Concurrency note: wrongSpec/correctSpec are declared conflict-free
+ * against enq/deq. In this engine rules execute sequentially within a
+ * cycle, and the kill discipline (one atomic rule calls wrongSpec on
+ * *every* holder of speculative state) makes either interleaving
+ * correct: an entry moved before the kill is killed at its new home,
+ * and an entry enqueued after the kill was renamed against the
+ * rolled-back state (and dies by epoch filtering if it was stale).
+ * This plays the role of the EHR-based CM transformations RiscyOO
+ * applies to the same modules.
+ */
+#pragma once
+
+#include "core/cmd.hh"
+#include "ooo/uop.hh"
+
+namespace riscy {
+
+template <typename T>
+class SpecFifo : public cmd::Module
+{
+  public:
+    SpecFifo(cmd::Kernel &k, const std::string &name, uint32_t capacity)
+        : Module(k, name, cmd::Conflict::CF),
+          enqM(method("enq")), deqM(method("deq")), firstM(method("first")),
+          wrongSpecM(method("wrongSpec")),
+          correctSpecM(method("correctSpec")), clearM(method("clear")),
+          cap_(capacity), slots_(k, name + ".slots", capacity),
+          head_(k, name + ".head", 0), tail_(k, name + ".tail", 0),
+          count_(k, name + ".count", 0)
+    {
+        // Single enq/deq port; peek before consume.
+        setCm(enqM, enqM, cmd::Conflict::C);
+        setCm(deqM, deqM, cmd::Conflict::C);
+        lt(deqM, enqM);
+        lt(firstM, deqM);
+        lt(firstM, enqM);
+        selfCf(firstM);
+        selfCf(wrongSpecM);
+        selfCf(correctSpecM);
+        lt(wrongSpecM, enqM);
+        // Flush conflicts with everything (the default C would apply,
+        // but the module default is CF, so declare it).
+        for (const cmd::Method *m :
+             {&enqM, &deqM, &firstM, &wrongSpecM, &correctSpecM})
+            setCm(clearM, *m, cmd::Conflict::C);
+
+        // Lazily reclaim slots whose occupant was killed.
+        k.rule(name + ".compact", [this] {
+            cmd::require(count_.read() > 0 &&
+                         !slots_.read(head_.read()).valid);
+            head_.write(next(head_.read()));
+            count_.write(count_.read() - 1);
+        }).when([this] {
+            return count_.read() > 0 && !slots_.read(head_.read()).valid;
+        });
+    }
+
+    // ---- probes
+    bool canEnq() const { return count_.read() < cap_; }
+    bool
+    canDeq() const
+    {
+        return findFirst() >= 0;
+    }
+    bool empty() const { return findFirst() < 0; }
+    uint32_t size() const { return count_.read(); }
+
+    void
+    enq(const T &v)
+    {
+        enqM();
+        cmd::require(count_.read() < cap_);
+        slots_.write(tail_.read(), {v, true});
+        tail_.write(next(tail_.read()));
+        count_.write(count_.read() + 1);
+    }
+
+    T
+    first()
+    {
+        firstM();
+        int i = findFirst();
+        cmd::require(i >= 0);
+        return slots_.read(i).t;
+    }
+
+    T
+    deq()
+    {
+        deqM();
+        int i = findFirst();
+        cmd::require(i >= 0);
+        Slot s = slots_.read(i);
+        // Free everything from head through i.
+        uint32_t freed = 0;
+        uint32_t h = head_.read();
+        while (true) {
+            freed++;
+            bool last = static_cast<int>(h) == i;
+            h = next(h);
+            if (last)
+                break;
+        }
+        // Mark the consumed slot invalid (skipped slots already were).
+        slots_.write(i, Slot{});
+        head_.write(h);
+        count_.write(count_.read() - freed);
+        return s.t;
+    }
+
+    /** Kill every occupant whose specMask contains @p tagBit. */
+    void
+    wrongSpec(SpecMask tagBit)
+    {
+        wrongSpecM();
+        for (uint32_t n = 0, i = head_.read(); n < count_.read();
+             n++, i = next(i)) {
+            Slot s = slots_.read(i);
+            if (s.valid && (s.t.specMask & tagBit))
+                slots_.write(i, Slot{});
+        }
+    }
+
+    /** Clear @p tagBit from every occupant's mask. */
+    void
+    correctSpec(SpecMask tagBit)
+    {
+        correctSpecM();
+        for (uint32_t n = 0, i = head_.read(); n < count_.read();
+             n++, i = next(i)) {
+            Slot s = slots_.read(i);
+            if (s.valid && (s.t.specMask & tagBit)) {
+                s.t.specMask &= ~tagBit;
+                slots_.write(i, s);
+            }
+        }
+    }
+
+    /** Drop everything (commit-time flush). */
+    void
+    clear()
+    {
+        clearM();
+        for (uint32_t n = 0, i = head_.read(); n < count_.read();
+             n++, i = next(i)) {
+            if (slots_.read(i).valid)
+                slots_.write(i, Slot{});
+        }
+        head_.write(0);
+        tail_.write(0);
+        count_.write(0);
+    }
+
+    cmd::Method &enqM, &deqM, &firstM, &wrongSpecM, &correctSpecM, &clearM;
+
+  private:
+    struct Slot {
+        T t{};
+        bool valid = false;
+    };
+
+    uint32_t next(uint32_t i) const { return i + 1 == cap_ ? 0 : i + 1; }
+
+    int
+    findFirst() const
+    {
+        for (uint32_t n = 0, i = head_.read(); n < count_.read();
+             n++, i = next(i)) {
+            if (slots_.read(i).valid)
+                return static_cast<int>(i);
+        }
+        return -1;
+    }
+
+    uint32_t cap_;
+    cmd::RegArray<Slot> slots_;
+    cmd::Reg<uint32_t> head_, tail_, count_;
+};
+
+} // namespace riscy

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * The micro-op record threaded through the OOO pipeline, and the small
+ * shared typedefs of the execution engine.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "isa/inst.hh"
+
+namespace riscy {
+
+using PhysReg = uint8_t;
+using RobIdx = uint8_t;
+using SpecMask = uint16_t;
+
+/** A micro-op as it flows from fetch to commit. */
+struct Uop {
+    uint64_t pc = 0;
+    uint64_t predNext = 0; ///< front-end's predicted next PC
+    isa::Inst inst;
+    uint8_t epoch = 0;     ///< fetch epoch (wrong-path filtering)
+    uint16_t ghist = 0;    ///< global-history snapshot for the predictor
+
+    // Filled at rename:
+    PhysReg ps1 = 0, ps2 = 0, pd = 0, stalePd = 0;
+    bool hasPd = false;
+    RobIdx rob = 0;
+    uint8_t lsqIdx = 0;
+    SpecMask specMask = 0; ///< older branches this uop depends on
+    uint8_t specTag = 0;   ///< own tag (branches/JALR only)
+    bool hasSpecTag = false;
+
+    // Early-detected exception (fetch page fault / illegal opcode):
+    bool preException = false;
+    uint8_t preCause = 0;
+
+    // Filled at register read:
+    uint64_t a = 0, b = 0;
+};
+
+} // namespace riscy

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Core and system configurations, including the paper's named
+ * variants (Fig. 12 / Fig. 14) and the comparison stand-ins used by
+ * the benchmark harness (Fig. 13): Rocket-class in-order baselines
+ * and the wider-superscalar configurations standing in for the
+ * commercial ARM cores and BOOM.
+ */
+#pragma once
+
+#include "cache/hierarchy.hh"
+#include "ooo/iq.hh"
+#include "tlb/tlb.hh"
+
+namespace riscy {
+
+struct CoreConfig {
+    uint32_t width = 2;        ///< fetch/rename/commit width
+    uint32_t aluPipes = 2;
+    uint32_t robSize = 64;
+    uint32_t iqSize = 16;      ///< per pipeline
+    uint32_t lqSize = 24;
+    uint32_t sqSize = 14;
+    uint32_t sbSize = 4;
+    uint32_t numSpecTags = 8;
+    uint32_t btbEntries = 256;
+    uint32_t rasEntries = 8;
+    uint32_t mulLatency = 3;
+    uint32_t divLatency = 16;
+    bool tso = true;           ///< TSO when true, WMM otherwise
+    IssueQueue::Ordering iqOrder = IssueQueue::Ordering::WakeupIssueEnter;
+    L1Tlb::Config itlb{32, 1, false};
+    L1Tlb::Config dtlb{32, 1, false};
+    L2Tlb::Config l2tlb{2048, 4, 1, false, 24};
+    /** Next-line prefetch on the L1 D miss stream (wide stand-ins);
+     *  the cache-side switch is MemHierarchyConfig.l1d.prefetchNextLine. */
+    bool prefetcher = false;
+    /** SQ store-prefetch hints (the paper's unimplemented feature):
+     *  acquire write permission for queued stores ahead of commit. */
+    bool storePrefetch = false;
+
+    /** Physical registers: one per ROB entry plus the 32 committed. */
+    uint32_t numPhys() const { return robSize + 32; }
+};
+
+struct SystemConfig {
+    std::string name = "custom";
+    uint32_t cores = 1;
+    bool inOrder = false; ///< Rocket-class baseline core
+    CoreConfig core;
+    MemHierarchyConfig mem;
+
+    /** Fig. 12: the RiscyOO-B baseline configuration. */
+    static SystemConfig
+    riscyooB()
+    {
+        SystemConfig s;
+        s.name = "RiscyOO-B";
+        s.mem.l1d = {32, 8, 8, true};
+        s.mem.l1i = {32, 8, 4, false};
+        s.mem.l2 = {1024, 16, 16};
+        s.mem.dram = {120, 24, 10};
+        return s;
+    }
+
+    /** Fig. 14: RiscyOO-C- (16KB L1 I/D, 256KB L2). */
+    static SystemConfig
+    riscyooCMinus()
+    {
+        SystemConfig s = riscyooB();
+        s.name = "RiscyOO-C-";
+        s.mem.l1d.sizeKb = 16;
+        s.mem.l1i.sizeKb = 16;
+        s.mem.l2.sizeKb = 256;
+        return s;
+    }
+
+    /** Fig. 14: RiscyOO-T+ (non-blocking TLBs + walk cache). */
+    static SystemConfig
+    riscyooTPlus()
+    {
+        SystemConfig s = riscyooB();
+        s.name = "RiscyOO-T+";
+        s.core.dtlb = {32, 4, true};
+        s.core.l2tlb = {2048, 4, 2, true, 24};
+        return s;
+    }
+
+    /** Fig. 14: RiscyOO-T+R+ (80-entry ROB, more spec tags). */
+    static SystemConfig
+    riscyooTPlusRPlus()
+    {
+        SystemConfig s = riscyooTPlus();
+        s.name = "RiscyOO-T+R+";
+        s.core.robSize = 80;
+        s.core.numSpecTags = 12;
+        return s;
+    }
+
+    /** Fig. 13: Rocket-class in-order core, configurable memory. */
+    static SystemConfig
+    rocket(uint32_t memLatency)
+    {
+        SystemConfig s;
+        s.name = memLatency <= 10 ? "Rocket-10" : "Rocket-120";
+        s.inOrder = true;
+        s.mem.l1d = {16, 4, 4, true};
+        s.mem.l1i = {16, 4, 4, false};
+        // "no L2": a minimal pass-through L2 with memory latency
+        // folded into DRAM (the AWS Rocket has no L2, Fig. 13 note).
+        s.mem.l2 = {64, 4, 8};
+        s.mem.parentChanDelay = 1;
+        s.mem.dram = {memLatency, 8, 2};
+        return s;
+    }
+
+    /** Fig. 18 stand-in: a 3-wide OOO core (A57-class shape). */
+    static SystemConfig
+    wide3()
+    {
+        SystemConfig s = riscyooTPlus();
+        s.name = "Wide-3 (A57-class)";
+        s.core.width = 3;
+        s.core.aluPipes = 3;
+        s.core.robSize = 128;
+        s.core.iqSize = 24;
+        s.core.lqSize = 32;
+        s.core.sqSize = 24;
+        s.core.numSpecTags = 12;
+        s.core.prefetcher = true;
+        s.mem.l1d.prefetchNextLine = true;
+        s.mem.l1i.sizeKb = 48;
+        s.mem.l1i.ways = 6; // keep the set count a power of two
+        s.mem.l2.sizeKb = 2048;
+        return s;
+    }
+
+    /** Fig. 18 stand-in: an aggressive 7-wide core (Denver-class). */
+    static SystemConfig
+    wide7()
+    {
+        SystemConfig s = riscyooTPlus();
+        s.name = "Wide-7 (Denver-class)";
+        s.core.width = 4; // rename bandwidth saturates at 4 here
+        s.core.aluPipes = 4;
+        s.core.robSize = 192;
+        s.core.iqSize = 32;
+        s.core.lqSize = 48;
+        s.core.sqSize = 32;
+        s.core.numSpecTags = 14;
+        s.core.prefetcher = true;
+        s.mem.l1d.prefetchNextLine = true;
+        s.mem.l1i.sizeKb = 128;
+        s.mem.l1d.sizeKb = 64;
+        s.mem.l2.sizeKb = 2048;
+        return s;
+    }
+
+    /** Fig. 19 comparison: BOOM-matched sizes. */
+    static SystemConfig
+    boomLike()
+    {
+        SystemConfig s;
+        s.name = "BOOM-like";
+        s.core.robSize = 80;
+        s.core.numSpecTags = 8;
+        s.mem.l1d = {32, 8, 8, true};
+        s.mem.l1i = {32, 8, 4, false};
+        s.mem.l2 = {1024, 16, 16};
+        s.mem.parentChanDelay = 18; // BOOM's 23-cycle L2
+        s.mem.dram = {80, 24, 10};  // BOOM's 80-cycle memory
+        return s;
+    }
+
+    /** Quad-core config used for the PARSEC runs (Section VI-B). */
+    static SystemConfig
+    multicore(bool tso)
+    {
+        SystemConfig s = riscyooTPlus();
+        s.name = tso ? "quad-TSO" : "quad-WMM";
+        s.cores = 4;
+        s.mem.cores = 4;
+        s.core.robSize = 48;
+        s.core.lqSize = 16;
+        s.core.sqSize = 10;
+        s.core.tso = tso;
+        return s;
+    }
+};
+
+} // namespace riscy

@@ -1,0 +1,111 @@
+#include "proc/system.hh"
+
+#include <iostream>
+
+namespace riscy {
+
+using namespace cmd;
+
+System::System(const SystemConfig &cfg) : cfg_(cfg)
+{
+    cfg_.mem.cores = cfg_.cores;
+    host_ = std::make_unique<HostDevice>(cfg_.cores);
+    hier_ = std::make_unique<MemHierarchy>(k_, "mem", mem_, cfg_.mem);
+    for (uint32_t i = 0; i < cfg_.cores; i++) {
+        std::string cn = strfmt("hart%u", i);
+        if (cfg_.inOrder) {
+            ioCores_.push_back(std::make_unique<InOrderCore>(
+                k_, cn, i, cfg_.core, hier_->icache(i), hier_->dcache(i),
+                hier_->walkPort(i), *host_));
+        } else {
+            oooCores_.push_back(std::make_unique<OooCore>(
+                k_, cn, i, cfg_.core, hier_->icache(i), hier_->dcache(i),
+                hier_->walkPort(i), *host_));
+        }
+    }
+}
+
+void
+System::start(Addr entry, uint64_t satp, const std::vector<Addr> &sp)
+{
+    for (uint32_t i = 0; i < cfg_.cores; i++) {
+        Addr s = i < sp.size() ? sp[i] : 0;
+        if (cfg_.inOrder)
+            ioCores_[i]->reset(entry, satp, s);
+        else
+            oooCores_[i]->reset(entry, satp, s);
+    }
+}
+
+uint64_t
+System::instret(uint32_t i) const
+{
+    return cfg_.inOrder ? ioCores_[i]->instret() : oooCores_[i]->instret();
+}
+
+void
+System::setOnCommit(uint32_t i,
+                    std::function<void(const CommitRecord &)> fn)
+{
+    if (cfg_.inOrder)
+        ioCores_[i]->onCommit = std::move(fn);
+    else
+        oooCores_[i]->onCommit = std::move(fn);
+}
+
+bool
+System::run(uint64_t maxCycles)
+{
+    constexpr uint64_t kWatchdog = 100000;
+    uint64_t lastProgressCycle = k_.cycleCount();
+    uint64_t lastInstret = 0;
+    for (uint64_t c = 0; c < maxCycles; c++) {
+        if (host_->allExited() || host_->failed())
+            return host_->allExited() && !host_->failed();
+        k_.cycle();
+
+        uint64_t total = 0;
+        for (uint32_t i = 0; i < cfg_.cores; i++)
+            total += instret(i) + (host_->exited(i) ? 1 : 0);
+        if (total != lastInstret) {
+            lastInstret = total;
+            lastProgressCycle = k_.cycleCount();
+        } else if (k_.cycleCount() - lastProgressCycle > kWatchdog) {
+            std::cerr << k_.progressReport();
+            for (auto &core : oooCores_)
+                std::cerr << core->debugString();
+            panic("system: no commit progress for %llu cycles",
+                  (unsigned long long)kWatchdog);
+        }
+    }
+    return host_->allExited() && !host_->failed();
+}
+
+System::EventCounts
+System::events(uint32_t i) const
+{
+    EventCounts ev;
+    ev.instret = instret(i);
+    ev.cycles = k_.cycleCount();
+    // Per-core modules are named hart<i>.<module>; walk the stats by
+    // poking the known modules directly.
+    if (!cfg_.inOrder) {
+        OooCore &c = *oooCores_[i];
+        ev.branchMispredicts = c.stats().get("mispredicts");
+        ev.ldKills = c.stats().get("ldKillFlushes");
+        ev.evictKills = c.lsqStats().get("evictKills");
+        ev.dtlbMisses = c.dtlbStats().get("misses");
+        ev.l2tlbMisses = c.l2tlbStats().get("misses");
+    } else {
+        InOrderCore &c = *ioCores_[i];
+        ev.branchMispredicts = c.stats().get("mispredicts");
+        ev.dtlbMisses = c.dtlbStats().get("misses");
+        ev.l2tlbMisses = c.l2tlbStats().get("misses");
+    }
+    ev.l1dMisses = hier_->dcache(i).stats().get("ldMisses") +
+                   hier_->dcache(i).stats().get("stMisses");
+    ev.l2Misses = hier_->l2().stats().get("misses");
+    return ev;
+}
+
+} // namespace riscy

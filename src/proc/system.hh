@@ -1,0 +1,70 @@
+/**
+ * @file
+ * System assembly: cores (OOO or in-order) + the coherent memory
+ * hierarchy + host device, per Fig. 11. Also provides the run loop
+ * with a commit-progress watchdog used by tests and benchmarks.
+ */
+#pragma once
+
+#include "proc/inorder_core.hh"
+#include "proc/ooo_core.hh"
+
+namespace riscy {
+
+class System
+{
+  public:
+    explicit System(const SystemConfig &cfg);
+
+    cmd::Kernel &kernel() { return k_; }
+    PhysMem &mem() { return mem_; }
+    HostDevice &host() { return *host_; }
+    MemHierarchy &hier() { return *hier_; }
+    const SystemConfig &config() const { return cfg_; }
+    uint32_t cores() const { return cfg_.cores; }
+
+    /** Finalize the design (Kernel::elaborate). */
+    void elaborate() { k_.elaborate(); }
+
+    /** Reset every hart (after elaborate). One stack top per hart. */
+    void start(Addr entry, uint64_t satp, const std::vector<Addr> &sp);
+
+    /**
+     * Run until every hart exits via the host device (or the host
+     * flags a failure). @return true if all harts exited cleanly.
+     * Panics with a progress report if no instruction commits for
+     * a long stretch (deadlock watchdog).
+     */
+    bool run(uint64_t maxCycles);
+
+    uint64_t instret(uint32_t i) const;
+    void setOnCommit(uint32_t i, std::function<void(const CommitRecord &)>);
+    OooCore &ooo(uint32_t i) { return *oooCores_[i]; }
+    InOrderCore &inOrder(uint32_t i) { return *ioCores_[i]; }
+    bool isInOrder() const { return cfg_.inOrder; }
+
+    /** Headline per-hart event counts for the benchmark harness. */
+    struct EventCounts {
+        uint64_t instret = 0;
+        uint64_t cycles = 0;
+        uint64_t dtlbMisses = 0;
+        uint64_t l2tlbMisses = 0;
+        uint64_t branchMispredicts = 0;
+        uint64_t l1dMisses = 0;
+        uint64_t l2Misses = 0;
+        uint64_t ldKills = 0;
+        uint64_t evictKills = 0;
+    };
+    EventCounts events(uint32_t i) const;
+
+  private:
+    SystemConfig cfg_;
+    cmd::Kernel k_;
+    PhysMem mem_;
+    std::unique_ptr<HostDevice> host_;
+    std::unique_ptr<MemHierarchy> hier_;
+    std::vector<std::unique_ptr<OooCore>> oooCores_;
+    std::vector<std::unique_ptr<InOrderCore>> ioCores_;
+};
+
+} // namespace riscy

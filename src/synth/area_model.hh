@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Analytical ASIC synthesis model reproducing the shape of the
+ * paper's Fig. 21 (Synopsys DC, 32 nm SOI, CACTI SRAM black boxes):
+ * a NAND2-equivalent *logic-only* gate count (SRAM arrays excluded,
+ * as the paper excludes them) and a maximum-frequency estimate from
+ * the configuration-dependent critical paths.
+ *
+ * The model is calibrated so the RiscyOO-T+ configuration lands at
+ * the paper's reported 1.78 M gates / 1.1 GHz; what it *predicts* is
+ * the relative cost of configuration deltas (e.g. T+R+ adds an
+ * 80-entry ROB and more speculation tags for ~6% more logic and a
+ * slightly slower clock). See EXPERIMENTS.md for paper-vs-model.
+ */
+#pragma once
+
+#include "proc/config.hh"
+
+namespace riscy::synth {
+
+struct SynthResult {
+    double nand2Mgates = 0; ///< logic-only NAND2 equivalents, millions
+    double maxGhz = 0;      ///< post-synthesis max frequency estimate
+};
+
+struct Breakdown {
+    double frontend = 0; ///< predictors + fetch (logic share)
+    double rename = 0;   ///< rename table, free list, spec manager
+    double rob = 0;
+    double issue = 0;    ///< IQs + wakeup/select
+    double regfile = 0;  ///< PRF ports + bypass
+    double lsu = 0;      ///< LSQ + SB CAMs
+    double memIf = 0;    ///< cache control (SRAM excluded), TLB logic
+    double total() const
+    {
+        return frontend + rename + rob + issue + regfile + lsu + memIf;
+    }
+};
+
+/** Per-module NAND2-equivalent logic estimate for a core config. */
+Breakdown estimateBreakdown(const CoreConfig &cfg);
+
+/** Headline numbers for one core (pipeline + L1 control logic). */
+SynthResult estimate(const CoreConfig &cfg);
+
+} // namespace riscy::synth

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * The TLB subsystem: per-core L1 I/D TLBs and a shared-per-core L2 TLB
+ * with an integrated hardware page-table walker.
+ *
+ * Two microarchitectures, selected by configuration, reproduce the
+ * paper's RiscyOO-B and RiscyOO-T+ variants:
+ *
+ *  - RiscyOO-B: the L1 TLB blocks on a miss (no hit-under-miss, one
+ *    outstanding miss) and the L2 TLB performs one page walk at a
+ *    time.
+ *  - RiscyOO-T+: the L1 D TLB supports hit-under-miss with up to 4
+ *    outstanding misses, the L2 TLB walks up to 2 misses in parallel,
+ *    and a *split translation cache* (24 fully associative entries
+ *    per page-table level, after Barr et al. [45]) lets walks skip
+ *    upper levels.
+ *
+ * Page-walk memory traffic goes through an uncached L2-cache port
+ * (the paper's page-walk cross bar), so walks are coherent with data
+ * stores.
+ */
+#pragma once
+
+#include "cache/l2.hh"
+#include "core/timed_fifo.hh"
+#include "isa/sv39.hh"
+
+namespace riscy {
+
+/** A translation result shipped from L2 TLB to an L1 TLB. */
+struct TlbFill {
+    Addr va = 0;       ///< the VA whose walk produced this fill
+    bool fault = false;
+    uint64_t ppn = 0;
+    uint8_t level = 0; ///< leaf level (0 = 4K, 1 = 2M, 2 = 1G)
+    uint8_t flags = 0; ///< PTE R/W/X bits
+};
+
+/** Channel between an L1 TLB and its L2 TLB (a few cycles each way,
+ *  like the paper's L2 TLB access latency). */
+struct TlbChannel {
+    TlbChannel(cmd::Kernel &k, const std::string &name, uint32_t delay = 2)
+        : req(k, name + ".req", 4, delay), resp(k, name + ".resp", 4, delay)
+    {
+    }
+
+    cmd::TimedFifo<Addr> req;
+    cmd::TimedFifo<TlbFill> resp;
+};
+
+/** One cached translation. */
+struct TlbEntry {
+    bool valid = false;
+    uint64_t vpn = 0;  ///< full 27-bit VPN of the *leaf-aligned* page
+    uint64_t ppn = 0;
+    uint8_t level = 0;
+    uint8_t flags = 0;
+
+    bool
+    matches(Addr va) const
+    {
+        if (!valid)
+            return false;
+        uint64_t mask = ~((1ull << (9 * level)) - 1) & ((1ull << 27) - 1);
+        return (isa::fullVpn(va) & mask) == (vpn & mask);
+    }
+
+    Addr
+    translate(Addr va) const
+    {
+        uint64_t off = va & ((1ull << (isa::kPageShift + 9 * level)) - 1);
+        return (ppn << isa::kPageShift) | off;
+    }
+};
+
+/**
+ * L1 TLB (instruction or data side), fully associative.
+ */
+class L1Tlb : public cmd::Module
+{
+  public:
+    struct Config {
+        uint32_t entries = 32;
+        uint32_t maxMisses = 1;
+        bool hitUnderMiss = false;
+    };
+
+    struct Resp {
+        uint8_t id;
+        bool fault;
+        Addr pa;
+    };
+
+    L1Tlb(cmd::Kernel &k, const std::string &name, const Config &cfg,
+          TlbChannel &chan);
+
+    /** Request translation of @p va for access @p type. */
+    void req(uint8_t id, Addr va, isa::AccessType type);
+    /** Next translation response (guarded; possibly out of order). */
+    Resp resp();
+    /** Flush all entries (satp change). */
+    void flush();
+    /** Set translation mode from a satp value. */
+    void setSatp(uint64_t satp);
+
+    bool canReq() const { return reqQ_.canEnq(); }
+    bool respReady() const { return respQ_.canDeq(); }
+
+    cmd::Method &reqM, &respM, &flushM, &setSatpM;
+
+  private:
+    struct ReqMsg {
+        uint8_t id;
+        Addr va;
+        uint8_t type;
+    };
+
+    struct MissReg {
+        bool valid = false;
+        bool ready = false; ///< fill arrived; waiting to respond
+        uint8_t id = 0;
+        Addr va = 0;
+        uint8_t type = 0;
+        bool fault = false;
+        Addr pa = 0;
+    };
+
+    int lookup(Addr va) const;
+    bool permOk(uint8_t flags, isa::AccessType t) const;
+    void ruleProcess();
+    void ruleFill();
+    void ruleServe();
+
+    Config cfg_;
+    TlbChannel &chan_;
+    cmd::RegArray<TlbEntry> entries_;
+    cmd::Reg<uint32_t> replPtr_;
+    cmd::RegArray<MissReg> miss_;
+    cmd::Reg<bool> bare_;
+    cmd::CfFifo<ReqMsg> reqQ_;
+    cmd::CfFifo<Resp> respQ_;
+    cmd::Stat &hits_, &misses_, &faults_;
+};
+
+/**
+ * Per-core L2 TLB with integrated page walker and optional split
+ * translation (walk) cache.
+ */
+class L2Tlb : public cmd::Module
+{
+  public:
+    struct Config {
+        uint32_t entries = 2048;
+        uint32_t ways = 4;
+        uint32_t maxWalks = 1;
+        bool walkCache = false;
+        uint32_t walkCacheEntries = 24;
+    };
+
+    L2Tlb(cmd::Kernel &k, const std::string &name, const Config &cfg,
+          std::vector<TlbChannel *> clients, UncachedPort &mem);
+
+    /** Set the root of translation (satp) and flush. */
+    void setSatp(uint64_t satp);
+    cmd::Method &setSatpM;
+
+  private:
+    struct Walk {
+        bool valid = false;
+        bool memPending = false;
+        Addr va = 0;
+        uint8_t client = 0;
+        int8_t level = 0;
+        Addr tableBase = 0;
+    };
+
+    struct WalkCacheEntry {
+        bool valid = false;
+        uint64_t key = 0; ///< VA prefix
+        Addr base = 0;
+    };
+
+    uint32_t setOf(Addr va) const
+    {
+        return static_cast<uint32_t>(isa::fullVpn(va)) & (sets_ - 1);
+    }
+    int lookup(Addr va) const;
+    void insert(const TlbEntry &e, Addr va);
+    int findFreeWalk() const;
+    /** Deepest walk-cache hit for @p va; fills level/base. */
+    void walkCacheLookup(Addr va, int8_t &level, Addr &base) const;
+    void walkCacheInsert(unsigned level, Addr va, Addr base);
+    void ruleStart();
+    void ruleStep();
+
+    Config cfg_;
+    uint32_t sets_, ways_;
+    std::vector<TlbChannel *> clients_;
+    UncachedPort &mem_;
+    cmd::RegArray<TlbEntry> entries_;
+    cmd::RegArray<uint8_t> replPtr_;
+    cmd::RegArray<Walk> walks_;
+    /// walk caches for levels 1 and 0 (index = level - ... see .cc)
+    cmd::RegArray<WalkCacheEntry> wc1_, wc0_;
+    cmd::Reg<uint32_t> wcRepl1_, wcRepl0_;
+    cmd::Reg<uint64_t> satp_;
+    cmd::Reg<uint32_t> rrClient_;
+    cmd::Stat &hits_, &misses_, &walksDone_, &wcHits_, &faults_;
+};
+
+} // namespace riscy

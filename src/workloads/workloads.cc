@@ -1,0 +1,717 @@
+#include "workloads/workloads.hh"
+
+#include <random>
+
+#include "asmkit/assembler.hh"
+#include "isa/csr.hh"
+#include "mem/page_table.hh"
+
+namespace riscy::workloads {
+
+using namespace riscy::asmkit;
+using namespace riscy::isa;
+
+namespace {
+
+constexpr Addr kTextVa = 0x400000;
+constexpr Addr kDataVa = 0x10000000;
+constexpr Addr kStackVa = 0x70000000;
+constexpr Addr kTextPa = kDramBase;
+constexpr Addr kPtPa = kDramBase + 0x100000;
+constexpr Addr kStackPa = kDramBase + 0x2000000;
+constexpr Addr kDataPa = kDramBase + 0x4000000;
+
+/** Common build scaffolding: address space, stacks, loading. */
+struct Env {
+    System &sys;
+    Assembler a{kTextVa};
+    FrameAllocator frames{kPtPa};
+    AddressSpace as;
+    size_t dataBytes = 0;
+
+    explicit Env(System &s) : sys(s), as(s.mem(), frames)
+    {
+        as.mapRange(kTextVa, kTextPa, 0x20000, PTE_R | PTE_X);
+        as.map(kMmioBase, kMmioBase, PTE_R | PTE_W);
+    }
+
+    void
+    mapData(size_t bytes)
+    {
+        dataBytes = (bytes + 0xfff) & ~size_t(0xfff);
+        as.mapRange(kDataVa, kDataPa, dataBytes, PTE_R | PTE_W);
+    }
+
+    Image
+    finish()
+    {
+        uint32_t harts = sys.cores();
+        Image img;
+        img.entry = kTextVa;
+        for (uint32_t h = 0; h < harts; h++) {
+            Addr base = kStackVa + h * 0x20000;
+            as.mapRange(base, kStackPa + h * 0x20000, 0x10000,
+                        PTE_R | PTE_W);
+            img.stacks.push_back(base + 0x10000 - 16);
+        }
+        img.satp = as.satp();
+        a.load(sys.mem(), kTextPa);
+        return img;
+    }
+};
+
+/** exit(a0). */
+void
+emitExit(Assembler &a)
+{
+    a.slli(a0, a0, 1);
+    a.ori(a0, a0, 1);
+    a.li(t6, kMmioBase + static_cast<Addr>(HostReg::Exit));
+    a.sd(a0, 0, t6);
+    auto spin = a.newLabel();
+    a.bind(spin);
+    a.j(spin);
+}
+
+/** One LCG step on reg r using scratch t (r = r*A + C). */
+void
+emitLcg(Assembler &a, int r, int scratchA, int scratchC)
+{
+    a.mul(r, r, scratchA);
+    a.add(r, r, scratchC);
+}
+
+/**
+ * Host-side: build a random ring of pointers over @p pages pages.
+ * @return start VAs spaced evenly around the ring (independent chase
+ * chains start there — real mcf/astar expose this kind of
+ * memory-level parallelism, which is what the paper's non-blocking
+ * TLBs exploit).
+ */
+std::vector<uint64_t>
+buildPointerRing(System &sys, uint32_t pages, uint32_t seed,
+                 uint32_t chains)
+{
+    std::vector<uint32_t> perm(pages);
+    for (uint32_t i = 0; i < pages; i++)
+        perm[i] = i;
+    std::mt19937 rng(seed);
+    std::shuffle(perm.begin(), perm.end(), rng);
+    auto nodeVa = [&](uint32_t page) {
+        // A pseudo-random in-page offset adds cache-set pressure.
+        uint64_t off = (uint64_t(page) * 712 + 64) & 0xfc0;
+        return kDataVa + uint64_t(page) * 4096 + off;
+    };
+    auto nodePa = [&](uint32_t page) {
+        return nodeVa(page) - kDataVa + kDataPa;
+    };
+    for (uint32_t i = 0; i < pages; i++) {
+        uint32_t cur = perm[i];
+        uint32_t nxt = perm[(i + 1) % pages];
+        sys.mem().write(nodePa(cur), nodeVa(nxt), 8);
+        sys.mem().write(nodePa(cur) + 8, (cur * 2654435761u) & 0xffff, 8);
+    }
+    std::vector<uint64_t> starts;
+    for (uint32_t c = 0; c < chains; c++)
+        starts.push_back(nodeVa(perm[size_t(c) * pages / chains]));
+    return starts;
+}
+
+// ------------------------------------------------------------ SPEC kernels
+
+/** mcf/astar/omnetpp: pointer chase across a huge page footprint. */
+Workload
+pointerChase(const std::string &name, uint32_t pages, uint32_t steps,
+             uint32_t filler, bool branchy, uint32_t seed,
+             uint32_t chains)
+{
+    return {name, [=](System &sys, uint32_t) {
+                Env e(sys);
+                e.mapData(size_t(pages) * 4096);
+                auto starts = buildPointerRing(sys, pages, seed, chains);
+                Assembler &a = e.a;
+                // Independent chains in s8/s9/s10/s11 (x24..x27).
+                const int chainReg[4] = {s8, s9, s10, s11};
+                for (uint32_t c = 0; c < chains; c++)
+                    a.li(chainReg[c], static_cast<int64_t>(starts[c]));
+                a.li(s1, 0);
+                a.li(s2, steps);
+                a.li(s4, 1103515245);
+                a.li(s5, 12345);
+                a.li(s6, 1);
+                a.li(a0, 0);
+                auto loop = a.newLabel();
+                a.bind(loop);
+                for (uint32_t c = 0; c < chains; c++)
+                    a.ld(chainReg[c], 0, chainReg[c]); // chase
+                // Filler consumes the loaded pointers (node "work"),
+                // so it serializes behind each chase like real node
+                // processing does.
+                for (uint32_t f = 0; f < filler; f++) {
+                    a.add(a0, a0, chainReg[f % chains]);
+                    a.srli(t2, a0, 3);
+                    a.xor_(a0, a0, t2);
+                }
+                if (branchy) {
+                    emitLcg(a, s6, s4, s5);
+                    a.srli(t1, s6, 17);
+                    a.andi(t1, t1, 1);
+                    auto skip = a.newLabel();
+                    a.beqz(t1, skip);
+                    a.addi(a0, a0, 3);
+                    a.bind(skip);
+                    a.li(s6, 1);
+                }
+                a.addi(s1, s1, 1);
+                a.bne(s1, s2, loop);
+                a.add(a0, a0, s8); // keep the chains live
+                a.andi(a0, a0, 0x7f);
+                emitExit(a);
+                return e.finish();
+            }};
+}
+
+/** libquantum: line-granular streaming over a large array. */
+Workload
+streaming(const std::string &name, uint32_t megabytes, uint32_t iters,
+          uint32_t filler)
+{
+    return {name, [=](System &sys, uint32_t) {
+                Env e(sys);
+                size_t bytes = size_t(megabytes) << 20;
+                e.mapData(bytes);
+                Assembler &a = e.a;
+                a.li(s0, kDataVa);
+                a.li(s1, 0);
+                a.li(s2, iters);
+                a.li(s3, static_cast<int64_t>(bytes));
+                a.li(s4, 0);
+                a.li(a0, 0);
+                auto loop = a.newLabel();
+                a.bind(loop);
+                a.add(t0, s0, s4);
+                a.ld(t1, 0, t0);
+                a.xori(t1, t1, 0x55);
+                a.sd(t1, 0, t0);
+                for (uint32_t f = 0; f < filler; f++)
+                    a.add(a0, a0, t1);
+                a.addi(s4, s4, 128); // skip lines: every access misses
+                auto nowrap = a.newLabel();
+                a.blt(s4, s3, nowrap);
+                a.li(s4, 0);
+                a.bind(nowrap);
+                a.addi(s1, s1, 1);
+                a.bne(s1, s2, loop);
+                a.andi(a0, a0, 0x7f);
+                emitExit(a);
+                return e.finish();
+            }};
+}
+
+/** hmmer/h264ref: dense compute over a cache-resident working set. */
+Workload
+dense(const std::string &name, uint32_t bufKb, uint32_t iters,
+      bool useMul)
+{
+    return {name, [=](System &sys, uint32_t) {
+                Env e(sys);
+                e.mapData(size_t(bufKb) * 1024);
+                for (uint32_t i = 0; i < bufKb * 1024 / 8; i++)
+                    sys.mem().write(kDataPa + i * 8, i * 2654435761u, 8);
+                Assembler &a = e.a;
+                a.li(s0, kDataVa);
+                a.li(s1, 0);
+                a.li(s2, iters);
+                a.li(s3, bufKb * 1024 / 8);
+                a.li(a0, 0);
+                a.li(s4, 0);
+                auto loop = a.newLabel();
+                a.bind(loop);
+                a.slli(t0, s4, 3);
+                a.add(t0, s0, t0);
+                a.ld(t1, 0, t0);
+                if (useMul) {
+                    a.mul(t2, t1, t1);
+                    a.add(a0, a0, t2);
+                    a.srli(t3, t2, 7);
+                    a.xor_(a0, a0, t3);
+                } else {
+                    a.sub(t2, a0, t1);
+                    a.srai(t3, t2, 63);
+                    a.xor_(t2, t2, t3);
+                    a.sub(t2, t2, t3); // |a0 - t1| (SAD-style)
+                    a.add(a0, a0, t2);
+                }
+                a.addi(s4, s4, 1);
+                auto nowrap = a.newLabel();
+                a.blt(s4, s3, nowrap);
+                a.li(s4, 0);
+                a.bind(nowrap);
+                a.addi(s1, s1, 1);
+                a.bne(s1, s2, loop);
+                a.andi(a0, a0, 0x7f);
+                emitExit(a);
+                return e.finish();
+            }};
+}
+
+/** sjeng/gobmk: unpredictable data-dependent branching. */
+Workload
+branchy(const std::string &name, uint32_t iters, uint32_t tableKb,
+        uint32_t seed, uint32_t filler)
+{
+    return {name, [=](System &sys, uint32_t) {
+                Env e(sys);
+                e.mapData(size_t(tableKb) * 1024);
+                for (uint32_t i = 0; i < tableKb * 1024 / 8; i++)
+                    sys.mem().write(kDataPa + i * 8, (i ^ seed) * 97, 8);
+                Assembler &a = e.a;
+                a.li(s0, kDataVa);
+                a.li(s1, 0);
+                a.li(s2, iters);
+                a.li(s4, 1103515245);
+                a.li(s5, 12345 + seed);
+                a.li(s6, seed | 1);
+                a.li(s7, tableKb * 1024 / 8 - 1);
+                a.li(a0, 0);
+                auto loop = a.newLabel();
+                a.bind(loop);
+                emitLcg(a, s6, s4, s5);
+                // Three nested unpredictable branches per iteration.
+                a.srli(t1, s6, 13);
+                a.andi(t1, t1, 1);
+                auto b1 = a.newLabel(), b2 = a.newLabel(),
+                     b3 = a.newLabel(), join = a.newLabel();
+                a.beqz(t1, b1);
+                a.addi(a0, a0, 1);
+                a.srli(t2, s6, 27);
+                a.andi(t2, t2, 1);
+                a.beqz(t2, b2);
+                a.addi(a0, a0, 2);
+                a.j(join);
+                a.bind(b2);
+                a.addi(a0, a0, 3);
+                a.j(join);
+                a.bind(b1);
+                a.srli(t2, s6, 21);
+                a.andi(t2, t2, 1);
+                a.beqz(t2, b3);
+                a.addi(a0, a0, 4);
+                a.j(join);
+                a.bind(b3);
+                // table access keyed on the LCG (moderate cache load)
+                a.srli(t3, s6, 8);
+                a.and_(t3, t3, s7);
+                a.slli(t3, t3, 3);
+                a.add(t3, s0, t3);
+                a.ld(t4, 0, t3);
+                a.add(a0, a0, t4);
+                a.bind(join);
+                for (uint32_t f = 0; f < filler; f++) {
+                    a.add(a0, a0, s6);
+                    a.srli(a0, a0, 1);
+                }
+                a.addi(s1, s1, 1);
+                a.bne(s1, s2, loop);
+                a.andi(a0, a0, 0x7f);
+                emitExit(a);
+                return e.finish();
+            }};
+}
+
+/** bzip2/xalancbmk: table transforms with data-dependent indexing. */
+Workload
+tableMix(const std::string &name, uint32_t bufMb, uint32_t iters,
+         uint32_t seed)
+{
+    return {name, [=](System &sys, uint32_t) {
+                Env e(sys);
+                // bufMb == 0 selects a 256 KB working set.
+                size_t bytes = bufMb ? size_t(bufMb) << 20
+                                     : size_t(256) << 10;
+                e.mapData(bytes);
+                std::mt19937 rng(seed);
+                for (uint32_t i = 0; i < bytes / 8; i += 7)
+                    sys.mem().write(kDataPa + i * 8, rng(), 8);
+                Assembler &a = e.a;
+                a.li(s0, kDataVa);
+                a.li(s1, 0);
+                a.li(s2, iters);
+                a.li(s6, seed | 1);
+                a.li(s4, 1103515245);
+                a.li(s5, 12345);
+                a.li(s7, (bytes / 8) - 1);
+                a.li(a0, 0);
+                auto loop = a.newLabel();
+                a.bind(loop);
+                emitLcg(a, s6, s4, s5);
+                a.srli(t0, s6, 11);
+                a.and_(t0, t0, s7);
+                a.slli(t0, t0, 3);
+                a.add(t0, s0, t0);
+                a.ld(t1, 0, t0);     // data-dependent gather
+                a.andi(t2, t1, 63);
+                a.slli(t2, t2, 3);
+                a.add(t2, s0, t2);
+                a.ld(t3, 0, t2);     // dependent second-level lookup
+                a.add(a0, a0, t3);
+                auto skip = a.newLabel();
+                a.andi(t4, t1, 1);
+                a.beqz(t4, skip);
+                a.sd(a0, 0, t2);     // occasional store
+                a.bind(skip);
+                a.addi(s1, s1, 1);
+                a.bne(s1, s2, loop);
+                a.andi(a0, a0, 0x7f);
+                emitExit(a);
+                return e.finish();
+            }};
+}
+
+// --------------------------------------------------------- PARSEC scaffold
+
+constexpr Addr kBarrierVa = kDataVa;         // barrier counters
+constexpr Addr kSharedVa = kDataVa + 0x1000; // kernel data after page 0
+
+/** Entry: idle harts (id >= threads) exit; workers get tid in s11. */
+void
+emitParallelEntry(Assembler &a, uint32_t threads)
+{
+    a.csrr(s11, kCsrMhartid);
+    a.li(t0, threads);
+    auto work = a.newLabel();
+    a.blt(s11, t0, work);
+    a.li(a0, 0);
+    emitExit(a);
+    a.bind(work);
+}
+
+/** Sense-less barrier number @p n for @p threads workers. */
+void
+emitBarrier(Assembler &a, uint32_t n, uint32_t threads)
+{
+    a.li(t0, kBarrierVa + n * 64);
+    a.li(t1, 1);
+    a.amoadd_d(t2, t1, t0);
+    a.li(t3, threads);
+    auto spin = a.newLabel();
+    a.bind(spin);
+    a.ld(t2, 0, t0);
+    a.blt(t2, t3, spin);
+}
+
+/** hart 0 stamps a ROI marker. */
+void
+emitRoi(Assembler &a, bool begin)
+{
+    auto skip = a.newLabel();
+    a.bnez(s11, skip);
+    a.li(t0, kMmioBase + static_cast<Addr>(begin ? HostReg::RoiBegin
+                                                 : HostReg::RoiEnd));
+    a.sd(zero, 0, t0);
+    a.bind(skip);
+}
+
+/**
+ * Parallel kernel wrapper: entry, barrier, ROI begin, body(tid in
+ * s11), barrier, ROI end, exit.
+ */
+Workload
+parallel(const std::string &name, size_t dataBytes,
+         std::function<void(System &)> initData,
+         std::function<void(Assembler &, uint32_t threads)> body)
+{
+    return {name, [=](System &sys, uint32_t threads) {
+                Env e(sys);
+                e.mapData(0x1000 + dataBytes);
+                if (initData)
+                    initData(sys);
+                Assembler &a = e.a;
+                emitParallelEntry(a, threads);
+                emitBarrier(a, 0, threads);
+                emitRoi(a, true);
+                body(a, threads);
+                emitBarrier(a, 1, threads);
+                emitRoi(a, false);
+                a.li(a0, 0);
+                emitExit(a);
+                return e.finish();
+            }};
+}
+
+/** Shared-data physical address for host-side init. */
+Addr
+sharedPa(Addr va)
+{
+    return va - kDataVa + kDataPa;
+}
+
+} // namespace
+
+// --------------------------------------------------------------- catalogs
+
+std::vector<Workload>
+specWorkloads()
+{
+    std::vector<Workload> w;
+    w.push_back(tableMix("bzip2", 0, 12000, 11)); // 256 KB (see tableMix)
+    w.push_back(pointerChase("gcc", 96, 9000, 5, true, 21, 2));
+    w.push_back(pointerChase("mcf", 12288, 2200, 3, false, 31, 3));
+    w.push_back(branchy("gobmk", 9000, 512, 41, 10));
+    w.push_back(dense("hmmer", 16, 30000, true));
+    w.push_back(branchy("sjeng", 12000, 64, 51, 4));
+    w.push_back(streaming("libquantum", 4, 12000, 6));
+    w.push_back(dense("h264ref", 24, 30000, false));
+    w.push_back(pointerChase("astar", 16384, 2000, 2, true, 61, 4));
+    w.push_back(pointerChase("omnetpp", 8192, 2500, 5, true, 71, 3));
+    w.push_back(tableMix("xalancbmk", 2, 10000, 81));
+    return w;
+}
+
+std::vector<Workload>
+parsecWorkloads()
+{
+    std::vector<Workload> w;
+    constexpr uint32_t kN = 12288; // elements in the shared arrays
+
+    auto initArray = [](System &sys) {
+        for (uint32_t i = 0; i < kN; i++)
+            sys.mem().write(sharedPa(kSharedVa) + i * 8,
+                            (i * 2654435761u) & 0xffffff, 8);
+    };
+
+    // Data-parallel polynomial over private chunks.
+    w.push_back(parallel(
+        "blackscholes", kN * 8 + 4096, initArray,
+        [](Assembler &a, uint32_t threads) {
+            uint32_t chunk = kN / threads;
+            a.li(s0, kSharedVa);
+            a.li(t0, chunk);
+            a.mul(s1, s11, t0); // start index
+            a.add(s2, s1, t0);  // end index
+            auto loop = a.newLabel();
+            a.bind(loop);
+            a.slli(t1, s1, 3);
+            a.add(t1, s0, t1);
+            a.ld(t2, 0, t1);
+            a.mul(t3, t2, t2);
+            a.srli(t3, t3, 11);
+            a.add(t3, t3, t2);
+            a.mul(t4, t3, t2);
+            a.srli(t4, t4, 13);
+            a.add(t3, t3, t4);
+            a.sd(t3, 0, t1);
+            a.addi(s1, s1, 1);
+            a.bne(s1, s2, loop);
+        }));
+
+    // Stencil over a shared-read grid into a private output region.
+    w.push_back(parallel(
+        "facesim", 2 * kN * 8 + 4096, initArray,
+        [](Assembler &a, uint32_t threads) {
+            uint32_t chunk = (kN - 2) / threads;
+            a.li(s0, kSharedVa);
+            a.li(s3, kSharedVa + kN * 8); // output
+            a.li(t0, chunk);
+            a.mul(s1, s11, t0);
+            a.addi(s1, s1, 1);
+            a.add(s2, s1, t0);
+            auto loop = a.newLabel();
+            a.bind(loop);
+            a.slli(t1, s1, 3);
+            a.add(t2, s0, t1);
+            a.ld(t3, -8, t2);
+            a.ld(t4, 0, t2);
+            a.ld(t5, 8, t2);
+            a.add(t3, t3, t5);
+            a.slli(t4, t4, 1);
+            a.add(t3, t3, t4);
+            a.srai(t3, t3, 2);
+            a.add(t2, s3, t1);
+            a.sd(t3, 0, t2);
+            a.addi(s1, s1, 1);
+            a.bne(s1, s2, loop);
+        }));
+
+    // Software pipeline: stage t transforms items and passes them on.
+    // Queue slots are a cache line apart so producer and consumer only
+    // share a line during an actual handoff, and polls use AMOs
+    // (commit-time, unkillable) rather than speculative loads.
+    w.push_back(parallel(
+        "ferret", 8 * 0x4000, nullptr,
+        [](Assembler &a, uint32_t threads) {
+            // Fixed total stage-work: T stages x (640/T) items.
+            uint32_t kItems = 640 / threads;
+            a.li(s0, kSharedVa);
+            a.slli(s1, s11, 14);
+            a.add(s1, s0, s1);     // input queue base (stage s11)
+            a.li(t0, 0x4000);
+            a.add(s2, s1, t0);     // output queue base (stage s11+1)
+            a.li(s3, 0);
+            a.li(s4, kItems);
+            auto loop = a.newLabel();
+            auto get = a.newLabel();
+            auto putSpin = a.newLabel();
+            a.bind(loop);
+            a.andi(t0, s3, 31);
+            a.slli(t0, t0, 6);     // one slot per cache line
+            a.add(t1, s1, t0);     // &in[slot]
+            a.add(t2, s2, t0);     // &out[slot]
+            // stage 0: item := s3+1, no input wait
+            a.addi(t3, s3, 1);
+            auto isStage0 = a.newLabel();
+            a.beqz(s11, isStage0);
+            a.bind(get);
+            a.amoswap_d(t3, zero, t1); // take the item (0 if empty)
+            a.beqz(t3, get);
+            a.bind(isStage0);
+            a.slli(t4, t3, 1);
+            a.xor_(t3, t3, t4); // "work"
+            a.ori(t3, t3, 1);
+            // last stage consumes; others pass downstream
+            a.li(t5, threads - 1);
+            auto consume = a.newLabel();
+            a.beq(s11, t5, consume);
+            a.bind(putSpin);
+            a.amoadd_d(t6, zero, t2); // probe the slot atomically
+            a.bnez(t6, putSpin); // wait for a free slot
+            a.sd(t3, 0, t2);
+            a.bind(consume);
+            a.addi(s3, s3, 1);
+            a.bne(s3, s4, loop);
+        }));
+
+    // Fine-grained locking on chunk boundaries.
+    w.push_back(parallel(
+        "fluidanimate", kN * 8 + 64 * 8 + 4096, initArray,
+        [](Assembler &a, uint32_t threads) {
+            uint32_t chunk = kN / threads;
+            Addr locks = kSharedVa + kN * 8;
+            a.li(s0, kSharedVa);
+            a.li(s5, locks);
+            a.li(t0, chunk);
+            a.mul(s1, s11, t0);
+            a.add(s2, s1, t0);
+            auto loop = a.newLabel();
+            a.bind(loop);
+            // lock s11 (covers this chunk's boundary with neighbor)
+            a.slli(t1, s11, 3);
+            a.add(t1, s5, t1);
+            a.li(t2, 1);
+            auto acq = a.newLabel();
+            a.bind(acq);
+            a.amoswap_d(t3, t2, t1);
+            a.bnez(t3, acq);
+            a.fence(); // acquire (WMM)
+            // update 4 cells
+            a.slli(t4, s1, 3);
+            a.add(t4, s0, t4);
+            for (int c = 0; c < 4; c++) {
+                a.ld(t5, c * 8, t4);
+                a.addi(t5, t5, 1);
+                a.sd(t5, c * 8, t4);
+            }
+            a.fence();
+            a.sd(zero, 0, t1); // unlock
+            a.addi(s1, s1, 4);
+            a.blt(s1, s2, loop);
+        }));
+
+    // Shared hash-count building with AMO increments.
+    w.push_back(parallel(
+        "freqmine", 65536 * 8 + 4096, nullptr,
+        [](Assembler &a, uint32_t threads) {
+            constexpr uint32_t kOps = 4000;
+            a.li(s0, kSharedVa);
+            a.li(s3, 0);
+            a.li(s4, kOps / threads);
+            a.li(s5, 1103515245);
+            a.li(s6, 12345);
+            a.addi(s7, s11, 17);
+            a.li(t2, 1);
+            auto loop = a.newLabel();
+            a.bind(loop);
+            emitLcg(a, s7, s5, s6);
+            a.srli(t0, s7, 9);
+            a.li(t1, 65535);
+            a.and_(t0, t0, t1);
+            a.slli(t0, t0, 3);
+            a.add(t0, s0, t0);
+            a.amoadd_d(zero, t2, t0);
+            a.addi(s3, s3, 1);
+            a.bne(s3, s4, loop);
+        }));
+
+    // Independent Monte-Carlo accumulation (embarrassingly parallel).
+    w.push_back(parallel(
+        "swaptions", 4096, nullptr,
+        [](Assembler &a, uint32_t threads) {
+            constexpr uint32_t kTrials = 16000;
+            a.li(s3, 0);
+            a.li(s4, kTrials / threads);
+            a.li(s5, 1103515245);
+            a.li(s6, 12345);
+            a.addi(s7, s11, 3);
+            a.li(s8, 0);
+            auto loop = a.newLabel();
+            a.bind(loop);
+            emitLcg(a, s7, s5, s6);
+            a.srli(t0, s7, 16);
+            a.mul(t1, t0, t0);
+            a.srli(t1, t1, 24);
+            a.add(s8, s8, t1);
+            a.addi(s3, s3, 1);
+            a.bne(s3, s4, loop);
+        }));
+
+    // Barrier-phased shared-read distance computations.
+    w.push_back(parallel(
+        "streamcluster", kN * 8 + 4096, initArray,
+        [](Assembler &a, uint32_t threads) {
+            uint32_t chunk = kN / threads;
+            a.li(s9, 0);
+            for (uint32_t phase = 0; phase < 3; phase++) {
+                a.li(s0, kSharedVa);
+                a.li(t0, chunk);
+                a.mul(s1, s11, t0);
+                a.add(s2, s1, t0);
+                a.li(s8, 12345 + phase * 777); // the "center"
+                auto loop = a.newLabel();
+                a.bind(loop);
+                a.slli(t1, s1, 3);
+                a.add(t1, s0, t1);
+                a.ld(t2, 0, t1);
+                a.sub(t3, t2, s8);
+                a.mul(t3, t3, t3);
+                a.add(s9, s9, t3);
+                a.addi(s1, s1, 1);
+                a.bne(s1, s2, loop);
+                // phase barrier (barriers 2, 3, 4)
+                emitBarrier(a, 2 + phase, threads);
+            }
+        }));
+
+    return w;
+}
+
+uint64_t
+runToCompletion(System &sys, const Image &img, uint64_t maxCycles)
+{
+    sys.start(img.entry, img.satp, img.stacks);
+    if (!sys.run(maxCycles))
+        cmd::fatal("workload did not complete within %llu cycles",
+                   (unsigned long long)maxCycles);
+    return sys.kernel().cycleCount();
+}
+
+uint64_t
+roiCycles(System &sys)
+{
+    uint64_t b = sys.host().roiBegin(0);
+    uint64_t e = sys.host().roiEnd(0);
+    if (e <= b)
+        cmd::fatal("ROI markers missing or inverted");
+    return e - b;
+}
+
+} // namespace riscy::workloads

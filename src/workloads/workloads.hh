@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Benchmark workloads. There is no cross-compiler in this
+ * environment, so the paper's SPEC CINT2006 and PARSEC suites are
+ * replaced by RISC-V kernels written against the asmkit assembler,
+ * each engineered to match the corresponding benchmark's published
+ * locality/branch profile (paper Fig. 16):
+ *
+ *   mcf/astar/omnetpp  -> pointer chases over multi-thousand-page
+ *                         footprints (DTLB + L2 TLB miss dominated)
+ *   hmmer/h264ref      -> dense compute, tiny working sets
+ *   libquantum         -> streaming over a large array (cache-miss
+ *                         dominated, modest TLB pressure)
+ *   sjeng/gobmk        -> data-dependent branching (predictor-bound)
+ *   bzip2/gcc/xalancbmk-> mixed table/pointer/branch behavior
+ *
+ * The PARSEC stand-ins are multithreaded kernels with an explicit
+ * region of interest (host ROI markers), spin locks and barriers via
+ * the A extension, covering the communication patterns of the seven
+ * benchmarks the paper runs (Fig. 20).
+ *
+ * Every workload runs under Sv39 paging so the TLB hierarchy is
+ * genuinely exercised.
+ */
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "proc/system.hh"
+
+namespace riscy::workloads {
+
+/** A loaded program image: where to start the harts. */
+struct Image {
+    Addr entry = 0;
+    uint64_t satp = 0;
+    std::vector<Addr> stacks;
+};
+
+struct Workload {
+    std::string name;
+    /**
+     * Build the image into @p sys's physical memory for @p threads
+     * worker harts (single-threaded workloads ignore the argument;
+     * idle harts exit immediately).
+     */
+    std::function<Image(System &sys, uint32_t threads)> build;
+};
+
+/** The eleven SPEC CINT2006 stand-ins (paper Figs. 15-19). */
+std::vector<Workload> specWorkloads();
+
+/** The seven PARSEC stand-ins (paper Fig. 20). */
+std::vector<Workload> parsecWorkloads();
+
+/** Run a built image to completion. @return total cycles. */
+uint64_t runToCompletion(System &sys, const Image &img,
+                         uint64_t maxCycles = 400000000);
+
+/** ROI duration in cycles (hart 0's markers), for PARSEC runs. */
+uint64_t roiCycles(System &sys);
+
+} // namespace riscy::workloads

@@ -1,0 +1,496 @@
+/**
+ * @file
+ * End-to-end OOO-core tests: whole programs run on the full system
+ * (core + TLBs + coherent caches + DRAM), co-simulated against the
+ * golden model commit-by-commit, across the paper's configurations.
+ */
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "mem/page_table.hh"
+#include "cosim.hh"
+
+using namespace riscy;
+using namespace riscy::asmkit;
+using namespace riscy::test;
+using namespace riscy::isa;
+
+namespace {
+
+TEST(Core, ArithmeticLoop)
+{
+    Assembler a(kEntry);
+    a.li(a0, 0);
+    a.li(t0, 1);
+    a.li(t1, 101);
+    auto loop = a.newLabel();
+    a.bind(loop);
+    a.add(a0, a0, t0);
+    a.addi(t0, t0, 1);
+    a.bne(t0, t1, loop);
+    emitExit(a);
+    EXPECT_EQ(runCosim(a, SystemConfig::riscyooB()), 5050u);
+}
+
+TEST(Core, DependentChainAndBypass)
+{
+    Assembler a(kEntry);
+    a.li(a0, 1);
+    for (int i = 0; i < 40; i++) {
+        a.addi(a0, a0, 3);
+        a.slli(t0, a0, 1);
+        a.sub(a0, t0, a0); // a0 = 2*a0 - a0 = a0 (+3 net per iter)
+    }
+    emitExit(a);
+    EXPECT_EQ(runCosim(a, SystemConfig::riscyooB()), 121u);
+}
+
+TEST(Core, LoadsStoresAndForwarding)
+{
+    Assembler a(kEntry);
+    Addr data = kEntry + 0x10000;
+    a.li(s0, data);
+    a.li(a0, 0);
+    a.li(t0, 0);
+    a.li(t1, 64);
+    auto loop = a.newLabel();
+    a.bind(loop);
+    // store then immediately load back (store-to-load forwarding)
+    a.slli(t2, t0, 3);
+    a.add(t3, s0, t2);
+    a.sd(t0, 0, t3);
+    a.ld(t4, 0, t3);
+    a.add(a0, a0, t4);
+    a.addi(t0, t0, 1);
+    a.bne(t0, t1, loop);
+    emitExit(a);
+    EXPECT_EQ(runCosim(a, SystemConfig::riscyooB()), 2016u);
+}
+
+TEST(Core, SubwordAccesses)
+{
+    Assembler a(kEntry);
+    Addr data = kEntry + 0x10000;
+    a.li(s0, data);
+    a.li(t0, 0xf00dface);
+    a.sw(t0, 0, s0);
+    a.sh(t0, 4, s0);
+    a.sb(t0, 6, s0);
+    a.lw(t1, 0, s0);   // sext(0xf00dface)
+    a.lhu(t2, 4, s0);  // 0xface
+    a.lb(t3, 6, s0);   // sext(0xce)
+    a.lbu(t4, 6, s0);  // 0xce
+    a.add(a0, t1, t2);
+    a.add(a0, a0, t3);
+    a.add(a0, a0, t4);
+    a.li(t5, 0xffff);
+    a.and_(a0, a0, t5);
+    emitExit(a);
+    uint64_t expect = (0xfffffffff00dfaceull + 0xface +
+                       0xffffffffffffffceull + 0xce) & 0xffff;
+    EXPECT_EQ(runCosim(a, SystemConfig::riscyooB()), expect);
+}
+
+TEST(Core, BranchyCodeWithMispredicts)
+{
+    // Data-dependent branches on an LCG: exercises the tournament
+    // predictor, speculation tags, and wrong-path recovery.
+    Assembler a(kEntry);
+    a.li(a0, 0);
+    a.li(t0, 12345);
+    a.li(t1, 0);
+    a.li(t2, 400);
+    a.li(t3, 1103515245);
+    a.li(t4, 12345);
+    auto loop = a.newLabel();
+    auto skip = a.newLabel();
+    auto join = a.newLabel();
+    a.bind(loop);
+    a.mul(t0, t0, t3);
+    a.add(t0, t0, t4);
+    a.srli(t5, t0, 16);
+    a.andi(t5, t5, 1);
+    a.beqz(t5, skip);
+    a.addi(a0, a0, 7);
+    a.j(join);
+    a.bind(skip);
+    a.addi(a0, a0, 1);
+    a.bind(join);
+    a.addi(t1, t1, 1);
+    a.bne(t1, t2, loop);
+    emitExit(a);
+
+    Assembler check(kEntry); // compute expected with the golden model
+    uint64_t code = runCosim(a, SystemConfig::riscyooB());
+    // Cross-check against a plain host-side computation of the LCG.
+    uint64_t x = 12345, acc = 0;
+    for (int i = 0; i < 400; i++) {
+        x = x * 1103515245 + 12345;
+        acc += ((x >> 16) & 1) ? 7 : 1;
+    }
+    EXPECT_EQ(code, acc & 0x7fffffffffffffffull);
+}
+
+TEST(Core, FunctionCallsExerciseRas)
+{
+    Assembler a(kEntry);
+    auto fn = a.newLabel();
+    auto fn2 = a.newLabel();
+    a.li(a0, 0);
+    a.li(s1, 0);
+    a.li(s2, 50);
+    auto loop = a.newLabel();
+    a.bind(loop);
+    a.call(fn);
+    a.addi(s1, s1, 1);
+    a.bne(s1, s2, loop);
+    emitExit(a);
+    a.bind(fn);
+    a.addi(sp, sp, -16);
+    a.sd(ra, 0, sp);
+    a.call(fn2);
+    a.ld(ra, 0, sp);
+    a.addi(sp, sp, 16);
+    a.addi(a0, a0, 1);
+    a.ret();
+    a.bind(fn2);
+    a.addi(a0, a0, 2);
+    a.ret();
+    EXPECT_EQ(runCosim(a, SystemConfig::riscyooB()), 150u);
+}
+
+TEST(Core, MulDivPipe)
+{
+    Assembler a(kEntry);
+    a.li(a0, 0);
+    a.li(t0, 1);
+    a.li(t1, 30);
+    auto loop = a.newLabel();
+    a.bind(loop);
+    a.mul(t2, t0, t0);
+    a.div(t3, t2, t0); // == t0
+    a.rem(t4, t2, t3); // == 0
+    a.add(a0, a0, t3);
+    a.add(a0, a0, t4);
+    a.addi(t0, t0, 1);
+    a.bne(t0, t1, loop);
+    emitExit(a);
+    EXPECT_EQ(runCosim(a, SystemConfig::riscyooB()), 435u); // sum 1..29
+}
+
+TEST(Core, LrScAmoSingleHart)
+{
+    Assembler a(kEntry);
+    Addr data = kEntry + 0x10000;
+    a.li(s0, data);
+    a.li(t0, 5);
+    a.sd(t0, 0, s0);
+    a.fence();
+    a.lr_d(t1, s0);
+    a.addi(t1, t1, 1);
+    a.sc_d(t2, t1, s0);   // success: t2 = 0, mem = 6
+    a.li(t3, 10);
+    a.amoadd_d(t4, t3, s0); // t4 = 6, mem = 16
+    a.amomax_d(t5, t0, s0); // t5 = 16, mem = max(16,5)=16
+    a.ld(a0, 0, s0);
+    a.add(a0, a0, t2);
+    a.add(a0, a0, t4);
+    a.add(a0, a0, t5);     // 16+0+6+16 = 38
+    emitExit(a);
+    EXPECT_EQ(runCosim(a, SystemConfig::riscyooB()), 38u);
+}
+
+TEST(Core, CsrAccess)
+{
+    Assembler a(kEntry);
+    a.csrr(a0, kCsrMhartid); // 0
+    a.li(t0, 0xbeef);
+    a.csrw(kCsrMscratch, t0);
+    a.csrr(t1, kCsrMscratch);
+    a.add(a0, a0, t1);
+    a.csrr(t2, kCsrCycle); // volatile: not compared, must not trap
+    a.csrr(t3, kCsrInstret);
+    emitExit(a);
+    EXPECT_EQ(runCosim(a, SystemConfig::riscyooB()), 0xbeefu);
+}
+
+TEST(Core, TrapAndMret)
+{
+    Assembler a(kEntry);
+    auto cont = a.newLabel();
+    a.j(cont);
+    // handler at kEntry + 4
+    a.csrr(a0, kCsrMcause);
+    a.csrr(t1, kCsrMepc);
+    a.addi(t1, t1, 4);
+    a.csrw(kCsrMepc, t1);
+    a.mret();
+    a.bind(cont);
+    a.li(t2, kEntry + 4);
+    a.csrw(kCsrMtvec, t2);
+    a.ecall();              // -> a0 = 11
+    a.addi(a0, a0, 100);    // 111
+    emitExit(a);
+    EXPECT_EQ(runCosim(a, SystemConfig::riscyooB()), 111u);
+}
+
+TEST(Core, ConsoleOutput)
+{
+    Assembler a(kEntry);
+    a.li(t6, kMmioBase + static_cast<Addr>(HostReg::Putchar));
+    for (char ch : std::string("cmd")) {
+        a.li(t0, ch);
+        a.sd(t0, 0, t6);
+    }
+    a.li(a0, 7);
+    emitExit(a);
+
+    SystemConfig cfg = SystemConfig::riscyooB();
+    System sys(cfg);
+    a.load(sys.mem(), kEntry);
+    sys.elaborate();
+    sys.start(kEntry, 0, {kStackTop});
+    ASSERT_TRUE(sys.run(2000000));
+    EXPECT_EQ(sys.host().exitCode(0), 7u);
+    EXPECT_EQ(sys.host().console(), "cmd");
+}
+
+TEST(Core, RunsUnderSv39Paging)
+{
+    SystemConfig cfg = SystemConfig::riscyooB();
+    cfg.cores = 1;
+    System sys(cfg);
+
+    FrameAllocator frames(kDramBase + 0x1000000);
+    AddressSpace as(sys.mem(), frames);
+    Addr textVa = 0x400000, dataVa = 0x10000000;
+    Addr textPa = kDramBase, dataPa = kDramBase + 0x800000;
+    as.mapRange(textVa, textPa, 0x10000, PTE_R | PTE_X);
+    as.mapRange(dataVa, dataPa, 0x10000, PTE_R | PTE_W);
+    as.map(kMmioBase, kMmioBase, PTE_R | PTE_W);
+    Addr stackVa = 0x20000000;
+    as.mapRange(stackVa - 0x4000, kDramBase + 0x900000, 0x4000,
+                PTE_R | PTE_W);
+
+    Assembler a(textVa);
+    a.li(s0, dataVa);
+    a.li(a0, 0);
+    a.li(t0, 0);
+    a.li(t1, 32);
+    auto loop = a.newLabel();
+    a.bind(loop);
+    a.slli(t2, t0, 3);
+    a.add(t3, s0, t2);
+    a.sd(t2, 0, t3);
+    a.ld(t4, 0, t3);
+    a.add(a0, a0, t4);
+    a.addi(t0, t0, 1);
+    a.bne(t0, t1, loop);
+    a.sd(a0, -8, sp); // touch the stack mapping too
+    a.ld(a0, -8, sp);
+    emitExit(a);
+    a.load(sys.mem(), textPa);
+
+    sys.elaborate();
+    CoSim cosim;
+    // (attach after load so the golden copy sees the program)
+    cosim.attach(sys, 0, textVa, as.satp(), stackVa);
+    sys.start(textVa, as.satp(), {stackVa});
+    ASSERT_TRUE(sys.run(3000000));
+    EXPECT_EQ(cosim.mismatches(), 0u);
+    EXPECT_EQ(sys.host().exitCode(0), 8ull * (31 * 32 / 2));
+}
+
+/** Random programs across all four single-core configurations. */
+class RandomProgramTest
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(RandomProgramTest, MatchesGoldenModel)
+{
+    auto [cfgIdx, seed] = GetParam();
+    SystemConfig cfg;
+    switch (cfgIdx) {
+      case 0:
+        cfg = SystemConfig::riscyooB();
+        break;
+      case 1:
+        cfg = SystemConfig::riscyooTPlus();
+        break;
+      case 2:
+        cfg = SystemConfig::riscyooTPlusRPlus();
+        break;
+      default:
+        cfg = SystemConfig::multicore(false); // WMM core
+        cfg.cores = 1;
+        break;
+    }
+
+    std::mt19937 rng(seed * 7919 + 13);
+    Assembler a(kEntry);
+    Addr data = kEntry + 0x20000;
+
+    a.li(s0, data);
+    a.li(s1, 0);      // loop counter
+    a.li(s2, 40);     // iterations
+    // Scratch pool excludes s0/s1/s2 (x8/x9/x18) and sp/ra.
+    const int pool[] = {5, 6, 7, 10, 11, 12, 13, 14, 15, 16, 17};
+    constexpr int kPool = 11;
+    for (int r : pool)
+        a.li(r, static_cast<int64_t>(rng() % 1000));
+    auto loop = a.newLabel();
+    a.bind(loop);
+    for (int i = 0; i < 60; i++) {
+        int rd = pool[rng() % kPool];
+        int rs1 = pool[rng() % kPool];
+        int rs2 = pool[rng() % kPool];
+        switch (rng() % 12) {
+          case 0:
+            a.add(rd, rs1, rs2);
+            break;
+          case 1:
+            a.sub(rd, rs1, rs2);
+            break;
+          case 2:
+            a.xor_(rd, rs1, rs2);
+            break;
+          case 3:
+            a.sltu(rd, rs1, rs2);
+            break;
+          case 4:
+            a.addi(rd, rs1, static_cast<int32_t>(rng() % 1024) - 512);
+            break;
+          case 5:
+            a.slli(rd, rs1, rng() % 32);
+            break;
+          case 6:
+            a.mul(rd, rs1, rs2);
+            break;
+          case 7:
+            a.divu(rd, rs1, rs2);
+            break;
+          case 8: { // store to random slot
+            uint32_t off = (rng() % 128) * 8;
+            a.sd(rs2, static_cast<int32_t>(off), s0);
+            break;
+          }
+          case 9: { // load from random slot
+            uint32_t off = (rng() % 128) * 8;
+            a.ld(rd, static_cast<int32_t>(off), s0);
+            break;
+          }
+          case 10: { // short forward branch
+            auto skip = a.newLabel();
+            a.beq(rs1, rs2, skip);
+            a.addi(rd, rd, 1);
+            a.xor_(rs1 == rd ? 6 : rs1, rs1, rd);
+            a.bind(skip);
+            break;
+          }
+          default: { // subword store/load pair
+            uint32_t off = (rng() % 256) * 4;
+            a.sw(rs2, static_cast<int32_t>(off), s0);
+            a.lw(rd, static_cast<int32_t>(off), s0);
+            break;
+          }
+        }
+    }
+    a.addi(s1, s1, 1);
+    a.bne(s1, s2, loop);
+    // Fold a checksum of the working registers into a0.
+    a.mv(s3, 10); // stash a0's current value out of the fold
+    a.li(a0, 0);
+    a.add(a0, a0, s3);
+    for (int r : pool) {
+        if (r != 10)
+            a.add(a0, a0, r);
+    }
+    emitExit(a);
+
+    uint64_t checked = 0;
+    runCosim(a, cfg, 4000000, &checked);
+    EXPECT_GT(checked, 2000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RandomProgramTest,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                       ::testing::Values(1, 2, 3)));
+
+TEST(Core, InOrderBaselineRunsPrograms)
+{
+    Assembler a(kEntry);
+    a.li(a0, 0);
+    a.li(t0, 1);
+    a.li(t1, 101);
+    auto loop = a.newLabel();
+    a.bind(loop);
+    a.add(a0, a0, t0);
+    a.addi(t0, t0, 1);
+    a.bne(t0, t1, loop);
+    emitExit(a);
+
+    SystemConfig cfg = SystemConfig::rocket(10);
+    System sys(cfg);
+    a.load(sys.mem(), kEntry);
+    sys.elaborate();
+    sys.start(kEntry, 0, {kStackTop});
+    ASSERT_TRUE(sys.run(2000000));
+    EXPECT_EQ(sys.host().exitCode(0), 5050u);
+}
+
+TEST(Core, OooBeatsInOrderOnIlp)
+{
+    // The headline sanity check behind Fig. 17: the OOO core should
+    // finish an ILP-rich loop in fewer cycles than the in-order core.
+    auto build = [](Assembler &a) {
+        a.li(a0, 0);
+        a.li(t0, 0);
+        a.li(t1, 200);
+        auto loop = a.newLabel();
+        a.bind(loop);
+        // independent work in each iteration
+        a.addi(t2, t0, 1);
+        a.addi(t3, t0, 2);
+        a.addi(t4, t0, 3);
+        a.addi(t5, t0, 4);
+        a.add(a0, a0, t2);
+        a.add(a0, a0, t3);
+        a.add(a0, a0, t4);
+        a.add(a0, a0, t5);
+        a.addi(t0, t0, 1);
+        a.bne(t0, t1, loop);
+        emitExit(a);
+    };
+
+    uint64_t oooCycles, ioCycles, expect = 0;
+    for (int i = 0; i < 200; i++)
+        expect += 4 * i + 10;
+    {
+        Assembler a(kEntry);
+        build(a);
+        System sys(SystemConfig::riscyooB());
+        a.load(sys.mem(), kEntry);
+        sys.elaborate();
+        sys.start(kEntry, 0, {kStackTop});
+        ASSERT_TRUE(sys.run(2000000));
+        EXPECT_EQ(sys.host().exitCode(0), expect);
+        oooCycles = sys.kernel().cycleCount();
+    }
+    {
+        Assembler a(kEntry);
+        build(a);
+        System sys(SystemConfig::rocket(120));
+        a.load(sys.mem(), kEntry);
+        sys.elaborate();
+        sys.start(kEntry, 0, {kStackTop});
+        ASSERT_TRUE(sys.run(4000000));
+        EXPECT_EQ(sys.host().exitCode(0), expect);
+        ioCycles = sys.kernel().cycleCount();
+    }
+    EXPECT_LT(oooCycles, ioCycles);
+}
+
+} // namespace

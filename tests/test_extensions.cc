@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Tests for the paper's two suggested extensions, implemented here:
+ * the MESI protocol ("it should not be difficult to extend the MSI
+ * protocol to a MESI protocol") and SQ store prefetching ("SQ can
+ * issue as many store-prefetch requests as it wants. Currently we
+ * have not implemented this feature.").
+ */
+#include <gtest/gtest.h>
+
+#include "cache/hierarchy.hh"
+#include "cosim.hh"
+
+using namespace riscy;
+using namespace riscy::asmkit;
+using namespace riscy::test;
+using namespace cmd;
+
+namespace {
+
+constexpr Addr A = kDramBase + 0x4000;
+
+struct Sys2 {
+    Kernel k;
+    PhysMem mem;
+    MemHierarchy hier;
+
+    explicit Sys2(bool mesi)
+        : hier(k, "sys", mem, [&] {
+              MemHierarchyConfig c;
+              c.cores = 2;
+              c.l2.mesi = mesi;
+              return c;
+          }())
+    {
+        k.elaborate();
+    }
+
+    Line
+    load(uint32_t i, Addr addr)
+    {
+        L1Cache &c = hier.dcache(i);
+        EXPECT_TRUE(k.runAtomically([&] { c.reqLd(1, addr); }));
+        EXPECT_TRUE(k.runUntil([&] { return c.respLdReady(); }, 100000));
+        Line out;
+        EXPECT_TRUE(k.runAtomically([&] { out = c.respLd().line; }));
+        k.cycle();
+        return out;
+    }
+
+    void
+    store(uint32_t i, Addr addr, uint64_t value)
+    {
+        L1Cache &c = hier.dcache(i);
+        EXPECT_TRUE(k.runAtomically([&] { c.reqSt(2, addr); }));
+        EXPECT_TRUE(k.runUntil([&] { return c.respStReady(); }, 100000));
+        EXPECT_TRUE(k.runAtomically([&] {
+            c.respSt();
+            c.writeData(addr, value, 8);
+        }));
+        k.cycle();
+    }
+};
+
+TEST(Mesi, SoleReaderGetsExclusive)
+{
+    Sys2 s(true);
+    s.mem.write(A, 7, 8);
+    s.load(0, A);
+    EXPECT_EQ(s.hier.dcache(0).probeState(A), Msi::E);
+    EXPECT_GE(s.hier.l2().stats().get("eGrants"), 1u);
+    // A second reader demotes both to S (with a recall of the E copy).
+    s.load(1, A);
+    EXPECT_EQ(s.hier.dcache(0).probeState(A), Msi::S);
+    EXPECT_EQ(s.hier.dcache(1).probeState(A), Msi::S);
+}
+
+TEST(Mesi, SilentUpgradeAvoidsL2Transaction)
+{
+    Sys2 s(true);
+    s.mem.write(A, 7, 8);
+    s.load(0, A);
+    ASSERT_EQ(s.hier.dcache(0).probeState(A), Msi::E);
+    uint64_t l2Hits = s.hier.l2().stats().get("hits");
+    uint64_t l2Miss = s.hier.l2().stats().get("misses");
+    // Store to the E line: no L2 traffic at all.
+    s.store(0, A, 42);
+    EXPECT_EQ(s.hier.dcache(0).probeState(A), Msi::M);
+    EXPECT_EQ(s.hier.l2().stats().get("hits"), l2Hits);
+    EXPECT_EQ(s.hier.l2().stats().get("misses"), l2Miss);
+    EXPECT_EQ(s.hier.dcache(0).stats().get("stMisses"), 0u);
+}
+
+TEST(Mesi, MsiBaselineStillUpgrades)
+{
+    Sys2 s(false);
+    s.mem.write(A, 7, 8);
+    s.load(0, A);
+    EXPECT_EQ(s.hier.dcache(0).probeState(A), Msi::S);
+    uint64_t upgrades = s.hier.dcache(0).stats().get("stMisses");
+    s.store(0, A, 42);
+    // MSI: the store needed an upgrade transaction.
+    EXPECT_EQ(s.hier.dcache(0).stats().get("stMisses"), upgrades + 1);
+}
+
+TEST(Mesi, DirtyExclusiveRecallDeliversData)
+{
+    Sys2 s(true);
+    s.mem.write(A, 7, 8);
+    s.load(0, A);
+    s.store(0, A, 99); // silent E -> M
+    Line l = s.load(1, A);
+    EXPECT_EQ(l.read(lineOffset(A), 8), 99u); // recall carried the data
+}
+
+TEST(Mesi, CleanExclusiveRecallNeedsNoData)
+{
+    Sys2 s(true);
+    s.mem.write(A, 55, 8);
+    s.load(0, A); // E, clean
+    Line l = s.load(1, A);
+    EXPECT_EQ(l.read(lineOffset(A), 8), 55u); // L2's copy was valid
+    EXPECT_EQ(s.hier.dcache(0).probeState(A), Msi::S);
+}
+
+TEST(Mesi, WholeProgramCosimStillPasses)
+{
+    // The OOO core on a MESI system must stay architecturally correct.
+    Assembler a(kEntry);
+    Addr data = kEntry + 0x10000;
+    a.li(s0, data);
+    a.li(a0, 0);
+    a.li(t0, 0);
+    a.li(t1, 48);
+    auto loop = a.newLabel();
+    a.bind(loop);
+    a.slli(t2, t0, 3);
+    a.add(t3, s0, t2);
+    a.sd(t0, 0, t3);
+    a.ld(t4, 0, t3);
+    a.add(a0, a0, t4);
+    a.addi(t0, t0, 1);
+    a.bne(t0, t1, loop);
+    emitExit(a);
+    SystemConfig cfg = SystemConfig::riscyooTPlus();
+    cfg.mem.l2.mesi = true;
+    EXPECT_EQ(runCosim(a, cfg), 1128u);
+}
+
+TEST(StorePrefetch, AcquiresPermissionAheadOfCommit)
+{
+    // A store-heavy streaming loop: with SQ store prefetch the line's
+    // M permission is being fetched while older instructions commit,
+    // so the run is faster and the commit-time store path sees hits.
+    auto build = [](Assembler &a) {
+        Addr data = kEntry + 0x40000;
+        a.li(s0, data);
+        a.li(t0, 0);
+        a.li(t1, 96);
+        auto loop = a.newLabel();
+        a.bind(loop);
+        a.slli(t2, t0, 6); // one line per store
+        a.add(t3, s0, t2);
+        a.sd(t0, 0, t3);
+        a.addi(t0, t0, 1);
+        a.bne(t0, t1, loop);
+        a.li(a0, 0);
+        emitExit(a);
+    };
+    uint64_t withPf, withoutPf;
+    {
+        Assembler a(kEntry);
+        build(a);
+        SystemConfig cfg = SystemConfig::riscyooTPlus();
+        cfg.core.storePrefetch = true;
+        withPf = 0;
+        System sys(cfg);
+        a.load(sys.mem(), kEntry);
+        sys.elaborate();
+        sys.start(kEntry, 0, {kStackTop});
+        ASSERT_TRUE(sys.run(2000000));
+        withPf = sys.kernel().cycleCount();
+    }
+    {
+        Assembler a(kEntry);
+        build(a);
+        System sys(SystemConfig::riscyooTPlus());
+        a.load(sys.mem(), kEntry);
+        sys.elaborate();
+        sys.start(kEntry, 0, {kStackTop});
+        ASSERT_TRUE(sys.run(2000000));
+        withoutPf = sys.kernel().cycleCount();
+    }
+    EXPECT_LT(withPf, withoutPf);
+}
+
+TEST(StorePrefetch, CosimCorrectUnderPrefetch)
+{
+    Assembler a(kEntry);
+    Addr data = kEntry + 0x40000;
+    a.li(s0, data);
+    a.li(a0, 0);
+    a.li(t0, 0);
+    a.li(t1, 32);
+    auto loop = a.newLabel();
+    a.bind(loop);
+    a.slli(t2, t0, 6);
+    a.add(t3, s0, t2);
+    a.sd(t0, 0, t3);
+    a.ld(t4, 0, t3);
+    a.add(a0, a0, t4);
+    a.addi(t0, t0, 1);
+    a.bne(t0, t1, loop);
+    emitExit(a);
+    SystemConfig cfg = SystemConfig::riscyooTPlus();
+    cfg.core.storePrefetch = true;
+    EXPECT_EQ(runCosim(a, cfg), 496u);
+}
+
+} // namespace

@@ -1,0 +1,323 @@
+/**
+ * @file
+ * Golden-model tests: whole assembled programs executed to completion,
+ * covering arithmetic, control flow, memory, atomics, CSRs, traps,
+ * Sv39 translation, and the MMIO host device.
+ */
+#include <gtest/gtest.h>
+
+#include "asmkit/assembler.hh"
+#include "isa/csr.hh"
+#include "isa/golden.hh"
+#include "mem/page_table.hh"
+
+using namespace riscy;
+using namespace riscy::isa;
+using namespace riscy::asmkit;
+
+namespace {
+
+constexpr Addr kEntry = kDramBase;
+
+/** Run a program on the golden model until MMIO exit. */
+struct GoldenRun {
+    PhysMem mem;
+    HostDevice host{1};
+    uint64_t steps = 0;
+
+    uint64_t
+    run(Assembler &a, uint64_t maxSteps = 1000000, uint64_t satp = 0,
+        Addr pa = kEntry, Addr entry = kEntry)
+    {
+        a.load(mem, pa);
+        GoldenModel g(mem, host, 0, entry);
+        g.csrs().satp = satp;
+        while (!g.halted() && steps < maxSteps) {
+            g.step();
+            steps++;
+        }
+        EXPECT_TRUE(g.halted()) << "program did not exit";
+        return host.exitCode(0);
+    }
+};
+
+/** Emit "write a0 to host EXIT and halt". */
+void
+emitExit(Assembler &a)
+{
+    a.slli(a0, a0, 1);
+    a.ori(a0, a0, 1);
+    a.li(t6, kMmioBase + static_cast<Addr>(HostReg::Exit));
+    a.sd(a0, 0, t6);
+    // Architectural halt: spin (the host device has flagged exit).
+    auto spin = a.newLabel();
+    a.bind(spin);
+    a.j(spin);
+}
+
+TEST(Golden, ArithmeticLoop)
+{
+    // sum of 1..100 = 5050
+    Assembler a(kEntry);
+    a.li(a0, 0);
+    a.li(t0, 1);
+    a.li(t1, 101);
+    auto loop = a.newLabel();
+    a.bind(loop);
+    a.add(a0, a0, t0);
+    a.addi(t0, t0, 1);
+    a.bne(t0, t1, loop);
+    emitExit(a);
+
+    GoldenRun r;
+    EXPECT_EQ(r.run(a), 5050u);
+}
+
+TEST(Golden, LargeConstantsViaLi)
+{
+    Assembler a(kEntry);
+    a.li(t0, static_cast<int64_t>(0x123456789abcdef0ull));
+    a.li(t1, -1);
+    a.li(t2, static_cast<int64_t>(0x8000000000000001ull));
+    a.xor_(a0, t0, t1);
+    a.xor_(a0, a0, t2);
+    // a0 = ~0x123456789abcdef0 ^ 0x8000000000000001
+    a.li(t3, static_cast<int64_t>(
+                  (~0x123456789abcdef0ull) ^ 0x8000000000000001ull));
+    a.sub(a0, a0, t3); // 0 if correct
+    emitExit(a);
+    GoldenRun r;
+    EXPECT_EQ(r.run(a), 0u);
+}
+
+TEST(Golden, MemoryAndCalls)
+{
+    Assembler a(kEntry);
+    Addr data = kEntry + 0x10000;
+    a.li(s0, data);
+    a.li(t0, 0xdeadbeef);
+    a.sw(t0, 0, s0);
+    a.sh(t0, 8, s0);
+    a.sb(t0, 12, s0);
+    a.lwu(a0, 0, s0);
+    a.lhu(t1, 8, s0);
+    a.lb(t2, 12, s0);
+    a.add(a0, a0, t1);   // 0xdeadbeef + 0xbeef
+    a.add(a0, a0, t2);   // + sext(0xef) = -17
+    // call a function that doubles a0
+    auto fn = a.newLabel();
+    a.call(fn);
+    emitExit(a);
+    a.bind(fn);
+    a.add(a0, a0, a0);
+    a.ret();
+    GoldenRun r;
+    uint64_t expect = ((0xdeadbeefull + 0xbeef - 17) * 2) & 0xffffffffffff;
+    EXPECT_EQ(r.run(a) & 0xffffffffffff, expect);
+}
+
+TEST(Golden, LrScAndAmo)
+{
+    Assembler a(kEntry);
+    Addr data = kEntry + 0x10000;
+    a.li(s0, data);
+    a.li(t0, 5);
+    a.sd(t0, 0, s0);
+    // lr/sc success path
+    a.lr_d(t1, s0);      // t1 = 5
+    a.addi(t1, t1, 1);
+    a.sc_d(t2, t1, s0);  // t2 = 0 (success), mem = 6
+    // amoadd
+    a.li(t3, 10);
+    a.amoadd_d(t4, t3, s0); // t4 = 6, mem = 16
+    a.ld(a0, 0, s0);        // 16
+    a.add(a0, a0, t2);      // +0
+    a.add(a0, a0, t4);      // +6 -> 22
+    emitExit(a);
+    GoldenRun r;
+    EXPECT_EQ(r.run(a), 22u);
+}
+
+TEST(Golden, ScFailsWithoutReservation)
+{
+    Assembler a(kEntry);
+    Addr data = kEntry + 0x10000;
+    a.li(s0, data);
+    a.li(t1, 7);
+    a.sc_d(a0, t1, s0); // no reservation: must fail (a0 = 1)
+    emitExit(a);
+    GoldenRun r;
+    EXPECT_EQ(r.run(a), 1u);
+    EXPECT_EQ(r.mem.read(data, 8), 0u); // store suppressed
+}
+
+TEST(Golden, CsrAccessAndHartId)
+{
+    Assembler a(kEntry);
+    a.csrr(a0, kCsrMhartid);      // 0
+    a.li(t0, 0x1234);
+    a.csrw(kCsrMscratch, t0);
+    a.csrr(t1, kCsrMscratch);
+    a.add(a0, a0, t1);
+    emitExit(a);
+    GoldenRun r;
+    EXPECT_EQ(r.run(a), 0x1234u);
+}
+
+TEST(Golden, TrapToHandlerAndMret)
+{
+    Assembler a(kEntry);
+    auto handler = a.newLabel();
+    auto cont = a.newLabel();
+    // The handler sits at a fixed address (word 1) right after the
+    // initial jump, so mtvec can be materialized with li.
+    a.j(cont);
+    a.bind(handler);
+    // handler: a0 = mcause, skip faulting instruction
+    a.csrr(a0, kCsrMcause);
+    a.csrr(t1, kCsrMepc);
+    a.addi(t1, t1, 4);
+    a.csrw(kCsrMepc, t1);
+    a.mret();
+    a.bind(cont);
+    a.li(t2, kEntry + 4 * 1); // address of handler (word index 1)
+    a.csrw(kCsrMtvec, t2);
+    a.ecall();          // traps: handler sets a0 = 11 and returns past
+    a.addi(a0, a0, 100);
+    emitExit(a);
+    GoldenRun r;
+    EXPECT_EQ(r.run(a), 111u); // EcallM (11) + 100
+}
+
+TEST(Golden, IllegalInstructionTrap)
+{
+    Assembler a(kEntry);
+    auto cont = a.newLabel();
+    a.j(cont);
+    // handler at word 1
+    a.csrr(a0, kCsrMcause);
+    a.csrr(t1, kCsrMepc);
+    a.addi(t1, t1, 4);
+    a.csrw(kCsrMepc, t1);
+    a.mret();
+    a.bind(cont);
+    a.li(t2, kEntry + 4);
+    a.csrw(kCsrMtvec, t2);
+    a.word(0xffffffff); // illegal
+    emitExit(a);
+    GoldenRun r;
+    EXPECT_EQ(r.run(a), 2u); // IllegalInst
+}
+
+TEST(Golden, ConsoleOutput)
+{
+    Assembler a(kEntry);
+    a.li(t6, kMmioBase + static_cast<Addr>(HostReg::Putchar));
+    for (char ch : std::string("hi!")) {
+        a.li(t0, ch);
+        a.sd(t0, 0, t6);
+    }
+    a.li(a0, 0);
+    emitExit(a);
+    GoldenRun r;
+    r.run(a);
+    EXPECT_EQ(r.host.console(), "hi!");
+}
+
+TEST(Golden, Sv39TranslationAndPageFault)
+{
+    PhysMem mem;
+    HostDevice host(1);
+    FrameAllocator frames(kDramBase + 0x100000);
+    AddressSpace as(mem, frames);
+
+    // Map text at VA 0x1000000 -> PA kDramBase, data VA 0x2000000.
+    Addr textVa = 0x1000000, dataVa = 0x2000000;
+    Addr dataPa = kDramBase + 0x40000;
+    as.mapRange(textVa, kDramBase, 0x4000, PTE_R | PTE_X);
+    as.mapRange(dataVa, dataPa, 0x2000, PTE_R | PTE_W);
+    // Identity-map the MMIO device page.
+    as.map(kMmioBase, kMmioBase, PTE_R | PTE_W);
+
+    Assembler a(textVa);
+    auto cont = a.newLabel();
+    a.j(cont);
+    // fault handler at textVa+4: a0 = mcause; skip instruction
+    a.csrr(a0, kCsrMcause);
+    a.csrr(t1, kCsrMepc);
+    a.addi(t1, t1, 4);
+    a.csrw(kCsrMepc, t1);
+    a.mret();
+    a.bind(cont);
+    a.li(t2, textVa + 4);
+    a.csrw(kCsrMtvec, t2);
+    // Store/load through the mapping.
+    a.li(s0, dataVa);
+    a.li(t0, 77);
+    a.sd(t0, 0, s0);
+    a.ld(s1, 0, s0);
+    // Touch an unmapped page: expect a load page fault (13).
+    a.li(s2, 0x3000000);
+    a.ld(t3, 0, s2);
+    // Touch a read-only page with a store: store page fault (15).
+    a.li(s3, 0x1000000);
+    a.sd(t0, 0, s3);
+    a.add(a0, a0, s1); // 15 + 77 = 92... plus first fault overwritten
+    // exit with a0; the handler ran twice, last cause is 15.
+    a.slli(a0, a0, 1);
+    a.ori(a0, a0, 1);
+    a.li(t6, kMmioBase + static_cast<Addr>(HostReg::Exit));
+    a.sd(a0, 0, t6);
+    auto spin = a.newLabel();
+    a.bind(spin);
+    a.j(spin);
+
+    a.load(mem, kDramBase);
+    GoldenModel g(mem, host, 0, textVa);
+    g.csrs().satp = as.satp();
+    uint64_t steps = 0;
+    while (!g.halted() && steps++ < 100000)
+        g.step();
+    ASSERT_TRUE(g.halted());
+    EXPECT_EQ(host.exitCode(0), 92u);
+    EXPECT_EQ(mem.read(dataPa, 8), 77u);
+}
+
+TEST(Golden, TranslateSuperpage)
+{
+    PhysMem mem;
+    HostDevice host(1);
+    // Hand-build a 1 GiB superpage: root PTE at level 2 is a leaf.
+    Addr root = kDramBase + 0x1000;
+    Addr va = 0x4000'0000ull * 3; // VPN2 = 3
+    mem.write(root + vpn(va, 2) * 8,
+              makePte(0x8000'0000, PTE_V | PTE_R | PTE_W | PTE_A | PTE_D),
+              8);
+    GoldenModel g(mem, host, 0, kDramBase);
+    g.csrs().satp = kSatpModeSv39 | (root >> 12);
+    auto x = g.translate(va + 0x123456, AccessType::Load);
+    EXPECT_FALSE(x.fault);
+    EXPECT_EQ(x.pa, 0x8000'0000ull + 0x123456);
+    // Misaligned superpage PPN must fault.
+    mem.write(root + vpn(va, 2) * 8,
+              makePte(0x8000'1000, PTE_V | PTE_R | PTE_A | PTE_D), 8);
+    x = g.translate(va, AccessType::Load);
+    EXPECT_TRUE(x.fault);
+}
+
+TEST(Golden, MulDivProgram)
+{
+    Assembler a(kEntry);
+    a.li(t0, 123456789);
+    a.li(t1, 987);
+    a.div(t2, t0, t1);   // 125082
+    a.rem(t3, t0, t1);   // 855... check: 125082*987 = 123455934; rem 855
+    a.mul(a0, t2, t1);
+    a.add(a0, a0, t3);
+    a.sub(a0, a0, t0);   // 0 if div/rem/mul consistent
+    emitExit(a);
+    GoldenRun r;
+    EXPECT_EQ(r.run(a), 0u);
+}
+
+} // namespace

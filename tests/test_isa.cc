@@ -1,0 +1,319 @@
+/**
+ * @file
+ * ISA-layer tests: decoder correctness (including assembler round
+ * trips), ALU semantics, branch/AMO helpers, and field classification.
+ */
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "asmkit/assembler.hh"
+#include "isa/exec.hh"
+#include "isa/inst.hh"
+
+using namespace riscy;
+using namespace riscy::isa;
+using namespace riscy::asmkit;
+
+namespace {
+
+Inst
+dec(uint32_t raw)
+{
+    return decode(raw);
+}
+
+TEST(Decode, BasicIType)
+{
+    // addi x5, x6, -7
+    Inst d = dec(0xff930293);
+    EXPECT_EQ(d.op, Op::ADDI);
+    EXPECT_EQ(d.rd, 5);
+    EXPECT_EQ(d.rs1, 6);
+    EXPECT_EQ(d.imm, -7);
+}
+
+TEST(Decode, LuiAndImmU)
+{
+    // lui x3, 0xfffff  (negative upper immediate)
+    Inst d = dec((0xfffffu << 12) | (3 << 7) | 0x37);
+    EXPECT_EQ(d.op, Op::LUI);
+    EXPECT_EQ(d.imm, -4096);
+}
+
+TEST(Decode, IllegalClearsFields)
+{
+    Inst d = dec(0xffffffff);
+    EXPECT_EQ(d.op, Op::ILLEGAL);
+    EXPECT_EQ(d.rd, 0);
+    d = dec(0); // all-zero word is not a valid instruction
+    EXPECT_EQ(d.op, Op::ILLEGAL);
+}
+
+TEST(Decode, SystemInstructions)
+{
+    EXPECT_EQ(dec(0x00000073).op, Op::ECALL);
+    EXPECT_EQ(dec(0x00100073).op, Op::EBREAK);
+    EXPECT_EQ(dec(0x30200073).op, Op::MRET);
+    EXPECT_EQ(dec(0x10500073).op, Op::WFI);
+}
+
+TEST(Decode, CsrFieldExtraction)
+{
+    // csrrs x7, mhartid(0xf14), x0
+    Inst d = dec((0xf14u << 20) | (0 << 15) | (2 << 12) | (7 << 7) | 0x73);
+    EXPECT_EQ(d.op, Op::CSRRS);
+    EXPECT_EQ(d.csr, 0xf14);
+    EXPECT_EQ(d.rd, 7);
+}
+
+/**
+ * Assembler/decoder round trip: assemble every supported mnemonic
+ * with randomized operands and check the decoded form.
+ */
+TEST(Decode, AssemblerRoundTrip)
+{
+    std::mt19937 rng(7);
+    for (int trial = 0; trial < 200; trial++) {
+        int rd = rng() % 32, rs1 = rng() % 32, rs2 = rng() % 32;
+        int32_t imm12 = static_cast<int32_t>(rng() % 4096) - 2048;
+        unsigned sh = rng() % 64;
+
+        Assembler a(0x1000);
+        a.add(rd, rs1, rs2);
+        a.sub(rd, rs1, rs2);
+        a.xor_(rd, rs1, rs2);
+        a.sltu(rd, rs1, rs2);
+        a.addi(rd, rs1, imm12);
+        a.andi(rd, rs1, imm12);
+        a.slli(rd, rs1, sh);
+        a.srai(rd, rs1, sh);
+        a.addw(rd, rs1, rs2);
+        a.sraiw(rd, rs1, sh % 32);
+        a.ld(rd, imm12, rs1);
+        a.lw(rd, imm12, rs1);
+        a.lbu(rd, imm12, rs1);
+        a.sd(rs2, imm12, rs1);
+        a.sh(rs2, imm12, rs1);
+        a.mul(rd, rs1, rs2);
+        a.divu(rd, rs1, rs2);
+        a.remw(rd, rs1, rs2);
+        a.lr_d(rd, rs1);
+        a.sc_d(rd, rs2, rs1);
+        a.amoadd_w(rd, rs2, rs1);
+        a.amoswap_d(rd, rs2, rs1);
+        a.jalr(rd, rs1, imm12);
+
+        const Op expectOps[] = {
+            Op::ADD, Op::SUB, Op::XOR, Op::SLTU, Op::ADDI, Op::ANDI,
+            Op::SLLI, Op::SRAI, Op::ADDW, Op::SRAIW, Op::LD, Op::LW,
+            Op::LBU, Op::SD, Op::SH, Op::MUL, Op::DIVU, Op::REMW,
+            Op::LR_D, Op::SC_D, Op::AMOADD_W, Op::AMOSWAP_D, Op::JALR,
+        };
+        ASSERT_EQ(a.code().size(), std::size(expectOps));
+        for (size_t i = 0; i < a.code().size(); i++) {
+            Inst d = dec(a.code()[i]);
+            ASSERT_EQ(d.op, expectOps[i])
+                << "word " << i << " trial " << trial;
+            if (d.op != Op::LR_D && d.op != Op::SD && d.op != Op::SH) {
+                EXPECT_EQ(d.rd, rd);
+            }
+            switch (d.op) {
+              case Op::ADDI: case Op::ANDI: case Op::LD: case Op::LW:
+              case Op::LBU: case Op::JALR:
+                EXPECT_EQ(d.imm, imm12);
+                EXPECT_EQ(d.rs1, rs1);
+                break;
+              case Op::SD: case Op::SH:
+                EXPECT_EQ(d.imm, imm12);
+                EXPECT_EQ(d.rs1, rs1);
+                EXPECT_EQ(d.rs2, rs2);
+                break;
+              case Op::SLLI: case Op::SRAI:
+                EXPECT_EQ(d.imm, static_cast<int64_t>(sh));
+                break;
+              case Op::SRAIW:
+                EXPECT_EQ(d.imm, static_cast<int64_t>(sh % 32));
+                break;
+              default:
+                break;
+            }
+        }
+    }
+}
+
+TEST(Decode, BranchOffsetsRoundTrip)
+{
+    Assembler a(0x1000);
+    auto back = a.newLabel();
+    a.bind(back);
+    a.nop();
+    a.nop();
+    auto fwd = a.newLabel();
+    a.beq(1, 2, fwd);
+    a.bne(3, 4, back);
+    a.jal(1, fwd);
+    a.nop();
+    a.bind(fwd);
+    a.nop();
+    PhysMem mem;
+    a.load(mem, 0x1000);
+
+    Inst beq = dec(static_cast<uint32_t>(mem.read(0x1008, 4)));
+    EXPECT_EQ(beq.op, Op::BEQ);
+    EXPECT_EQ(beq.imm, 0x1018 - 0x1008);
+    Inst bne = dec(static_cast<uint32_t>(mem.read(0x100c, 4)));
+    EXPECT_EQ(bne.op, Op::BNE);
+    EXPECT_EQ(bne.imm, 0x1000 - 0x100c);
+    Inst jal = dec(static_cast<uint32_t>(mem.read(0x1010, 4)));
+    EXPECT_EQ(jal.op, Op::JAL);
+    EXPECT_EQ(jal.imm, 0x1018 - 0x1010);
+}
+
+// --------------------------------------------------------------- exec
+
+TEST(Exec, Basic64BitAlu)
+{
+    auto run = [](Op op, uint64_t a, uint64_t b, int64_t imm = 0) {
+        Inst d;
+        d.op = op;
+        d.imm = imm;
+        return aluCompute(d, a, b, 0x1000);
+    };
+    EXPECT_EQ(run(Op::ADD, 3, 4), 7u);
+    EXPECT_EQ(run(Op::SUB, 3, 4), static_cast<uint64_t>(-1));
+    EXPECT_EQ(run(Op::SLT, static_cast<uint64_t>(-5), 3), 1u);
+    EXPECT_EQ(run(Op::SLTU, static_cast<uint64_t>(-5), 3), 0u);
+    EXPECT_EQ(run(Op::SRA, 0x8000000000000000ull, 63),
+              0xffffffffffffffffull);
+    EXPECT_EQ(run(Op::SRL, 0x8000000000000000ull, 63), 1u);
+    EXPECT_EQ(run(Op::ADDI, 10, 0, -3), 7u);
+    EXPECT_EQ(run(Op::AUIPC, 0, 0, 0x2000), 0x3000u);
+}
+
+TEST(Exec, WordOpsSignExtend)
+{
+    auto run = [](Op op, uint64_t a, uint64_t b) {
+        Inst d;
+        d.op = op;
+        return aluCompute(d, a, b, 0);
+    };
+    EXPECT_EQ(run(Op::ADDW, 0x7fffffff, 1), 0xffffffff80000000ull);
+    EXPECT_EQ(run(Op::SUBW, 0, 1), 0xffffffffffffffffull);
+    EXPECT_EQ(run(Op::SLLW, 1, 31), 0xffffffff80000000ull);
+    EXPECT_EQ(run(Op::MULW, 0x10000, 0x10000), 0u);
+}
+
+TEST(Exec, DivisionEdgeCases)
+{
+    auto run = [](Op op, uint64_t a, uint64_t b) {
+        Inst d;
+        d.op = op;
+        return aluCompute(d, a, b, 0);
+    };
+    EXPECT_EQ(run(Op::DIV, 7, 0), ~0ull);
+    EXPECT_EQ(run(Op::REM, 7, 0), 7u);
+    EXPECT_EQ(run(Op::DIV, 0x8000000000000000ull, ~0ull),
+              0x8000000000000000ull);
+    EXPECT_EQ(run(Op::REM, 0x8000000000000000ull, ~0ull), 0u);
+    EXPECT_EQ(run(Op::DIVU, 7, 0), ~0ull);
+    EXPECT_EQ(run(Op::DIVW, 0x80000000ull, ~0ull), 0xffffffff80000000ull);
+}
+
+TEST(Exec, MulHighVariants)
+{
+    auto run = [](Op op, uint64_t a, uint64_t b) {
+        Inst d;
+        d.op = op;
+        return aluCompute(d, a, b, 0);
+    };
+    EXPECT_EQ(run(Op::MULHU, ~0ull, ~0ull), ~0ull - 1);
+    EXPECT_EQ(run(Op::MULH, ~0ull, ~0ull), 0u); // (-1)*(-1)=1, high=0
+    EXPECT_EQ(run(Op::MULHSU, ~0ull, 2), ~0ull); // -1 * 2 = -2, high=-1
+}
+
+TEST(Exec, Branches)
+{
+    auto taken = [](Op op, uint64_t a, uint64_t b) {
+        Inst d;
+        d.op = op;
+        return branchTaken(d, a, b);
+    };
+    EXPECT_TRUE(taken(Op::BEQ, 5, 5));
+    EXPECT_FALSE(taken(Op::BNE, 5, 5));
+    EXPECT_TRUE(taken(Op::BLT, static_cast<uint64_t>(-1), 0));
+    EXPECT_FALSE(taken(Op::BLTU, static_cast<uint64_t>(-1), 0));
+    EXPECT_TRUE(taken(Op::BGEU, static_cast<uint64_t>(-1), 0));
+}
+
+TEST(Exec, AmoCombine)
+{
+    EXPECT_EQ(amoCompute(Op::AMOADD_D, 10, 5), 15u);
+    EXPECT_EQ(amoCompute(Op::AMOSWAP_D, 10, 5), 5u);
+    EXPECT_EQ(amoCompute(Op::AMOMAX_D, static_cast<uint64_t>(-3), 2), 2u);
+    EXPECT_EQ(amoCompute(Op::AMOMAXU_D, static_cast<uint64_t>(-3), 2),
+              static_cast<uint64_t>(-3));
+    // W-form AMOs operate on sign-extended 32-bit values.
+    EXPECT_EQ(amoCompute(Op::AMOADD_W, 0x7fffffff, 1),
+              0xffffffff80000000ull);
+}
+
+TEST(Exec, LoadExtend)
+{
+    EXPECT_EQ(loadExtend(Op::LB, 0x80), 0xffffffffffffff80ull);
+    EXPECT_EQ(loadExtend(Op::LBU, 0x80), 0x80ull);
+    EXPECT_EQ(loadExtend(Op::LH, 0x8000), 0xffffffffffff8000ull);
+    EXPECT_EQ(loadExtend(Op::LW, 0x80000000ull), 0xffffffff80000000ull);
+    EXPECT_EQ(loadExtend(Op::LWU, 0x80000000ull), 0x80000000ull);
+    EXPECT_EQ(loadExtend(Op::LD, ~0ull), ~0ull);
+}
+
+// ------------------------------------------------------ classification
+
+TEST(Classify, MemAndQueueKinds)
+{
+    EXPECT_TRUE(dec(0x0005b503).isLoad()); // ld a0, 0(a1)
+    Assembler a(0);
+    a.lr_d(10, 11);
+    a.sc_d(10, 12, 11);
+    a.amoadd_d(10, 12, 11);
+    a.sd(12, 0, 11);
+    Inst lr = dec(a.code()[0]);
+    Inst sc = dec(a.code()[1]);
+    Inst amo = dec(a.code()[2]);
+    Inst sd = dec(a.code()[3]);
+    EXPECT_TRUE(lr.isLq());
+    EXPECT_FALSE(lr.isSq());
+    EXPECT_TRUE(sc.isSq());
+    EXPECT_TRUE(amo.isSq());
+    EXPECT_TRUE(amo.isAtomic());
+    EXPECT_TRUE(sd.isSq());
+    EXPECT_FALSE(sd.isAtomic());
+    EXPECT_EQ(lr.memBytes(), 8u);
+    EXPECT_EQ(amo.memBytes(), 8u);
+}
+
+TEST(Classify, RegisterUsage)
+{
+    Inst d = dec(0x00000013); // addi x0,x0,0 (nop)
+    EXPECT_FALSE(d.writesRd());
+    EXPECT_FALSE(d.readsRs1());
+    Assembler a(0);
+    a.beq(1, 2, a.newLabel()); // unbound label fine: we never load
+    Inst beq = dec(a.code()[0]);
+    EXPECT_FALSE(beq.writesRd());
+    EXPECT_TRUE(beq.readsRs1());
+    EXPECT_TRUE(beq.readsRs2());
+    a.jal(1, a.newLabel());
+    Inst jal = dec(a.code()[1]);
+    EXPECT_TRUE(jal.writesRd());
+    EXPECT_FALSE(jal.readsRs1());
+}
+
+TEST(Disasm, ProducesMnemonics)
+{
+    EXPECT_NE(disasm(dec(0xff930293)).find("addi"), std::string::npos);
+    EXPECT_NE(disasm(dec(0x00000073)).find("ecall"), std::string::npos);
+}
+
+} // namespace

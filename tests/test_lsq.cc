@@ -1,0 +1,280 @@
+/**
+ * @file
+ * LSQ unit tests exercising the paper's interface directly:
+ * store-to-load forwarding, partial-overlap stalls with recorded
+ * sources and wakeups, memory-dependence kills on update(), TSO
+ * cacheEvict kills, wrong-path response bits, wrongSpec suffix kills,
+ * and the commit-time flush that preserves committed stores.
+ */
+#include <gtest/gtest.h>
+
+#include "lsq/lsq.hh"
+
+using namespace riscy;
+using namespace cmd;
+using isa::Op;
+
+namespace {
+
+struct LsqBed {
+    Kernel k;
+    Lsq lsq;
+    StoreBuffer sb;
+
+    explicit LsqBed(bool tso = true)
+        : lsq(k, "lsq", 8, 6, tso), sb(k, "sb", 4)
+    {
+        k.elaborate();
+    }
+
+    template <typename F>
+    void
+    atomically(F &&f)
+    {
+        ASSERT_TRUE(k.runAtomically(std::forward<F>(f)));
+        k.cycle();
+    }
+};
+
+TEST(Lsq, StoreToLoadForwardingFullCover)
+{
+    LsqBed b;
+    uint8_t st = 0, ld = 0;
+    b.atomically([&] { st = b.lsq.enqSt(Op::SD, 8, 1, 0, false, 0); });
+    b.atomically([&] { ld = b.lsq.enqLd(Op::LW, 4, 2, 10, true, 0); });
+    b.atomically([&] {
+        b.lsq.updateSt(st, 0x1000, 0x1000, false, 0, false,
+                       0xdeadbeefcafef00d);
+    });
+    b.atomically(
+        [&] { b.lsq.updateLd(ld, 0x1004, 0x1004, false, 0, false); });
+    ASSERT_EQ(b.lsq.getIssueLd(), ld);
+    uint64_t fwd = 0;
+    Lsq::IssueResult res{};
+    b.atomically([&] {
+        res = b.lsq.issueLd(ld, StoreBuffer::SearchResult{}, false, fwd);
+    });
+    EXPECT_EQ(res, Lsq::IssueResult::Forward);
+    // LW of the upper word, sign-extended.
+    EXPECT_EQ(fwd, 0xffffffffdeadbeefull);
+    // The forward completes through respLd like a cache response.
+    bool wrong = true;
+    b.atomically([&] { wrong = b.lsq.respLd(ld, fwd); });
+    EXPECT_FALSE(wrong);
+}
+
+TEST(Lsq, PartialOverlapStallsAndDeqStWakes)
+{
+    LsqBed b;
+    uint8_t st = 0, ld = 0;
+    b.atomically([&] { st = b.lsq.enqSt(Op::SW, 4, 1, 0, false, 0); });
+    b.atomically([&] { ld = b.lsq.enqLd(Op::LD, 8, 2, 10, true, 0); });
+    b.atomically([&] {
+        b.lsq.updateSt(st, 0x1000, 0x1000, false, 0, false, 0x1234);
+    });
+    b.atomically(
+        [&] { b.lsq.updateLd(ld, 0x1000, 0x1000, false, 0, false); });
+    uint64_t fwd = 0;
+    Lsq::IssueResult res{};
+    b.atomically([&] {
+        res = b.lsq.issueLd(ld, StoreBuffer::SearchResult{}, false, fwd);
+    });
+    EXPECT_EQ(res, Lsq::IssueResult::Stall);
+    EXPECT_EQ(b.lsq.getIssueLd(), -1); // stalled: not issuable
+    // Commit + drain the store: the stall source resolves.
+    b.atomically([&] { b.lsq.setAtCommitSt(st); });
+    EXPECT_TRUE(b.lsq.canIssueSt());
+    b.atomically([&] { b.lsq.deqSt(); });
+    EXPECT_EQ(b.lsq.getIssueLd(), ld);
+}
+
+TEST(Lsq, UpdateStKillsYoungerDoneLoad)
+{
+    LsqBed b;
+    uint8_t st = 0, ld = 0;
+    b.atomically([&] { st = b.lsq.enqSt(Op::SD, 8, 1, 0, false, 0); });
+    b.atomically([&] { ld = b.lsq.enqLd(Op::LD, 8, 2, 10, true, 0); });
+    // The load translates and completes *before* the store's address
+    // is known (speculative issue past an unknown store address).
+    b.atomically(
+        [&] { b.lsq.updateLd(ld, 0x2000, 0x2000, false, 0, false); });
+    uint64_t fwd = 0;
+    b.atomically([&] {
+        b.lsq.issueLd(ld, StoreBuffer::SearchResult{}, false, fwd);
+    });
+    b.atomically([&] { b.lsq.respLd(ld, 77); });
+    // Now the older store resolves to the same address: kill.
+    b.atomically([&] {
+        b.lsq.updateSt(st, 0x2000, 0x2000, false, 0, false, 88);
+    });
+    EXPECT_TRUE(b.lsq.lqEntry(ld).killed);
+    EXPECT_GE(b.lsq.stats().get("ldKills"), 1u);
+}
+
+TEST(Lsq, CacheEvictKillsCompletedLoadUnderTso)
+{
+    LsqBed b(true);
+    uint8_t ld = 0;
+    b.atomically([&] { ld = b.lsq.enqLd(Op::LD, 8, 2, 10, true, 0); });
+    b.atomically(
+        [&] { b.lsq.updateLd(ld, 0x3000, 0x3000, false, 0, false); });
+    uint64_t fwd = 0;
+    b.atomically([&] {
+        b.lsq.issueLd(ld, StoreBuffer::SearchResult{}, false, fwd);
+    });
+    b.atomically([&] { b.lsq.respLd(ld, 5); });
+    b.atomically([&] { b.lsq.cacheEvict(lineAddr(0x3000)); });
+    EXPECT_TRUE(b.lsq.lqEntry(ld).killed);
+    // A killed head load is deqable; its status reports the kill.
+    EXPECT_TRUE(b.lsq.canDeqLd());
+    Lsq::LqEntry e;
+    b.atomically([&] { e = b.lsq.deqLd(); });
+    EXPECT_TRUE(e.killed);
+}
+
+TEST(Lsq, TsoHoldsLoadBehindOlderAtomic)
+{
+    LsqBed b(true);
+    uint8_t amo = 0, ld = 0;
+    b.atomically(
+        [&] { amo = b.lsq.enqSt(Op::AMOSWAP_D, 8, 1, 5, true, 0); });
+    b.atomically([&] { ld = b.lsq.enqLd(Op::LD, 8, 2, 10, true, 0); });
+    b.atomically([&] {
+        b.lsq.updateSt(amo, 0x4000, 0x4000, false, 0, false, 1);
+    });
+    b.atomically(
+        [&] { b.lsq.updateLd(ld, 0x5000, 0x5000, false, 0, false); });
+    uint64_t fwd = 0;
+    b.atomically([&] {
+        b.lsq.issueLd(ld, StoreBuffer::SearchResult{}, false, fwd);
+    });
+    b.atomically([&] { b.lsq.respLd(ld, 9); });
+    // Done, different address — but an older atomic is still pending:
+    // TSO must keep the load killable in the LQ.
+    EXPECT_FALSE(b.lsq.canDeqLd());
+    b.atomically([&] { b.lsq.deqSt(); }); // atomic performs & leaves
+    EXPECT_TRUE(b.lsq.canDeqLd());
+}
+
+TEST(Lsq, WmmAllowsLoadPastOlderAtomic)
+{
+    LsqBed b(false);
+    uint8_t amo = 0, ld = 0;
+    b.atomically(
+        [&] { amo = b.lsq.enqSt(Op::AMOSWAP_D, 8, 1, 5, true, 0); });
+    b.atomically([&] { ld = b.lsq.enqLd(Op::LD, 8, 2, 10, true, 0); });
+    b.atomically([&] {
+        b.lsq.updateSt(amo, 0x4000, 0x4000, false, 0, false, 1);
+    });
+    b.atomically(
+        [&] { b.lsq.updateLd(ld, 0x5000, 0x5000, false, 0, false); });
+    uint64_t fwd = 0;
+    b.atomically([&] {
+        b.lsq.issueLd(ld, StoreBuffer::SearchResult{}, false, fwd);
+    });
+    b.atomically([&] { b.lsq.respLd(ld, 9); });
+    EXPECT_TRUE(b.lsq.canDeqLd()); // WMM: free to retire
+}
+
+TEST(Lsq, WrongPathResponseBitBlocksReusedSlot)
+{
+    LsqBed b;
+    uint8_t ld = 0;
+    b.atomically([&] { ld = b.lsq.enqLd(Op::LD, 8, 2, 10, true, 0x1); });
+    b.atomically(
+        [&] { b.lsq.updateLd(ld, 0x6000, 0x6000, false, 0, false); });
+    uint64_t fwd = 0;
+    b.atomically([&] {
+        b.lsq.issueLd(ld, StoreBuffer::SearchResult{}, false, fwd);
+    });
+    // Branch resolves wrong: the issued load dies, slot kept waiting.
+    b.atomically([&] { b.lsq.wrongSpec(0x1); });
+    EXPECT_TRUE(b.lsq.lqEmpty());
+    // Reallocate the slot for a new load: it must not issue yet.
+    uint8_t ld2 = 0;
+    b.atomically([&] { ld2 = b.lsq.enqLd(Op::LD, 8, 3, 11, true, 0); });
+    EXPECT_EQ(ld2, ld); // same slot
+    b.atomically(
+        [&] { b.lsq.updateLd(ld2, 0x7000, 0x7000, false, 0, false); });
+    EXPECT_EQ(b.lsq.getIssueLd(), -1); // wait-wrong-path bit set
+    // The stale response arrives: dropped, and the bit clears.
+    bool wrong = false;
+    b.atomically([&] { wrong = b.lsq.respLd(ld, 123); });
+    EXPECT_TRUE(wrong);
+    EXPECT_EQ(b.lsq.getIssueLd(), ld2);
+}
+
+TEST(Lsq, FlushKeepsCommittedStores)
+{
+    LsqBed b;
+    uint8_t st1 = 0, st2 = 0;
+    b.atomically([&] { st1 = b.lsq.enqSt(Op::SD, 8, 1, 0, false, 0); });
+    b.atomically([&] { st2 = b.lsq.enqSt(Op::SD, 8, 2, 0, false, 0); });
+    b.atomically([&] {
+        b.lsq.updateSt(st1, 0x1000, 0x1000, false, 0, false, 1);
+    });
+    b.atomically([&] {
+        b.lsq.updateSt(st2, 0x2000, 0x2000, false, 0, false, 2);
+    });
+    b.atomically([&] { b.lsq.setAtCommitSt(st1); });
+    // Exception flush: st1 (committed) must survive, st2 must die.
+    b.atomically([&] { b.lsq.flushAll(); });
+    EXPECT_EQ(b.lsq.sqCount(), 1u);
+    EXPECT_TRUE(b.lsq.firstSt().committed);
+    EXPECT_EQ(b.lsq.firstSt().pa, 0x1000u);
+}
+
+TEST(Lsq, IssueForwardsFromYoungestOlderStore)
+{
+    LsqBed b;
+    uint8_t stOld = 0, stNew = 0, ld = 0;
+    b.atomically([&] { stOld = b.lsq.enqSt(Op::SD, 8, 1, 0, false, 0); });
+    b.atomically([&] { stNew = b.lsq.enqSt(Op::SD, 8, 2, 0, false, 0); });
+    b.atomically([&] { ld = b.lsq.enqLd(Op::LD, 8, 3, 10, true, 0); });
+    b.atomically([&] {
+        b.lsq.updateSt(stOld, 0x1000, 0x1000, false, 0, false, 111);
+    });
+    b.atomically([&] {
+        b.lsq.updateSt(stNew, 0x1000, 0x1000, false, 0, false, 222);
+    });
+    b.atomically(
+        [&] { b.lsq.updateLd(ld, 0x1000, 0x1000, false, 0, false); });
+    uint64_t fwd = 0;
+    Lsq::IssueResult res{};
+    b.atomically([&] {
+        res = b.lsq.issueLd(ld, StoreBuffer::SearchResult{}, false, fwd);
+    });
+    EXPECT_EQ(res, Lsq::IssueResult::Forward);
+    EXPECT_EQ(fwd, 222u); // youngest older store wins
+}
+
+TEST(StoreBufferTest, CoalesceSearchAndDrain)
+{
+    Kernel k;
+    StoreBuffer sb(k, "sb", 2);
+    k.elaborate();
+    auto at = [&](auto &&f) {
+        ASSERT_TRUE(k.runAtomically(f));
+        k.cycle();
+    };
+    at([&] { sb.enq(0x1000, 0xaaaa, 2); });
+    at([&] { sb.enq(0x1004, 0xbbbb, 2); }); // same line: coalesce
+    EXPECT_EQ(sb.stats().get("coalesced"), 1u);
+    StoreBuffer::SearchResult r;
+    at([&] { r = sb.search(0x1000, 2); });
+    EXPECT_TRUE(r.full);
+    EXPECT_EQ(r.data, 0xaaaau);
+    at([&] { r = sb.search(0x1000, 8); });
+    EXPECT_TRUE(r.partial); // bytes 2..3 missing
+    Addr line = 0;
+    uint8_t idx = 0;
+    at([&] { idx = sb.issue(line); });
+    EXPECT_EQ(line, lineAddr(0x1000));
+    StoreBuffer::DeqResult d;
+    at([&] { d = sb.deq(idx); });
+    EXPECT_EQ(d.data.read(0, 2), 0xaaaau);
+    EXPECT_EQ(d.data.read(4, 2), 0xbbbbu);
+    EXPECT_TRUE(sb.empty());
+}
+
+} // namespace

@@ -1,0 +1,358 @@
+/**
+ * @file
+ * Unit tests for the OOO engine modules: ROB (group ports, status
+ * writes, wrongSpec suffix kill), issue queue (both CM orderings,
+ * wakeup, age order), speculation manager (tag dependency squash),
+ * rename table and free list checkpoints, bypass network, SpecFifo.
+ */
+#include <gtest/gtest.h>
+
+#include "ooo/engine.hh"
+#include "ooo/iq.hh"
+#include "ooo/rob.hh"
+#include "ooo/spec_fifo.hh"
+
+using namespace riscy;
+using namespace cmd;
+
+namespace {
+
+TEST(Rob, EnqMarkCommitRoundTrip)
+{
+    Kernel k;
+    Rob rob(k, "rob", 8);
+    k.elaborate();
+
+    RobEntry es[2];
+    es[0].pc = 0x100;
+    es[1].pc = 0x104;
+    ASSERT_TRUE(k.runAtomically([&] { rob.enqGroup(es, 2); }));
+    EXPECT_EQ(rob.count(), 2u);
+    EXPECT_EQ(rob.front().pc, 0x100u);
+    EXPECT_FALSE(rob.front().done);
+    k.cycle();
+    ASSERT_TRUE(k.runAtomically([&] { rob.markDone(0); }));
+    EXPECT_TRUE(rob.front().done);
+    EXPECT_FALSE(rob.second().done);
+    k.cycle();
+    ASSERT_TRUE(k.runAtomically([&] { rob.deqGroup(1); }));
+    EXPECT_EQ(rob.front().pc, 0x104u);
+}
+
+TEST(Rob, WrongSpecKillsSuffixAndRestoresTail)
+{
+    Kernel k;
+    Rob rob(k, "rob", 8);
+    k.elaborate();
+    RobEntry es[2];
+    es[0].pc = 0x0;
+    es[0].specMask = 0;
+    es[1].pc = 0x4;
+    es[1].specMask = 0; // the branch itself
+    ASSERT_TRUE(k.runAtomically([&] { rob.enqGroup(es, 2); }));
+    k.cycle();
+    RobEntry young[2];
+    young[0].pc = 0x8;
+    young[0].specMask = 0x1;
+    young[1].pc = 0xc;
+    young[1].specMask = 0x1;
+    ASSERT_TRUE(k.runAtomically([&] { rob.enqGroup(young, 2); }));
+    k.cycle();
+    ASSERT_TRUE(k.runAtomically([&] { rob.wrongSpec(0x1); }));
+    EXPECT_EQ(rob.count(), 2u);
+    // The next allocation reuses the rolled-back slots.
+    EXPECT_EQ(rob.enqIndex(0), 2u);
+    k.cycle();
+    ASSERT_TRUE(k.runAtomically([&] { rob.correctSpec(0x1); }));
+}
+
+TEST(Rob, FullBackpressure)
+{
+    Kernel k;
+    Rob rob(k, "rob", 4);
+    k.elaborate();
+    RobEntry es[2];
+    ASSERT_TRUE(k.runAtomically([&] { rob.enqGroup(es, 2); }));
+    k.cycle();
+    ASSERT_TRUE(k.runAtomically([&] { rob.enqGroup(es, 2); }));
+    EXPECT_FALSE(rob.canEnq(1));
+    k.cycle();
+    EXPECT_FALSE(k.runAtomically([&] { rob.enqGroup(es, 1); }));
+}
+
+TEST(IssueQueue, WakeupThenIssueInAgeOrder)
+{
+    Kernel k;
+    IssueQueue iq(k, "iq", 4);
+    k.elaborate();
+
+    Uop a, b;
+    a.pc = 0x10;
+    a.ps1 = 5;
+    a.inst = isa::decode(0x00b50533); // add a0, a0, a1 (reads rs1/rs2)
+    a.ps2 = 6;
+    b = a;
+    b.pc = 0x14;
+    ASSERT_TRUE(k.runAtomically([&] { iq.enter(a, false, true); }));
+    k.cycle();
+    ASSERT_TRUE(k.runAtomically([&] { iq.enter(b, false, true); }));
+    EXPECT_FALSE(iq.canIssue());
+    k.cycle();
+    ASSERT_TRUE(k.runAtomically([&] { iq.wakeup(5); }));
+    EXPECT_TRUE(iq.canIssue());
+    k.cycle();
+    Uop out;
+    ASSERT_TRUE(k.runAtomically([&] { out = iq.issue(); }));
+    EXPECT_EQ(out.pc, 0x10u); // oldest first
+    k.cycle();
+    ASSERT_TRUE(k.runAtomically([&] { out = iq.issue(); }));
+    EXPECT_EQ(out.pc, 0x14u);
+}
+
+TEST(IssueQueue, CmOrderingsMatchPaper)
+{
+    for (auto order : {IssueQueue::Ordering::WakeupIssueEnter,
+                       IssueQueue::Ordering::IssueWakeupEnter}) {
+        Kernel k;
+        IssueQueue iq(k, "iq", 4, order);
+        Reg<int> issued(k, "issued", 0);
+        Uop seedUop;
+        seedUop.ps1 = 7;
+        seedUop.inst = isa::decode(0x00b50533);
+        seedUop.ps2 = 0;
+
+        Rule &wake = k.rule("wake", [&] { iq.wakeup(7); });
+        wake.uses({&iq.wakeupM});
+        Rule &iss = k.rule("issue", [&] {
+            iq.issue();
+            issued.write(issued.read() + 1);
+        });
+        iss.uses({&iq.issueM});
+        k.elaborate();
+
+        ASSERT_TRUE(k.runAtomically(
+            [&] { iq.enter(seedUop, false, true); }));
+        k.cycle();
+        if (order == IssueQueue::Ordering::WakeupIssueEnter) {
+            // Woken and issued in the same cycle.
+            EXPECT_EQ(issued.read(), 1);
+        } else {
+            // issue < wakeup: the wakeup lands after issue tried.
+            EXPECT_EQ(issued.read(), 0);
+            k.cycle();
+            EXPECT_EQ(issued.read(), 1);
+        }
+    }
+}
+
+TEST(IssueQueue, WrongSpecKillsByMask)
+{
+    Kernel k;
+    IssueQueue iq(k, "iq", 4);
+    k.elaborate();
+    Uop u;
+    u.inst = isa::decode(0x00b50533);
+    u.specMask = 0x2;
+    ASSERT_TRUE(k.runAtomically([&] { iq.enter(u, true, true); }));
+    EXPECT_TRUE(iq.canIssue());
+    k.cycle();
+    ASSERT_TRUE(k.runAtomically([&] { iq.wrongSpec(0x2); }));
+    EXPECT_FALSE(iq.canIssue());
+    EXPECT_EQ(iq.size(), 0u);
+}
+
+TEST(SpecManager, SquashFreesYoungerTags)
+{
+    Kernel k;
+    SpecManager sm(k, "sm", 4);
+    k.elaborate();
+    uint8_t t0 = 0, t1 = 0, t2 = 0;
+    ASSERT_TRUE(k.runAtomically([&] { t0 = sm.alloc(); }));
+    k.cycle();
+    ASSERT_TRUE(k.runAtomically([&] { t1 = sm.alloc(); }));
+    k.cycle();
+    ASSERT_TRUE(k.runAtomically([&] { t2 = sm.alloc(); }));
+    k.cycle();
+    EXPECT_EQ(sm.activeMask(), 0x7u);
+    // Squash the middle tag: it and the younger t2 die; t0 survives.
+    SpecMask dead = 0;
+    ASSERT_TRUE(k.runAtomically([&] { dead = sm.squash(t1); }));
+    EXPECT_EQ(dead, (1u << t1) | (1u << t2));
+    EXPECT_EQ(sm.activeMask(), 1u << t0);
+    (void)t0;
+}
+
+TEST(SpecManager, CommitReleasesDependency)
+{
+    Kernel k;
+    SpecManager sm(k, "sm", 4);
+    k.elaborate();
+    uint8_t t0 = 0, t1 = 0;
+    ASSERT_TRUE(k.runAtomically([&] { t0 = sm.alloc(); }));
+    k.cycle();
+    ASSERT_TRUE(k.runAtomically([&] { t1 = sm.alloc(); }));
+    k.cycle();
+    ASSERT_TRUE(k.runAtomically([&] { sm.commit(t0); }));
+    k.cycle();
+    // t1 no longer depends on t0; squashing a recycled t0 later must
+    // not kill t1.
+    uint8_t t0b = 0;
+    ASSERT_TRUE(k.runAtomically([&] { t0b = sm.alloc(); }));
+    EXPECT_EQ(t0b, t0); // recycled
+    k.cycle();
+    SpecMask dead = 0;
+    ASSERT_TRUE(k.runAtomically([&] { dead = sm.squash(t0b); }));
+    EXPECT_EQ(dead, 1u << t0b);
+    EXPECT_EQ(sm.activeMask(), 1u << t1);
+}
+
+TEST(RenameAndFreeList, CheckpointRollback)
+{
+    Kernel k;
+    RenameTable rt(k, "rt", 4);
+    FreeList fl(k, "fl", 64, 4);
+    k.elaborate();
+    ASSERT_TRUE(k.runAtomically([&] {
+        rt.initIdentity();
+        fl.initRange(32, 32);
+    }));
+    k.cycle();
+    // Rename x5 -> 32, checkpoint for tag 1, rename x6 -> 33. The
+    // checkpoint is taken from the rename rule's working map (staged
+    // writes are not visible within the rule), exactly as the core's
+    // rename rule does.
+    PhysReg p[2];
+    ASSERT_TRUE(k.runAtomically([&] {
+        fl.allocGroup(p, 1);
+        rt.setSpec(5, p[0]);
+        PhysReg map[32];
+        for (uint32_t i = 0; i < 32; i++)
+            map[i] = static_cast<PhysReg>(i);
+        map[5] = p[0];
+        rt.snapshotFrom(1, map);
+        fl.snapshotAt(1, 1);
+    }));
+    k.cycle();
+    ASSERT_TRUE(k.runAtomically([&] {
+        fl.allocGroup(p + 1, 1);
+        rt.setSpec(6, p[1]);
+    }));
+    EXPECT_EQ(rt.spec(5), 32);
+    EXPECT_EQ(rt.spec(6), 33);
+    k.cycle();
+    ASSERT_TRUE(k.runAtomically([&] {
+        rt.rollback(1);
+        fl.rollback(1);
+    }));
+    EXPECT_EQ(rt.spec(5), 32); // snapshot was after x5's rename
+    EXPECT_EQ(rt.spec(6), 6);  // x6's rename undone
+    // 33 is free again.
+    PhysReg q = 0;
+    k.cycle();
+    ASSERT_TRUE(k.runAtomically([&] { q = fl.alloc(); }));
+    EXPECT_EQ(q, 33);
+}
+
+TEST(FreeList, FreesAppendAndSurviveRollback)
+{
+    Kernel k;
+    FreeList fl(k, "fl", 16, 2);
+    k.elaborate();
+    ASSERT_TRUE(k.runAtomically([&] { fl.initRange(8, 8); }));
+    k.cycle();
+    PhysReg a[2];
+    ASSERT_TRUE(k.runAtomically([&] {
+        fl.snapshot(0);
+        fl.allocGroup(a, 2);
+    }));
+    k.cycle();
+    // A commit frees two stale registers while the branch is open.
+    PhysReg stale[2] = {1, 2};
+    ASSERT_TRUE(k.runAtomically([&] { fl.freeGroup(stale, 2); }));
+    k.cycle();
+    ASSERT_TRUE(k.runAtomically([&] { fl.rollback(0); }));
+    k.cycle();
+    // After rollback: the 2 allocations returned AND the 2 frees kept.
+    EXPECT_TRUE(fl.canAlloc(8));
+    PhysReg r = 0;
+    ASSERT_TRUE(k.runAtomically([&] { r = fl.alloc(); }));
+    EXPECT_EQ(r, a[0]); // original order restored
+}
+
+TEST(Bypass, SetVisibleToGetSameCycleOnly)
+{
+    Kernel k;
+    Bypass by(k, "by", 2);
+    Reg<uint64_t> got(k, "got", 0);
+    Reg<int> hits(k, "hits", 0);
+    k.rule("producer", [&] { by.set(0, 7, 0xabc); })
+        .uses({&by.setM});
+    k.rule("consumer", [&] {
+        uint64_t v = 0;
+        if (by.get(7, v)) {
+            got.write(v);
+            hits.write(hits.read() + 1);
+        }
+    }).uses({&by.getM});
+    k.elaborate();
+    k.cycle();
+    EXPECT_EQ(got.read(), 0xabcu);
+    EXPECT_EQ(hits.read(), 1);
+}
+
+TEST(SpecFifo, KillAndCompactPreserveOrder)
+{
+    Kernel k;
+    SpecFifo<Uop> f(k, "f", 4);
+    k.elaborate();
+    auto push = [&](uint64_t pc, SpecMask m) {
+        Uop u;
+        u.pc = pc;
+        u.specMask = m;
+        ASSERT_TRUE(k.runAtomically([&] { f.enq(u); }));
+        k.cycle();
+    };
+    push(0x10, 0);
+    push(0x14, 1);
+    push(0x18, 1);
+    push(0x1c, 0);
+    ASSERT_TRUE(k.runAtomically([&] { f.wrongSpec(1); }));
+    k.cycle();
+    Uop out;
+    ASSERT_TRUE(k.runAtomically([&] { out = f.deq(); }));
+    EXPECT_EQ(out.pc, 0x10u);
+    k.cycle();
+    ASSERT_TRUE(k.runAtomically([&] { out = f.deq(); }));
+    EXPECT_EQ(out.pc, 0x1cu); // killed middle entries skipped
+    EXPECT_FALSE(f.canDeq());
+    // Compaction eventually reclaims the dead slots for enq.
+    k.run(4);
+    EXPECT_TRUE(f.canEnq());
+}
+
+TEST(Scoreboard, SetReadyOrdersBeforeRenameReads)
+{
+    Kernel k;
+    Scoreboard sb(k, "sb", 16);
+    Reg<int> sawReady(k, "saw", -1);
+    Rule &writer = k.rule("writer", [&] { sb.setReady(3); });
+    writer.uses({&sb.setReadyM});
+    Rule &reader = k.rule("reader", [&] {
+        sawReady.write(sb.rdy(3) ? 1 : 0);
+        sb.setNotReady(3);
+    });
+    reader.uses({&sb.rdyM, &sb.setNotReadyM});
+    k.elaborate();
+    // setReady < rdy: the writer is scheduled first even though the
+    // registration order would put it first anyway; verify relation.
+    EXPECT_EQ(k.ruleRelation(writer, reader), Conflict::LT);
+    ASSERT_TRUE(k.runAtomically([&] { sb.setNotReady(3); }));
+    k.cycle();
+    EXPECT_EQ(sawReady.read(), 1); // saw the same-cycle wakeup
+    // And the final state is not-ready (reader ran after writer).
+    bool rdy = true;
+    ASSERT_TRUE(k.runAtomically([&] { rdy = sb.rdy(3); }));
+    EXPECT_FALSE(rdy);
+}
+
+} // namespace

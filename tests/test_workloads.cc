@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Workload smoke tests: every SPEC-profile kernel builds, runs to
+ * completion on RiscyOO-T+, and exhibits the event profile it was
+ * designed for (TLB-bound kernels actually miss the TLB, dense
+ * kernels do not, branchy kernels mispredict). Also the synthesis
+ * model's calibration points.
+ */
+#include <gtest/gtest.h>
+
+#include "synth/area_model.hh"
+#include "workloads/workloads.hh"
+
+using namespace riscy;
+
+namespace {
+
+System::EventCounts
+runSpec(const std::string &name)
+{
+    auto all = workloads::specWorkloads();
+    for (const auto &w : all) {
+        if (w.name != name)
+            continue;
+        System sys(SystemConfig::riscyooTPlus());
+        workloads::Image img = w.build(sys, 1);
+        sys.elaborate();
+        workloads::runToCompletion(sys, img, 100000000);
+        return sys.events(0);
+    }
+    ADD_FAILURE() << "no workload " << name;
+    return {};
+}
+
+double
+perKilo(const System::EventCounts &ev, uint64_t n)
+{
+    return 1000.0 * double(n) / double(ev.instret);
+}
+
+TEST(Workloads, CatalogIsComplete)
+{
+    auto spec = workloads::specWorkloads();
+    ASSERT_EQ(spec.size(), 11u);
+    auto parsec = workloads::parsecWorkloads();
+    ASSERT_EQ(parsec.size(), 7u);
+}
+
+TEST(Workloads, McfIsTlbBound)
+{
+    auto ev = runSpec("mcf");
+    EXPECT_GT(ev.instret, 10000u);
+    EXPECT_GT(perKilo(ev, ev.dtlbMisses), 30.0);
+    EXPECT_GT(perKilo(ev, ev.l2tlbMisses), 10.0);
+}
+
+TEST(Workloads, HmmerIsDense)
+{
+    auto ev = runSpec("hmmer");
+    EXPECT_GT(ev.instret, 100000u);
+    EXPECT_LT(perKilo(ev, ev.dtlbMisses), 1.0);
+    EXPECT_LT(perKilo(ev, ev.l1dMisses), 5.0);
+    EXPECT_LT(perKilo(ev, ev.branchMispredicts), 5.0);
+}
+
+TEST(Workloads, SjengMispredicts)
+{
+    auto ev = runSpec("sjeng");
+    EXPECT_GT(perKilo(ev, ev.branchMispredicts), 10.0);
+}
+
+TEST(Workloads, LibquantumMissesCaches)
+{
+    auto ev = runSpec("libquantum");
+    EXPECT_GT(perKilo(ev, ev.l1dMisses), 15.0);
+    EXPECT_LT(perKilo(ev, ev.dtlbMisses), 40.0);
+}
+
+TEST(Workloads, ParsecBlackscholesScales)
+{
+    auto parsec = workloads::parsecWorkloads();
+    const auto &w = parsec.front();
+    uint64_t roi1, roi4;
+    {
+        System sys(SystemConfig::multicore(true));
+        auto img = w.build(sys, 1);
+        sys.elaborate();
+        workloads::runToCompletion(sys, img, 100000000);
+        roi1 = workloads::roiCycles(sys);
+    }
+    {
+        System sys(SystemConfig::multicore(true));
+        auto img = w.build(sys, 4);
+        sys.elaborate();
+        workloads::runToCompletion(sys, img, 100000000);
+        roi4 = workloads::roiCycles(sys);
+    }
+    // Strong scaling: 4 threads at least 2x faster than 1.
+    EXPECT_LT(roi4 * 2, roi1);
+}
+
+TEST(SynthModel, MatchesPaperCalibration)
+{
+    auto t = synth::estimate(SystemConfig::riscyooTPlus().core);
+    auto tr = synth::estimate(SystemConfig::riscyooTPlusRPlus().core);
+    EXPECT_NEAR(t.nand2Mgates, 1.78, 0.05);
+    EXPECT_NEAR(t.maxGhz, 1.1, 0.12);
+    EXPECT_NEAR(tr.maxGhz, 1.0, 0.12);
+    double overhead = (tr.nand2Mgates - t.nand2Mgates) / t.nand2Mgates;
+    EXPECT_GT(overhead, 0.02);
+    EXPECT_LT(overhead, 0.12); // paper: 6.2%
+    // Bigger machines cost more logic and clock slower.
+    auto w7 = synth::estimate(SystemConfig::wide7().core);
+    EXPECT_GT(w7.nand2Mgates, tr.nand2Mgates);
+    EXPECT_LT(w7.maxGhz, tr.maxGhz);
+}
+
+} // namespace
