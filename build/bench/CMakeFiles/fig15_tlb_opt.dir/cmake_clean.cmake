@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_tlb_opt.dir/fig15_tlb_opt.cc.o"
+  "CMakeFiles/fig15_tlb_opt.dir/fig15_tlb_opt.cc.o.d"
+  "fig15_tlb_opt"
+  "fig15_tlb_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_tlb_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_miss_rates.dir/fig16_miss_rates.cc.o"
+  "CMakeFiles/fig16_miss_rates.dir/fig16_miss_rates.cc.o.d"
+  "fig16_miss_rates"
+  "fig16_miss_rates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_miss_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

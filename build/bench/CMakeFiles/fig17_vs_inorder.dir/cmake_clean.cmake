@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_vs_inorder.dir/fig17_vs_inorder.cc.o"
+  "CMakeFiles/fig17_vs_inorder.dir/fig17_vs_inorder.cc.o.d"
+  "fig17_vs_inorder"
+  "fig17_vs_inorder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_vs_inorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_vs_wide.dir/fig18_vs_wide.cc.o"
+  "CMakeFiles/fig18_vs_wide.dir/fig18_vs_wide.cc.o.d"
+  "fig18_vs_wide"
+  "fig18_vs_wide.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_vs_wide.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

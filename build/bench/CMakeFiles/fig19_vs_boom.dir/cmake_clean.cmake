@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_vs_boom.dir/fig19_vs_boom.cc.o"
+  "CMakeFiles/fig19_vs_boom.dir/fig19_vs_boom.cc.o.d"
+  "fig19_vs_boom"
+  "fig19_vs_boom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_vs_boom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_multicore.dir/fig20_multicore.cc.o"
+  "CMakeFiles/fig20_multicore.dir/fig20_multicore.cc.o.d"
+  "fig20_multicore"
+  "fig20_multicore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_multicore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

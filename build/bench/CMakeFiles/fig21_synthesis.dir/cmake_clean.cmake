@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig21_synthesis.dir/fig21_synthesis.cc.o"
+  "CMakeFiles/fig21_synthesis.dir/fig21_synthesis.cc.o.d"
+  "fig21_synthesis"
+  "fig21_synthesis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_synthesis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

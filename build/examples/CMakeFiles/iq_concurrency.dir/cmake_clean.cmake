@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iq_concurrency.dir/iq_concurrency.cpp.o"
+  "CMakeFiles/iq_concurrency.dir/iq_concurrency.cpp.o.d"
+  "iq_concurrency"
+  "iq_concurrency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iq_concurrency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/run_program.dir/run_program.cpp.o"
+  "CMakeFiles/run_program.dir/run_program.cpp.o.d"
+  "run_program"
+  "run_program.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/run_program.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

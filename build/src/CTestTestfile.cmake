@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("core")
+subdirs("isa")
+subdirs("asmkit")
+subdirs("mem")
+subdirs("cache")
+subdirs("tlb")
+subdirs("frontend")
+subdirs("ooo")
+subdirs("lsq")
+subdirs("proc")
+subdirs("synth")
+subdirs("workloads")

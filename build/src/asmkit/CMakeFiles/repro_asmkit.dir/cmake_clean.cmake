@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_asmkit.dir/assembler.cc.o"
+  "CMakeFiles/repro_asmkit.dir/assembler.cc.o.d"
+  "librepro_asmkit.a"
+  "librepro_asmkit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_asmkit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_cache.dir/l1.cc.o"
+  "CMakeFiles/repro_cache.dir/l1.cc.o.d"
+  "CMakeFiles/repro_cache.dir/l2.cc.o"
+  "CMakeFiles/repro_cache.dir/l2.cc.o.d"
+  "librepro_cache.a"
+  "librepro_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

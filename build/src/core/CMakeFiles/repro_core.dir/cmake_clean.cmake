@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_core.dir/kernel.cc.o"
+  "CMakeFiles/repro_core.dir/kernel.cc.o.d"
+  "CMakeFiles/repro_core.dir/log.cc.o"
+  "CMakeFiles/repro_core.dir/log.cc.o.d"
+  "CMakeFiles/repro_core.dir/stats.cc.o"
+  "CMakeFiles/repro_core.dir/stats.cc.o.d"
+  "librepro_core.a"
+  "librepro_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_frontend.dir/predictors.cc.o"
+  "CMakeFiles/repro_frontend.dir/predictors.cc.o.d"
+  "librepro_frontend.a"
+  "librepro_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_isa.dir/exec.cc.o"
+  "CMakeFiles/repro_isa.dir/exec.cc.o.d"
+  "CMakeFiles/repro_isa.dir/golden.cc.o"
+  "CMakeFiles/repro_isa.dir/golden.cc.o.d"
+  "CMakeFiles/repro_isa.dir/inst.cc.o"
+  "CMakeFiles/repro_isa.dir/inst.cc.o.d"
+  "librepro_isa.a"
+  "librepro_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

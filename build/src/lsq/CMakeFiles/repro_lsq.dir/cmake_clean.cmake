@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_lsq.dir/lsq.cc.o"
+  "CMakeFiles/repro_lsq.dir/lsq.cc.o.d"
+  "CMakeFiles/repro_lsq.dir/store_buffer.cc.o"
+  "CMakeFiles/repro_lsq.dir/store_buffer.cc.o.d"
+  "librepro_lsq.a"
+  "librepro_lsq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_lsq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

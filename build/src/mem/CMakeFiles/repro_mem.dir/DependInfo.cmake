@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/dram.cc" "src/mem/CMakeFiles/repro_mem.dir/dram.cc.o" "gcc" "src/mem/CMakeFiles/repro_mem.dir/dram.cc.o.d"
+  "/root/repo/src/mem/memory.cc" "src/mem/CMakeFiles/repro_mem.dir/memory.cc.o" "gcc" "src/mem/CMakeFiles/repro_mem.dir/memory.cc.o.d"
+  "/root/repo/src/mem/page_table.cc" "src/mem/CMakeFiles/repro_mem.dir/page_table.cc.o" "gcc" "src/mem/CMakeFiles/repro_mem.dir/page_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/repro_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

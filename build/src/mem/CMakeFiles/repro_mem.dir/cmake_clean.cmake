@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_mem.dir/dram.cc.o"
+  "CMakeFiles/repro_mem.dir/dram.cc.o.d"
+  "CMakeFiles/repro_mem.dir/memory.cc.o"
+  "CMakeFiles/repro_mem.dir/memory.cc.o.d"
+  "CMakeFiles/repro_mem.dir/page_table.cc.o"
+  "CMakeFiles/repro_mem.dir/page_table.cc.o.d"
+  "librepro_mem.a"
+  "librepro_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ooo/engine.cc" "src/ooo/CMakeFiles/repro_ooo.dir/engine.cc.o" "gcc" "src/ooo/CMakeFiles/repro_ooo.dir/engine.cc.o.d"
+  "/root/repo/src/ooo/iq.cc" "src/ooo/CMakeFiles/repro_ooo.dir/iq.cc.o" "gcc" "src/ooo/CMakeFiles/repro_ooo.dir/iq.cc.o.d"
+  "/root/repo/src/ooo/rob.cc" "src/ooo/CMakeFiles/repro_ooo.dir/rob.cc.o" "gcc" "src/ooo/CMakeFiles/repro_ooo.dir/rob.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/repro_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/repro_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/repro_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

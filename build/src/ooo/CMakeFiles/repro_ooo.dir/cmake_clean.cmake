@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_ooo.dir/engine.cc.o"
+  "CMakeFiles/repro_ooo.dir/engine.cc.o.d"
+  "CMakeFiles/repro_ooo.dir/iq.cc.o"
+  "CMakeFiles/repro_ooo.dir/iq.cc.o.d"
+  "CMakeFiles/repro_ooo.dir/rob.cc.o"
+  "CMakeFiles/repro_ooo.dir/rob.cc.o.d"
+  "librepro_ooo.a"
+  "librepro_ooo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_ooo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_proc.dir/inorder_core.cc.o"
+  "CMakeFiles/repro_proc.dir/inorder_core.cc.o.d"
+  "CMakeFiles/repro_proc.dir/ooo_core.cc.o"
+  "CMakeFiles/repro_proc.dir/ooo_core.cc.o.d"
+  "CMakeFiles/repro_proc.dir/system.cc.o"
+  "CMakeFiles/repro_proc.dir/system.cc.o.d"
+  "librepro_proc.a"
+  "librepro_proc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_proc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_synth.dir/area_model.cc.o"
+  "CMakeFiles/repro_synth.dir/area_model.cc.o.d"
+  "librepro_synth.a"
+  "librepro_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

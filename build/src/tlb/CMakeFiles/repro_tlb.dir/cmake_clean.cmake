@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_tlb.dir/tlb.cc.o"
+  "CMakeFiles/repro_tlb.dir/tlb.cc.o.d"
+  "librepro_tlb.a"
+  "librepro_tlb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_tlb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

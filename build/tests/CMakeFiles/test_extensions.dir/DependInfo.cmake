@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_extensions.cc" "tests/CMakeFiles/test_extensions.dir/test_extensions.cc.o" "gcc" "tests/CMakeFiles/test_extensions.dir/test_extensions.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/repro_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/repro_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/repro_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/asmkit/CMakeFiles/repro_asmkit.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/repro_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/tlb/CMakeFiles/repro_tlb.dir/DependInfo.cmake"
+  "/root/repo/build/src/proc/CMakeFiles/repro_proc.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/repro_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/ooo/CMakeFiles/repro_ooo.dir/DependInfo.cmake"
+  "/root/repo/build/src/lsq/CMakeFiles/repro_lsq.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/repro_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/repro_synth.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

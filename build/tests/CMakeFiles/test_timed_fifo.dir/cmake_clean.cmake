@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_timed_fifo.dir/test_timed_fifo.cc.o"
+  "CMakeFiles/test_timed_fifo.dir/test_timed_fifo.cc.o.d"
+  "test_timed_fifo"
+  "test_timed_fifo.pdb"
+  "test_timed_fifo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_timed_fifo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
