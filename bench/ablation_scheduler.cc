@@ -1,42 +1,80 @@
 /**
  * @file
- * CMD-kernel microbenchmarks (google-benchmark): the cost of the
- * rule-scheduling machinery itself — cycles/second for a pipeline of
- * FIFOs, rule-throughput scaling with design size, and the guard-
- * abort fast path. These quantify the simulation substrate the whole
- * reproduction runs on.
+ * CMD-kernel scheduler ablation: exhaustive (attempt every rule every
+ * cycle) versus event-driven (sensitivity tracking + sleep/wake)
+ * side by side, on workloads chosen to span the idleness spectrum:
+ *
+ *  - idle_pipeline: a deep FIFO pipeline fed one token every 128
+ *    cycles, so a couple of stages carry tokens while ~190 sit empty
+ *    — the idle-LSQ/TLB/L2 shape that dominates real system
+ *    simulations, and the headline case for the event-driven win.
+ *  - busy_pipeline: the same pipeline saturated with tokens, so no
+ *    rule can sleep — measures the tracking overhead floor.
+ *  - idle_guards: 64 permanently not-ready rules — the pure
+ *    sleep-forever case.
+ *
+ * Each run is checked for architectural equivalence (snapshot digest)
+ * between the two schedulers, and results are written both as a
+ * human-readable table and as machine-readable BENCH_scheduler.json
+ * so the perf trajectory can be tracked across PRs.
  */
-#include <benchmark/benchmark.h>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "core/cmd.hh"
-#include "core/timed_fifo.hh"
 
 using namespace cmd;
 
 namespace {
 
-/** N-stage FIFO pipeline moving tokens every cycle. */
+constexpr unsigned kIdleStages = 192;
+constexpr unsigned kIdleFeedInterval = 128;
+constexpr unsigned kBusyStages = 48;
+constexpr uint64_t kCycles = 200000;
+constexpr int kReps = 3;
+
+/** FNV-1a over a snapshot buffer: the architectural-state digest. */
+uint64_t
+digest(const std::vector<uint8_t> &bytes)
+{
+    uint64_t h = 1469598103934665603ull;
+    for (uint8_t b : bytes) {
+        h ^= b;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+/** N-stage FIFO pipeline; feed throttled to one token per interval. */
 struct Pipeline {
     Kernel k;
     std::vector<std::unique_ptr<PipelineFifo<uint64_t>>> q;
+    Reg<uint64_t> tick;
     Reg<uint64_t> src;
     Reg<uint64_t> sink;
 
-    explicit Pipeline(unsigned stages)
-        : src(k, "src", 0), sink(k, "sink", 0)
+    Pipeline(unsigned stages, unsigned feedInterval, SchedulerKind kind)
+        : tick(k, "tick", 0), src(k, "src", 0), sink(k, "sink", 0)
     {
         for (unsigned i = 0; i < stages; i++) {
             q.push_back(std::make_unique<PipelineFifo<uint64_t>>(
-                k, cmd::strfmt("q%u", i), 2));
+                k, strfmt("q%u", i), 2));
         }
-        k.rule("feed", [this] {
+        k.rule("tick", [this] { tick.write(tick.read() + 1); });
+        // requireFast: the exception-free implicit-guard exit.
+        k.rule("feed", [this, feedInterval] {
+            if (!requireFast(tick.read() % feedInterval == 0))
+                return;
             q.front()->enq(src.read());
             src.write(src.read() + 1);
         }).uses({&q.front()->enqM});
         for (unsigned i = 0; i + 1 < stages; i++) {
             auto *a = q[i].get();
             auto *b = q[i + 1].get();
-            k.rule(cmd::strfmt("move%u", i), [a, b] { b->enq(a->deq()); })
+            k.rule(strfmt("move%u", i), [a, b] { b->enq(a->deq()); })
                 .when([a, b] { return a->canDeq() && b->canEnq(); })
                 .uses({&a->deqM, &b->enqM});
         }
@@ -44,57 +82,142 @@ struct Pipeline {
             sink.write(sink.read() + q.back()->deq());
         }).when([this] { return q.back()->canDeq(); })
             .uses({&q.back()->deqM});
+        k.setScheduler(kind);
         k.elaborate();
     }
 };
 
-void
-BM_PipelineCycles(benchmark::State &state)
-{
-    Pipeline p(static_cast<unsigned>(state.range(0)));
-    for (auto _ : state)
-        p.k.cycle();
-    state.counters["rules/s"] = benchmark::Counter(
-        double(state.iterations()) * (state.range(0) + 1),
-        benchmark::Counter::kIsRate);
-}
-BENCHMARK(BM_PipelineCycles)->Arg(4)->Arg(16)->Arg(64);
-
-void
-BM_GuardAbortFastPath(benchmark::State &state)
-{
-    // All rules permanently not-ready: measures the when()-guard
-    // fast path that keeps idle rules cheap.
+/** 64 permanently not-ready rules behind when() guards. */
+struct IdleGuards {
     Kernel k;
-    Reg<int> never(k, "never", 0);
-    for (int i = 0; i < 64; i++) {
-        k.rule(cmd::strfmt("idle%d", i), [&] { require(false); })
-            .when([&] { return never.read() != 0; });
+    Reg<int> never;
+
+    explicit IdleGuards(SchedulerKind kind) : never(k, "never", 0)
+    {
+        for (int i = 0; i < 64; i++) {
+            k.rule(strfmt("idle%d", i), [] { require(false); })
+                .when([this] { return never.read() != 0; });
+        }
+        k.setScheduler(kind);
+        k.elaborate();
     }
-    k.elaborate();
-    for (auto _ : state)
-        k.cycle();
-}
-BENCHMARK(BM_GuardAbortFastPath);
+};
 
-void
-BM_CmBlockPath(benchmark::State &state)
+struct RunStats {
+    double cps = 0;
+    uint64_t stateDigest = 0;
+    uint64_t attempts = 0;
+    uint64_t sleepSkips = 0;
+    uint64_t guardThrows = 0;
+    uint64_t fastGuardFails = 0;
+};
+
+template <typename MakeDesign>
+RunStats
+measure(MakeDesign make, SchedulerKind kind)
 {
-    // Two rules racing on a conflicting method: one CM-aborts per
-    // cycle (the exceptional path).
-    Kernel k;
-    PipelineFifo<int> f(k, "f", 64);
-    k.rule("e1", [&] { f.enq(1); }).uses({&f.enqM});
-    k.rule("e2", [&] { f.enq(2); }).uses({&f.enqM});
-    k.rule("d", [&] { f.deq(); })
-        .when([&] { return f.canDeq(); })
-        .uses({&f.deqM});
-    k.elaborate();
-    for (auto _ : state)
-        k.cycle();
+    RunStats best;
+    for (int rep = 0; rep < kReps; rep++) {
+        auto d = make(kind);
+        Kernel &k = d->k;
+        auto t0 = std::chrono::steady_clock::now();
+        k.run(kCycles);
+        auto t1 = std::chrono::steady_clock::now();
+        double secs = std::chrono::duration<double>(t1 - t0).count();
+        double cps = double(kCycles) / secs;
+        if (cps > best.cps) {
+            best.cps = cps;
+            best.stateDigest = digest(k.snapshot());
+            best.attempts = k.ruleAttemptCount();
+            best.sleepSkips = k.sleepSkipCount();
+            best.guardThrows = k.guardThrowCount();
+            best.fastGuardFails = k.fastGuardFailCount();
+        }
+    }
+    return best;
 }
-BENCHMARK(BM_CmBlockPath);
+
+struct Row {
+    std::string name;
+    RunStats ex, ev;
+    bool match() const { return ex.stateDigest == ev.stateDigest; }
+    double speedup() const { return ev.cps / ex.cps; }
+};
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main()
+{
+    std::vector<Row> rows;
+
+    auto mkIdle = [](SchedulerKind kind) {
+        return std::make_unique<Pipeline>(kIdleStages, kIdleFeedInterval,
+                                          kind);
+    };
+    auto mkBusy = [](SchedulerKind kind) {
+        return std::make_unique<Pipeline>(kBusyStages, 1, kind);
+    };
+    auto mkGuards = [](SchedulerKind kind) {
+        return std::make_unique<IdleGuards>(kind);
+    };
+
+    rows.push_back({"idle_pipeline",
+                    measure(mkIdle, SchedulerKind::Exhaustive),
+                    measure(mkIdle, SchedulerKind::EventDriven)});
+    rows.push_back({"busy_pipeline",
+                    measure(mkBusy, SchedulerKind::Exhaustive),
+                    measure(mkBusy, SchedulerKind::EventDriven)});
+    rows.push_back({"idle_guards",
+                    measure(mkGuards, SchedulerKind::Exhaustive),
+                    measure(mkGuards, SchedulerKind::EventDriven)});
+
+    printf("%-16s %14s %14s %8s %7s %12s %12s\n", "workload",
+           "exhaustive c/s", "event c/s", "speedup", "state",
+           "sleepSkips", "throws ex/ev");
+    for (const Row &r : rows) {
+        printf("%-16s %14.0f %14.0f %7.2fx %7s %12llu %6llu/%llu\n",
+               r.name.c_str(), r.ex.cps, r.ev.cps, r.speedup(),
+               r.match() ? "match" : "DIVERGE",
+               (unsigned long long)r.ev.sleepSkips,
+               (unsigned long long)r.ex.guardThrows,
+               (unsigned long long)r.ev.guardThrows);
+    }
+
+    FILE *f = fopen("BENCH_scheduler.json", "w");
+    if (f) {
+        fprintf(f, "{\n  \"bench\": \"ablation_scheduler\",\n"
+                   "  \"cycles_per_run\": %llu,\n  \"results\": [\n",
+                (unsigned long long)kCycles);
+        for (size_t i = 0; i < rows.size(); i++) {
+            const Row &r = rows[i];
+            fprintf(f,
+                    "    {\"workload\": \"%s\", \"exhaustive_cps\": %.0f, "
+                    "\"event_cps\": %.0f, \"speedup\": %.3f, "
+                    "\"digest_match\": %s, "
+                    "\"exhaustive_attempts\": %llu, "
+                    "\"event_attempts\": %llu, "
+                    "\"event_sleep_skips\": %llu, "
+                    "\"exhaustive_guard_throws\": %llu, "
+                    "\"event_guard_throws\": %llu, "
+                    "\"event_fast_guard_fails\": %llu}%s\n",
+                    r.name.c_str(), r.ex.cps, r.ev.cps, r.speedup(),
+                    r.match() ? "true" : "false",
+                    (unsigned long long)r.ex.attempts,
+                    (unsigned long long)r.ev.attempts,
+                    (unsigned long long)r.ev.sleepSkips,
+                    (unsigned long long)r.ex.guardThrows,
+                    (unsigned long long)r.ev.guardThrows,
+                    (unsigned long long)r.ev.fastGuardFails,
+                    i + 1 < rows.size() ? "," : "");
+        }
+        fprintf(f, "  ]\n}\n");
+        fclose(f);
+        printf("wrote BENCH_scheduler.json\n");
+    }
+
+    bool ok = true;
+    for (const Row &r : rows)
+        ok = ok && r.match();
+    return ok ? 0 : 1;
+}

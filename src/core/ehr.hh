@@ -29,7 +29,7 @@ class Ehr : public StateBase
 
   public:
     Ehr(Kernel &kernel, std::string name, uint32_t ports, T init = T{})
-        : StateBase(kernel, std::move(name)), cur_(init),
+        : StateBase(kernel, std::move(name)), cur_(detail::cleared(init)),
           staged_(ports), valid_(ports, false)
     {
         if (ports == 0 || ports > 16)
@@ -46,6 +46,7 @@ class Ehr : public StateBase
     const T &
     read(uint32_t p) const
     {
+        noteRead();
         checkPort(p);
         for (uint32_t q = p; q-- > 0;) {
             if (valid_[q])
@@ -64,6 +65,7 @@ class Ehr : public StateBase
         if (!touched())
             kernel_.noteStateTouched(this);
         staged_[p] = v;
+        detail::clearPadding(staged_[p]);
         valid_[p] = true;
     }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <ostream>
+#include <set>
 #include <sstream>
 
 namespace cmd {
@@ -120,7 +121,10 @@ Module::cm(const Method &a, const Method &b) const
 void
 Module::syncMasks()
 {
-    uint64_t now = kernel_.cycleCount();
+    // Direct cycle_ access: this is framework bookkeeping, not a
+    // time-dependent guard read, so it must not mark the rule
+    // cycle-sensitive.
+    uint64_t now = kernel_.cycle_;
     if (firedEpoch_ != now) {
         firedEpoch_ = now;
         firedMask_ = 0;
@@ -171,6 +175,13 @@ Rule &
 Rule::setEnabled(bool e)
 {
     enabled_ = e;
+    // An enable/disable flip can change whether the rule may fire for
+    // reasons no state commit will signal; drop any sleep.
+    if (asleep_) {
+        asleep_ = false;
+        sleepGen_++;
+        kernel_.setAwakeBit(schedPos_);
+    }
     return *this;
 }
 
@@ -184,15 +195,21 @@ Kernel::registerState(StateBase *s)
 {
     if (elaborated_)
         panic("state %s created after elaboration", s->name().c_str());
+    s->stateIdx_ = static_cast<uint32_t>(states_.size());
     states_.push_back(s);
 }
 
 void
 Kernel::unregisterState(StateBase *s)
 {
-    auto it = std::find(states_.begin(), states_.end(), s);
-    if (it != states_.end())
-        states_.erase(it);
+    // Swap-and-pop via the stored index: teardown of a large design
+    // must not be quadratic in the number of state elements.
+    uint32_t i = s->stateIdx_;
+    if (i >= states_.size() || states_[i] != s)
+        return;
+    states_[i] = states_.back();
+    states_[i]->stateIdx_ = i;
+    states_.pop_back();
 }
 
 void
@@ -267,8 +284,12 @@ Kernel::noteStateTouched(StateBase *s)
 void
 Kernel::commitRuleEffects()
 {
-    for (StateBase *s : touched_)
+    for (StateBase *s : touched_) {
         s->commitStaged();
+        s->lastCommitCycle_ = cycle_;
+        if (!s->waiters_.empty())
+            wakeWaiters(s);
+    }
     touched_.clear();
     for (Module *m : touchedModules_) {
         m->syncMasks();
@@ -299,25 +320,50 @@ Kernel::tryFire(Rule &r)
         r.last_ = Rule::Outcome::Disabled;
         return false;
     }
-    if (r.guard_ && !r.guard_()) {
-        r.last_ = Rule::Outcome::GuardFalse;
-        r.guardAborts_.inc();
-        return false;
+    attempts_++;
+    // The when() guard is the exception-free fast path for the common
+    // not-ready exit: no body dispatch, no throw, no rollback work.
+    if (r.guard_) {
+        if (!r.guard_()) {
+            r.last_ = Rule::Outcome::GuardFalse;
+            r.guardAborts_.inc();
+            return false;
+        }
+        // The guard passed: its reads are the captured sensitivity.
+        // Body reads are not tracked — a body that now fails an
+        // implicit guard has an incompletely captured read set and
+        // stays awake (attemptCaptured_ false) — so firing bodies,
+        // the common case for awake rules, pay no tracking cost.
+        if (trackReads_) {
+            trackReads_ = false;
+            attemptCaptured_ = false;
+        }
     }
 
     inRule_ = true;
     currentRule_ = &r;
+    Kernel *prevActive = detail::activeKernel;
+    detail::activeKernel = this;
     bool fired = false;
     try {
         r.body_();
-        fired = true;
+        if (fastGuardFail_) {
+            fastGuardFail_ = false;
+            fastGuardFails_++;
+            r.last_ = Rule::Outcome::GuardFalse;
+            r.guardAborts_.inc();
+        } else {
+            fired = true;
+        }
     } catch (const GuardFail &) {
+        guardThrows_++;
         r.last_ = Rule::Outcome::GuardFalse;
         r.guardAborts_.inc();
     } catch (const CmBlock &) {
         r.last_ = Rule::Outcome::CmBlocked;
         r.cmAborts_.inc();
     }
+    detail::activeKernel = prevActive;
     inRule_ = false;
     currentRule_ = nullptr;
 
@@ -339,13 +385,21 @@ Kernel::runAtomically(const std::function<void()> &fn)
     if (!elaborated_)
         panic("runAtomically() before elaboration");
     inRule_ = true;
+    Kernel *prevActive = detail::activeKernel;
+    detail::activeKernel = this;
     bool fired = false;
     try {
         fn();
-        fired = true;
+        fired = !fastGuardFail_;
+        if (fastGuardFail_) {
+            fastGuardFail_ = false;
+            fastGuardFails_++;
+        }
     } catch (const GuardFail &) {
+        guardThrows_++;
     } catch (const CmBlock &) {
     }
+    detail::activeKernel = prevActive;
     inRule_ = false;
     if (fired)
         commitRuleEffects();
@@ -361,11 +415,140 @@ Kernel::cycle()
         panic("cycle() before elaboration");
     cycle_++;
     uint32_t fired = 0;
-    for (Rule *r : schedule_) {
-        if (tryFire(*r))
-            fired++;
+    if (sched_ == SchedulerKind::Exhaustive) {
+        for (Rule *r : schedule_) {
+            if (tryFire(*r))
+                fired++;
+        }
+        return fired;
     }
+    // Walk the awake bitmap in schedule order. A rule woken by a
+    // commit at a position we already passed is picked up next cycle;
+    // one woken ahead of the cursor is attempted this cycle — exactly
+    // the outcomes the exhaustive scan would produce. Re-scanning from
+    // pos+1 each step makes the walk robust to the bit-clear (sleep)
+    // and bit-set (wake) churn the attempt itself causes.
+    uint32_t visited = 0;
+    int64_t pos = nextAwake(0);
+    while (pos >= 0) {
+        Rule *r = schedule_[pos];
+        visited++;
+        // Capture the read set of this attempt (guard and body).
+        readMark_++;
+        readSet_.clear();
+        readOverflow_ = false;
+        cycleRead_ = false;
+        attemptCaptured_ = true;
+        trackReads_ = true;
+        bool f = tryFire(*r);
+        trackReads_ = false;
+        if (f)
+            fired++;
+        else if (r->last_ == Rule::Outcome::GuardFalse)
+            maybeSleep(*r);
+        pos = nextAwake(uint32_t(pos) + 1);
+    }
+    sleepSkips_ += schedule_.size() - visited;
     return fired;
+}
+
+void
+Kernel::noteStateRead(StateBase *s)
+{
+    if (s->readMark_ == readMark_)
+        return;
+    s->readMark_ = readMark_;
+    if (readSet_.size() >= kSensitivityCap) {
+        readOverflow_ = true;
+        return;
+    }
+    readSet_.push_back(s);
+}
+
+void
+Kernel::maybeSleep(Rule &r)
+{
+    // Conservative fallbacks: a rule stays always-awake when its
+    // not-ready condition cannot be pinned to a captured read set —
+    // a when() guard that passed but whose body then failed an
+    // implicit guard (body reads are untracked), overflowed capture,
+    // a time-dependent guard (cycleCount read), or a guard that reads
+    // no state at all (nothing would ever wake it, and the reads may
+    // live outside the state discipline).
+    if (!attemptCaptured_ || readOverflow_ || cycleRead_ ||
+        readSet_.empty())
+        return;
+    for (StateBase *s : readSet_) {
+        // An element committed earlier this cycle still presents its
+        // start-of-cycle value through readStable(); the guard may
+        // flip at the next cycle edge with no further commit, so
+        // retry next cycle instead of sleeping.
+        if (s->lastCommitCycle_ == cycle_)
+            return;
+    }
+    r.asleep_ = true;
+    r.sleepGen_++;
+    r.last_ = Rule::Outcome::Sleeping;
+    sleeps_++;
+    clearAwakeBit(r.schedPos_);
+    for (StateBase *s : readSet_)
+        addWaiter(s, &r);
+}
+
+void
+Kernel::addWaiter(StateBase *s, Rule *r)
+{
+    auto &w = s->waiters_;
+    if (w.size() >= s->waiterCompactAt_) {
+        auto stale = [](const std::pair<Rule *, uint64_t> &e) {
+            return !e.first->asleep_ || e.first->sleepGen_ != e.second;
+        };
+        w.erase(std::remove_if(w.begin(), w.end(), stale), w.end());
+        s->waiterCompactAt_ = std::max<size_t>(8, 2 * w.size() + 8);
+    }
+    w.emplace_back(r, r->sleepGen_);
+}
+
+void
+Kernel::wakeWaiters(StateBase *s)
+{
+    for (auto &[r, gen] : s->waiters_) {
+        if (r->asleep_ && r->sleepGen_ == gen) {
+            r->asleep_ = false;
+            r->sleepGen_++;
+            setAwakeBit(r->schedPos_);
+            wakes_++;
+        }
+    }
+    s->waiters_.clear();
+    s->waiterCompactAt_ = 8;
+}
+
+void
+Kernel::wakeAll()
+{
+    for (Rule *r : rulePtrs_) {
+        if (r->asleep_) {
+            r->asleep_ = false;
+            r->sleepGen_++;
+        }
+    }
+    for (StateBase *s : states_) {
+        s->waiters_.clear();
+        s->waiterCompactAt_ = 8;
+    }
+    awakeBits_.assign((schedule_.size() + 63) / 64, 0);
+    for (uint32_t p = 0; p < schedule_.size(); p++)
+        setAwakeBit(p);
+}
+
+void
+Kernel::setScheduler(SchedulerKind k)
+{
+    if (inRule_)
+        panic("setScheduler() inside a rule");
+    sched_ = k;
+    wakeAll();
 }
 
 uint64_t
@@ -467,11 +650,14 @@ Kernel::elaborate()
         for (const Method *m : r->uses_)
             work.emplace_back(m, m);
         r->closure_.clear();
+        // Set-based dedup: the linear re-scan of closure_ this
+        // replaces made elaboration quadratic in closure size for
+        // large multicore configs.
+        std::set<std::pair<const Method *, const Method *>> seen;
         while (!work.empty()) {
             auto [m, anc] = work.back();
             work.pop_back();
-            if (std::find(r->closure_.begin(), r->closure_.end(),
-                          std::make_pair(m, anc)) != r->closure_.end())
+            if (!seen.insert({m, anc}).second)
                 continue;
             r->closure_.push_back({m, anc});
             for (const Method *s : m->subcalls_)
@@ -535,6 +721,10 @@ Kernel::elaborate()
         }
     }
 
+    for (uint32_t p = 0; p < schedule_.size(); p++)
+        schedule_[p]->schedPos_ = p;
+    wakeAll(); // seed the event wheel with every rule awake
+
     elaborated_ = true;
 }
 
@@ -572,6 +762,20 @@ Kernel::restore(const std::vector<uint8_t> &snap)
         s->restore(p);
     if (p != snap.data() + snap.size())
         panic("snapshot size mismatch on restore");
+    // Sleep bookkeeping does not survive a restore: every sensitivity
+    // assumption was made against the overwritten state.
+    wakeAll();
+    for (StateBase *s : states_)
+        s->lastCommitCycle_ = ~0ull;
+    // Restore rewinds cycle_, so epoch stamps left by the pre-restore
+    // run could collide with a replayed cycle number and present a
+    // stale fired-mask to the CM check. Invalidate them all.
+    for (Module *m : modules_) {
+        m->firedEpoch_ = ~0ull;
+        m->firedMask_ = 0;
+        m->ruleMask_ = 0;
+        m->inRuleList_ = false;
+    }
 }
 
 std::string
@@ -596,11 +800,21 @@ Kernel::progressReport() const
           case Rule::Outcome::Fired:
             o = "fired";
             break;
+          case Rule::Outcome::Sleeping:
+            o = "sleeping";
+            break;
         }
         os << r->name() << ": last=" << o << " fired=" << r->firedCount()
            << " guardAborts=" << r->guardAbortCount()
            << " cmAborts=" << r->cmAbortCount() << '\n';
     }
+    os << "scheduler: kind="
+       << (sched_ == SchedulerKind::EventDriven ? "event-driven"
+                                                : "exhaustive")
+       << " attempts=" << attempts_ << " sleepSkips=" << sleepSkips_
+       << " sleeps=" << sleeps_ << " wakes=" << wakes_
+       << " guardThrows=" << guardThrows_
+       << " fastGuardFails=" << fastGuardFails_ << '\n';
     return os.str();
 }
 

@@ -58,6 +58,7 @@
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "core/log.hh"
@@ -83,6 +84,25 @@ Conflict invert(Conflict c);
 
 /** Printable name of a CM entry. */
 const char *toString(Conflict c);
+
+/**
+ * Rule-scheduling strategy of a Kernel.
+ *
+ *  - Exhaustive: attempt every enabled rule every cycle (the reference
+ *    scheduler; what the seed kernel always did).
+ *  - EventDriven: rules whose attempt ended in a false guard are put
+ *    to sleep on the set of state elements they read; they are skipped
+ *    until one of those elements is committed (by a firing rule or by
+ *    runAtomically). Attempts whose read set cannot be captured
+ *    exactly — read-set overflow, a guard that reads cycleCount(), a
+ *    CM-blocked rule, a when() guard that passed but whose body then
+ *    failed an implicit guard — conservatively stay awake, so the
+ *    architectural state evolution is bit-identical to Exhaustive.
+ */
+enum class SchedulerKind : uint8_t {
+    Exhaustive,
+    EventDriven,
+};
 
 /**
  * Thrown when a guard is false: the enclosing rule aborts and "does
@@ -122,6 +142,40 @@ require(bool cond)
         throw GuardFail{};
 }
 
+namespace detail {
+/// Kernel currently executing a rule or atomic action on this thread;
+/// lets requireFast() report a guard failure without a throw.
+inline thread_local Kernel *activeKernel = nullptr;
+
+/**
+ * Zero the padding bytes of a trivially copyable value. State elements
+ * canonicalize every value they store so that byte-wise snapshots (and
+ * the digests the lockstep cosim tests compare) are deterministic:
+ * without this, struct padding carries whatever happened to be on the
+ * stack when the value temporary was built.
+ */
+template <typename T>
+inline void
+clearPadding(T &v)
+{
+#if defined(__GNUC__) && __GNUC__ >= 11
+    if constexpr (!std::has_unique_object_representations_v<T>)
+        __builtin_clear_padding(&v);
+#else
+    (void)v;
+#endif
+}
+
+/** Copy of @p v with padding bytes zeroed. */
+template <typename T>
+inline T
+cleared(T v)
+{
+    clearPadding(v);
+    return v;
+}
+} // namespace detail
+
 /**
  * Base class for all state elements (registers, register arrays,
  * EHRs). Writes are staged during rule execution and either committed
@@ -149,10 +203,37 @@ class StateBase
     virtual void restore(const uint8_t *&in) = 0;
 
   protected:
+    /**
+     * Record this element in the read set of the rule attempt in
+     * flight. Every committed-value read path of a state element must
+     * call this so the event-driven scheduler can compute sensitivity
+     * sets; it is a single load-and-branch when tracking is off.
+     */
+    void noteRead() const;
+
+    /**
+     * Cycle count for journaling internals (readStable epochs). Not
+     * recorded as a sensitivity: the cycle-skew it governs is handled
+     * by the scheduler's commit-cycle check, whereas a *guard* that
+     * genuinely depends on time must read Kernel::cycleCount() and
+     * thereby stay awake.
+     */
+    uint64_t kernelCycle() const;
+
     Kernel &kernel_;
 
   private:
+    friend class Kernel;
+
     std::string name_;
+    uint32_t stateIdx_ = 0;       ///< position in Kernel::states_
+    uint64_t readMark_ = 0;       ///< dedup stamp for read-set capture
+    uint64_t lastCommitCycle_ = ~0ull;
+    uint32_t waiterCompactAt_ = 8;
+    /// sleeping rules sensitive to this element, with the sleep
+    /// generation they subscribed under (stale entries are lazily
+    /// dropped on wake or compaction)
+    std::vector<std::pair<Rule *, uint64_t>> waiters_;
 };
 
 /**
@@ -327,8 +408,12 @@ class Rule
         GuardFalse,
         CmBlocked,
         Fired,
+        Sleeping, ///< skipped: asleep on its sensitivity set
     };
     Outcome lastOutcome() const { return last_; }
+
+    /** True while the event-driven scheduler has this rule asleep. */
+    bool asleep() const { return asleep_; }
 
   private:
     friend class Kernel;
@@ -348,6 +433,13 @@ class Rule
     uint32_t id_ = 0;
     Stat fired_, guardAborts_, cmAborts_;
     Outcome last_ = Outcome::NotTried;
+
+    // Event-driven scheduler bookkeeping:
+    bool asleep_ = false;
+    /// bumped on every sleep and wake; waiter entries carrying an old
+    /// generation are stale and ignored
+    uint64_t sleepGen_ = 0;
+    uint32_t schedPos_ = 0; ///< position in Kernel::schedule_
 };
 
 /**
@@ -388,8 +480,40 @@ class Kernel
      */
     bool runUntil(const std::function<bool()> &done, uint64_t maxCycles);
 
-    /** Current cycle number (count of completed/active cycles). */
-    uint64_t cycleCount() const { return cycle_; }
+    /**
+     * Current cycle number (count of completed/active cycles). Reads
+     * from inside a tracked rule attempt mark the rule time-dependent,
+     * which keeps it always-awake under the event-driven scheduler
+     * (its guard can change with no state commit).
+     */
+    uint64_t
+    cycleCount() const
+    {
+        if (trackReads_)
+            cycleRead_ = true;
+        return cycle_;
+    }
+
+    /**
+     * Select the rule-scheduling strategy. May be called at any point
+     * between cycles (before or after elaboration); switching wakes
+     * every rule so no stale sleep survives the previous strategy.
+     */
+    void setScheduler(SchedulerKind k);
+    SchedulerKind scheduler() const { return sched_; }
+
+    // ---- scheduler observability (see progressReport())
+    /** Rule attempts actually dispatched (guard + body). */
+    uint64_t ruleAttemptCount() const { return attempts_; }
+    /** Attempts skipped because the rule was asleep. */
+    uint64_t sleepSkipCount() const { return sleepSkips_; }
+    /** Times a rule was put to sleep / woken by a commit. */
+    uint64_t sleepCount() const { return sleeps_; }
+    uint64_t wakeCount() const { return wakes_; }
+    /** GuardFail exceptions actually thrown (the slow abort path). */
+    uint64_t guardThrowCount() const { return guardThrows_; }
+    /** Guard failures short-circuited without a throw. */
+    uint64_t fastGuardFailCount() const { return fastGuardFails_; }
 
     /**
      * Execute @p fn as an anonymous atomic action within the current
@@ -426,14 +550,59 @@ class Kernel
     void onMethodCall(const Method &m);
     void noteStateTouched(StateBase *s);
     bool inRule() const { return inRule_; }
+    /** True while a rule attempt's read set is being captured. */
+    bool trackingReads() const { return trackReads_; }
+    /** Slow path of StateBase::noteRead(). */
+    void noteStateRead(StateBase *s);
+    /** requireFast() backend: flag a no-throw guard failure. */
+    void failGuardFast() { fastGuardFail_ = true; }
 
   private:
     friend class Module;
+    friend class StateBase;
+    friend class Rule;
 
     /** Attempt one rule; commit or roll back. @return fired? */
     bool tryFire(Rule &r);
     void commitRuleEffects();
     void abortRuleEffects();
+
+    // ---- event-driven scheduler internals
+    void
+    setAwakeBit(uint32_t pos)
+    {
+        awakeBits_[pos >> 6] |= 1ull << (pos & 63);
+    }
+    void
+    clearAwakeBit(uint32_t pos)
+    {
+        awakeBits_[pos >> 6] &= ~(1ull << (pos & 63));
+    }
+    /** First awake schedule position >= @p from, or -1. */
+    int64_t
+    nextAwake(uint32_t from) const
+    {
+        size_t w = from >> 6;
+        if (w >= awakeBits_.size())
+            return -1;
+        uint64_t cur = awakeBits_[w] & (~0ull << (from & 63));
+        while (true) {
+            if (cur)
+                return int64_t((w << 6) + __builtin_ctzll(cur));
+            if (++w >= awakeBits_.size())
+                return -1;
+            cur = awakeBits_[w];
+        }
+    }
+
+    /** Sleep @p r on the attempt's read set if it was captured exactly. */
+    void maybeSleep(Rule &r);
+    /** Wake every live waiter of @p s (called when @p s commits). */
+    void wakeWaiters(StateBase *s);
+    /** Subscribe @p r to @p s, compacting stale waiter entries. */
+    void addWaiter(StateBase *s, Rule *r);
+    /** Wake every rule and drop all waiter lists. */
+    void wakeAll();
 
     /** Compute the CM relation of rule a before rule b. */
     Conflict computeRuleRelation(const Rule &a, const Rule &b) const;
@@ -453,6 +622,84 @@ class Kernel
     const Rule *currentRule_ = nullptr;
     std::vector<StateBase *> touched_;
     std::vector<Module *> touchedModules_;
+
+    // Scheduler state:
+    /// a rule reading more than this many state elements in one
+    /// attempt overflows read-set capture and stays always-awake
+    static constexpr size_t kSensitivityCap = 64;
+    SchedulerKind sched_ = SchedulerKind::Exhaustive;
+    /// bitmap over schedule positions of awake rules (the event
+    /// wheel): the event-driven cycle() walks only set bits, so a
+    /// mostly-idle design pays per cycle for its active rules plus a
+    /// word-scan of the bitmap, and sleep/wake transitions are a
+    /// single bit flip — no allocation
+    std::vector<uint64_t> awakeBits_;
+    bool trackReads_ = false;
+    mutable bool cycleRead_ = false; ///< attempt read cycleCount()
+    bool readOverflow_ = false;
+    bool attemptCaptured_ = true; ///< read set covers the whole attempt
+    bool fastGuardFail_ = false;     ///< requireFast() tripped
+    uint64_t readMark_ = 0;          ///< current attempt's dedup stamp
+    std::vector<StateBase *> readSet_;
+    uint64_t attempts_ = 0;
+    uint64_t sleepSkips_ = 0;
+    uint64_t sleeps_ = 0;
+    uint64_t wakes_ = 0;
+    uint64_t guardThrows_ = 0;
+    uint64_t fastGuardFails_ = 0;
 };
+
+inline void
+StateBase::noteRead() const
+{
+    if (kernel_.trackingReads())
+        kernel_.noteStateRead(const_cast<StateBase *>(this));
+}
+
+inline uint64_t
+StateBase::kernelCycle() const
+{
+    return kernel_.cycle_;
+}
+
+/**
+ * Exception-free guard check for the top level of a rule body: on a
+ * false condition the enclosing rule aborts as if require() had
+ * thrown, but without the throw. The caller MUST return immediately
+ * on false — `if (!requireFast(cond)) return;` — because unlike
+ * require() it cannot unwind the stack; any code run after a failed
+ * requireFast() is staged and then discarded. Outside a rule or
+ * atomic action it degrades to the throwing require().
+ */
+inline bool
+requireFast(bool cond)
+{
+    if (cond)
+        return true;
+    if (Kernel *k = detail::activeKernel)
+        k->failGuardFast();
+    else
+        throw GuardFail{};
+    return false;
+}
+
+/**
+ * Run @p f and absorb a guard failure into a status return. Meant for
+ * testbench probes and speculative calls of library methods, which
+ * all check their guards before staging writes; do not wrap calls
+ * that stage writes before require(), as the partial staging is not
+ * rolled back until the whole rule resolves.
+ */
+template <typename F>
+bool
+tryGuard(F &&f)
+{
+    try {
+        f();
+        return true;
+    } catch (const GuardFail &) {
+        return false;
+    }
+}
 
 } // namespace cmd

@@ -34,17 +34,24 @@ class Reg : public StateBase
 
   public:
     Reg(Kernel &kernel, std::string name, T init = T{})
-        : StateBase(kernel, std::move(name)), cur_(init)
+        : StateBase(kernel, std::move(name)), cur_(detail::cleared(init))
     {
     }
 
     /** Committed value (as of the start of the current rule). */
-    const T &read() const { return cur_; }
+    const T &
+    read() const
+    {
+        noteRead();
+        return cur_;
+    }
 
     /** Value as of the start of the current cycle. */
-    const T &readStable() const
+    const T &
+    readStable() const
     {
-        return stableCycle_ == kernel_.cycleCount() ? stable_ : cur_;
+        noteRead();
+        return stableCycle_ == kernelCycle() ? stable_ : cur_;
     }
 
     /** Stage a write; commits only if the enclosing rule fires. */
@@ -54,6 +61,7 @@ class Reg : public StateBase
         if (stagedValid_)
             panic("%s: double write within one rule", name().c_str());
         staged_ = v;
+        detail::clearPadding(staged_);
         stagedValid_ = true;
         kernel_.noteStateTouched(this);
     }
@@ -61,7 +69,7 @@ class Reg : public StateBase
     void
     commitStaged() override
     {
-        uint64_t now = kernel_.cycleCount();
+        uint64_t now = kernelCycle();
         if (stableCycle_ != now) {
             stableCycle_ = now;
             stable_ = cur_;
@@ -110,7 +118,7 @@ class RegArray : public StateBase
 
   public:
     RegArray(Kernel &kernel, std::string name, size_t size, T init = T{})
-        : StateBase(kernel, std::move(name)), cur_(size, init)
+        : StateBase(kernel, std::move(name)), cur_(size, detail::cleared(init))
     {
     }
 
@@ -119,6 +127,7 @@ class RegArray : public StateBase
     const T &
     read(size_t idx) const
     {
+        noteRead();
         return cur_[checkIdx(idx)];
     }
 
@@ -126,8 +135,9 @@ class RegArray : public StateBase
     const T &
     readStable(size_t idx) const
     {
+        noteRead();
         checkIdx(idx);
-        if (historyCycle_ == kernel_.cycleCount()) {
+        if (historyCycle_ == kernelCycle()) {
             for (const auto &h : history_) {
                 if (h.first == idx)
                     return h.second;
@@ -148,12 +158,13 @@ class RegArray : public StateBase
         if (staged_.empty())
             kernel_.noteStateTouched(this);
         staged_.emplace_back(idx, v);
+        detail::clearPadding(staged_.back().second);
     }
 
     void
     commitStaged() override
     {
-        uint64_t now = kernel_.cycleCount();
+        uint64_t now = kernelCycle();
         if (historyCycle_ != now) {
             historyCycle_ = now;
             history_.clear();

@@ -9,6 +9,7 @@
 #pragma once
 
 #include "cache/hierarchy.hh"
+#include "core/kernel.hh"
 #include "ooo/iq.hh"
 #include "tlb/tlb.hh"
 
@@ -47,6 +48,13 @@ struct SystemConfig {
     std::string name = "custom";
     uint32_t cores = 1;
     bool inOrder = false; ///< Rocket-class baseline core
+    /**
+     * Rule-scheduling strategy of the kernel (see cmd::SchedulerKind).
+     * EventDriven skips rules proven not-ready by sensitivity
+     * tracking and is architecturally bit-identical to Exhaustive;
+     * the lockstep cosim tests (test_scheduler) verify this.
+     */
+    cmd::SchedulerKind scheduler = cmd::SchedulerKind::EventDriven;
     CoreConfig core;
     MemHierarchyConfig mem;
 

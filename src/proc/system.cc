@@ -8,6 +8,7 @@ using namespace cmd;
 
 System::System(const SystemConfig &cfg) : cfg_(cfg)
 {
+    k_.setScheduler(cfg_.scheduler);
     cfg_.mem.cores = cfg_.cores;
     host_ = std::make_unique<HostDevice>(cfg_.cores);
     hier_ = std::make_unique<MemHierarchy>(k_, "mem", mem_, cfg_.mem);
