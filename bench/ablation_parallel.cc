@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Parallel-scheduler ablation: the quad-core system (the Fig. 20
+ * PARSEC setup) running a data-parallel kernel under
+ *
+ *   - exhaustive      (reference sequential scheduler)
+ *   - event-driven    (PR 1's sensitivity-tracked sequential walk)
+ *   - parallel x1/2/4 (domain-partitioned execution, PR 2)
+ *
+ * All five runs replay the same fixed cycle window from one
+ * start-of-time snapshot of a single System instance (snapshot digests
+ * are only comparable within one instance — struct padding is
+ * instance-dependent — and PhysMem/host state are copied back before
+ * every replay since the workload stores to memory). Any digest
+ * divergence is a correctness failure and exits non-zero.
+ *
+ * The headline number is wall-clock speedup of parallel x4 over the
+ * sequential event-driven scheduler on the quad-core design (expected
+ * >= 2x on a host with >= 4 hardware threads; the emitted
+ * BENCH_parallel.json records the host's thread count so results from
+ * starved hosts are interpretable).
+ */
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+
+using namespace riscy;
+using namespace riscy::bench;
+
+namespace {
+
+/** FNV-1a over a snapshot buffer: the architectural-state digest. */
+uint64_t
+digest(const std::vector<uint8_t> &bytes)
+{
+    uint64_t h = 1469598103934665603ull;
+    for (uint8_t b : bytes) {
+        h ^= b;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+struct Mode {
+    std::string name;
+    cmd::SchedulerKind kind;
+    uint32_t threads; ///< parallel only; 0 otherwise
+};
+
+struct Result {
+    std::string name;
+    uint64_t wallNs = 0;
+    uint64_t stateDigest = 0;
+    uint64_t instret = 0; ///< summed over harts, this run only
+    uint64_t barrierWaitNs = 0;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const uint64_t cycles = argc > 1 ? strtoull(argv[1], nullptr, 0)
+                                     : 200000;
+
+    // Quad-core TSO system running the data-parallel "blackscholes"
+    // stand-in with one worker thread per hart.
+    SystemConfig cfg = SystemConfig::multicore(true);
+    cfg.scheduler = cmd::SchedulerKind::Exhaustive;
+    System sys(cfg);
+    auto ws = workloads::parsecWorkloads();
+    const workloads::Workload &w = ws.front(); // blackscholes
+    workloads::Image img = w.build(sys, cfg.cores);
+    sys.elaborate();
+    sys.start(img.entry, img.satp, img.stacks);
+
+    const uint32_t domains = sys.kernel().domainCount();
+    std::printf("design partitioned into %u domains "
+                "(expect cores + memory = %u)\n",
+                domains, cfg.cores + 1);
+
+    // Start-of-time state: kernel snapshot + memory + host device.
+    const std::vector<uint8_t> snap0 = sys.kernel().snapshot();
+    const PhysMem mem0 = sys.mem();
+
+    const std::vector<Mode> modes = {
+        {"exhaustive", cmd::SchedulerKind::Exhaustive, 0},
+        {"event", cmd::SchedulerKind::EventDriven, 0},
+        {"parallel-1", cmd::SchedulerKind::Parallel, 1},
+        {"parallel-2", cmd::SchedulerKind::Parallel, 2},
+        {"parallel-4", cmd::SchedulerKind::Parallel, 4},
+    };
+
+    std::vector<Result> results;
+    for (const Mode &m : modes) {
+        sys.kernel().restore(snap0);
+        sys.mem() = mem0;
+        sys.host().reset();
+        sys.kernel().setParallelThreads(m.threads);
+        sys.kernel().setScheduler(m.kind);
+
+        uint64_t instret0 = 0;
+        for (uint32_t i = 0; i < cfg.cores; i++)
+            instret0 += sys.instret(i);
+        uint64_t barrier0 = sys.kernel().barrierWaitNs();
+
+        auto t0 = std::chrono::steady_clock::now();
+        sys.kernel().run(cycles);
+        auto t1 = std::chrono::steady_clock::now();
+
+        Result r;
+        r.name = m.name;
+        r.wallNs = static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                .count());
+        r.stateDigest = digest(sys.kernel().snapshot());
+        for (uint32_t i = 0; i < cfg.cores; i++)
+            r.instret += sys.instret(i);
+        r.instret -= instret0; // stats accumulate across replays
+        r.barrierWaitNs = sys.kernel().barrierWaitNs() - barrier0;
+        results.push_back(r);
+
+        std::printf("%-12s %10.1f ms  digest %#018llx  instret %llu\n",
+                    r.name.c_str(), double(r.wallNs) * 1e-6,
+                    (unsigned long long)r.stateDigest,
+                    (unsigned long long)r.instret);
+    }
+
+    bool ok = domains == cfg.cores + 1;
+    if (!ok)
+        std::printf("UNEXPECTED domain count %u\n", domains);
+    for (const Result &r : results) {
+        if (r.stateDigest != results[0].stateDigest ||
+            r.instret != results[0].instret) {
+            std::printf("DIVERGENCE: %s does not match exhaustive\n",
+                        r.name.c_str());
+            ok = false;
+        }
+    }
+
+    const Result &ev = results[1];
+    std::printf("\n%-12s %10s %10s\n", "mode", "wall ms", "speedup");
+    for (const Result &r : results) {
+        std::printf("%-12s %10.1f %9.2fx\n", r.name.c_str(),
+                    double(r.wallNs) * 1e-6,
+                    double(ev.wallNs) / double(r.wallNs));
+    }
+    std::printf("(speedup is vs the sequential event-driven scheduler; "
+                "host has %u hardware threads)\n",
+                std::thread::hardware_concurrency());
+
+    JsonObject jcfg;
+    jcfg.put("system", cfg.name)
+        .put("workload", w.name)
+        .put("cores", cfg.cores)
+        .put("cycles", cycles)
+        .put("domains", domains);
+    std::vector<JsonObject> out;
+    for (const Result &r : results) {
+        JsonObject o;
+        o.put("mode", r.name)
+            .put("cycles", cycles)
+            .put("instret", r.instret)
+            .put("wall_ns", r.wallNs)
+            .put("barrier_wait_ns", r.barrierWaitNs)
+            .put("speedup_vs_event", double(ev.wallNs) / double(r.wallNs))
+            .putHex("digest", r.stateDigest)
+            .put("digest_match", r.stateDigest == results[0].stateDigest);
+        out.push_back(std::move(o));
+    }
+    writeBenchJson("parallel", jcfg, out);
+
+    return ok ? 0 : 1;
+}

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.hh"
 #include "core/cmd.hh"
 
 using namespace cmd;
@@ -184,37 +185,31 @@ main()
                (unsigned long long)r.ev.guardThrows);
     }
 
-    FILE *f = fopen("BENCH_scheduler.json", "w");
-    if (f) {
-        fprintf(f, "{\n  \"bench\": \"ablation_scheduler\",\n"
-                   "  \"cycles_per_run\": %llu,\n  \"results\": [\n",
-                (unsigned long long)kCycles);
-        for (size_t i = 0; i < rows.size(); i++) {
-            const Row &r = rows[i];
-            fprintf(f,
-                    "    {\"workload\": \"%s\", \"exhaustive_cps\": %.0f, "
-                    "\"event_cps\": %.0f, \"speedup\": %.3f, "
-                    "\"digest_match\": %s, "
-                    "\"exhaustive_attempts\": %llu, "
-                    "\"event_attempts\": %llu, "
-                    "\"event_sleep_skips\": %llu, "
-                    "\"exhaustive_guard_throws\": %llu, "
-                    "\"event_guard_throws\": %llu, "
-                    "\"event_fast_guard_fails\": %llu}%s\n",
-                    r.name.c_str(), r.ex.cps, r.ev.cps, r.speedup(),
-                    r.match() ? "true" : "false",
-                    (unsigned long long)r.ex.attempts,
-                    (unsigned long long)r.ev.attempts,
-                    (unsigned long long)r.ev.sleepSkips,
-                    (unsigned long long)r.ex.guardThrows,
-                    (unsigned long long)r.ev.guardThrows,
-                    (unsigned long long)r.ev.fastGuardFails,
-                    i + 1 < rows.size() ? "," : "");
-        }
-        fprintf(f, "  ]\n}\n");
-        fclose(f);
-        printf("wrote BENCH_scheduler.json\n");
+    using riscy::bench::JsonObject;
+    JsonObject cfg;
+    cfg.put("cycles_per_run", kCycles)
+        .put("reps", kReps)
+        .put("idle_stages", kIdleStages)
+        .put("idle_feed_interval", kIdleFeedInterval)
+        .put("busy_stages", kBusyStages);
+    std::vector<JsonObject> out;
+    for (const Row &r : rows) {
+        JsonObject o;
+        o.put("workload", r.name)
+            .put("cycles", kCycles)
+            .put("exhaustive_cps", r.ex.cps)
+            .put("event_cps", r.ev.cps)
+            .put("speedup", r.speedup())
+            .put("digest_match", r.match())
+            .put("exhaustive_attempts", r.ex.attempts)
+            .put("event_attempts", r.ev.attempts)
+            .put("event_sleep_skips", r.ev.sleepSkips)
+            .put("exhaustive_guard_throws", r.ex.guardThrows)
+            .put("event_guard_throws", r.ev.guardThrows)
+            .put("event_fast_guard_fails", r.ev.fastGuardFails);
+        out.push_back(std::move(o));
     }
+    riscy::bench::writeBenchJson("scheduler", cfg, out);
 
     bool ok = true;
     for (const Row &r : rows)

@@ -9,9 +9,11 @@
 #pragma once
 
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "workloads/workloads.hh"
@@ -100,6 +102,151 @@ harmonicMean(const std::vector<double> &v)
     for (double x : v)
         acc += 1.0 / x;
     return double(v.size()) / acc;
+}
+
+// ---- machine-readable BENCH_*.json emission ------------------------
+//
+// Every bench binary that tracks a perf trajectory across PRs writes a
+// BENCH_<name>.json through writeBenchJson() so the files share one
+// schema: top-level bench name, host info (so speedups measured on a
+// ci runner vs a laptop are interpretable), a config object, and an
+// array of result rows (typically cycles / instret / wall_ns plus
+// bench-specific fields).
+
+/** Insertion-ordered JSON object builder (values pre-serialized). */
+class JsonObject
+{
+  public:
+    JsonObject &
+    put(const std::string &k, const std::string &v)
+    {
+        return putRaw(k, "\"" + escape(v) + "\"");
+    }
+    JsonObject &put(const std::string &k, const char *v)
+    {
+        return put(k, std::string(v));
+    }
+    JsonObject &put(const std::string &k, bool v)
+    {
+        return putRaw(k, v ? "true" : "false");
+    }
+    JsonObject &
+    put(const std::string &k, double v)
+    {
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), "%.6g", v);
+        return putRaw(k, buf);
+    }
+    JsonObject &
+    put(const std::string &k, uint64_t v)
+    {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%llu", (unsigned long long)v);
+        return putRaw(k, buf);
+    }
+    JsonObject &
+    put(const std::string &k, int64_t v)
+    {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld", (long long)v);
+        return putRaw(k, buf);
+    }
+    JsonObject &put(const std::string &k, int v)
+    {
+        return put(k, int64_t(v));
+    }
+    JsonObject &put(const std::string &k, unsigned v)
+    {
+        return put(k, uint64_t(v));
+    }
+    /** Digests and such, as a hex string (JSON numbers lose 64 bits). */
+    JsonObject &
+    putHex(const std::string &k, uint64_t v)
+    {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "\"%#llx\"", (unsigned long long)v);
+        return putRaw(k, buf);
+    }
+    /** Nested object/array: value is inserted verbatim. */
+    JsonObject &
+    putRaw(const std::string &k, const std::string &jsonValue)
+    {
+        kv_.emplace_back(k, jsonValue);
+        return *this;
+    }
+
+    /** Serialize; @p indent spaces of leading indentation per line,
+     *  one key per line when nonzero, compact single line when 0. */
+    std::string
+    str(unsigned indent = 0) const
+    {
+        std::string pad(indent, ' ');
+        std::string out = "{";
+        for (size_t i = 0; i < kv_.size(); i++) {
+            out += indent ? "\n" + pad + "  " : (i ? " " : "");
+            out += "\"" + escape(kv_[i].first) + "\": " + kv_[i].second;
+            if (i + 1 < kv_.size())
+                out += ",";
+        }
+        out += indent ? "\n" + pad + "}" : "}";
+        return out;
+    }
+
+  private:
+    static std::string
+    escape(const std::string &s)
+    {
+        std::string out;
+        for (char c : s) {
+            if (c == '"' || c == '\\')
+                out += '\\';
+            out += c;
+        }
+        return out;
+    }
+
+    std::vector<std::pair<std::string, std::string>> kv_;
+};
+
+/** Host info stamped into every BENCH_*.json. */
+inline JsonObject
+hostInfo()
+{
+    JsonObject h;
+    h.put("hardware_threads",
+          uint64_t(std::thread::hardware_concurrency()));
+#ifdef __VERSION__
+    h.put("compiler", __VERSION__);
+#endif
+    return h;
+}
+
+/**
+ * Write BENCH_<bench>.json (or @p path when nonempty) in the shared
+ * schema. @return true if the file was written.
+ */
+inline bool
+writeBenchJson(const std::string &bench, const JsonObject &config,
+               const std::vector<JsonObject> &results,
+               std::string path = "")
+{
+    if (path.empty())
+        path = "BENCH_" + bench + ".json";
+    FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n", bench.c_str());
+    std::fprintf(f, "  \"host\": %s,\n", hostInfo().str(2).c_str());
+    std::fprintf(f, "  \"config\": %s,\n", config.str(2).c_str());
+    std::fprintf(f, "  \"results\": [\n");
+    for (size_t i = 0; i < results.size(); i++) {
+        std::fprintf(f, "    %s%s\n", results[i].str().c_str(),
+                     i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+    return true;
 }
 
 } // namespace riscy::bench

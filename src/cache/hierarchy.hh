@@ -32,7 +32,16 @@ class MemHierarchy
                  const MemHierarchyConfig &cfg)
         : cfg_(cfg)
     {
-        dram_ = std::make_unique<Dram>(k, name + ".dram", mem, cfg.dram);
+        // Partitioning hints: the shared L2 + DRAM form the "mem"
+        // domain; each core's L1s join that core's "hart<i>" group
+        // (the System constructor opens the same group around the core
+        // proper). The cross-bar channels and walk ports are TimedFifo
+        // boundaries — the partitioner cuts at their endpoints, so
+        // they need no hint.
+        {
+            cmd::DomainHint mh(k, "mem");
+            dram_ = std::make_unique<Dram>(k, name + ".dram", mem, cfg.dram);
+        }
         std::vector<CacheChannel *> chans;
         std::vector<UncachedPort *> ports;
         for (uint32_t i = 0; i < cfg.cores; i++) {
@@ -43,18 +52,24 @@ class MemHierarchy
             };
             CacheChannel *dc = mkChan(name + cmd::strfmt(".chanD%u", i));
             CacheChannel *ic = mkChan(name + cmd::strfmt(".chanI%u", i));
-            dcache_.push_back(std::make_unique<L1Cache>(
-                k, name + cmd::strfmt(".l1d%u", i), cfg.l1d, *dc));
-            icache_.push_back(std::make_unique<L1Cache>(
-                k, name + cmd::strfmt(".l1i%u", i), cfg.l1i, *ic));
+            {
+                cmd::DomainHint hh(k, cmd::strfmt("hart%u", i));
+                dcache_.push_back(std::make_unique<L1Cache>(
+                    k, name + cmd::strfmt(".l1d%u", i), cfg.l1d, *dc));
+                icache_.push_back(std::make_unique<L1Cache>(
+                    k, name + cmd::strfmt(".l1i%u", i), cfg.l1i, *ic));
+            }
             chans.push_back(dc);
             chans.push_back(ic);
             walk_.push_back(std::make_unique<UncachedPort>(
                 k, name + cmd::strfmt(".walk%u", i), cfg.walkPortDelay));
             ports.push_back(walk_.back().get());
         }
-        l2_ = std::make_unique<L2Cache>(k, name + ".l2", cfg.l2, chans,
-                                        ports, *dram_);
+        {
+            cmd::DomainHint mh(k, "mem");
+            l2_ = std::make_unique<L2Cache>(k, name + ".l2", cfg.l2, chans,
+                                            ports, *dram_);
+        }
     }
 
     L1Cache &dcache(uint32_t i) { return *dcache_[i]; }

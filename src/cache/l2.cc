@@ -234,8 +234,10 @@ L2Cache::ruleStartTxn()
         uint32_t c = (start + i) % children_.size();
         CacheChannel *ch = children_[c];
         // A child's earlier responses must be visible before its next
-        // request (restores cross-channel ordering; see msg.hh).
-        if (!ch->req.canDeq() || ch->resp.size() != 0)
+        // request (restores cross-channel ordering; see msg.hh). The
+        // consumer-side pending() probe keeps this a domain-local +
+        // start-of-cycle read under the parallel scheduler.
+        if (!ch->req.canDeq() || ch->resp.pending() != 0)
             continue;
         UpgradeReq r = ch->req.first();
         if (lineBlocked(r.line))

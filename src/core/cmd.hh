@@ -15,3 +15,4 @@
 #include "core/log.hh"
 #include "core/reg.hh"
 #include "core/stats.hh"
+#include "core/timed_fifo.hh"

@@ -10,6 +10,13 @@
  * atomic action, read(i) observes write(j, v) for j < i. This is how a
  * module implements a method pair whose net effect must be
  * read-after-write inside one action (e.g. a one-rule enq+deq).
+ *
+ * Ehrs are never domain-boundary state: intra-cycle forwarding is by
+ * definition same-cycle coupling, so an EHR shared by two rules always
+ * pulls them into one parallel-scheduler domain, and a cross-domain
+ * EHR access is rejected at runtime like any other state element
+ * (every read funnels through noteRead()). Cross-domain communication
+ * goes through TimedFifo boundaries instead.
  */
 #pragma once
 

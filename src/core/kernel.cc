@@ -1,11 +1,25 @@
 #include "core/kernel.hh"
 
 #include <algorithm>
+#include <chrono>
+#include <numeric>
 #include <ostream>
 #include <set>
 #include <sstream>
 
 namespace cmd {
+
+namespace {
+
+uint64_t
+nsSince(const std::chrono::steady_clock::time_point &t0)
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+} // namespace
 
 Conflict
 invert(Conflict c)
@@ -34,6 +48,19 @@ toString(Conflict c)
         return "CF";
     }
     return "?";
+}
+
+// --------------------------------------------------------------- DomainHint
+
+DomainHint::DomainHint(Kernel &kernel, const std::string &name)
+    : kernel_(kernel)
+{
+    kernel_.pushHint(name);
+}
+
+DomainHint::~DomainHint()
+{
+    kernel_.popHint();
 }
 
 // ---------------------------------------------------------------- StateBase
@@ -180,7 +207,8 @@ Rule::setEnabled(bool e)
     if (asleep_) {
         asleep_ = false;
         sleepGen_++;
-        kernel_.setAwakeBit(schedPos_);
+        if (ctx_)
+            ctx_->setAwakeBit(ctxPos_);
     }
     return *this;
 }
@@ -188,7 +216,31 @@ Rule::setEnabled(bool e)
 // ------------------------------------------------------------------- Kernel
 
 Kernel::Kernel() = default;
-Kernel::~Kernel() = default;
+
+Kernel::~Kernel()
+{
+    stopWorkers();
+}
+
+void
+Kernel::pushHint(const std::string &name)
+{
+    if (elaborated_)
+        panic("DomainHint(%s) after elaboration", name.c_str());
+    auto [it, fresh] =
+        hintIds_.try_emplace(name, static_cast<uint32_t>(hintNames_.size()));
+    if (fresh)
+        hintNames_.push_back(name);
+    hintStack_.push_back(it->second);
+}
+
+void
+Kernel::popHint()
+{
+    if (hintStack_.size() <= 1)
+        panic("DomainHint scope underflow");
+    hintStack_.pop_back();
+}
 
 void
 Kernel::registerState(StateBase *s)
@@ -196,6 +248,7 @@ Kernel::registerState(StateBase *s)
     if (elaborated_)
         panic("state %s created after elaboration", s->name().c_str());
     s->stateIdx_ = static_cast<uint32_t>(states_.size());
+    s->hintGroup_ = hintStack_.back();
     states_.push_back(s);
 }
 
@@ -217,7 +270,25 @@ Kernel::registerModule(Module *m)
 {
     if (elaborated_)
         panic("module %s created after elaboration", m->name().c_str());
+    m->hintGroup_ = hintStack_.back();
     modules_.push_back(m);
+}
+
+void
+Kernel::registerBoundary(Module &a, Module &b, bool *crossFlag)
+{
+    if (elaborated_)
+        panic("boundary %s/%s registered after elaboration",
+              a.name().c_str(), b.name().c_str());
+    a.boundarySide_ = true;
+    b.boundarySide_ = true;
+    boundaries_.push_back({&a, &b, crossFlag});
+}
+
+void
+Kernel::registerMirror(StateBase *s)
+{
+    mirrors_.push_back(s);
 }
 
 Rule &
@@ -228,17 +299,29 @@ Kernel::rule(const std::string &name, std::function<void()> body)
     rules_.emplace_back(Rule(*this, name, std::move(body),
                              static_cast<uint32_t>(rules_.size())));
     rulePtrs_.push_back(&rules_.back());
+    rules_.back().hintGroup_ = hintStack_.back();
     return rules_.back();
 }
 
 void
 Kernel::onMethodCall(const Method &m)
 {
-    if (!inRule_)
+    detail::ExecContext *c = detail::activeCtx;
+    if (!c || !c->inRule)
         panic("method %s called outside any rule or atomic action",
               m.fullName().c_str());
 
     Module &mod = m.owner_;
+    // Cross-domain method calls are checked before any module state is
+    // touched: a rule of one domain calling into another domain's
+    // module means the partitioner was lied to (coupling the hints hid
+    // from it), and continuing would race.
+    if (c->domainId != detail::kNoDomain && mod.domain_ != c->domainId) {
+        panic("rule %s (domain %u) calls %s of domain %u: cross-domain "
+              "coupling not visible to the partitioner",
+              c->currentRule ? c->currentRule->name().c_str() : "<atomic>",
+              c->domainId, m.fullName().c_str(), mod.domain_);
+    }
     mod.syncMasks();
     uint64_t bit = 1ull << m.localIdx_;
 
@@ -248,7 +331,8 @@ Kernel::onMethodCall(const Method &m)
         for (uint32_t i = 0; i < mod.methods_.size(); i++) {
             if ((mod.ruleMask_ & m.intraConflictMask_ & (1ull << i))) {
                 panic("rule %s calls conflicting methods %s and %s",
-                      currentRule_ ? currentRule_->name().c_str() : "<atomic>",
+                      c->currentRule ? c->currentRule->name().c_str()
+                                     : "<atomic>",
                       mod.methods_[i].fullName().c_str(),
                       m.fullName().c_str());
             }
@@ -262,15 +346,15 @@ Kernel::onMethodCall(const Method &m)
 
     // Declaration check (the "compiler" check): a named rule may only
     // call methods in its declared closure.
-    if (currentRule_ && !m.usedByRule_.empty() &&
-        !m.usedByRule_[currentRule_->id_]) {
+    if (c->currentRule && !m.usedByRule_.empty() &&
+        !m.usedByRule_[c->currentRule->id_]) {
         panic("rule %s calls undeclared method %s (add it to uses())",
-              currentRule_->name().c_str(), m.fullName().c_str());
+              c->currentRule->name().c_str(), m.fullName().c_str());
     }
 
     if (!mod.inRuleList_) {
         mod.inRuleList_ = true;
-        touchedModules_.push_back(&mod);
+        c->touchedModules.push_back(&mod);
     }
     mod.noteRuleCall(bit);
 }
@@ -278,49 +362,86 @@ Kernel::onMethodCall(const Method &m)
 void
 Kernel::noteStateTouched(StateBase *s)
 {
-    touched_.push_back(s);
+    detail::ExecContext *c = detail::activeCtx;
+    if (!c) {
+        // Construction-time initialization outside any transaction;
+        // swept up by the next main-context commit, as before.
+        mainCtx_.touched.push_back(s);
+        return;
+    }
+    if (c->domainId != detail::kNoDomain && s->domain_ != c->domainId) {
+        panic("rule %s (domain %u) writes %s of domain %u: cross-domain "
+              "coupling not visible to the partitioner",
+              c->currentRule ? c->currentRule->name().c_str() : "<atomic>",
+              c->domainId, s->name().c_str(), s->domain_);
+    }
+    c->touched.push_back(s);
 }
 
 void
-Kernel::commitRuleEffects()
+Kernel::noteStateRead(StateBase *s, detail::ExecContext &c)
 {
-    for (StateBase *s : touched_) {
+    // The domain check comes first: on a violation nothing may be
+    // written (not even the dedup stamp), since the state genuinely
+    // belongs to a concurrently executing domain.
+    if (c.domainId != detail::kNoDomain && s->domain_ != c.domainId) {
+        panic("rule %s (domain %u) reads %s of domain %u: cross-domain "
+              "reads must go through a TimedFifo boundary",
+              c.currentRule ? c.currentRule->name().c_str() : "<atomic>",
+              c.domainId, s->name().c_str(), s->domain_);
+    }
+    if (c.readMode != detail::ReadMode::Capture)
+        return;
+    if (s->readMark_ == c.readMark)
+        return;
+    s->readMark_ = c.readMark;
+    if (c.readSet.size() >= detail::kSensitivityCap) {
+        c.readOverflow = true;
+        return;
+    }
+    c.readSet.push_back(s);
+}
+
+void
+Kernel::commitRuleEffects(detail::ExecContext &c)
+{
+    for (StateBase *s : c.touched) {
         s->commitStaged();
         s->lastCommitCycle_ = cycle_;
         if (!s->waiters_.empty())
             wakeWaiters(s);
     }
-    touched_.clear();
-    for (Module *m : touchedModules_) {
+    c.touched.clear();
+    for (Module *m : c.touchedModules) {
         m->syncMasks();
         m->firedMask_ |= m->ruleMask_;
         m->ruleMask_ = 0;
         m->inRuleList_ = false;
     }
-    touchedModules_.clear();
+    c.touchedModules.clear();
 }
 
 void
-Kernel::abortRuleEffects()
+Kernel::abortRuleEffects(detail::ExecContext &c)
 {
-    for (StateBase *s : touched_)
+    for (StateBase *s : c.touched)
         s->abortStaged();
-    touched_.clear();
-    for (Module *m : touchedModules_) {
+    c.touched.clear();
+    for (Module *m : c.touchedModules) {
         m->ruleMask_ = 0;
         m->inRuleList_ = false;
     }
-    touchedModules_.clear();
+    c.touchedModules.clear();
 }
 
 bool
-Kernel::tryFire(Rule &r)
+Kernel::tryFire(detail::ExecContext &c, Rule &r)
 {
     if (!r.enabled_) {
         r.last_ = Rule::Outcome::Disabled;
         return false;
     }
-    attempts_++;
+    c.attempts++;
     // The when() guard is the exception-free fast path for the common
     // not-ready exit: no body dispatch, no throw, no rollback work.
     if (r.guard_) {
@@ -332,31 +453,34 @@ Kernel::tryFire(Rule &r)
         // The guard passed: its reads are the captured sensitivity.
         // Body reads are not tracked — a body that now fails an
         // implicit guard has an incompletely captured read set and
-        // stays awake (attemptCaptured_ false) — so firing bodies,
+        // stays awake (attemptCaptured false) — so firing bodies,
         // the common case for awake rules, pay no tracking cost.
-        if (trackReads_) {
-            trackReads_ = false;
-            attemptCaptured_ = false;
+        // Domain contexts keep enforcement on through the body.
+        if (c.readMode == detail::ReadMode::Capture) {
+            c.readMode = c.domainId != detail::kNoDomain
+                             ? detail::ReadMode::Enforce
+                             : detail::ReadMode::Off;
+            c.attemptCaptured = false;
         }
     }
 
-    inRule_ = true;
-    currentRule_ = &r;
+    c.inRule = true;
+    c.currentRule = &r;
     Kernel *prevActive = detail::activeKernel;
     detail::activeKernel = this;
     bool fired = false;
     try {
         r.body_();
-        if (fastGuardFail_) {
-            fastGuardFail_ = false;
-            fastGuardFails_++;
+        if (c.fastGuardFail) {
+            c.fastGuardFail = false;
+            c.fastGuardFails++;
             r.last_ = Rule::Outcome::GuardFalse;
             r.guardAborts_.inc();
         } else {
             fired = true;
         }
     } catch (const GuardFail &) {
-        guardThrows_++;
+        c.guardThrows++;
         r.last_ = Rule::Outcome::GuardFalse;
         r.guardAborts_.inc();
     } catch (const CmBlock &) {
@@ -364,15 +488,15 @@ Kernel::tryFire(Rule &r)
         r.cmAborts_.inc();
     }
     detail::activeKernel = prevActive;
-    inRule_ = false;
-    currentRule_ = nullptr;
+    c.inRule = false;
+    c.currentRule = nullptr;
 
     if (fired) {
-        commitRuleEffects();
+        commitRuleEffects(c);
         r.last_ = Rule::Outcome::Fired;
         r.fired_.inc();
     } else {
-        abortRuleEffects();
+        abortRuleEffects(c);
     }
     return fired;
 }
@@ -380,31 +504,67 @@ Kernel::tryFire(Rule &r)
 bool
 Kernel::runAtomically(const std::function<void()> &fn)
 {
-    if (inRule_)
+    if (inRule())
         panic("runAtomically() nested inside a rule");
     if (!elaborated_)
         panic("runAtomically() before elaboration");
-    inRule_ = true;
+    detail::CtxScope scope(&mainCtx_);
+    mainCtx_.inRule = true;
     Kernel *prevActive = detail::activeKernel;
     detail::activeKernel = this;
     bool fired = false;
     try {
         fn();
-        fired = !fastGuardFail_;
-        if (fastGuardFail_) {
-            fastGuardFail_ = false;
-            fastGuardFails_++;
+        fired = !mainCtx_.fastGuardFail;
+        if (mainCtx_.fastGuardFail) {
+            mainCtx_.fastGuardFail = false;
+            mainCtx_.fastGuardFails++;
         }
     } catch (const GuardFail &) {
-        guardThrows_++;
+        mainCtx_.guardThrows++;
     } catch (const CmBlock &) {
     }
     detail::activeKernel = prevActive;
-    inRule_ = false;
+    mainCtx_.inRule = false;
     if (fired)
-        commitRuleEffects();
+        commitRuleEffects(mainCtx_);
     else
-        abortRuleEffects();
+        abortRuleEffects(mainCtx_);
+    return fired;
+}
+
+uint32_t
+Kernel::runCtxCycle(detail::ExecContext &c)
+{
+    // Walk the awake bitmap in schedule order. A rule woken by a
+    // commit at a position we already passed is picked up next cycle;
+    // one woken ahead of the cursor is attempted this cycle — exactly
+    // the outcomes the exhaustive scan would produce. Re-scanning from
+    // pos+1 each step makes the walk robust to the bit-clear (sleep)
+    // and bit-set (wake) churn the attempt itself causes.
+    uint32_t fired = 0;
+    uint32_t visited = 0;
+    int64_t pos = c.nextAwake(0);
+    while (pos >= 0) {
+        Rule *r = c.sched[pos];
+        visited++;
+        // Capture the read set of this attempt (guard and body).
+        c.readMark = newReadMark();
+        c.readSet.clear();
+        c.readOverflow = false;
+        c.cycleRead = false;
+        c.attemptCaptured = true;
+        c.readMode = detail::ReadMode::Capture;
+        bool f = tryFire(c, *r);
+        c.readMode = detail::ReadMode::Off;
+        if (f)
+            fired++;
+        else if (r->last_ == Rule::Outcome::GuardFalse)
+            maybeSleep(c, *r);
+        pos = c.nextAwake(uint32_t(pos) + 1);
+    }
+    c.sleepSkips += c.sched.size() - visited;
+    c.fired += fired;
     return fired;
 }
 
@@ -414,71 +574,175 @@ Kernel::cycle()
     if (!elaborated_)
         panic("cycle() before elaboration");
     cycle_++;
-    uint32_t fired = 0;
+    if (parallelActive_)
+        return cycleParallel();
+    detail::CtxScope scope(&mainCtx_);
     if (sched_ == SchedulerKind::Exhaustive) {
+        uint32_t fired = 0;
         for (Rule *r : schedule_) {
-            if (tryFire(*r))
+            if (tryFire(mainCtx_, *r))
                 fired++;
         }
+        mainCtx_.fired += fired;
         return fired;
     }
-    // Walk the awake bitmap in schedule order. A rule woken by a
-    // commit at a position we already passed is picked up next cycle;
-    // one woken ahead of the cursor is attempted this cycle — exactly
-    // the outcomes the exhaustive scan would produce. Re-scanning from
-    // pos+1 each step makes the walk robust to the bit-clear (sleep)
-    // and bit-set (wake) churn the attempt itself causes.
-    uint32_t visited = 0;
-    int64_t pos = nextAwake(0);
-    while (pos >= 0) {
-        Rule *r = schedule_[pos];
-        visited++;
-        // Capture the read set of this attempt (guard and body).
-        readMark_++;
-        readSet_.clear();
-        readOverflow_ = false;
-        cycleRead_ = false;
-        attemptCaptured_ = true;
-        trackReads_ = true;
-        bool f = tryFire(*r);
-        trackReads_ = false;
-        if (f)
-            fired++;
-        else if (r->last_ == Rule::Outcome::GuardFalse)
-            maybeSleep(*r);
-        pos = nextAwake(uint32_t(pos) + 1);
+    return runCtxCycle(mainCtx_);
+}
+
+// ------------------------------------------------- parallel cycle execution
+
+uint32_t
+Kernel::effectiveThreads() const
+{
+    uint32_t want = threadsWanted_
+                        ? threadsWanted_
+                        : std::max(1u, std::thread::hardware_concurrency());
+    return std::min(want, domainCount_);
+}
+
+void
+Kernel::setParallelThreads(uint32_t n)
+{
+    if (inRule())
+        panic("setParallelThreads() inside a rule");
+    threadsWanted_ = n;
+    stopWorkers(); // the pool re-spawns at the right size next cycle
+}
+
+void
+Kernel::ensurePool()
+{
+    uint32_t workersWanted = effectiveThreads() - 1;
+    if (workers_.size() == workersWanted)
+        return;
+    stopWorkers();
+    workers_.reserve(workersWanted);
+    for (uint32_t i = 0; i < workersWanted; i++)
+        workers_.emplace_back([this] { workerMain(); });
+}
+
+void
+Kernel::stopWorkers()
+{
+    if (workers_.empty())
+        return;
+    {
+        std::lock_guard<std::mutex> g(poolMutex_);
+        stopPool_.store(true, std::memory_order_release);
     }
-    sleepSkips_ += schedule_.size() - visited;
+    poolCv_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+    workers_.clear();
+    stopPool_.store(false, std::memory_order_relaxed);
+}
+
+void
+Kernel::runDomains()
+{
+    while (true) {
+        // acq_rel: the acquire half pairs with the release store that
+        // reset the cursor for this cycle, so even a thread that never
+        // observed the startGen_ bump (a straggler from the previous
+        // cycle) sees the new cycle_ and the published mirrors before
+        // it runs a domain.
+        uint32_t d = claimCursor_.fetch_add(1, std::memory_order_acq_rel);
+        if (d >= domainCount_)
+            return;
+        runDomainCycle(ctxs_[d]);
+        doneCount_.fetch_add(1, std::memory_order_release);
+    }
+}
+
+void
+Kernel::runDomainCycle(detail::ExecContext &c)
+{
+    detail::CtxScope scope(&c);
+    auto t0 = std::chrono::steady_clock::now();
+    c.lastFired = runCtxCycle(c);
+    c.execNs += nsSince(t0);
+}
+
+void
+Kernel::workerMain()
+{
+    uint64_t seen = startGen_.load(std::memory_order_acquire);
+    while (true) {
+        uint64_t gen = seen;
+        // Spin briefly — in steady state the next cycle begins within
+        // microseconds — then park on the condition variable.
+        for (uint32_t spins = 0; spins < 4096; spins++) {
+            gen = startGen_.load(std::memory_order_acquire);
+            if (gen != seen || stopPool_.load(std::memory_order_acquire))
+                break;
+            detail::cpuRelax();
+        }
+        if (gen == seen && !stopPool_.load(std::memory_order_acquire)) {
+            std::unique_lock<std::mutex> l(poolMutex_);
+            poolCv_.wait(l, [&] {
+                return startGen_.load(std::memory_order_relaxed) != seen ||
+                       stopPool_.load(std::memory_order_relaxed);
+            });
+            gen = startGen_.load(std::memory_order_acquire);
+        }
+        if (stopPool_.load(std::memory_order_acquire))
+            return;
+        seen = gen;
+        runDomains();
+    }
+}
+
+uint32_t
+Kernel::cycleParallel()
+{
+    ensurePool();
+    // Latch the boundary counters every cross-domain consumer may
+    // read this cycle. Published values stay frozen for the whole
+    // cycle, which is exactly the start-of-cycle (readStable) view
+    // the sequential schedulers present across TimedFifo boundaries.
+    for (StateBase *s : mirrors_)
+        s->publishMirror();
+    parallelCycles_++;
+    doneCount_.store(0, std::memory_order_relaxed);
+    claimCursor_.store(0, std::memory_order_release);
+    {
+        std::lock_guard<std::mutex> g(poolMutex_);
+        startGen_.fetch_add(1, std::memory_order_release);
+    }
+    poolCv_.notify_all();
+    runDomains();
+    auto t0 = std::chrono::steady_clock::now();
+    uint32_t spins = 0;
+    while (doneCount_.load(std::memory_order_acquire) < domainCount_) {
+        if (++spins < 1024)
+            detail::cpuRelax();
+        else
+            std::this_thread::yield();
+    }
+    barrierWaitNs_ += nsSince(t0);
+    uint32_t fired = 0;
+    for (detail::ExecContext &c : ctxs_)
+        fired += c.lastFired;
     return fired;
 }
 
-void
-Kernel::noteStateRead(StateBase *s)
-{
-    if (s->readMark_ == readMark_)
-        return;
-    s->readMark_ = readMark_;
-    if (readSet_.size() >= kSensitivityCap) {
-        readOverflow_ = true;
-        return;
-    }
-    readSet_.push_back(s);
-}
+// ------------------------------------------------ event-driven internals
 
 void
-Kernel::maybeSleep(Rule &r)
+Kernel::maybeSleep(detail::ExecContext &c, Rule &r)
 {
     // Conservative fallbacks: a rule stays always-awake when its
     // not-ready condition cannot be pinned to a captured read set —
     // a when() guard that passed but whose body then failed an
     // implicit guard (body reads are untracked), overflowed capture,
-    // a time-dependent guard (cycleCount read), or a guard that reads
-    // no state at all (nothing would ever wake it, and the reads may
+    // a time-dependent guard (cycleCount read), a read of a published
+    // cross-domain value (noteCrossRead), or a guard that reads no
+    // state at all (nothing would ever wake it, and the reads may
     // live outside the state discipline).
-    if (!attemptCaptured_ || readOverflow_ || cycleRead_ ||
-        readSet_.empty())
+    if (!c.attemptCaptured || c.readOverflow || c.cycleRead ||
+        c.readSet.empty())
         return;
-    for (StateBase *s : readSet_) {
+    for (StateBase *s : c.readSet) {
         // An element committed earlier this cycle still presents its
         // start-of-cycle value through readStable(); the guard may
         // flip at the next cycle edge with no further commit, so
@@ -489,9 +753,9 @@ Kernel::maybeSleep(Rule &r)
     r.asleep_ = true;
     r.sleepGen_++;
     r.last_ = Rule::Outcome::Sleeping;
-    sleeps_++;
-    clearAwakeBit(r.schedPos_);
-    for (StateBase *s : readSet_)
+    c.sleeps++;
+    c.clearAwakeBit(r.ctxPos_);
+    for (StateBase *s : c.readSet)
         addWaiter(s, &r);
 }
 
@@ -512,12 +776,15 @@ Kernel::addWaiter(StateBase *s, Rule *r)
 void
 Kernel::wakeWaiters(StateBase *s)
 {
+    // Waiters subscribed from the context that owns the state's
+    // domain, so a wake touches only that context's wheel (or any
+    // wheel, from the between-cycle main context).
     for (auto &[r, gen] : s->waiters_) {
         if (r->asleep_ && r->sleepGen_ == gen) {
             r->asleep_ = false;
             r->sleepGen_++;
-            setAwakeBit(r->schedPos_);
-            wakes_++;
+            r->ctx_->setAwakeBit(r->ctxPos_);
+            r->ctx_->wakes++;
         }
     }
     s->waiters_.clear();
@@ -537,17 +804,38 @@ Kernel::wakeAll()
         s->waiters_.clear();
         s->waiterCompactAt_ = 8;
     }
-    awakeBits_.assign((schedule_.size() + 63) / 64, 0);
-    for (uint32_t p = 0; p < schedule_.size(); p++)
-        setAwakeBit(p);
+    mainCtx_.resetWheel();
+    for (detail::ExecContext &c : ctxs_)
+        c.resetWheel();
+}
+
+void
+Kernel::bindContexts()
+{
+    parallelActive_ = sched_ == SchedulerKind::Parallel && domainCount_ > 1;
+    if (parallelActive_) {
+        for (detail::ExecContext &c : ctxs_) {
+            for (uint32_t p = 0; p < c.sched.size(); p++) {
+                c.sched[p]->ctx_ = &c;
+                c.sched[p]->ctxPos_ = p;
+            }
+        }
+    } else {
+        for (uint32_t p = 0; p < schedule_.size(); p++) {
+            schedule_[p]->ctx_ = &mainCtx_;
+            schedule_[p]->ctxPos_ = p;
+        }
+    }
 }
 
 void
 Kernel::setScheduler(SchedulerKind k)
 {
-    if (inRule_)
+    if (inRule())
         panic("setScheduler() inside a rule");
     sched_ = k;
+    if (elaborated_)
+        bindContexts();
     wakeAll();
 }
 
@@ -570,6 +858,47 @@ Kernel::runUntil(const std::function<bool()> &done, uint64_t maxCycles)
     }
     return done();
 }
+
+// ---------------------------------------------------------- counter getters
+
+uint64_t
+Kernel::ruleAttemptCount() const
+{
+    return sumCtx([](const detail::ExecContext &c) { return c.attempts; });
+}
+
+uint64_t
+Kernel::sleepSkipCount() const
+{
+    return sumCtx([](const detail::ExecContext &c) { return c.sleepSkips; });
+}
+
+uint64_t
+Kernel::sleepCount() const
+{
+    return sumCtx([](const detail::ExecContext &c) { return c.sleeps; });
+}
+
+uint64_t
+Kernel::wakeCount() const
+{
+    return sumCtx([](const detail::ExecContext &c) { return c.wakes; });
+}
+
+uint64_t
+Kernel::guardThrowCount() const
+{
+    return sumCtx([](const detail::ExecContext &c) { return c.guardThrows; });
+}
+
+uint64_t
+Kernel::fastGuardFailCount() const
+{
+    return sumCtx(
+        [](const detail::ExecContext &c) { return c.fastGuardFails; });
+}
+
+// -------------------------------------------------------------- elaboration
 
 Conflict
 Kernel::computeRuleRelation(const Rule &a, const Rule &b) const
@@ -612,10 +941,90 @@ Kernel::computeRuleRelation(const Rule &a, const Rule &b) const
 }
 
 void
+Kernel::computeDomains()
+{
+    // Union-find over one node per hint group plus one node per
+    // boundary endpoint module. Boundary endpoints start detached from
+    // their construction scope — that detachment IS the cut: the only
+    // way two endpoints of one TimedFifo end up in one domain is some
+    // *other* shared module (or hint) joining their components.
+    uint32_t nNodes = static_cast<uint32_t>(hintNames_.size());
+    for (Module *m : modules_)
+        m->partNode_ = m->boundarySide_ ? nNodes++ : m->hintGroup_;
+
+    std::vector<uint32_t> uf(nNodes);
+    std::iota(uf.begin(), uf.end(), 0u);
+    auto find = [&uf](uint32_t x) {
+        while (uf[x] != x) {
+            uf[x] = uf[uf[x]]; // path halving
+            x = uf[x];
+        }
+        return x;
+    };
+    auto unite = [&](uint32_t a, uint32_t b) {
+        a = find(a);
+        b = find(b);
+        if (a != b)
+            uf[std::max(a, b)] = std::min(a, b);
+    };
+
+    // A rule couples its construction scope with every module it can
+    // reach through its method closure. Same-cycle coupling that does
+    // not go through a method call (a rule directly reading a state
+    // element) is covered because rules and the state they touch
+    // directly share a construction scope; violations of that
+    // convention are caught at runtime by the domain access checks.
+    for (Rule *r : rulePtrs_) {
+        for (const auto &[m, anc] : r->closure_)
+            unite(r->hintGroup_, m->owner().partNode_);
+    }
+
+    // Densify components that contain rules into domain ids, in
+    // schedule order so domain 0 holds the earliest-scheduled rule.
+    constexpr uint32_t kUnassigned = ~0u;
+    std::vector<uint32_t> domainOfRoot(nNodes, kUnassigned);
+    domainCount_ = 0;
+    for (Rule *r : schedule_) {
+        uint32_t root = find(r->hintGroup_);
+        if (domainOfRoot[root] == kUnassigned)
+            domainOfRoot[root] = domainCount_++;
+        r->domain_ = domainOfRoot[root];
+    }
+    if (domainCount_ == 0)
+        domainCount_ = 1;
+
+    auto domainOfNode = [&](uint32_t node) {
+        uint32_t d = domainOfRoot[find(node)];
+        return d == kUnassigned ? 0u : d;
+    };
+    for (Module *m : modules_)
+        m->domain_ = domainOfNode(m->partNode_);
+    for (StateBase *s : states_) {
+        s->domain_ = s->domainOwner_ ? s->domainOwner_->domain_
+                                     : domainOfNode(s->hintGroup_);
+    }
+    for (const Boundary &b : boundaries_)
+        *b.crossFlag = b.a->domain_ != b.b->domain_;
+
+    // One execution context per domain, each holding its slice of the
+    // global schedule (relative order within a domain is preserved).
+    ctxs_.clear();
+    for (uint32_t d = 0; d < domainCount_; d++) {
+        ctxs_.emplace_back();
+        ctxs_.back().domainId = d;
+    }
+    for (Rule *r : schedule_)
+        ctxs_[r->domain_].sched.push_back(r);
+    mainCtx_.sched = schedule_;
+}
+
+void
 Kernel::elaborate()
 {
     if (elaborated_)
         panic("elaborate() called twice");
+    if (hintStack_.size() != 1)
+        panic("elaborate() inside an open DomainHint scope");
 
     // Materialize per-module method masks.
     for (Module *mod : modules_) {
@@ -723,7 +1132,10 @@ Kernel::elaborate()
 
     for (uint32_t p = 0; p < schedule_.size(); p++)
         schedule_[p]->schedPos_ = p;
-    wakeAll(); // seed the event wheel with every rule awake
+
+    computeDomains();
+    bindContexts();
+    wakeAll(); // seed the event wheels with every rule awake
 
     elaborated_ = true;
 }
@@ -739,7 +1151,7 @@ Kernel::ruleRelation(const Rule &a, const Rule &b) const
 std::vector<uint8_t>
 Kernel::snapshot() const
 {
-    if (inRule_)
+    if (inRule())
         panic("snapshot() inside a rule");
     std::vector<uint8_t> out;
     out.resize(sizeof(cycle_));
@@ -753,7 +1165,7 @@ Kernel::snapshot() const
 void
 Kernel::restore(const std::vector<uint8_t> &snap)
 {
-    if (inRule_)
+    if (inRule())
         panic("restore() inside a rule");
     const uint8_t *p = snap.data();
     std::copy_n(p, sizeof(cycle_), reinterpret_cast<uint8_t *>(&cycle_));
@@ -808,13 +1220,28 @@ Kernel::progressReport() const
            << " guardAborts=" << r->guardAbortCount()
            << " cmAborts=" << r->cmAbortCount() << '\n';
     }
-    os << "scheduler: kind="
-       << (sched_ == SchedulerKind::EventDriven ? "event-driven"
-                                                : "exhaustive")
-       << " attempts=" << attempts_ << " sleepSkips=" << sleepSkips_
-       << " sleeps=" << sleeps_ << " wakes=" << wakes_
-       << " guardThrows=" << guardThrows_
-       << " fastGuardFails=" << fastGuardFails_ << '\n';
+    const char *kind = "exhaustive";
+    if (sched_ == SchedulerKind::EventDriven)
+        kind = "event-driven";
+    else if (sched_ == SchedulerKind::Parallel)
+        kind = "parallel";
+    os << "scheduler: kind=" << kind << " domains=" << domainCount_
+       << " attempts=" << ruleAttemptCount()
+       << " sleepSkips=" << sleepSkipCount() << " sleeps=" << sleepCount()
+       << " wakes=" << wakeCount() << " guardThrows=" << guardThrowCount()
+       << " fastGuardFails=" << fastGuardFailCount() << '\n';
+    if (sched_ == SchedulerKind::Parallel) {
+        os << "parallel: threads=" << effectiveThreads()
+           << " cycles=" << parallelCycles_
+           << " barrierWaitNs=" << barrierWaitNs_ << '\n';
+        for (const detail::ExecContext &c : ctxs_) {
+            os << "domain " << c.domainId << ": rules=" << c.sched.size()
+               << " attempts=" << c.attempts << " fired=" << c.fired
+               << " sleeps=" << c.sleeps << " wakes=" << c.wakes
+               << " sleepSkips=" << c.sleepSkips << " execNs=" << c.execNs
+               << '\n';
+        }
+    }
     return os.str();
 }
 

@@ -48,16 +48,34 @@
  * rule fires. Hence "x <= y; y <= x" swaps, and an aborted rule leaves
  * no trace. A rule firing later in the same cycle sees the committed
  * effects of earlier rules — exactly the "<" semantics.
+ *
+ * Parallel execution (SchedulerKind::Parallel). At elaboration the
+ * design is partitioned into *domains*: connected components of the
+ * rule/module/state coupling graph, where edges that pass exclusively
+ * through a TimedFifo are cut (the FIFO's latency is the PDES
+ * lookahead). Cross-domain rule pairs are provably conflict-free —
+ * computeRuleRelation() only produces C/</> for method pairs of one
+ * module, and a shared module would have merged the two domains — so
+ * domains may execute concurrently within a cycle without changing the
+ * one-rule-at-a-time semantics, provided every cross-domain *read*
+ * observes only start-of-cycle values. TimedFifo endpoints guarantee
+ * that by construction (see timed_fifo.hh); any other cross-domain
+ * access is a design error caught at runtime. See DESIGN.md
+ * "Parallel execution" for the full argument.
  */
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <type_traits>
 #include <vector>
 
@@ -70,6 +88,7 @@ class Kernel;
 class Module;
 class Method;
 class Rule;
+class StateBase;
 
 /** Conflict-matrix entry for a pair of methods (or rules). */
 enum class Conflict : uint8_t {
@@ -98,10 +117,16 @@ const char *toString(Conflict c);
  *    CM-blocked rule, a when() guard that passed but whose body then
  *    failed an implicit guard — conservatively stay awake, so the
  *    architectural state evolution is bit-identical to Exhaustive.
+ *  - Parallel: the event-driven scheduler, run concurrently across the
+ *    domains computed at elaboration on a persistent thread pool with
+ *    a per-cycle barrier. Falls back to the sequential event-driven
+ *    walk when the design partitions into a single domain. State
+ *    evolution stays bit-identical to the other schedulers.
  */
 enum class SchedulerKind : uint8_t {
     Exhaustive,
     EventDriven,
+    Parallel,
 };
 
 /**
@@ -174,7 +199,165 @@ cleared(T v)
     clearPadding(v);
     return v;
 }
+
+/// Domain id of the main context: sequential schedulers and
+/// between-cycle testbench actions run under it and are exempt from
+/// cross-domain access enforcement.
+constexpr uint32_t kNoDomain = ~0u;
+
+/// A rule reading more than this many state elements in one attempt
+/// overflows read-set capture and stays always-awake.
+constexpr size_t kSensitivityCap = 64;
+
+/** What StateBase::noteRead() does for the attempt in flight. */
+enum class ReadMode : uint8_t {
+    Off,     ///< nothing (exhaustive scheduler; bodies after when())
+    Enforce, ///< cross-domain access check only (parallel bodies)
+    Capture, ///< record the read set + cross-domain check
+};
+
+/**
+ * Per-execution-context scheduler state: the transaction bookkeeping
+ * of the rule attempt in flight plus one domain's slice of the
+ * schedule, its event wheel, and its counters. Sequential schedulers
+ * use a single context (Kernel::mainCtx_, domainId == kNoDomain);
+ * the parallel scheduler runs one context per domain, each owned by
+ * exactly one thread for the duration of a cycle.
+ */
+struct ExecContext
+{
+    uint32_t domainId = kNoDomain;
+
+    // Per-rule transaction state:
+    bool inRule = false;
+    const Rule *currentRule = nullptr;
+    std::vector<StateBase *> touched;
+    std::vector<Module *> touchedModules;
+
+    // Read-set capture / cross-domain enforcement for the attempt:
+    ReadMode readMode = ReadMode::Off;
+    bool cycleRead = false;       ///< attempt read cycleCount()
+    bool readOverflow = false;
+    bool attemptCaptured = true;  ///< read set covers the whole attempt
+    bool fastGuardFail = false;   ///< requireFast() tripped
+    uint64_t readMark = 0;        ///< current attempt's dedup stamp
+    std::vector<StateBase *> readSet;
+
+    /// this context's rules, in global schedule order
+    std::vector<Rule *> sched;
+    /// bitmap over sched positions of awake rules (the event wheel)
+    std::vector<uint64_t> awakeBits;
+
+    // Counters (Kernel getters sum them across contexts):
+    uint64_t attempts = 0;
+    uint64_t sleepSkips = 0;
+    uint64_t sleeps = 0;
+    uint64_t wakes = 0;
+    uint64_t guardThrows = 0;
+    uint64_t fastGuardFails = 0;
+    uint64_t fired = 0;
+    uint64_t execNs = 0;    ///< parallel mode: time inside domain cycles
+    uint32_t lastFired = 0; ///< rules fired in the most recent cycle
+
+    void
+    setAwakeBit(uint32_t pos)
+    {
+        awakeBits[pos >> 6] |= 1ull << (pos & 63);
+    }
+    void
+    clearAwakeBit(uint32_t pos)
+    {
+        awakeBits[pos >> 6] &= ~(1ull << (pos & 63));
+    }
+    /** First awake schedule position >= @p from, or -1. */
+    int64_t
+    nextAwake(uint32_t from) const
+    {
+        size_t w = from >> 6;
+        if (w >= awakeBits.size())
+            return -1;
+        uint64_t cur = awakeBits[w] & (~0ull << (from & 63));
+        while (true) {
+            if (cur)
+                return int64_t((w << 6) + __builtin_ctzll(cur));
+            if (++w >= awakeBits.size())
+                return -1;
+            cur = awakeBits[w];
+        }
+    }
+    /** Size the event wheel to sched and mark every rule awake. */
+    void
+    resetWheel()
+    {
+        awakeBits.assign((sched.size() + 63) / 64, 0);
+        for (uint32_t p = 0; p < sched.size(); p++)
+            setAwakeBit(p);
+    }
+};
+
+/// Execution context of the rule attempt (or atomic action) in flight
+/// on this thread; null outside of one.
+inline thread_local ExecContext *activeCtx = nullptr;
+
+/** RAII scope setting detail::activeCtx. */
+struct CtxScope
+{
+    explicit CtxScope(ExecContext *c) : prev(activeCtx) { activeCtx = c; }
+    ~CtxScope() { activeCtx = prev; }
+    CtxScope(const CtxScope &) = delete;
+    CtxScope &operator=(const CtxScope &) = delete;
+    ExecContext *prev;
+};
+
+/**
+ * Mark the attempt in flight as having read a value that can change
+ * without a local commit (a published cross-domain boundary value).
+ * The rule then conservatively stays awake instead of sleeping on an
+ * incomplete sensitivity set.
+ */
+inline void
+noteCrossRead()
+{
+    if (ExecContext *c = activeCtx)
+        c->attemptCaptured = false;
+}
+
+/** Spin-wait hint for barrier loops. */
+inline void
+cpuRelax()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#elif defined(__aarch64__)
+    asm volatile("yield");
+#endif
+}
 } // namespace detail
+
+/**
+ * RAII domain-partitioning hint: state elements, modules, and rules
+ * constructed while a DomainHint is in scope are attributed to the
+ * named group, and the partitioner starts from one node per group.
+ * Groups are keyed by name within a kernel, so two scopes with the
+ * same name (e.g. "hart0" opened once in the memory hierarchy and once
+ * around the core) contribute to one group. Hints are only hints:
+ * groups that turn out to share same-cycle state through a common
+ * module are merged into one domain, and any coupling the partitioner
+ * could not see (a direct cross-domain state access at runtime) is a
+ * design error caught by the parallel scheduler's access checks.
+ */
+class DomainHint
+{
+  public:
+    DomainHint(Kernel &kernel, const std::string &name);
+    ~DomainHint();
+
+    DomainHint(const DomainHint &) = delete;
+    DomainHint &operator=(const DomainHint &) = delete;
+
+  private:
+    Kernel &kernel_;
+};
 
 /**
  * Base class for all state elements (registers, register arrays,
@@ -202,12 +385,28 @@ class StateBase
     /** Restore the committed value from a snapshot buffer. */
     virtual void restore(const uint8_t *&in) = 0;
 
+    /**
+     * Latch the committed value for cross-domain readers. Called on
+     * the main thread at every parallel cycle barrier for elements
+     * registered with Kernel::registerMirror() (TimedFifo occupancy
+     * counters); a no-op for everything else.
+     */
+    virtual void publishMirror() {}
+
+    /**
+     * Attribute this element to @p m's domain, overriding the
+     * construction-scope hint. TimedFifo uses this to hand each of its
+     * state elements to the producer- or consumer-side endpoint.
+     */
+    void setDomainOwner(Module *m) { domainOwner_ = m; }
+
   protected:
     /**
      * Record this element in the read set of the rule attempt in
      * flight. Every committed-value read path of a state element must
      * call this so the event-driven scheduler can compute sensitivity
-     * sets; it is a single load-and-branch when tracking is off.
+     * sets; it is a load-and-branch when tracking is off. Under the
+     * parallel scheduler it also rejects cross-domain accesses.
      */
     void noteRead() const;
 
@@ -234,6 +433,11 @@ class StateBase
     /// generation they subscribed under (stale entries are lazily
     /// dropped on wake or compaction)
     std::vector<std::pair<Rule *, uint64_t>> waiters_;
+
+    // Domain partitioning (see Kernel::computeDomains()):
+    uint32_t hintGroup_ = 0;        ///< hint group at construction
+    Module *domainOwner_ = nullptr; ///< explicit owner (fifo endpoints)
+    uint32_t domain_ = 0;           ///< resolved at elaboration
 };
 
 /**
@@ -321,6 +525,9 @@ class Module
     /** Conflict-matrix entry for a pair of this module's methods. */
     Conflict cm(const Method &a, const Method &b) const;
 
+    /** Domain this module was assigned to (valid after elaborate()). */
+    uint32_t domain() const { return domain_; }
+
   protected:
     /** Declare a new interface method. */
     Method &method(const std::string &name);
@@ -363,6 +570,12 @@ class Module
     uint64_t firedEpoch_ = ~0ull;
     uint64_t ruleMask_ = 0;   ///< methods called by the rule in flight
     bool inRuleList_ = false; ///< registered on the kernel's touch list
+
+    // Domain partitioning:
+    uint32_t hintGroup_ = 0;    ///< hint group at construction
+    bool boundarySide_ = false; ///< a TimedFifo endpoint (cut point)
+    uint32_t partNode_ = 0;     ///< union-find node (elaboration-local)
+    uint32_t domain_ = 0;       ///< resolved at elaboration
 };
 
 /**
@@ -440,6 +653,13 @@ class Rule
     /// generation are stale and ignored
     uint64_t sleepGen_ = 0;
     uint32_t schedPos_ = 0; ///< position in Kernel::schedule_
+
+    // Domain partitioning / context binding:
+    uint32_t hintGroup_ = 0; ///< hint group at construction
+    uint32_t domain_ = 0;    ///< resolved at elaboration
+    /// context this rule currently executes under (set by binding)
+    detail::ExecContext *ctx_ = nullptr;
+    uint32_t ctxPos_ = 0; ///< position in ctx_->sched
 };
 
 /**
@@ -461,9 +681,10 @@ class Kernel
 
     /**
      * Finish construction: materialize conflict matrices, compute
-     * rule-level CM entries and the schedule order, and verify there
-     * is no combinational cycle. Must be called exactly once, before
-     * the first cycle(). Throws ElaborationError on design errors.
+     * rule-level CM entries and the schedule order, verify there is no
+     * combinational cycle, and partition the design into domains.
+     * Must be called exactly once, before the first cycle(). Throws
+     * ElaborationError on design errors.
      */
     void elaborate();
     bool elaborated() const { return elaborated_; }
@@ -489,8 +710,9 @@ class Kernel
     uint64_t
     cycleCount() const
     {
-        if (trackReads_)
-            cycleRead_ = true;
+        detail::ExecContext *c = detail::activeCtx;
+        if (c && c->readMode == detail::ReadMode::Capture)
+            c->cycleRead = true;
         return cycle_;
     }
 
@@ -502,18 +724,36 @@ class Kernel
     void setScheduler(SchedulerKind k);
     SchedulerKind scheduler() const { return sched_; }
 
+    /**
+     * Total execution threads (including the calling thread) the
+     * parallel scheduler may use; 0 picks min(hardware concurrency,
+     * domain count). With 1 the caller runs every domain itself —
+     * same partitioned execution, no concurrency.
+     */
+    void setParallelThreads(uint32_t n);
+    uint32_t parallelThreads() const { return threadsWanted_; }
+
+    /** Number of domains the design partitioned into (post-elab). */
+    uint32_t domainCount() const { return domainCount_; }
+    /** Domain a rule was assigned to (valid after elaborate()). */
+    uint32_t domainOf(const Rule &r) const { return r.domain_; }
+    /** True when cycles are currently executed by the domain pool. */
+    bool parallelActive() const { return parallelActive_; }
+    /** Time the driving thread spent waiting on cycle barriers. */
+    uint64_t barrierWaitNs() const { return barrierWaitNs_; }
+
     // ---- scheduler observability (see progressReport())
     /** Rule attempts actually dispatched (guard + body). */
-    uint64_t ruleAttemptCount() const { return attempts_; }
+    uint64_t ruleAttemptCount() const;
     /** Attempts skipped because the rule was asleep. */
-    uint64_t sleepSkipCount() const { return sleepSkips_; }
+    uint64_t sleepSkipCount() const;
     /** Times a rule was put to sleep / woken by a commit. */
-    uint64_t sleepCount() const { return sleeps_; }
-    uint64_t wakeCount() const { return wakes_; }
+    uint64_t sleepCount() const;
+    uint64_t wakeCount() const;
     /** GuardFail exceptions actually thrown (the slow abort path). */
-    uint64_t guardThrowCount() const { return guardThrows_; }
+    uint64_t guardThrowCount() const;
     /** Guard failures short-circuited without a throw. */
-    uint64_t fastGuardFailCount() const { return fastGuardFails_; }
+    uint64_t fastGuardFailCount() const;
 
     /**
      * Execute @p fn as an anonymous atomic action within the current
@@ -547,62 +787,95 @@ class Kernel
     void registerState(StateBase *s);
     void unregisterState(StateBase *s);
     void registerModule(Module *m);
+    /**
+     * Declare @p a / @p b as the producer/consumer endpoints of a
+     * latency-bearing channel: the partitioner treats them as separate
+     * nodes (the cut), and after partitioning stores into @p crossFlag
+     * whether the two ends landed in different domains.
+     */
+    void registerBoundary(Module &a, Module &b, bool *crossFlag);
+    /** Publish @p s to cross-domain readers at every cycle barrier. */
+    void registerMirror(StateBase *s);
     void onMethodCall(const Method &m);
     void noteStateTouched(StateBase *s);
-    bool inRule() const { return inRule_; }
+    bool
+    inRule() const
+    {
+        detail::ExecContext *c = detail::activeCtx;
+        return c && c->inRule;
+    }
     /** True while a rule attempt's read set is being captured. */
-    bool trackingReads() const { return trackReads_; }
+    bool
+    trackingReads() const
+    {
+        detail::ExecContext *c = detail::activeCtx;
+        return c && c->readMode == detail::ReadMode::Capture;
+    }
     /** Slow path of StateBase::noteRead(). */
-    void noteStateRead(StateBase *s);
+    void noteStateRead(StateBase *s, detail::ExecContext &c);
     /** requireFast() backend: flag a no-throw guard failure. */
-    void failGuardFast() { fastGuardFail_ = true; }
+    void
+    failGuardFast()
+    {
+        if (detail::ExecContext *c = detail::activeCtx)
+            c->fastGuardFail = true;
+    }
 
   private:
     friend class Module;
     friend class StateBase;
     friend class Rule;
+    friend class DomainHint;
 
     /** Attempt one rule; commit or roll back. @return fired? */
-    bool tryFire(Rule &r);
-    void commitRuleEffects();
-    void abortRuleEffects();
+    bool tryFire(detail::ExecContext &c, Rule &r);
+    void commitRuleEffects(detail::ExecContext &c);
+    void abortRuleEffects(detail::ExecContext &c);
+
+    /** One event-driven walk of @p c's schedule. @return fired. */
+    uint32_t runCtxCycle(detail::ExecContext &c);
 
     // ---- event-driven scheduler internals
-    void
-    setAwakeBit(uint32_t pos)
-    {
-        awakeBits_[pos >> 6] |= 1ull << (pos & 63);
-    }
-    void
-    clearAwakeBit(uint32_t pos)
-    {
-        awakeBits_[pos >> 6] &= ~(1ull << (pos & 63));
-    }
-    /** First awake schedule position >= @p from, or -1. */
-    int64_t
-    nextAwake(uint32_t from) const
-    {
-        size_t w = from >> 6;
-        if (w >= awakeBits_.size())
-            return -1;
-        uint64_t cur = awakeBits_[w] & (~0ull << (from & 63));
-        while (true) {
-            if (cur)
-                return int64_t((w << 6) + __builtin_ctzll(cur));
-            if (++w >= awakeBits_.size())
-                return -1;
-            cur = awakeBits_[w];
-        }
-    }
-
     /** Sleep @p r on the attempt's read set if it was captured exactly. */
-    void maybeSleep(Rule &r);
+    void maybeSleep(detail::ExecContext &c, Rule &r);
     /** Wake every live waiter of @p s (called when @p s commits). */
     void wakeWaiters(StateBase *s);
     /** Subscribe @p r to @p s, compacting stale waiter entries. */
     void addWaiter(StateBase *s, Rule *r);
     /** Wake every rule and drop all waiter lists. */
     void wakeAll();
+    /** Fresh kernel-unique read-set dedup stamp for one attempt. */
+    uint64_t
+    newReadMark()
+    {
+        return readMarkSrc_.fetch_add(1, std::memory_order_relaxed) + 1;
+    }
+
+    // ---- domain partitioning + parallel driver internals
+    void pushHint(const std::string &name);
+    void popHint();
+    /** Partition rules/modules/states into domains (at elaborate()). */
+    void computeDomains();
+    /** Point every rule at the context the current scheduler uses. */
+    void bindContexts();
+    uint32_t cycleParallel();
+    /** Claim and run unprocessed domains until none remain. */
+    void runDomains();
+    void runDomainCycle(detail::ExecContext &c);
+    void workerMain();
+    void ensurePool();
+    void stopWorkers();
+    uint32_t effectiveThreads() const;
+
+    template <typename F>
+    uint64_t
+    sumCtx(F f) const
+    {
+        uint64_t total = f(mainCtx_);
+        for (const detail::ExecContext &c : ctxs_)
+            total += f(c);
+        return total;
+    }
 
     /** Compute the CM relation of rule a before rule b. */
     Conflict computeRuleRelation(const Rule &a, const Rule &b) const;
@@ -617,43 +890,52 @@ class Kernel
     bool elaborated_ = false;
     uint64_t cycle_ = 0;
 
-    // Per-rule transaction state:
-    bool inRule_ = false;
-    const Rule *currentRule_ = nullptr;
-    std::vector<StateBase *> touched_;
-    std::vector<Module *> touchedModules_;
-
     // Scheduler state:
-    /// a rule reading more than this many state elements in one
-    /// attempt overflows read-set capture and stays always-awake
-    static constexpr size_t kSensitivityCap = 64;
     SchedulerKind sched_ = SchedulerKind::Exhaustive;
-    /// bitmap over schedule positions of awake rules (the event
-    /// wheel): the event-driven cycle() walks only set bits, so a
-    /// mostly-idle design pays per cycle for its active rules plus a
-    /// word-scan of the bitmap, and sleep/wake transitions are a
-    /// single bit flip — no allocation
-    std::vector<uint64_t> awakeBits_;
-    bool trackReads_ = false;
-    mutable bool cycleRead_ = false; ///< attempt read cycleCount()
-    bool readOverflow_ = false;
-    bool attemptCaptured_ = true; ///< read set covers the whole attempt
-    bool fastGuardFail_ = false;     ///< requireFast() tripped
-    uint64_t readMark_ = 0;          ///< current attempt's dedup stamp
-    std::vector<StateBase *> readSet_;
-    uint64_t attempts_ = 0;
-    uint64_t sleepSkips_ = 0;
-    uint64_t sleeps_ = 0;
-    uint64_t wakes_ = 0;
-    uint64_t guardThrows_ = 0;
-    uint64_t fastGuardFails_ = 0;
+    /// context of the sequential schedulers and of between-cycle
+    /// testbench actions (domainId == kNoDomain)
+    detail::ExecContext mainCtx_;
+    /// one context per domain (parallel scheduler); stable addresses
+    std::deque<detail::ExecContext> ctxs_;
+    /// kernel-unique source of read-set dedup stamps: contexts share
+    /// the per-state readMark_ stamp slots, so marks must never repeat
+    /// across contexts
+    std::atomic<uint64_t> readMarkSrc_{0};
+
+    // Domain partitioning:
+    std::vector<std::string> hintNames_{""}; ///< group names; [0] = root
+    std::map<std::string, uint32_t> hintIds_;
+    std::vector<uint32_t> hintStack_{0};
+    struct Boundary
+    {
+        Module *a;
+        Module *b;
+        bool *crossFlag;
+    };
+    std::vector<Boundary> boundaries_;
+    std::vector<StateBase *> mirrors_;
+    uint32_t domainCount_ = 1;
+    bool parallelActive_ = false;
+
+    // Worker pool (parallel scheduler):
+    uint32_t threadsWanted_ = 0; ///< 0 = min(hw concurrency, domains)
+    std::vector<std::thread> workers_;
+    std::mutex poolMutex_;
+    std::condition_variable poolCv_;
+    std::atomic<uint64_t> startGen_{0};  ///< bumped to release a cycle
+    std::atomic<bool> stopPool_{false};
+    std::atomic<uint32_t> claimCursor_{0}; ///< next unclaimed domain
+    std::atomic<uint32_t> doneCount_{0};   ///< domains finished
+    uint64_t barrierWaitNs_ = 0;
+    uint64_t parallelCycles_ = 0;
 };
 
 inline void
 StateBase::noteRead() const
 {
-    if (kernel_.trackingReads())
-        kernel_.noteStateRead(const_cast<StateBase *>(this));
+    detail::ExecContext *c = detail::activeCtx;
+    if (c && c->readMode != detail::ReadMode::Off)
+        kernel_.noteStateRead(const_cast<StateBase *>(this), *c);
 }
 
 inline uint64_t

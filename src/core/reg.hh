@@ -54,6 +54,19 @@ class Reg : public StateBase
         return stableCycle_ == kernelCycle() ? stable_ : cur_;
     }
 
+    /**
+     * Value as latched at the last parallel cycle barrier (see
+     * Kernel::registerMirror()). This is the only committed-value view
+     * another domain may take of this register: it is written solely
+     * by the barrier (main thread) and equals readStable() for the
+     * whole cycle, since the owning domain's same-cycle commits are
+     * not yet published. Bypasses noteRead() — cross-domain readers
+     * must flag themselves with detail::noteCrossRead() instead.
+     */
+    const T &readPublished() const { return published_; }
+
+    void publishMirror() override { published_ = cur_; }
+
     /** Stage a write; commits only if the enclosing rule fires. */
     void
     write(const T &v)
@@ -100,6 +113,7 @@ class Reg : public StateBase
     T cur_;
     T staged_{};
     T stable_{};
+    T published_{}; ///< barrier-latched copy for cross-domain readers
     bool stagedValid_ = false;
     uint64_t stableCycle_ = ~0ull;
 };
@@ -130,6 +144,16 @@ class RegArray : public StateBase
         noteRead();
         return cur_[checkIdx(idx)];
     }
+
+    /**
+     * Raw committed value of element @p idx, bypassing both journal
+     * bookkeeping and noteRead(). Only for cross-domain boundary reads
+     * of slots the owning domain provably is not writing this cycle
+     * (TimedFifo payload/ready slots, whose occupancy guard already
+     * imposes a one-cycle visibility delay — see timed_fifo.hh); the
+     * caller must flag itself with detail::noteCrossRead().
+     */
+    const T &readDirect(size_t idx) const { return cur_[checkIdx(idx)]; }
 
     /** Value of element @p idx as of the start of the current cycle. */
     const T &

@@ -6,6 +6,23 @@
  * depth, DRAM access time) without giving up latency-insensitive
  * interfaces: consumers simply see deq's guard stay false until the
  * element has "aged".
+ *
+ * A TimedFifo is also the parallel scheduler's domain *boundary*: its
+ * latency is the PDES lookahead that lets the producer's and the
+ * consumer's domains run a cycle concurrently. To make that sound the
+ * fifo is built from two endpoint modules — the enq side owns the
+ * payload/ready slots, the tail pointer, and a monotonic enqueue
+ * counter; the deq side owns the head pointer and a monotonic dequeue
+ * counter — so each side's rules commit only domain-local state (the
+ * old shared read-modify-write `count` register would have needed a
+ * cross-domain merge). Occupancy is the counter difference. Each
+ * side's view of the *other* side's counter is start-of-cycle only:
+ * readStable() under the sequential schedulers, and the barrier-
+ * published mirror under the parallel one — the same value, which is
+ * why the schedulers stay bit-identical. Payload/ready slots the
+ * consumer reads were written at least one cycle ago (the stable-
+ * count guard imposes a one-cycle visibility delay even at delay 0),
+ * so reading them raw from another domain is race-free.
  */
 #pragma once
 
@@ -14,47 +31,103 @@
 namespace cmd {
 
 template <typename T>
-class TimedFifo : public Module
+class TimedFifo
 {
+  private:
+    struct EnqSide : Module
+    {
+        EnqSide(Kernel &k, const std::string &n)
+            : Module(k, n, Conflict::C), enqM(this->method("enq"))
+        {
+        }
+        Method &enqM;
+    };
+    struct DeqSide : Module
+    {
+        DeqSide(Kernel &k, const std::string &n)
+            : Module(k, n, Conflict::C), deqM(this->method("deq")),
+              firstM(this->method("first"))
+        {
+            this->cf(firstM, deqM);
+            this->selfCf(firstM);
+        }
+        Method &deqM, &firstM;
+    };
+
+    EnqSide enqSide_;
+    DeqSide deqSide_;
+
   public:
+    Method &enqM, &deqM, &firstM;
+
     TimedFifo(Kernel &kernel, const std::string &name, uint32_t capacity,
               uint32_t delay)
-        : Module(kernel, name, Conflict::C),
-          enqM(method("enq")), deqM(method("deq")), firstM(method("first")),
-          delay_(delay), cap_(capacity),
+        : enqSide_(kernel, name + ".enq"), deqSide_(kernel, name + ".deq"),
+          enqM(enqSide_.enqM), deqM(deqSide_.deqM), firstM(deqSide_.firstM),
+          kernel_(kernel), delay_(delay), cap_(capacity),
           data_(kernel, name + ".data", capacity),
           ready_(kernel, name + ".ready", capacity),
           head_(kernel, name + ".head", 0),
           tail_(kernel, name + ".tail", 0),
-          count_(kernel, name + ".count", 0)
+          enqTotal_(kernel, name + ".enqTotal", 0),
+          deqTotal_(kernel, name + ".deqTotal", 0)
     {
-        cf(enqM, deqM);
-        cf(enqM, firstM);
-        cf(firstM, deqM);
-        selfCf(firstM);
+        kernel.registerBoundary(enqSide_, deqSide_, &cross_);
+        // The cross-read counters are published at every parallel
+        // cycle barrier; everything else is strictly side-local.
+        kernel.registerMirror(&enqTotal_);
+        kernel.registerMirror(&deqTotal_);
+        data_.setDomainOwner(&enqSide_);
+        ready_.setDomainOwner(&enqSide_);
+        tail_.setDomainOwner(&enqSide_);
+        enqTotal_.setDomainOwner(&enqSide_);
+        head_.setDomainOwner(&deqSide_);
+        deqTotal_.setDomainOwner(&deqSide_);
     }
 
     // ---- probes (when() guards, testbenches)
-    bool canEnq() const { return count_.readStable() < cap_; }
+    bool
+    canEnq() const
+    {
+        return enqTotal_.readStable() - deqTotalView() < cap_;
+    }
     bool
     canDeq() const
     {
-        return count_.readStable() > 0 &&
-               kernel().cycleCount() >= ready_.readStable(head_.readStable());
+        return enqTotalView() - deqTotal_.readStable() > 0 &&
+               kernel_.cycleCount() >= readyView(head_.readStable());
     }
-    uint32_t size() const { return count_.read(); }
+    /** Committed occupancy (same-side or testbench probes only). */
+    uint32_t
+    size() const
+    {
+        return static_cast<uint32_t>(enqTotal_.read() - deqTotal_.read());
+    }
+    /**
+     * Occupancy as the consumer side may observe it: enqueues as of
+     * the start of the cycle minus committed dequeues. Unlike size()
+     * this is safe to read from the consumer's domain (the producer's
+     * same-cycle enqueues are invisible either way), and it cannot go
+     * negative: every dequeued element is counted in the stable
+     * enqueue total.
+     */
+    uint32_t
+    pending() const
+    {
+        return static_cast<uint32_t>(enqTotalView() - deqTotal_.read());
+    }
 
     /** Enqueue; becomes visible @p delay cycles from now. */
     void
     enq(const T &v)
     {
         enqM();
-        require(count_.readStable() < cap_);
+        require(enqTotal_.readStable() - deqTotalView() < cap_);
         uint32_t t = tail_.readStable();
         data_.write(t, v);
-        ready_.write(t, kernel().cycleCount() + delay_);
+        ready_.write(t, kernel_.cycleCount() + delay_);
         tail_.write(next(t));
-        count_.write(count_.read() + 1);
+        enqTotal_.write(enqTotal_.read() + 1);
     }
 
     /** Dequeue the oldest aged element. */
@@ -64,9 +137,9 @@ class TimedFifo : public Module
         deqM();
         require(canDeq());
         uint32_t h = head_.readStable();
-        T v = data_.readStable(h);
+        T v = dataView(h);
         head_.write(next(h));
-        count_.write(count_.read() - 1);
+        deqTotal_.write(deqTotal_.read() + 1);
         return v;
     }
 
@@ -76,19 +149,77 @@ class TimedFifo : public Module
     {
         firstM();
         require(canDeq());
-        return data_.readStable(head_.readStable());
+        return dataView(head_.readStable());
     }
 
-    Method &enqM, &deqM, &firstM;
-
   private:
+    /**
+     * True when the calling context must take the cross-domain view:
+     * the two sides landed in different domains AND a domain-bound
+     * context is executing (between cycles, and under the sequential
+     * schedulers, the start-of-cycle view is readStable()).
+     */
+    bool
+    crossNow() const
+    {
+        return cross_ && detail::activeCtx &&
+               detail::activeCtx->domainId != detail::kNoDomain;
+    }
+
+    // Cross views of the other side's state. The published/raw reads
+    // bypass noteRead(), so the caller flags the attempt with
+    // noteCrossRead(): a value that can change without a local commit
+    // must keep the rule out of the sleep machinery.
+    uint64_t
+    enqTotalView() const
+    {
+        if (crossNow()) {
+            detail::noteCrossRead();
+            return enqTotal_.readPublished();
+        }
+        return enqTotal_.readStable();
+    }
+    uint64_t
+    deqTotalView() const
+    {
+        if (crossNow()) {
+            detail::noteCrossRead();
+            return deqTotal_.readPublished();
+        }
+        return deqTotal_.readStable();
+    }
+    uint64_t
+    readyView(uint32_t i) const
+    {
+        if (crossNow()) {
+            detail::noteCrossRead();
+            return ready_.readDirect(i);
+        }
+        return ready_.readStable(i);
+    }
+    T
+    dataView(uint32_t i) const
+    {
+        if (crossNow()) {
+            detail::noteCrossRead();
+            return data_.readDirect(i);
+        }
+        return data_.readStable(i);
+    }
+
     uint32_t next(uint32_t i) const { return i + 1 == cap_ ? 0 : i + 1; }
 
+    Kernel &kernel_;
     uint32_t delay_;
     uint32_t cap_;
+    bool cross_ = false; ///< endpoints in different domains (post-elab)
     RegArray<T> data_;
     RegArray<uint64_t> ready_;
-    Reg<uint32_t> head_, tail_, count_;
+    Reg<uint32_t> head_, tail_;
+    /// monotonic totals; occupancy = difference. Each is written by
+    /// exactly one side, which is what lets the sides commit
+    /// domain-locally with no cross-domain merge.
+    Reg<uint64_t> enqTotal_, deqTotal_;
 };
 
 } // namespace cmd

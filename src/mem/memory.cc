@@ -86,7 +86,7 @@ PhysMem::readBlock(Addr a, void *dst, size_t len) const
 }
 
 HostDevice::HostDevice(uint32_t harts)
-    : exited_(harts, false), exitCode_(harts, 0), roiBegin_(harts, 0),
+    : exited_(harts), exitCode_(harts, 0), roiBegin_(harts, 0),
       roiEnd_(harts, 0)
 {
 }
@@ -96,12 +96,15 @@ HostDevice::store(uint32_t hart, Addr addr, uint64_t value, uint64_t now)
 {
     switch (static_cast<HostReg>(addr - kMmioBase)) {
       case HostReg::Exit:
-        exited_[hart] = true;
+        // Code first: a reader that sees the flag must see the code.
         exitCode_[hart] = value >> 1;
+        exited_[hart].store(true, std::memory_order_release);
         break;
-      case HostReg::Putchar:
+      case HostReg::Putchar: {
+        std::lock_guard<std::mutex> g(consoleMutex_);
         console_.push_back(static_cast<char>(value));
         break;
+      }
       case HostReg::RoiBegin:
         roiBegin_[hart] = now;
         break;
@@ -112,18 +115,33 @@ HostDevice::store(uint32_t hart, Addr addr, uint64_t value, uint64_t now)
         char buf[32];
         std::snprintf(buf, sizeof(buf), "%#llx\n",
                       (unsigned long long)value);
+        std::lock_guard<std::mutex> g(consoleMutex_);
         console_ += buf;
         break;
       }
       case HostReg::Fail:
-        failed_ = true;
-        failCode_ = value;
+        failCode_.store(value);
+        failed_.store(true, std::memory_order_release);
         break;
       default:
         cmd::warn("HostDevice: store to unknown MMIO %#llx",
                   (unsigned long long)addr);
         break;
     }
+}
+
+void
+HostDevice::reset()
+{
+    for (auto &e : exited_)
+        e.store(false);
+    std::fill(exitCode_.begin(), exitCode_.end(), 0);
+    std::fill(roiBegin_.begin(), roiBegin_.end(), 0);
+    std::fill(roiEnd_.begin(), roiEnd_.end(), 0);
+    failed_.store(false);
+    failCode_.store(0);
+    std::lock_guard<std::mutex> g(consoleMutex_);
+    console_.clear();
 }
 
 uint64_t

@@ -14,7 +14,9 @@
  */
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -78,6 +80,15 @@ class PhysMem
  * own exit status. Writes are modeled as having no side effects on
  * memory, so speculative cores must only access it non-speculatively
  * (the paper's MMIO-at-commit rule).
+ *
+ * The device is not CMD state, so under the parallel scheduler it is
+ * touched concurrently by the per-core domains. Fields a hart shares
+ * with other harts (its exit flag, the fail channel) are atomics; the
+ * console string is serialized by a mutex. Per-hart payload slots
+ * (exit codes, ROI marks) are written only by their own hart and read
+ * by the testbench between cycles, so distinct vector elements need
+ * no further protection. None of this feeds back into architectural
+ * state, so cross-hart interleaving cannot perturb determinism.
  */
 class HostDevice
 {
@@ -89,24 +100,29 @@ class HostDevice
     /** Perform an MMIO load from @p hart (status readback). */
     uint64_t load(uint32_t hart, Addr addr) const;
 
-    bool exited(uint32_t hart) const { return exited_[hart]; }
+    bool exited(uint32_t hart) const { return exited_[hart].load(); }
     bool allExited() const;
     uint64_t exitCode(uint32_t hart) const { return exitCode_[hart]; }
-    bool failed() const { return failed_; }
-    uint64_t failCode() const { return failCode_; }
+    bool failed() const { return failed_.load(); }
+    uint64_t failCode() const { return failCode_.load(); }
 
     /** ROI timestamps (value of @p now passed at the marker). */
     uint64_t roiBegin(uint32_t hart) const { return roiBegin_[hart]; }
     uint64_t roiEnd(uint32_t hart) const { return roiEnd_[hart]; }
 
+    /** Console contents (read between cycles only). */
     const std::string &console() const { return console_; }
 
+    /** Forget all exits/ROI marks/console output (benchmark replay). */
+    void reset();
+
   private:
-    std::vector<bool> exited_;
+    std::vector<std::atomic<bool>> exited_;
     std::vector<uint64_t> exitCode_;
     std::vector<uint64_t> roiBegin_, roiEnd_;
-    bool failed_ = false;
-    uint64_t failCode_ = 0;
+    std::atomic<bool> failed_{false};
+    std::atomic<uint64_t> failCode_{0};
+    std::mutex consoleMutex_;
     std::string console_;
 };
 

@@ -55,6 +55,12 @@ struct SystemConfig {
      * the lockstep cosim tests (test_scheduler) verify this.
      */
     cmd::SchedulerKind scheduler = cmd::SchedulerKind::EventDriven;
+    /**
+     * Execution threads for SchedulerKind::Parallel (including the
+     * driving thread); 0 picks min(hardware concurrency, domain
+     * count). Ignored by the sequential schedulers.
+     */
+    uint32_t threads = 0;
     CoreConfig core;
     MemHierarchyConfig mem;
 

@@ -1,5 +1,6 @@
 #include "proc/system.hh"
 
+#include <chrono>
 #include <iostream>
 
 namespace riscy {
@@ -9,11 +10,17 @@ using namespace cmd;
 System::System(const SystemConfig &cfg) : cfg_(cfg)
 {
     k_.setScheduler(cfg_.scheduler);
+    k_.setParallelThreads(cfg_.threads);
     cfg_.mem.cores = cfg_.cores;
     host_ = std::make_unique<HostDevice>(cfg_.cores);
     hier_ = std::make_unique<MemHierarchy>(k_, "mem", mem_, cfg_.mem);
     for (uint32_t i = 0; i < cfg_.cores; i++) {
         std::string cn = strfmt("hart%u", i);
+        // Same-named hint group as the hierarchy's per-core L1 scope:
+        // core + TLBs + L1s form one "hart<i>" partition domain,
+        // talking to the shared "mem" domain only through the
+        // TimedFifo cross-bar channels.
+        DomainHint hh(k_, cn);
         if (cfg_.inOrder) {
             ioCores_.push_back(std::make_unique<InOrderCore>(
                 k_, cn, i, cfg_.core, hier_->icache(i), hier_->dcache(i),
@@ -60,9 +67,18 @@ System::run(uint64_t maxCycles)
     constexpr uint64_t kWatchdog = 100000;
     uint64_t lastProgressCycle = k_.cycleCount();
     uint64_t lastInstret = 0;
+    auto t0 = std::chrono::steady_clock::now();
+    auto accountWall = [&] {
+        runWallNs_ += static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count());
+    };
     for (uint64_t c = 0; c < maxCycles; c++) {
-        if (host_->allExited() || host_->failed())
+        if (host_->allExited() || host_->failed()) {
+            accountWall();
             return host_->allExited() && !host_->failed();
+        }
         k_.cycle();
 
         uint64_t total = 0;
@@ -72,6 +88,7 @@ System::run(uint64_t maxCycles)
             lastInstret = total;
             lastProgressCycle = k_.cycleCount();
         } else if (k_.cycleCount() - lastProgressCycle > kWatchdog) {
+            accountWall();
             std::cerr << k_.progressReport();
             for (auto &core : oooCores_)
                 std::cerr << core->debugString();
@@ -79,6 +96,7 @@ System::run(uint64_t maxCycles)
                   (unsigned long long)kWatchdog);
         }
     }
+    accountWall();
     return host_->allExited() && !host_->failed();
 }
 
@@ -88,6 +106,7 @@ System::events(uint32_t i) const
     EventCounts ev;
     ev.instret = instret(i);
     ev.cycles = k_.cycleCount();
+    ev.wallNs = runWallNs_;
     // Per-core modules are named hart<i>.<module>; walk the stats by
     // poking the known modules directly.
     if (!cfg_.inOrder) {

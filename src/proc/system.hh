@@ -47,6 +47,7 @@ class System
     struct EventCounts {
         uint64_t instret = 0;
         uint64_t cycles = 0;
+        uint64_t wallNs = 0; ///< host time spent in System::run (KIPS)
         uint64_t dtlbMisses = 0;
         uint64_t l2tlbMisses = 0;
         uint64_t branchMispredicts = 0;
@@ -57,10 +58,14 @@ class System
     };
     EventCounts events(uint32_t i) const;
 
+    /** Host nanoseconds accumulated across all run() calls. */
+    uint64_t runWallNs() const { return runWallNs_; }
+
   private:
     SystemConfig cfg_;
     cmd::Kernel k_;
     PhysMem mem_;
+    uint64_t runWallNs_ = 0;
     std::unique_ptr<HostDevice> host_;
     std::unique_ptr<MemHierarchy> hier_;
     std::vector<std::unique_ptr<OooCore>> oooCores_;
