@@ -1,0 +1,358 @@
+/**
+ * @file
+ * Deterministic fault-injection campaign on the OOO core (see
+ * core/harden.hh and DESIGN.md "Hardening & fault injection").
+ *
+ * A self-checking checksum workload runs once clean (the golden run),
+ * then once per planned fault with exactly one fault injected at its
+ * planned commit boundary. Each faulted run is classified against the
+ * golden commit stream and exit code:
+ *
+ *   masked   - exited cleanly, commit stream and exit code identical
+ *   detected - KernelFault (design error), or the workload's own
+ *              checksum self-check fired the host Fail channel
+ *   sdc      - exited "cleanly" with a divergent result (silent data
+ *              corruption)
+ *   hang     - forward-progress watchdog tripped, or the cycle budget
+ *              ran out (deadlock/livelock)
+ *
+ * The campaign is bit-reproducible: plans are a pure function of
+ * (seed, design), and the whole campaign is run twice and compared.
+ * Crash dumps of the first few detected/hung runs land in
+ * fault_dumps/; results go to BENCH_faults.json.
+ *
+ * Usage: fault_campaign [nFaults=48] [seed=20260805] [out.json]
+ */
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "asmkit/assembler.hh"
+#include "bench_common.hh"
+
+using namespace riscy;
+using namespace riscy::bench;
+using namespace riscy::asmkit;
+using cmd::FaultInjector;
+using cmd::FaultOutcome;
+using cmd::FaultPlan;
+using cmd::FaultType;
+using cmd::KernelFault;
+using cmd::strfmt;
+using cmd::Watchdog;
+
+namespace {
+
+constexpr Addr kEntry = kDramBase;
+
+/**
+ * Fill-then-verify checksum kernel, engineered so every outcome class
+ * is reachable: pass 1 fills 256 dwords from an LCG while summing in a
+ * register; pass 2 re-sums from memory; a mismatch stores to the host
+ * Fail channel (detected). A second accumulator (s5) stays live in a
+ * register for the whole run and folds into the exit code without ever
+ * being cross-checked -- corruption of unchecked-but-architecturally-
+ * live state is exactly what silent data corruption is, so strikes on
+ * it surface as SDC rather than detected.
+ */
+Assembler
+checksumWorkload()
+{
+    Assembler a(kEntry);
+    constexpr int kWords = 256;
+    a.li(s0, kEntry + 0x10000); // array base
+    a.li(s1, 0);                // i
+    a.li(s2, 0);                // sum1 (fill-time)
+    a.li(s3, 0x1234);           // LCG state
+    a.li(s5, 0xabcd);           // unchecked accumulator (SDC surface)
+    a.li(t0, 0x27bb2ee6);       // LCG multiplier
+    a.li(t2, kWords);
+    auto fill = a.newLabel();
+    a.bind(fill);
+    a.mul(s3, s3, t0);
+    a.addi(s3, s3, 0x5b5);
+    a.slli(t1, s1, 3);
+    a.add(t1, t1, s0);
+    a.sd(s3, 0, t1);
+    a.add(s2, s2, s3);
+    a.slli(t4, s5, 1);
+    a.xor_(s5, t4, s1);
+    a.addi(s1, s1, 1);
+    a.blt(s1, t2, fill);
+
+    a.li(s1, 0);
+    a.li(s4, 0); // sum2 (verify-time)
+    auto verify = a.newLabel();
+    a.bind(verify);
+    a.slli(t1, s1, 3);
+    a.add(t1, t1, s0);
+    a.ld(t3, 0, t1);
+    a.add(s4, s4, t3);
+    a.addi(s1, s1, 1);
+    a.blt(s1, t2, verify);
+
+    auto fail = a.newLabel();
+    a.bne(s2, s4, fail);
+    // exit(((sum1 ^ s5) & 0xffffff) | 1): both checksums are the
+    // visible result, but only sum1 was cross-checked.
+    a.xor_(a0, s2, s5);
+    a.li(t1, 0xffffff);
+    a.and_(a0, a0, t1);
+    a.slli(a0, a0, 1);
+    a.ori(a0, a0, 1);
+    a.li(t6, kMmioBase + static_cast<Addr>(HostReg::Exit));
+    a.sd(a0, 0, t6);
+    auto spin1 = a.newLabel();
+    a.bind(spin1);
+    a.j(spin1);
+
+    a.bind(fail); // self-check mismatch: raise the Fail channel
+    a.li(t6, kMmioBase + static_cast<Addr>(HostReg::Fail));
+    a.sd(s2, 0, t6);
+    auto spin2 = a.newLabel();
+    a.bind(spin2);
+    a.j(spin2);
+    return a;
+}
+
+/** Order-sensitive FNV-1a over the architectural commit stream. */
+struct CommitDigest
+{
+    uint64_t h = 1469598103934665603ull;
+    void
+    add(const CommitRecord &r)
+    {
+        auto mix = [this](uint64_t v) {
+            for (int i = 0; i < 8; i++) {
+                h ^= uint8_t(v >> (8 * i));
+                h *= 1099511628211ull;
+            }
+        };
+        mix(r.pc);
+        mix(r.raw);
+        if (r.hasRd && !r.volatileRd)
+            mix(r.rdVal);
+    }
+};
+
+struct RunResultF
+{
+    FaultOutcome outcome = FaultOutcome::Masked;
+    uint64_t digest = 0;
+    uint64_t exitCode = 0;
+    uint64_t cycles = 0;
+    bool exited = false;
+    std::string dump; ///< crash-dump body for detected/hang runs
+};
+
+/**
+ * One run of the workload with at most one fault injected. The drive
+ * loop applies the plan at its commit boundary, releases GuardStuck
+ * windows, and polls a heartbeat watchdog.
+ */
+RunResultF
+runOne(const Assembler &prog, const FaultPlan *plan, uint64_t budget,
+       uint64_t stallCycles)
+{
+    SystemConfig cfg = SystemConfig::riscyooB();
+    cfg.cores = 1;
+    cfg.scheduler = cmd::SchedulerKind::EventDriven;
+    System sys(cfg);
+    const_cast<Assembler &>(prog).load(sys.mem(), kEntry);
+    sys.elaborate();
+
+    RunResultF r;
+    CommitDigest dig;
+    sys.setOnCommit(0, [&](const CommitRecord &rec) { dig.add(rec); });
+    sys.start(kEntry, 0, {kEntry + 0x40000});
+
+    cmd::Kernel &k = sys.kernel();
+    FaultInjector inj(k);
+    Watchdog wd(k, stallCycles);
+    wd.setHeartbeat([&] {
+        return sys.instret(0) + (sys.host().exited(0) ? 1 : 0);
+    });
+
+    uint64_t releaseAt = 0;
+    uint64_t sincePoll = 0;
+    try {
+        while (k.cycleCount() < budget) {
+            if (sys.host().allExited() || sys.host().failed())
+                break;
+            if (plan && k.cycleCount() == plan->cycle) {
+                inj.apply(*plan);
+                if (plan->type == FaultType::GuardStuck)
+                    releaseAt = plan->cycle + plan->param;
+            }
+            if (releaseAt && k.cycleCount() == releaseAt) {
+                inj.release(*plan);
+                releaseAt = 0;
+            }
+            k.cycle();
+            if (++sincePoll >= 64) {
+                sincePoll = 0;
+                wd.observe();
+            }
+        }
+    } catch (const KernelFault &f) {
+        r.outcome = f.kind() == cmd::FaultKind::Watchdog
+                        ? FaultOutcome::Hang
+                        : FaultOutcome::Detected;
+        r.digest = dig.h;
+        r.cycles = k.cycleCount();
+        r.dump = f.describe();
+        return r;
+    }
+
+    r.digest = dig.h;
+    r.cycles = k.cycleCount();
+    if (sys.host().failed()) {
+        r.outcome = FaultOutcome::Detected;
+        r.dump = strfmt("workload self-check failed (code %#llx)\n",
+                        (unsigned long long)sys.host().failCode());
+        return r;
+    }
+    if (!sys.host().allExited()) {
+        r.outcome = FaultOutcome::Hang;
+        r.dump = "cycle budget exhausted without exit\n" +
+                 k.diagnosticReport();
+        return r;
+    }
+    r.exited = true;
+    r.exitCode = sys.host().exitCode(0);
+    return r;
+}
+
+FaultOutcome
+classify(const RunResultF &run, const RunResultF &golden)
+{
+    if (!run.exited)
+        return run.outcome; // Detected or Hang, already decided
+    if (run.exitCode == golden.exitCode && run.digest == golden.digest)
+        return FaultOutcome::Masked;
+    return FaultOutcome::SDC;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    uint32_t nFaults = argc > 1 ? uint32_t(std::atoi(argv[1])) : 48;
+    uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 0)
+                             : 20260805ull;
+    std::string outPath = argc > 3 ? argv[3] : "";
+
+    Assembler prog = checksumWorkload();
+
+    // Golden reference: one clean run, generous budget.
+    RunResultF golden = runOne(prog, nullptr, 2000000, 20000);
+    if (!golden.exited) {
+        std::fprintf(stderr, "golden run did not exit cleanly\n");
+        return 1;
+    }
+    std::printf("golden: %llu cycles, exit %#llx, commit digest %#llx\n",
+                (unsigned long long)golden.cycles,
+                (unsigned long long)golden.exitCode,
+                (unsigned long long)golden.digest);
+
+    // Plans target cycles across ~90% of the golden run; the budget
+    // and the watchdog window scale with the clean runtime.
+    const uint64_t maxCycle = golden.cycles * 9 / 10;
+    const uint64_t budget = golden.cycles * 4 + 20000;
+    const uint64_t stall = golden.cycles / 2 + 2000;
+
+    const uint32_t nRfSlice = std::max(8u, nFaults / 2);
+    auto campaign = [&](std::vector<FaultPlan> &plansOut) {
+        // A throwaway elaborated instance supplies the state/channel/
+        // rule tables the planner draws from (identical across
+        // instances of one design).
+        SystemConfig cfg = SystemConfig::riscyooB();
+        cfg.cores = 1;
+        System probe(cfg);
+        probe.elaborate();
+        FaultInjector planner(probe.kernel());
+        plansOut = planner.planCampaign(seed, nFaults, maxCycle);
+        // Focused register-file AVF slice: flips into the physical
+        // register file, where silent data corruptions concentrate
+        // (most other strikes are masked, detected, or hang).
+        std::vector<FaultPlan> rf = planner.planCampaign(
+            seed ^ 0x9e3779b97f4a7c15ull, nRfSlice, maxCycle,
+            "hart0.prf");
+        plansOut.insert(plansOut.end(), rf.begin(), rf.end());
+
+        std::vector<RunResultF> runs;
+        for (uint32_t i = 0; i < plansOut.size(); i++) {
+            RunResultF r = runOne(prog, &plansOut[i], budget, stall);
+            r.outcome = classify(r, golden);
+            runs.push_back(std::move(r));
+        }
+        return runs;
+    };
+
+    std::vector<FaultPlan> plans, plans2;
+    std::vector<RunResultF> runs = campaign(plans);
+    std::vector<RunResultF> rerun = campaign(plans2);
+
+    // Bit-reproducibility: the same seed must replay the same plans,
+    // outcomes, and commit digests.
+    bool reproducible = runs.size() == rerun.size();
+    for (size_t i = 0; reproducible && i < runs.size(); i++) {
+        reproducible = plans[i].describe() == plans2[i].describe() &&
+                       runs[i].outcome == rerun[i].outcome &&
+                       runs[i].digest == rerun[i].digest;
+    }
+
+    uint32_t counts[4] = {0, 0, 0, 0};
+    std::filesystem::create_directories("fault_dumps");
+    uint32_t dumpsWritten = 0;
+    std::vector<JsonObject> rows;
+    std::printf("\n%-4s %-44s %-9s %s\n", "#", "fault", "outcome",
+                "cycles");
+    for (size_t i = 0; i < runs.size(); i++) {
+        const RunResultF &r = runs[i];
+        counts[uint32_t(r.outcome)]++;
+        std::printf("%-4zu %-44s %-9s %llu\n", i,
+                    plans[i].describe().c_str(), toString(r.outcome),
+                    (unsigned long long)r.cycles);
+        if (!r.dump.empty() && dumpsWritten < 16) {
+            std::ofstream d(strfmt("fault_dumps/fault_%02zu_%s.txt", i,
+                                   toString(r.outcome)));
+            d << plans[i].describe() << "\n\n" << r.dump;
+            dumpsWritten++;
+        }
+        JsonObject row;
+        row.put("index", uint64_t(i));
+        row.put("fault", plans[i].describe());
+        row.put("type", toString(plans[i].type));
+        row.put("inject_cycle", plans[i].cycle);
+        row.put("outcome", toString(r.outcome));
+        row.put("cycles", r.cycles);
+        row.putHex("commit_digest", r.digest);
+        rows.push_back(std::move(row));
+    }
+
+    std::printf("\ncampaign: %zu faults (%u general + %u regfile) -> "
+                "%u masked, %u detected, %u sdc, %u hang; "
+                "reproducible=%s\n",
+                runs.size(), nFaults, nRfSlice, counts[0], counts[1],
+                counts[2], counts[3], reproducible ? "yes" : "NO");
+
+    JsonObject config;
+    config.put("workload", "checksum-selfcheck");
+    config.put("system", "RiscyOO-B");
+    config.put("seed", seed);
+    config.put("faults_general", uint64_t(nFaults));
+    config.put("faults_regfile_slice", uint64_t(nRfSlice));
+    config.put("golden_cycles", golden.cycles);
+    config.putHex("golden_digest", golden.digest);
+    config.put("budget_cycles", budget);
+    config.put("masked", uint64_t(counts[0]));
+    config.put("detected", uint64_t(counts[1]));
+    config.put("sdc", uint64_t(counts[2]));
+    config.put("hang", uint64_t(counts[3]));
+    config.put("reproducible", reproducible);
+    writeBenchJson("faults", config, rows, outPath);
+
+    return reproducible ? 0 : 1;
+}

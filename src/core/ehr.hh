@@ -40,8 +40,8 @@ class Ehr : public StateBase
           staged_(ports), valid_(ports, false)
     {
         if (ports == 0 || ports > 16)
-            panic("%s: unreasonable EHR port count %u", this->name().c_str(),
-                  ports);
+            kfault(FaultKind::DesignError, this->name(),
+                   "unreasonable EHR port count %u", ports);
     }
 
     uint32_t ports() const { return static_cast<uint32_t>(staged_.size()); }
@@ -68,7 +68,9 @@ class Ehr : public StateBase
     {
         checkPort(p);
         if (valid_[p])
-            panic("%s: double write on EHR port %u", name().c_str(), p);
+            kfault(FaultKind::DesignError, name(),
+                   "double write on EHR port %u", p);
+        // Touch before staging (see Reg::write).
         if (!touched())
             kernel_.noteStateTouched(this);
         staged_[p] = v;
@@ -125,7 +127,8 @@ class Ehr : public StateBase
     checkPort(uint32_t p) const
     {
         if (p >= staged_.size())
-            panic("%s: EHR port %u out of range", name().c_str(), p);
+            kfault(FaultKind::DesignError, name(),
+                   "EHR port %u out of range", p);
     }
 
     T cur_;

@@ -55,7 +55,8 @@ class Fifo : public Module
           count_(kernel, name + ".count", 0)
     {
         if (capacity == 0)
-            panic("%s: zero-capacity FIFO", this->name().c_str());
+            kfault(FaultKind::DesignError, this->name(),
+                   "zero-capacity FIFO");
         if (kind == FifoKind::Cf && capacity < 2)
             warn("%s: CF FIFO of capacity 1 can never enq and deq "
                  "in the same cycle", this->name().c_str());

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdarg>
+#include <cstdio>
 #include <numeric>
 #include <ostream>
 #include <set>
@@ -48,6 +50,102 @@ toString(Conflict c)
         return "CF";
     }
     return "?";
+}
+
+// -------------------------------------------------------------- KernelFault
+
+const char *
+toString(FaultKind k)
+{
+    switch (k) {
+      case FaultKind::DesignError:
+        return "design-error";
+      case FaultKind::CrossDomain:
+        return "cross-domain";
+      case FaultKind::ApiMisuse:
+        return "api-misuse";
+      case FaultKind::Watchdog:
+        return "watchdog";
+      case FaultKind::Checkpoint:
+        return "checkpoint";
+    }
+    return "?";
+}
+
+std::string
+KernelFault::headline(FaultKind kind, const std::string &msg,
+                      const FaultContext &ctx)
+{
+    std::ostringstream os;
+    os << "KernelFault[" << toString(kind) << "]";
+    if (!ctx.module.empty())
+        os << " " << ctx.module;
+    os << ": " << msg;
+    if (!ctx.rule.empty() || ctx.cycle) {
+        os << " (";
+        if (!ctx.rule.empty())
+            os << "rule " << ctx.rule << ", ";
+        os << "cycle " << ctx.cycle;
+        if (ctx.domain != ~0u)
+            os << ", domain " << ctx.domain;
+        os << ")";
+    }
+    return os.str();
+}
+
+KernelFault::KernelFault(FaultKind kind, std::string message,
+                         FaultContext ctx)
+    : std::runtime_error(headline(kind, message, ctx)), kind_(kind),
+      message_(std::move(message)), ctx_(std::move(ctx))
+{
+}
+
+std::string
+KernelFault::describe() const
+{
+    std::string out = what();
+    if (!ctx_.trace.empty()) {
+        out += '\n';
+        out += ctx_.trace;
+        if (out.back() != '\n')
+            out += '\n';
+    }
+    return out;
+}
+
+void
+kfault(FaultKind kind, const std::string &module, const char *fmt, ...)
+{
+    char buf[1024];
+    va_list ap;
+    va_start(ap, fmt);
+    vsnprintf(buf, sizeof(buf), fmt, ap);
+    va_end(ap);
+
+    FaultContext ctx;
+    ctx.module = module;
+    if (detail::ExecContext *c = detail::activeCtx) {
+        if (c->currentRule)
+            ctx.rule = c->currentRule->name();
+        ctx.domain = c->domainId;
+        if (c->kernel)
+            ctx.cycle = c->kernel->cycleCount();
+        // Trace from the local fire ring only: it is owned by the
+        // raising thread, so capture is safe even when other domains
+        // are mid-cycle. Drivers that catch the fault between cycles
+        // append Kernel::diagnosticReport() for the global picture.
+        uint64_t n = std::min<uint64_t>(c->firePos, detail::kFireRingSize);
+        if (n) {
+            std::ostringstream os;
+            os << "last " << n << " fires of this context (oldest first):\n";
+            for (uint64_t i = c->firePos - n; i < c->firePos; i++) {
+                const auto &e = c->fireRing[i % detail::kFireRingSize];
+                os << "  @" << e.second << " " << e.first->name() << '\n';
+            }
+            ctx.trace = os.str();
+        }
+    }
+    throw KernelFault(kind, buf, std::move(ctx));
 }
 
 // --------------------------------------------------------------- DomainHint
@@ -116,10 +214,11 @@ Method &
 Module::method(const std::string &name)
 {
     if (kernel_.elaborated())
-        panic("%s: method '%s' declared after elaboration", name_.c_str(),
-              name.c_str());
+        kfault(FaultKind::ApiMisuse, name_,
+               "method '%s' declared after elaboration", name.c_str());
     if (methods_.size() >= 64)
-        panic("%s: more than 64 methods in one module", name_.c_str());
+        kfault(FaultKind::DesignError, name_,
+               "more than 64 methods in one module");
     methods_.emplace_back(Method(*this, name,
                                  static_cast<uint32_t>(methods_.size())));
     return methods_.back();
@@ -129,9 +228,9 @@ void
 Module::setCm(const Method &a, const Method &b, Conflict rel)
 {
     if (kernel_.elaborated())
-        panic("%s: CM changed after elaboration", name_.c_str());
+        kfault(FaultKind::ApiMisuse, name_, "CM changed after elaboration");
     if (&a.owner() != this || &b.owner() != this)
-        panic("%s: CM entry for foreign method", name_.c_str());
+        kfault(FaultKind::DesignError, name_, "CM entry for foreign method");
     cmOverride_[{a.localIndex(), b.localIndex()}] = rel;
     cmOverride_[{b.localIndex(), a.localIndex()}] = invert(rel);
 }
@@ -177,7 +276,7 @@ Rule &
 Rule::uses(std::initializer_list<const Method *> ms)
 {
     if (kernel_.elaborated())
-        panic("rule %s: uses() after elaboration", name_.c_str());
+        kfault(FaultKind::ApiMisuse, name_, "uses() after elaboration");
     uses_.insert(uses_.end(), ms.begin(), ms.end());
     return *this;
 }
@@ -186,7 +285,7 @@ Rule &
 Rule::uses(const std::vector<const Method *> &ms)
 {
     if (kernel_.elaborated())
-        panic("rule %s: uses() after elaboration", name_.c_str());
+        kfault(FaultKind::ApiMisuse, name_, "uses() after elaboration");
     uses_.insert(uses_.end(), ms.begin(), ms.end());
     return *this;
 }
@@ -215,7 +314,10 @@ Rule::setEnabled(bool e)
 
 // ------------------------------------------------------------------- Kernel
 
-Kernel::Kernel() = default;
+Kernel::Kernel()
+{
+    mainCtx_.kernel = this;
+}
 
 Kernel::~Kernel()
 {
@@ -226,7 +328,8 @@ void
 Kernel::pushHint(const std::string &name)
 {
     if (elaborated_)
-        panic("DomainHint(%s) after elaboration", name.c_str());
+        kfault(FaultKind::ApiMisuse, name,
+               "DomainHint opened after elaboration");
     auto [it, fresh] =
         hintIds_.try_emplace(name, static_cast<uint32_t>(hintNames_.size()));
     if (fresh)
@@ -237,6 +340,8 @@ Kernel::pushHint(const std::string &name)
 void
 Kernel::popHint()
 {
+    // Raw panic, not KernelFault: called from ~DomainHint, and a throw
+    // out of a destructor would terminate anyway.
     if (hintStack_.size() <= 1)
         panic("DomainHint scope underflow");
     hintStack_.pop_back();
@@ -246,7 +351,8 @@ void
 Kernel::registerState(StateBase *s)
 {
     if (elaborated_)
-        panic("state %s created after elaboration", s->name().c_str());
+        kfault(FaultKind::ApiMisuse, s->name(),
+               "state created after elaboration");
     s->stateIdx_ = static_cast<uint32_t>(states_.size());
     s->hintGroup_ = hintStack_.back();
     states_.push_back(s);
@@ -269,7 +375,8 @@ void
 Kernel::registerModule(Module *m)
 {
     if (elaborated_)
-        panic("module %s created after elaboration", m->name().c_str());
+        kfault(FaultKind::ApiMisuse, m->name(),
+               "module created after elaboration");
     m->hintGroup_ = hintStack_.back();
     modules_.push_back(m);
 }
@@ -278,8 +385,8 @@ void
 Kernel::registerBoundary(Module &a, Module &b, bool *crossFlag)
 {
     if (elaborated_)
-        panic("boundary %s/%s registered after elaboration",
-              a.name().c_str(), b.name().c_str());
+        kfault(FaultKind::ApiMisuse, a.name() + "/" + b.name(),
+               "boundary registered after elaboration");
     a.boundarySide_ = true;
     b.boundarySide_ = true;
     boundaries_.push_back({&a, &b, crossFlag});
@@ -295,7 +402,7 @@ Rule &
 Kernel::rule(const std::string &name, std::function<void()> body)
 {
     if (elaborated_)
-        panic("rule %s created after elaboration", name.c_str());
+        kfault(FaultKind::ApiMisuse, name, "rule created after elaboration");
     rules_.emplace_back(Rule(*this, name, std::move(body),
                              static_cast<uint32_t>(rules_.size())));
     rulePtrs_.push_back(&rules_.back());
@@ -308,8 +415,8 @@ Kernel::onMethodCall(const Method &m)
 {
     detail::ExecContext *c = detail::activeCtx;
     if (!c || !c->inRule)
-        panic("method %s called outside any rule or atomic action",
-              m.fullName().c_str());
+        kfault(FaultKind::ApiMisuse, m.fullName(),
+               "method called outside any rule or atomic action");
 
     Module &mod = m.owner_;
     // Cross-domain method calls are checked before any module state is
@@ -317,10 +424,10 @@ Kernel::onMethodCall(const Method &m)
     // module means the partitioner was lied to (coupling the hints hid
     // from it), and continuing would race.
     if (c->domainId != detail::kNoDomain && mod.domain_ != c->domainId) {
-        panic("rule %s (domain %u) calls %s of domain %u: cross-domain "
-              "coupling not visible to the partitioner",
-              c->currentRule ? c->currentRule->name().c_str() : "<atomic>",
-              c->domainId, m.fullName().c_str(), mod.domain_);
+        kfault(FaultKind::CrossDomain, m.fullName(),
+               "called from domain %u but owned by domain %u: cross-domain "
+               "coupling not visible to the partitioner",
+               c->domainId, mod.domain_);
     }
     mod.syncMasks();
     uint64_t bit = 1ull << m.localIdx_;
@@ -330,11 +437,10 @@ Kernel::onMethodCall(const Method &m)
     if (mod.ruleMask_ & m.intraConflictMask_) {
         for (uint32_t i = 0; i < mod.methods_.size(); i++) {
             if ((mod.ruleMask_ & m.intraConflictMask_ & (1ull << i))) {
-                panic("rule %s calls conflicting methods %s and %s",
-                      c->currentRule ? c->currentRule->name().c_str()
-                                     : "<atomic>",
-                      mod.methods_[i].fullName().c_str(),
-                      m.fullName().c_str());
+                kfault(FaultKind::DesignError, mod.name(),
+                       "one rule calls conflicting methods %s and %s",
+                       mod.methods_[i].fullName().c_str(),
+                       m.fullName().c_str());
             }
         }
     }
@@ -348,8 +454,8 @@ Kernel::onMethodCall(const Method &m)
     // call methods in its declared closure.
     if (c->currentRule && !m.usedByRule_.empty() &&
         !m.usedByRule_[c->currentRule->id_]) {
-        panic("rule %s calls undeclared method %s (add it to uses())",
-              c->currentRule->name().c_str(), m.fullName().c_str());
+        kfault(FaultKind::DesignError, m.fullName(),
+               "called by a rule that did not declare it (add it to uses())");
     }
 
     if (!mod.inRuleList_) {
@@ -370,10 +476,10 @@ Kernel::noteStateTouched(StateBase *s)
         return;
     }
     if (c->domainId != detail::kNoDomain && s->domain_ != c->domainId) {
-        panic("rule %s (domain %u) writes %s of domain %u: cross-domain "
-              "coupling not visible to the partitioner",
-              c->currentRule ? c->currentRule->name().c_str() : "<atomic>",
-              c->domainId, s->name().c_str(), s->domain_);
+        kfault(FaultKind::CrossDomain, s->name(),
+               "written from domain %u but owned by domain %u: cross-domain "
+               "coupling not visible to the partitioner",
+               c->domainId, s->domain_);
     }
     c->touched.push_back(s);
 }
@@ -385,10 +491,10 @@ Kernel::noteStateRead(StateBase *s, detail::ExecContext &c)
     // written (not even the dedup stamp), since the state genuinely
     // belongs to a concurrently executing domain.
     if (c.domainId != detail::kNoDomain && s->domain_ != c.domainId) {
-        panic("rule %s (domain %u) reads %s of domain %u: cross-domain "
-              "reads must go through a TimedFifo boundary",
-              c.currentRule ? c.currentRule->name().c_str() : "<atomic>",
-              c.domainId, s->name().c_str(), s->domain_);
+        kfault(FaultKind::CrossDomain, s->name(),
+               "read from domain %u but owned by domain %u: cross-domain "
+               "reads must go through a TimedFifo boundary",
+               c.domainId, s->domain_);
     }
     if (c.readMode != detail::ReadMode::Capture)
         return;
@@ -486,6 +592,15 @@ Kernel::tryFire(detail::ExecContext &c, Rule &r)
     } catch (const CmBlock &) {
         r.last_ = Rule::Outcome::CmBlocked;
         r.cmAborts_.inc();
+    } catch (...) {
+        // A KernelFault (or foreign exception) escaping the body: roll
+        // the transaction back so the design is left at its last
+        // committed state, then let the driver classify the fault.
+        detail::activeKernel = prevActive;
+        c.inRule = false;
+        c.currentRule = nullptr;
+        abortRuleEffects(c);
+        throw;
     }
     detail::activeKernel = prevActive;
     c.inRule = false;
@@ -495,6 +610,7 @@ Kernel::tryFire(detail::ExecContext &c, Rule &r)
         commitRuleEffects(c);
         r.last_ = Rule::Outcome::Fired;
         r.fired_.inc();
+        c.noteFired(&r, cycle_);
     } else {
         abortRuleEffects(c);
     }
@@ -505,9 +621,11 @@ bool
 Kernel::runAtomically(const std::function<void()> &fn)
 {
     if (inRule())
-        panic("runAtomically() nested inside a rule");
+        kfault(FaultKind::ApiMisuse, "kernel",
+               "runAtomically() nested inside a rule");
     if (!elaborated_)
-        panic("runAtomically() before elaboration");
+        kfault(FaultKind::ApiMisuse, "kernel",
+               "runAtomically() before elaboration");
     detail::CtxScope scope(&mainCtx_);
     mainCtx_.inRule = true;
     Kernel *prevActive = detail::activeKernel;
@@ -523,6 +641,11 @@ Kernel::runAtomically(const std::function<void()> &fn)
     } catch (const GuardFail &) {
         mainCtx_.guardThrows++;
     } catch (const CmBlock &) {
+    } catch (...) {
+        detail::activeKernel = prevActive;
+        mainCtx_.inRule = false;
+        abortRuleEffects(mainCtx_);
+        throw;
     }
     detail::activeKernel = prevActive;
     mainCtx_.inRule = false;
@@ -572,7 +695,7 @@ uint32_t
 Kernel::cycle()
 {
     if (!elaborated_)
-        panic("cycle() before elaboration");
+        kfault(FaultKind::ApiMisuse, "kernel", "cycle() before elaboration");
     cycle_++;
     if (parallelActive_)
         return cycleParallel();
@@ -604,7 +727,8 @@ void
 Kernel::setParallelThreads(uint32_t n)
 {
     if (inRule())
-        panic("setParallelThreads() inside a rule");
+        kfault(FaultKind::ApiMisuse, "kernel",
+               "setParallelThreads() inside a rule");
     threadsWanted_ = n;
     stopWorkers(); // the pool re-spawns at the right size next cycle
 }
@@ -617,8 +741,15 @@ Kernel::ensurePool()
         return;
     stopWorkers();
     workers_.reserve(workersWanted);
-    for (uint32_t i = 0; i < workersWanted; i++)
-        workers_.emplace_back([this] { workerMain(); });
+    for (uint32_t i = 0; i < workersWanted; i++) {
+        // Capture the generation on THIS thread, before the caller can
+        // bump it for the first cycle. A worker that loaded its own
+        // starting generation could observe the post-bump value and
+        // park waiting for a cycle that is already in flight --
+        // wedging the barrier on a cycle no worker will run.
+        uint64_t gen = startGen_.load(std::memory_order_acquire);
+        workers_.emplace_back([this, gen] { workerMain(gen); });
+    }
 }
 
 void
@@ -649,7 +780,17 @@ Kernel::runDomains()
         uint32_t d = claimCursor_.fetch_add(1, std::memory_order_acq_rel);
         if (d >= domainCount_)
             return;
-        runDomainCycle(ctxs_[d]);
+        try {
+            runDomainCycle(ctxs_[d]);
+        } catch (...) {
+            // Park the fault (tryFire already rolled the rule back);
+            // the main thread rethrows the lowest-domain one after the
+            // barrier, so the surfaced fault is deterministic no
+            // matter how threads interleaved.
+            domainFaults_[d] = std::current_exception();
+        }
+        if (domainDone_)
+            domainDone_[d].store(true, std::memory_order_release);
         doneCount_.fetch_add(1, std::memory_order_release);
     }
 }
@@ -664,9 +805,8 @@ Kernel::runDomainCycle(detail::ExecContext &c)
 }
 
 void
-Kernel::workerMain()
+Kernel::workerMain(uint64_t seen)
 {
-    uint64_t seen = startGen_.load(std::memory_order_acquire);
     while (true) {
         uint64_t gen = seen;
         // Spin briefly — in steady state the next cycle begins within
@@ -703,6 +843,8 @@ Kernel::cycleParallel()
     for (StateBase *s : mirrors_)
         s->publishMirror();
     parallelCycles_++;
+    for (uint32_t d = 0; d < domainCount_; d++)
+        domainDone_[d].store(false, std::memory_order_relaxed);
     doneCount_.store(0, std::memory_order_relaxed);
     claimCursor_.store(0, std::memory_order_release);
     {
@@ -710,16 +852,55 @@ Kernel::cycleParallel()
         startGen_.fetch_add(1, std::memory_order_release);
     }
     poolCv_.notify_all();
-    runDomains();
+    if (mainParticipates_)
+        runDomains();
     auto t0 = std::chrono::steady_clock::now();
     uint32_t spins = 0;
     while (doneCount_.load(std::memory_order_acquire) < domainCount_) {
-        if (++spins < 1024)
+        if (++spins < 1024) {
             detail::cpuRelax();
-        else
-            std::this_thread::yield();
+            continue;
+        }
+        std::this_thread::yield();
+        if (barrierTimeoutNs_ && nsSince(t0) > barrierTimeoutNs_) {
+            // Stuck-worker detection: a domain failed to finish its
+            // slice of the cycle within the budget. Name the
+            // unfinished domains and fault instead of spinning
+            // forever. The pool is left wedged on the stuck rule —
+            // recovery means falling back to a sequential scheduler
+            // (which HardenedRunner's degradation ladder does).
+            barrierWaitNs_ += nsSince(t0);
+            std::string stuck;
+            for (uint32_t d = 0; d < domainCount_; d++) {
+                if (!domainDone_[d].load(std::memory_order_acquire)) {
+                    if (!stuck.empty())
+                        stuck += ", ";
+                    stuck += domainName(d);
+                }
+            }
+            FaultContext fc;
+            fc.module = "kernel";
+            fc.cycle = cycle_;
+            throw KernelFault(
+                FaultKind::Watchdog,
+                "parallel cycle barrier timeout after " +
+                    std::to_string(barrierTimeoutNs_) +
+                    " ns; unfinished domains: " + stuck,
+                std::move(fc));
+        }
     }
     barrierWaitNs_ += nsSince(t0);
+    // Surface a worker-side fault, lowest domain first (deterministic
+    // across interleavings). Barrier already reached: every other
+    // domain completed its cycle normally.
+    for (uint32_t d = 0; d < domainCount_; d++) {
+        if (domainFaults_[d]) {
+            std::exception_ptr e = domainFaults_[d];
+            for (uint32_t i = 0; i < domainCount_; i++)
+                domainFaults_[i] = nullptr;
+            std::rethrow_exception(e);
+        }
+    }
     uint32_t fired = 0;
     for (detail::ExecContext &c : ctxs_)
         fired += c.lastFired;
@@ -832,7 +1013,8 @@ void
 Kernel::setScheduler(SchedulerKind k)
 {
     if (inRule())
-        panic("setScheduler() inside a rule");
+        kfault(FaultKind::ApiMisuse, "kernel",
+               "setScheduler() inside a rule");
     sched_ = k;
     if (elaborated_)
         bindContexts();
@@ -1012,19 +1194,48 @@ Kernel::computeDomains()
     for (uint32_t d = 0; d < domainCount_; d++) {
         ctxs_.emplace_back();
         ctxs_.back().domainId = d;
+        ctxs_.back().kernel = this;
     }
     for (Rule *r : schedule_)
         ctxs_[r->domain_].sched.push_back(r);
     mainCtx_.sched = schedule_;
+
+    // Name each domain after the hint group of its earliest-scheduled
+    // rule (watchdog dumps and barrier-timeout faults name domains).
+    domainNames_.assign(domainCount_, "");
+    for (Rule *r : schedule_) {
+        std::string &nm = domainNames_[r->domain_];
+        if (nm.empty()) {
+            const std::string &hint = hintNames_[r->hintGroup_];
+            nm = hint.empty() ? "d" + std::to_string(r->domain_) : hint;
+        }
+    }
+    for (uint32_t d = 0; d < domainCount_; d++) {
+        if (domainNames_[d].empty())
+            domainNames_[d] = "d" + std::to_string(d);
+    }
+
+    domainFaults_.assign(domainCount_, nullptr);
+    domainDone_ = std::make_unique<std::atomic<bool>[]>(domainCount_);
+    for (uint32_t d = 0; d < domainCount_; d++)
+        domainDone_[d].store(false, std::memory_order_relaxed);
+}
+
+const std::string &
+Kernel::domainName(uint32_t d) const
+{
+    static const std::string unknown = "?";
+    return d < domainNames_.size() ? domainNames_[d] : unknown;
 }
 
 void
 Kernel::elaborate()
 {
     if (elaborated_)
-        panic("elaborate() called twice");
+        kfault(FaultKind::ApiMisuse, "kernel", "elaborate() called twice");
     if (hintStack_.size() != 1)
-        panic("elaborate() inside an open DomainHint scope");
+        kfault(FaultKind::ApiMisuse, "kernel",
+               "elaborate() inside an open DomainHint scope");
 
     // Materialize per-module method masks.
     for (Module *mod : modules_) {
@@ -1144,15 +1355,124 @@ Conflict
 Kernel::ruleRelation(const Rule &a, const Rule &b) const
 {
     if (!elaborated_)
-        panic("ruleRelation() before elaboration");
+        kfault(FaultKind::ApiMisuse, "kernel",
+               "ruleRelation() before elaboration");
     return ruleCm_[size_t(a.id_) * rules_.size() + b.id_];
+}
+
+// ----------------------------------------------------------- hardening hooks
+
+void
+Kernel::pokeState(StateBase *s)
+{
+    if (inRule())
+        kfault(FaultKind::ApiMisuse, s->name(), "pokeState() inside a rule");
+    // The element was mutated outside any rule (fault injection): the
+    // sensitivity assumptions of rules sleeping on it no longer hold,
+    // and any same-cycle stable-read epoch is stale.
+    if (!s->waiters_.empty())
+        wakeWaiters(s);
+    s->lastCommitCycle_ = ~0ull;
+}
+
+void
+Kernel::registerChannel(ChannelPort *p)
+{
+    channels_.push_back(p);
+}
+
+void
+Kernel::unregisterChannel(ChannelPort *p)
+{
+    auto it = std::find(channels_.begin(), channels_.end(), p);
+    if (it != channels_.end()) {
+        *it = channels_.back();
+        channels_.pop_back();
+    }
+}
+
+std::string
+Kernel::diagnosticReport() const
+{
+    std::ostringstream os;
+    os << "kernel diagnostics @ cycle " << cycle_ << " (scheduler ";
+    switch (sched_) {
+      case SchedulerKind::Exhaustive:
+        os << "exhaustive";
+        break;
+      case SchedulerKind::EventDriven:
+        os << "event-driven";
+        break;
+      case SchedulerKind::Parallel:
+        os << "parallel";
+        break;
+    }
+    os << ", " << domainCount_ << " domain(s))\n";
+
+    auto dumpCtx = [&](const detail::ExecContext &c, const std::string &who) {
+        uint32_t awake = 0;
+        for (uint64_t w : c.awakeBits)
+            awake += uint32_t(__builtin_popcountll(w));
+        os << who << ": rules=" << c.sched.size() << " awake=" << awake
+           << " attempts=" << c.attempts << " fired=" << c.fired << '\n';
+        // The awake set is what the scheduler still considers runnable;
+        // in a livelock it is exactly the spinning rules.
+        uint32_t listed = 0;
+        for (uint32_t p = 0; p < c.sched.size() && listed < 8; p++) {
+            if (c.awakeBits[p >> 6] & (1ull << (p & 63))) {
+                os << "  awake: " << c.sched[p]->name() << " (last="
+                   << c.sched[p]->firedCount() << " fires)\n";
+                listed++;
+            }
+        }
+        if (awake > listed)
+            os << "  ... " << (awake - listed) << " more awake\n";
+    };
+    if (parallelActive_) {
+        for (const detail::ExecContext &c : ctxs_) {
+            dumpCtx(c, "domain " + std::to_string(c.domainId) + " (" +
+                           domainName(c.domainId) + ")");
+        }
+    } else {
+        dumpCtx(mainCtx_, "main");
+    }
+
+    // Merged tail of the recently-fired rings, ordered by cycle.
+    std::vector<std::pair<uint64_t, const Rule *>> fires;
+    auto gather = [&](const detail::ExecContext &c) {
+        uint64_t n = std::min<uint64_t>(c.firePos, detail::kFireRingSize);
+        for (uint64_t i = c.firePos - n; i < c.firePos; i++) {
+            const auto &e = c.fireRing[i % detail::kFireRingSize];
+            fires.emplace_back(e.second, e.first);
+        }
+    };
+    gather(mainCtx_);
+    for (const detail::ExecContext &c : ctxs_)
+        gather(c);
+    std::stable_sort(fires.begin(), fires.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.first < b.first;
+                     });
+    if (fires.size() > detail::kFireRingSize)
+        fires.erase(fires.begin(), fires.end() - detail::kFireRingSize);
+    if (!fires.empty()) {
+        os << "last " << fires.size() << " rule fires (oldest first):\n";
+        for (const auto &[cyc, r] : fires)
+            os << "  @" << cyc << " " << r->name() << '\n';
+    }
+
+    for (const ChannelPort *p : channels_) {
+        os << "channel " << p->channelName() << ": occupancy "
+           << p->occupancy() << "/" << p->channelCapacity() << '\n';
+    }
+    return os.str();
 }
 
 std::vector<uint8_t>
 Kernel::snapshot() const
 {
     if (inRule())
-        panic("snapshot() inside a rule");
+        kfault(FaultKind::ApiMisuse, "kernel", "snapshot() inside a rule");
     std::vector<uint8_t> out;
     out.resize(sizeof(cycle_));
     std::copy_n(reinterpret_cast<const uint8_t *>(&cycle_), sizeof(cycle_),
@@ -1166,14 +1486,19 @@ void
 Kernel::restore(const std::vector<uint8_t> &snap)
 {
     if (inRule())
-        panic("restore() inside a rule");
+        kfault(FaultKind::ApiMisuse, "kernel", "restore() inside a rule");
+    if (snap.size() < sizeof(cycle_))
+        kfault(FaultKind::Checkpoint, "kernel",
+               "snapshot truncated (%zu bytes)", snap.size());
     const uint8_t *p = snap.data();
     std::copy_n(p, sizeof(cycle_), reinterpret_cast<uint8_t *>(&cycle_));
     p += sizeof(cycle_);
     for (StateBase *s : states_)
         s->restore(p);
     if (p != snap.data() + snap.size())
-        panic("snapshot size mismatch on restore");
+        kfault(FaultKind::Checkpoint, "kernel",
+               "snapshot size mismatch on restore (%zu bytes, consumed %zu)",
+               snap.size(), size_t(p - snap.data()));
     // Sleep bookkeeping does not survive a restore: every sensitivity
     // assumption was made against the overwritten state.
     wakeAll();

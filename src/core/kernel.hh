@@ -65,6 +65,7 @@
  */
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
@@ -79,6 +80,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "core/fault.hh"
 #include "core/log.hh"
 #include "core/stats.hh"
 
@@ -167,6 +169,27 @@ require(bool cond)
         throw GuardFail{};
 }
 
+/**
+ * Fault-injection and diagnostics hook of a latency-bearing channel
+ * (TimedFifo registers one per fifo). The watchdog dumps occupancies
+ * through it; the fault injector drops or delays in-flight messages.
+ * The fault methods must be called between cycles only — they mutate
+ * channel state through an atomic action on the owning kernel.
+ */
+class ChannelPort
+{
+  public:
+    virtual ~ChannelPort() = default;
+
+    virtual const std::string &channelName() const = 0;
+    virtual uint32_t occupancy() const = 0;
+    virtual uint32_t channelCapacity() const = 0;
+    /** Silently discard the oldest in-flight message. @return dropped */
+    virtual bool faultDropHead() = 0;
+    /** Age the oldest message by @p extraCycles more. @return delayed */
+    virtual bool faultDelayHead(uint32_t extraCycles) = 0;
+};
+
 namespace detail {
 /// Kernel currently executing a rule or atomic action on this thread;
 /// lets requireFast() report a guard failure without a throw.
@@ -224,9 +247,14 @@ enum class ReadMode : uint8_t {
  * the parallel scheduler runs one context per domain, each owned by
  * exactly one thread for the duration of a cycle.
  */
+/// Depth of the per-context recently-fired ring buffer (watchdog
+/// crash dumps show the merged tail of these).
+constexpr uint32_t kFireRingSize = 32;
+
 struct ExecContext
 {
     uint32_t domainId = kNoDomain;
+    Kernel *kernel = nullptr; ///< owning kernel (fault-context capture)
 
     // Per-rule transaction state:
     bool inRule = false;
@@ -258,6 +286,19 @@ struct ExecContext
     uint64_t fired = 0;
     uint64_t execNs = 0;    ///< parallel mode: time inside domain cycles
     uint32_t lastFired = 0; ///< rules fired in the most recent cycle
+
+    /// Ring of the last kFireRingSize (rule, cycle) fires of this
+    /// context, for watchdog/fault crash dumps. firePos counts total
+    /// pushes; entry i lives at fireRing[i % kFireRingSize].
+    std::array<std::pair<const Rule *, uint64_t>, kFireRingSize> fireRing{};
+    uint64_t firePos = 0;
+
+    void
+    noteFired(const Rule *r, uint64_t cycle)
+    {
+        fireRing[firePos % kFireRingSize] = {r, cycle};
+        firePos++;
+    }
 
     void
     setAwakeBit(uint32_t pos)
@@ -737,10 +778,45 @@ class Kernel
     uint32_t domainCount() const { return domainCount_; }
     /** Domain a rule was assigned to (valid after elaborate()). */
     uint32_t domainOf(const Rule &r) const { return r.domain_; }
+    /** Human-readable name of a domain (its hint group, or "d<i>"). */
+    const std::string &domainName(uint32_t d) const;
     /** True when cycles are currently executed by the domain pool. */
     bool parallelActive() const { return parallelActive_; }
     /** Time the driving thread spent waiting on cycle barriers. */
     uint64_t barrierWaitNs() const { return barrierWaitNs_; }
+
+    /**
+     * True when every domain of the last started parallel cycle has
+     * finished its slice, i.e. the pool is parked between cycles.
+     * After a barrier-timeout KernelFault, recovery code that has
+     * unwedged (or given up on) the stuck rule must poll this before
+     * running a sequential scheduler: a straggler worker finishing its
+     * commit bookkeeping must not overlap sequential execution.
+     */
+    bool parallelQuiesced() const
+    {
+        return parallelCycles_ == 0 ||
+               doneCount_.load(std::memory_order_acquire) >= domainCount_;
+    }
+
+    /**
+     * Wall-clock bound on one parallel cycle barrier; 0 disables. When
+     * a worker fails to finish its domains within the budget the main
+     * thread raises a KernelFault(Watchdog) naming the unfinished
+     * domains instead of spinning forever — the stuck-worker detector.
+     * After such a fault the pool is poisoned: recover by switching to
+     * a sequential scheduler (HardenedRunner's fallback does).
+     */
+    void setBarrierTimeoutNs(uint64_t ns) { barrierTimeoutNs_ = ns; }
+    uint64_t barrierTimeoutNs() const { return barrierTimeoutNs_; }
+
+    /**
+     * When false, the driving thread only publishes mirrors and waits
+     * at the barrier during parallel cycles; workers run every domain.
+     * Keeps the driver responsive for timeout detection (and makes
+     * stuck-worker tests deterministic).
+     */
+    void setParallelMainParticipates(bool p) { mainParticipates_ = p; }
 
     // ---- scheduler observability (see progressReport())
     /** Rule attempts actually dispatched (guard + body). */
@@ -776,6 +852,35 @@ class Kernel
     std::vector<uint8_t> snapshot() const;
     /** Restore a snapshot taken from the same elaborated design. */
     void restore(const std::vector<uint8_t> &snap);
+
+    // ---- hardening hooks (see harden.hh)
+    /** Registered state elements, in registration order. */
+    uint32_t stateCount() const { return uint32_t(states_.size()); }
+    StateBase *stateAt(uint32_t i) const { return states_[i]; }
+
+    /**
+     * Tell the kernel that @p s was mutated outside of any rule (a
+     * fault injector flipping a bit between cycles): wakes the rules
+     * sleeping on it and invalidates its stable-read epoch, so the
+     * event-driven schedulers observe the new value exactly as they
+     * would a committed write.
+     */
+    void pokeState(StateBase *s);
+
+    /** Latency-bearing channels (TimedFifo registers one per fifo). */
+    void registerChannel(ChannelPort *p);
+    void unregisterChannel(ChannelPort *p);
+    const std::vector<ChannelPort *> &channelPorts() const
+    {
+        return channels_;
+    }
+
+    /**
+     * Structured crash-dump body: per-domain awake/fired counters, the
+     * merged tail of the recently-fired rings, and every channel's
+     * occupancy. Watchdog and KernelFault traces embed this.
+     */
+    std::string diagnosticReport() const;
 
     /** Human-readable report of each rule's last outcome and stats. */
     std::string progressReport() const;
@@ -862,7 +967,9 @@ class Kernel
     /** Claim and run unprocessed domains until none remain. */
     void runDomains();
     void runDomainCycle(detail::ExecContext &c);
-    void workerMain();
+    /** @param seen starting generation, captured by the spawning
+     *  thread before the first cycle's bump (see ensurePool()). */
+    void workerMain(uint64_t seen);
     void ensurePool();
     void stopWorkers();
     uint32_t effectiveThreads() const;
@@ -916,6 +1023,19 @@ class Kernel
     std::vector<StateBase *> mirrors_;
     uint32_t domainCount_ = 1;
     bool parallelActive_ = false;
+    /// resolved domain -> display name (hint groups; filled at elab)
+    std::vector<std::string> domainNames_;
+
+    // Hardening:
+    std::vector<ChannelPort *> channels_;
+    /// faults raised inside worker threads, one slot per domain; the
+    /// main thread rethrows the lowest-domain one after the barrier
+    std::vector<std::exception_ptr> domainFaults_;
+    /// per-domain completion flags for the current parallel cycle
+    /// (barrier-timeout dumps name the unfinished domains)
+    std::unique_ptr<std::atomic<bool>[]> domainDone_;
+    uint64_t barrierTimeoutNs_ = 0; ///< 0 = no stuck-worker detection
+    bool mainParticipates_ = true;
 
     // Worker pool (parallel scheduler):
     uint32_t threadsWanted_ = 0; ///< 0 = min(hw concurrency, domains)

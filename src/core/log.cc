@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "core/fault.hh"
+
 namespace cmd {
 
 namespace {
@@ -51,8 +53,10 @@ panic(const char *fmt, ...)
     va_start(ap, fmt);
     std::string s = vstrfmt(fmt, ap);
     va_end(ap);
-    std::fprintf(stderr, "panic: %s\n", s.c_str());
-    std::abort();
+    // Design-invariant violations surface as structured, catchable
+    // faults so drivers (System::run, HardenedRunner, fault campaigns)
+    // can classify and recover instead of losing the whole process.
+    kfault(FaultKind::DesignError, "", "%s", s.c_str());
 }
 
 void

@@ -3,7 +3,8 @@
  * Logging and error-reporting helpers for the CMD framework.
  *
  * Follows the gem5 convention: panic() for "this is a bug in the
- * framework or design, abort", fatal() for "the user configured
+ * framework or design" (raised as a catchable KernelFault of kind
+ * DesignError — see core/fault.hh), fatal() for "the user configured
  * something impossible, exit cleanly", warn()/inform() for status.
  */
 #pragma once

@@ -72,11 +72,15 @@ class Reg : public StateBase
     write(const T &v)
     {
         if (stagedValid_)
-            panic("%s: double write within one rule", name().c_str());
+            kfault(FaultKind::DesignError, name(),
+                   "double write within one rule");
+        // Register with the transaction before staging: if the touch
+        // is rejected (cross-domain write), nothing must be staged, or
+        // the orphaned value would leak past the rollback.
+        kernel_.noteStateTouched(this);
         staged_ = v;
         detail::clearPadding(staged_);
         stagedValid_ = true;
-        kernel_.noteStateTouched(this);
     }
 
     void
@@ -176,9 +180,10 @@ class RegArray : public StateBase
         checkIdx(idx);
         for (const auto &w : staged_) {
             if (w.first == idx)
-                panic("%s[%zu]: double write within one rule",
-                      name().c_str(), idx);
+                kfault(FaultKind::DesignError, name(),
+                       "[%zu]: double write within one rule", idx);
         }
+        // Touch before staging (see Reg::write).
         if (staged_.empty())
             kernel_.noteStateTouched(this);
         staged_.emplace_back(idx, v);
@@ -232,8 +237,8 @@ class RegArray : public StateBase
     checkIdx(size_t idx) const
     {
         if (idx >= cur_.size())
-            panic("%s: index %zu out of range %zu", name().c_str(), idx,
-                  cur_.size());
+            kfault(FaultKind::DesignError, name(),
+                   "index %zu out of range %zu", idx, cur_.size());
         return idx;
     }
 

@@ -31,7 +31,7 @@
 namespace cmd {
 
 template <typename T>
-class TimedFifo
+class TimedFifo : public ChannelPort
 {
   private:
     struct EnqSide : Module
@@ -64,7 +64,7 @@ class TimedFifo
               uint32_t delay)
         : enqSide_(kernel, name + ".enq"), deqSide_(kernel, name + ".deq"),
           enqM(enqSide_.enqM), deqM(deqSide_.deqM), firstM(deqSide_.firstM),
-          kernel_(kernel), delay_(delay), cap_(capacity),
+          kernel_(kernel), name_(name), delay_(delay), cap_(capacity),
           data_(kernel, name + ".data", capacity),
           ready_(kernel, name + ".ready", capacity),
           head_(kernel, name + ".head", 0),
@@ -73,6 +73,7 @@ class TimedFifo
           deqTotal_(kernel, name + ".deqTotal", 0)
     {
         kernel.registerBoundary(enqSide_, deqSide_, &cross_);
+        kernel.registerChannel(this);
         // The cross-read counters are published at every parallel
         // cycle barrier; everything else is strictly side-local.
         kernel.registerMirror(&enqTotal_);
@@ -83,6 +84,45 @@ class TimedFifo
         enqTotal_.setDomainOwner(&enqSide_);
         head_.setDomainOwner(&deqSide_);
         deqTotal_.setDomainOwner(&deqSide_);
+    }
+
+    ~TimedFifo() override { kernel_.unregisterChannel(this); }
+
+    // ---- ChannelPort (fault injection + watchdog diagnostics).
+    // The fault actions run as between-cycle atomic actions on the
+    // main context, so they obey rule atomicity and are exempt from
+    // the cross-domain access checks.
+    const std::string &channelName() const override { return name_; }
+    uint32_t occupancy() const override { return size(); }
+    uint32_t channelCapacity() const override { return cap_; }
+
+    /** Message-loss fault: silently discard the head element. */
+    bool
+    faultDropHead() override
+    {
+        return kernel_.runAtomically([&] {
+            require(size() > 0);
+            uint32_t h = head_.read();
+            head_.write(next(h));
+            deqTotal_.write(deqTotal_.read() + 1);
+        });
+    }
+
+    /** Latency fault: age the head element @p extraCycles more. */
+    bool
+    faultDelayHead(uint32_t extraCycles) override
+    {
+        return kernel_.runAtomically([&] {
+            require(size() > 0);
+            uint32_t h = head_.read();
+            // Re-age from now if the element already matured, so the
+            // delay is always observable.
+            uint64_t base = ready_.read(h);
+            uint64_t now = kernel_.cycleCount();
+            if (now > base)
+                base = now;
+            ready_.write(h, base + extraCycles);
+        });
     }
 
     // ---- probes (when() guards, testbenches)
@@ -210,6 +250,7 @@ class TimedFifo
     uint32_t next(uint32_t i) const { return i + 1 == cap_ ? 0 : i + 1; }
 
     Kernel &kernel_;
+    std::string name_;
     uint32_t delay_;
     uint32_t cap_;
     bool cross_ = false; ///< endpoints in different domains (post-elab)

@@ -1,5 +1,6 @@
 #include "mem/memory.hh"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 
@@ -85,6 +86,66 @@ PhysMem::readBlock(Addr a, void *dst, size_t len) const
     }
 }
 
+namespace {
+
+void
+put64(std::vector<uint8_t> &out, uint64_t v)
+{
+    for (int i = 0; i < 8; i++)
+        out.push_back(uint8_t(v >> (8 * i)));
+}
+
+uint64_t
+get64(const uint8_t *&p)
+{
+    uint64_t v = 0;
+    for (int i = 0; i < 8; i++)
+        v |= uint64_t(p[i]) << (8 * i);
+    p += 8;
+    return v;
+}
+
+} // namespace
+
+std::vector<uint8_t>
+PhysMem::serialize() const
+{
+    std::vector<Addr> order;
+    order.reserve(pages_.size());
+    for (const auto &kv : pages_)
+        order.push_back(kv.first);
+    std::sort(order.begin(), order.end());
+
+    std::vector<uint8_t> out;
+    out.reserve(16 + order.size() * (8 + kPageSize));
+    put64(out, order.size());
+    for (Addr page : order) {
+        put64(out, page);
+        const std::vector<uint8_t> &bytes = pages_.at(page);
+        out.insert(out.end(), bytes.begin(), bytes.end());
+    }
+    return out;
+}
+
+void
+PhysMem::deserialize(const std::vector<uint8_t> &image)
+{
+    pages_.clear();
+    const uint8_t *p = image.data();
+    const uint8_t *end = p + image.size();
+    if (end - p < 8)
+        cmd::panic("PhysMem: truncated image");
+    uint64_t n = get64(p);
+    for (uint64_t i = 0; i < n; i++) {
+        if (uint64_t(end - p) < 8 + kPageSize)
+            cmd::panic("PhysMem: truncated image page %llu",
+                       (unsigned long long)i);
+        Addr page = get64(p);
+        pages_.emplace(page, std::vector<uint8_t>(p, p + kPageSize));
+        p += kPageSize;
+    }
+}
+
 HostDevice::HostDevice(uint32_t harts)
     : exited_(harts), exitCode_(harts, 0), roiBegin_(harts, 0),
       roiEnd_(harts, 0)
@@ -142,6 +203,59 @@ HostDevice::reset()
     failCode_.store(0);
     std::lock_guard<std::mutex> g(consoleMutex_);
     console_.clear();
+}
+
+std::vector<uint8_t>
+HostDevice::serialize() const
+{
+    std::vector<uint8_t> out;
+    put64(out, exited_.size());
+    for (const auto &e : exited_)
+        out.push_back(e.load() ? 1 : 0);
+    for (uint64_t v : exitCode_)
+        put64(out, v);
+    for (uint64_t v : roiBegin_)
+        put64(out, v);
+    for (uint64_t v : roiEnd_)
+        put64(out, v);
+    out.push_back(failed_.load() ? 1 : 0);
+    put64(out, failCode_.load());
+    put64(out, console_.size());
+    out.insert(out.end(), console_.begin(), console_.end());
+    return out;
+}
+
+void
+HostDevice::deserialize(const std::vector<uint8_t> &image)
+{
+    const uint8_t *p = image.data();
+    const uint8_t *end = p + image.size();
+    auto need = [&](size_t n) {
+        if (uint64_t(end - p) < n)
+            cmd::panic("HostDevice: truncated image");
+    };
+    need(8);
+    uint64_t harts = get64(p);
+    if (harts != exited_.size())
+        cmd::panic("HostDevice: image for %llu harts, have %zu",
+                   (unsigned long long)harts, exited_.size());
+    need(harts);
+    for (auto &e : exited_)
+        e.store(*p++ != 0);
+    need(harts * 8 * 3);
+    for (auto &v : exitCode_)
+        v = get64(p);
+    for (auto &v : roiBegin_)
+        v = get64(p);
+    for (auto &v : roiEnd_)
+        v = get64(p);
+    need(1 + 8 + 8);
+    failed_.store(*p++ != 0);
+    failCode_.store(get64(p));
+    uint64_t conLen = get64(p);
+    need(conLen);
+    std::lock_guard<std::mutex> g(consoleMutex_);
+    console_.assign(reinterpret_cast<const char *>(p), conLen);
 }
 
 uint64_t

@@ -68,6 +68,16 @@ class PhysMem
     /** Number of distinct pages ever touched. */
     size_t touchedPages() const { return pages_.size(); }
 
+    /**
+     * Byte-exact image for checkpoints: page count, then (addr, bytes)
+     * records in ascending address order — the sort makes the image a
+     * pure function of memory *contents*, independent of hash-map
+     * iteration order, so identical memories hash identically.
+     */
+    std::vector<uint8_t> serialize() const;
+    /** Replace all contents with a serialize() image. */
+    void deserialize(const std::vector<uint8_t> &image);
+
   private:
     const uint8_t *pageFor(Addr a) const;
     uint8_t *pageForWrite(Addr a);
@@ -115,6 +125,10 @@ class HostDevice
 
     /** Forget all exits/ROI marks/console output (benchmark replay). */
     void reset();
+
+    /** Checkpoint image of exits/codes/ROI/fail state + console. */
+    std::vector<uint8_t> serialize() const;
+    void deserialize(const std::vector<uint8_t> &image);
 
   private:
     std::vector<std::atomic<bool>> exited_;

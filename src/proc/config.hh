@@ -61,6 +61,30 @@ struct SystemConfig {
      * count). Ignored by the sequential schedulers.
      */
     uint32_t threads = 0;
+
+    // ---- hardening knobs (see core/harden.hh and System::run)
+    /** Wall-clock budget for System::run; 0 = unlimited. */
+    uint64_t maxWallSeconds = 0;
+    /**
+     * Forward-progress window: a run with zero commits for this many
+     * cycles trips the watchdog (KernelFault with diagnostics instead
+     * of a silent hang). 0 disables.
+     */
+    uint64_t watchdogStallCycles = 200000;
+    /** Cycles between periodic checkpoints; 0 disables. */
+    uint64_t checkpointEvery = 0;
+    /** Checkpoint file (required when checkpointEvery > 0). */
+    std::string checkpointPath;
+    /** KernelFaults absorbed (restore + degrade) before giving up. */
+    uint32_t maxFaultRetries = 3;
+    /** Degrade Parallel -> EventDriven -> Exhaustive on a fault. */
+    bool degradeScheduler = true;
+    /**
+     * Bound on one parallel cycle barrier (stuck-worker detection),
+     * in nanoseconds; 0 disables.
+     */
+    uint64_t barrierTimeoutNs = 0;
+
     CoreConfig core;
     MemHierarchyConfig mem;
 

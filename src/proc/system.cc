@@ -7,10 +7,29 @@ namespace riscy {
 
 using namespace cmd;
 
+const char *
+toString(StopReason r)
+{
+    switch (r) {
+      case StopReason::None:
+        return "none";
+      case StopReason::AllExited:
+        return "all-exited";
+      case StopReason::HostFail:
+        return "host-fail";
+      case StopReason::MaxCycles:
+        return "max-cycles";
+      case StopReason::WallClock:
+        return "wall-clock";
+    }
+    return "?";
+}
+
 System::System(const SystemConfig &cfg) : cfg_(cfg)
 {
     k_.setScheduler(cfg_.scheduler);
     k_.setParallelThreads(cfg_.threads);
+    k_.setBarrierTimeoutNs(cfg_.barrierTimeoutNs);
     cfg_.mem.cores = cfg_.cores;
     host_ = std::make_unique<HostDevice>(cfg_.cores);
     hier_ = std::make_unique<MemHierarchy>(k_, "mem", mem_, cfg_.mem);
@@ -61,43 +80,154 @@ System::setOnCommit(uint32_t i,
         oooCores_[i]->onCommit = std::move(fn);
 }
 
+namespace {
+
+void
+putBlob(std::vector<uint8_t> &out, const std::vector<uint8_t> &blob)
+{
+    for (int i = 0; i < 8; i++)
+        out.push_back(uint8_t(uint64_t(blob.size()) >> (8 * i)));
+    out.insert(out.end(), blob.begin(), blob.end());
+}
+
+std::vector<uint8_t>
+getBlob(const uint8_t *&p, const uint8_t *end)
+{
+    if (end - p < 8)
+        panic("system: truncated checkpoint payload");
+    uint64_t len = 0;
+    for (int i = 0; i < 8; i++)
+        len |= uint64_t(p[i]) << (8 * i);
+    p += 8;
+    if (uint64_t(end - p) < len)
+        panic("system: truncated checkpoint payload");
+    std::vector<uint8_t> blob(p, p + len);
+    p += len;
+    return blob;
+}
+
+} // namespace
+
+std::vector<uint8_t>
+System::checkpointPayload() const
+{
+    std::vector<uint8_t> out;
+    putBlob(out, mem_.serialize());
+    putBlob(out, host_->serialize());
+    putBlob(out, userSave_ ? userSave_() : std::vector<uint8_t>{});
+    return out;
+}
+
+void
+System::loadCheckpointPayload(const std::vector<uint8_t> &bytes)
+{
+    const uint8_t *p = bytes.data();
+    const uint8_t *end = p + bytes.size();
+    mem_.deserialize(getBlob(p, end));
+    host_->deserialize(getBlob(p, end));
+    std::vector<uint8_t> user = getBlob(p, end);
+    if (userLoad_)
+        userLoad_(user);
+}
+
+void
+System::setCheckpointUserHooks(
+    std::function<std::vector<uint8_t>()> save,
+    std::function<void(const std::vector<uint8_t> &)> load)
+{
+    userSave_ = std::move(save);
+    userLoad_ = std::move(load);
+}
+
+HardenedRunner &
+System::runner()
+{
+    if (!runner_) {
+        HardenedConfig hc;
+        hc.watchdogStallCycles = cfg_.watchdogStallCycles;
+        hc.checkpointEvery = cfg_.checkpointEvery;
+        hc.checkpointPath = cfg_.checkpointPath;
+        hc.maxFaultRetries = cfg_.maxFaultRetries;
+        hc.degradeScheduler = cfg_.degradeScheduler;
+        runner_ = std::make_unique<HardenedRunner>(k_, hc);
+        // Heartbeat = architectural progress: committed instructions
+        // plus exit flags (an exiting hart commits nothing more but
+        // still made progress). Catches livelock, not just deadlock.
+        runner_->watchdog().setHeartbeat([this] {
+            uint64_t total = 0;
+            for (uint32_t i = 0; i < cfg_.cores; i++)
+                total += instret(i) + (host_->exited(i) ? 1 : 0);
+            return total;
+        });
+        if (auto *ck = runner_->checkpoints()) {
+            ck->setPayloadHooks(
+                [this] { return checkpointPayload(); },
+                [this](const std::vector<uint8_t> &b) {
+                    loadCheckpointPayload(b);
+                });
+        }
+    }
+    return *runner_;
+}
+
+bool
+System::restoreCheckpoint()
+{
+    HardenedRunner &hr = runner();
+    CheckpointManager *ck = hr.checkpoints();
+    if (!ck)
+        kfault(FaultKind::ApiMisuse, "system",
+               "restoreCheckpoint() without a checkpointPath");
+    if (!ck->load())
+        return false;
+    hr.watchdog().reset();
+    return true;
+}
+
 bool
 System::run(uint64_t maxCycles)
 {
-    constexpr uint64_t kWatchdog = 100000;
-    uint64_t lastProgressCycle = k_.cycleCount();
-    uint64_t lastInstret = 0;
+    HardenedRunner &hr = runner();
     auto t0 = std::chrono::steady_clock::now();
-    auto accountWall = [&] {
-        runWallNs_ += static_cast<uint64_t>(
+    auto nsSince = [&t0] {
+        return static_cast<uint64_t>(
             std::chrono::duration_cast<std::chrono::nanoseconds>(
                 std::chrono::steady_clock::now() - t0)
                 .count());
     };
-    for (uint64_t c = 0; c < maxCycles; c++) {
-        if (host_->allExited() || host_->failed()) {
-            accountWall();
-            return host_->allExited() && !host_->failed();
+    const uint64_t wallBudgetNs = cfg_.maxWallSeconds * 1'000'000'000ull;
+    uint64_t wallPoll = 0;
+    stopReason_ = StopReason::MaxCycles;
+    auto done = [&] {
+        if (host_->failed()) {
+            stopReason_ = StopReason::HostFail;
+            return true;
         }
-        k_.cycle();
-
-        uint64_t total = 0;
-        for (uint32_t i = 0; i < cfg_.cores; i++)
-            total += instret(i) + (host_->exited(i) ? 1 : 0);
-        if (total != lastInstret) {
-            lastInstret = total;
-            lastProgressCycle = k_.cycleCount();
-        } else if (k_.cycleCount() - lastProgressCycle > kWatchdog) {
-            accountWall();
-            std::cerr << k_.progressReport();
-            for (auto &core : oooCores_)
-                std::cerr << core->debugString();
-            panic("system: no commit progress for %llu cycles",
-                  (unsigned long long)kWatchdog);
+        if (host_->allExited()) {
+            stopReason_ = StopReason::AllExited;
+            return true;
         }
+        // The clock read is ~a cache miss; poll it coarsely.
+        if (wallBudgetNs && ++wallPoll >= 256) {
+            wallPoll = 0;
+            if (nsSince() >= wallBudgetNs) {
+                stopReason_ = StopReason::WallClock;
+                return true;
+            }
+        }
+        return false;
+    };
+    try {
+        hr.run(done, maxCycles);
+    } catch (const KernelFault &) {
+        runWallNs_ += nsSince();
+        std::cerr << k_.progressReport();
+        for (auto &core : oooCores_)
+            std::cerr << core->debugString();
+        throw;
     }
-    accountWall();
-    return host_->allExited() && !host_->failed();
+    runWallNs_ += nsSince();
+    return stopReason_ == StopReason::AllExited;
 }
 
 System::EventCounts

@@ -1,15 +1,28 @@
 /**
  * @file
  * System assembly: cores (OOO or in-order) + the coherent memory
- * hierarchy + host device, per Fig. 11. Also provides the run loop
- * with a commit-progress watchdog used by tests and benchmarks.
+ * hierarchy + host device, per Fig. 11. Also provides the hardened
+ * run loop (core/harden.hh): commit-progress watchdog, wall-clock
+ * budget, periodic checkpoints, and graceful scheduler degradation.
  */
 #pragma once
 
+#include "core/harden.hh"
 #include "proc/inorder_core.hh"
 #include "proc/ooo_core.hh"
 
 namespace riscy {
+
+/** Why the last System::run() returned. */
+enum class StopReason : uint8_t {
+    None,      ///< run() not called yet
+    AllExited, ///< every hart exited cleanly via the host device
+    HostFail,  ///< the host device's Fail channel fired
+    MaxCycles, ///< cycle budget exhausted
+    WallClock, ///< SystemConfig::maxWallSeconds budget exhausted
+};
+
+const char *toString(StopReason r);
 
 class System
 {
@@ -30,12 +43,40 @@ class System
     void start(Addr entry, uint64_t satp, const std::vector<Addr> &sp);
 
     /**
-     * Run until every hart exits via the host device (or the host
-     * flags a failure). @return true if all harts exited cleanly.
-     * Panics with a progress report if no instruction commits for
-     * a long stretch (deadlock watchdog).
+     * Run until every hart exits via the host device, the host flags
+     * a failure, the cycle budget runs out, or (when configured) the
+     * wall-clock budget runs out — stopReason() says which. Driven by
+     * a cmd::HardenedRunner: if no instruction commits for
+     * SystemConfig::watchdogStallCycles, the watchdog raises a
+     * KernelFault(Watchdog) with full diagnostics; with checkpoints
+     * or scheduler degradation enabled the fault is absorbed and the
+     * run resumes, up to maxFaultRetries. @return true if all harts
+     * exited cleanly.
      */
     bool run(uint64_t maxCycles);
+
+    /** Why the last run() returned. */
+    StopReason stopReason() const { return stopReason_; }
+
+    /**
+     * Extra bytes carried inside each checkpoint alongside the kernel
+     * snapshot and memory/host images (e.g. a commit-stream digest).
+     * Set before the first run().
+     */
+    void setCheckpointUserHooks(
+        std::function<std::vector<uint8_t>()> save,
+        std::function<void(const std::vector<uint8_t> &)> load);
+
+    /**
+     * Resume from the checkpoint at SystemConfig::checkpointPath
+     * (crash recovery: build the same System, elaborate, then restore
+     * instead of start()). @return false when no checkpoint exists.
+     */
+    bool restoreCheckpoint();
+
+    /** Faults absorbed by the degradation ladder during run(). */
+    const std::vector<std::string> &faultLog() { return runner().faultLog(); }
+    uint32_t faultRetries() { return runner().faultRetries(); }
 
     uint64_t instret(uint32_t i) const;
     void setOnCommit(uint32_t i, std::function<void(const CommitRecord &)>);
@@ -62,12 +103,20 @@ class System
     uint64_t runWallNs() const { return runWallNs_; }
 
   private:
+    cmd::HardenedRunner &runner();
+    std::vector<uint8_t> checkpointPayload() const;
+    void loadCheckpointPayload(const std::vector<uint8_t> &bytes);
+
     SystemConfig cfg_;
     cmd::Kernel k_;
     PhysMem mem_;
     uint64_t runWallNs_ = 0;
+    StopReason stopReason_ = StopReason::None;
     std::unique_ptr<HostDevice> host_;
     std::unique_ptr<MemHierarchy> hier_;
+    std::unique_ptr<cmd::HardenedRunner> runner_;
+    std::function<std::vector<uint8_t>()> userSave_;
+    std::function<void(const std::vector<uint8_t> &)> userLoad_;
     std::vector<std::unique_ptr<OooCore>> oooCores_;
     std::vector<std::unique_ptr<InOrderCore>> ioCores_;
 };

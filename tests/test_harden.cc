@@ -1,0 +1,793 @@
+/**
+ * @file
+ * Kernel-hardening tests (core/harden.hh): snapshot round-trips for
+ * every state type, deterministic fault injection, the forward-
+ * progress watchdog under all three schedulers, the stuck-worker
+ * barrier timeout, checkpoint/restore to disk with corruption
+ * detection, the HardenedRunner degradation ladder, and System-level
+ * crash recovery with commit-stream digest equality.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "core/cmd.hh"
+#include "cosim.hh"
+
+using namespace cmd;
+
+namespace {
+
+/** FNV-1a over a snapshot buffer. */
+uint64_t
+digest(const std::vector<uint8_t> &bytes)
+{
+    return CheckpointManager::fnv1a(bytes.data(), bytes.size());
+}
+
+/** Temp file path unique to this test process. */
+std::string
+tmpPath(const char *tag)
+{
+    return strfmt("/tmp/test_harden_%d_%s.ckpt", int(::getpid()), tag);
+}
+
+struct TmpFile
+{
+    explicit TmpFile(const char *tag) : path(tmpPath(tag))
+    {
+        std::remove(path.c_str());
+    }
+    ~TmpFile() { std::remove(path.c_str()); }
+    std::string path;
+};
+
+/**
+ * A design exercising every snapshot-able state type: Reg, RegArray,
+ * Ehr, a PipelineFifo, and a TimedFifo (whose state is split across
+ * its two endpoint modules). Deterministic and never quiescent.
+ */
+struct AllState
+{
+    Kernel k;
+    Reg<uint64_t> tick;
+    RegArray<uint64_t> arr;
+    Ehr<uint64_t> ehr;
+    PipelineFifo<uint64_t> pf;
+    TimedFifo<uint64_t> tf;
+    Reg<uint64_t> sink;
+
+    explicit AllState(SchedulerKind kind = SchedulerKind::Exhaustive)
+        : tick(k, "tick", 0), arr(k, "arr", 4, 0), ehr(k, "ehr", 2, 0),
+          pf(k, "pf", 4), tf(k, "tf", 4, 3), sink(k, "sink", 0)
+    {
+        k.rule("beat", [this] {
+            uint64_t t = tick.read();
+            tick.write(t + 1);
+            arr.write(t % 4, arr.read(t % 4) + t);
+            ehr.write(0, ehr.read(0) ^ (t * 0x9e3779b97f4a7c15ull));
+        });
+        k.rule("feedPf", [this] { pf.enq(tick.read()); })
+            .when([this] { return pf.canEnq(); })
+            .uses({&pf.enqM});
+        k.rule("pfToTf", [this] { tf.enq(pf.deq() * 3 + 1); })
+            .when([this] { return pf.canDeq() && tf.canEnq(); })
+            .uses({&pf.deqM, &tf.enqM});
+        k.rule("drain", [this] { sink.write(sink.read() + tf.deq()); })
+            .when([this] { return tf.canDeq(); })
+            .uses({&tf.deqM});
+        k.setScheduler(kind);
+        k.elaborate();
+    }
+};
+
+} // namespace
+
+// ----------------------------------------------------- snapshot round-trips
+
+TEST(Snapshot, RoundTripEveryStateType)
+{
+    AllState d;
+    d.k.run(37);
+
+    // Direct value checks around a restore for each element kind.
+    auto snap = d.k.snapshot();
+    uint64_t tick0 = d.tick.read();
+    uint64_t arr0 = d.arr.read(1);
+    uint64_t ehr0 = d.ehr.read(0);
+    uint64_t sink0 = d.sink.read();
+    uint32_t tfOcc0 = d.tf.size();
+    bool pfDeq0 = d.pf.canDeq();
+
+    d.k.run(23);
+    ASSERT_NE(d.tick.read(), tick0);
+
+    d.k.restore(snap);
+    EXPECT_EQ(d.tick.read(), tick0);
+    EXPECT_EQ(d.arr.read(1), arr0);
+    EXPECT_EQ(d.ehr.read(0), ehr0);
+    EXPECT_EQ(d.sink.read(), sink0);
+    EXPECT_EQ(d.tf.size(), tfOcc0);
+    EXPECT_EQ(d.pf.canDeq(), pfDeq0);
+    EXPECT_EQ(digest(d.k.snapshot()), digest(snap));
+}
+
+/**
+ * Restore-then-run equality: the cycles after a restore must replay
+ * bit-exactly — including TimedFifo age stamps, whose semantics depend
+ * on the (restored) cycle counter.
+ */
+TEST(Snapshot, RestoreThenRunReplaysBitExactly)
+{
+    for (SchedulerKind kind :
+         {SchedulerKind::Exhaustive, SchedulerKind::EventDriven}) {
+        AllState d(kind);
+        d.k.run(50);
+        auto snap = d.k.snapshot();
+
+        std::vector<uint64_t> ref;
+        for (int i = 0; i < 40; i++) {
+            d.k.cycle();
+            ref.push_back(digest(d.k.snapshot()));
+        }
+
+        d.k.restore(snap);
+        for (int i = 0; i < 40; i++) {
+            d.k.cycle();
+            ASSERT_EQ(digest(d.k.snapshot()), ref[i])
+                << "diverged " << i + 1 << " cycles after restore";
+        }
+    }
+}
+
+// ---------------------------------------------------------- fault injection
+
+TEST(Injector, CampaignPlansAreDeterministic)
+{
+    AllState d;
+    FaultInjector inj(d.k);
+    auto a = inj.planCampaign(0xfeedface, 64, 10000);
+    auto b = inj.planCampaign(0xfeedface, 64, 10000);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); i++)
+        EXPECT_EQ(a[i].describe(), b[i].describe()) << "plan " << i;
+
+    // Plans arrive sorted by injection cycle and cover several types.
+    bool sorted = true, sawFlip = false, sawChan = false;
+    for (size_t i = 0; i < a.size(); i++) {
+        if (i && a[i].cycle < a[i - 1].cycle)
+            sorted = false;
+        sawFlip |= a[i].type == FaultType::BitFlip;
+        sawChan |= a[i].type == FaultType::MsgDrop ||
+                   a[i].type == FaultType::MsgDelay;
+    }
+    EXPECT_TRUE(sorted);
+    EXPECT_TRUE(sawFlip);
+    EXPECT_TRUE(sawChan);
+
+    auto c = inj.planCampaign(0xfeedface + 1, 64, 10000);
+    bool anyDiff = c.size() != a.size();
+    for (size_t i = 0; !anyDiff && i < a.size(); i++)
+        anyDiff = c[i].describe() != a[i].describe();
+    EXPECT_TRUE(anyDiff) << "different seeds drew identical campaigns";
+}
+
+TEST(Injector, SameSeedSameOutcome)
+{
+    // Two fresh instances of the same design, the same campaign applied
+    // to both: the final architectural state must match bit-for-bit
+    // (within one instance's own snapshot space; run A's digest
+    // schedule is replayed on A itself after a restore, B likewise, and
+    // the per-cycle fired counts are compared across the two).
+    auto runCampaign = [](AllState &d) {
+        FaultInjector inj(d.k);
+        auto plans = inj.planCampaign(77, 16, 400);
+        std::vector<uint64_t> fired;
+        size_t next = 0;
+        for (uint64_t c = 1; c <= 500; c++) {
+            while (next < plans.size() && plans[next].cycle == c)
+                inj.apply(plans[next++]);
+            fired.push_back(d.k.cycle());
+        }
+        return fired;
+    };
+    AllState a, b;
+    EXPECT_EQ(runCampaign(a), runCampaign(b));
+    EXPECT_EQ(digest(a.k.snapshot()), digest(b.k.snapshot()));
+}
+
+TEST(Injector, BitFlipWakesSleepingRules)
+{
+    Kernel k;
+    k.setScheduler(SchedulerKind::EventDriven);
+    Reg<uint64_t> flag(k, "flag", 0);
+    Reg<uint64_t> out(k, "out", 0);
+    Rule &consumer =
+        k.rule("consumer", [&] { out.write(out.read() + 1); }).when([&] {
+            return flag.read() != 0;
+        });
+    k.elaborate();
+    k.run(3);
+    ASSERT_TRUE(consumer.asleep());
+
+    // Hand-built plan: flip bit 0 of "flag". The poke must wake the
+    // sleeping consumer exactly as a committed write would.
+    FaultPlan p;
+    p.type = FaultType::BitFlip;
+    p.bit = 0;
+    p.target = ~0u;
+    for (uint32_t i = 0; i < k.stateCount(); i++) {
+        if (k.stateAt(i)->name() == "flag")
+            p.target = i;
+    }
+    ASSERT_NE(p.target, ~0u);
+    FaultInjector inj(k);
+    EXPECT_TRUE(inj.apply(p));
+    EXPECT_FALSE(consumer.asleep());
+    k.run(2);
+    EXPECT_GT(out.read(), 0u);
+}
+
+TEST(Injector, ChannelDropAndDelayLand)
+{
+    AllState d;
+    d.k.run(20);
+    ASSERT_GT(d.tf.size(), 0u);
+    uint32_t occ = d.tf.size();
+    uint64_t sinkBefore = d.sink.read();
+
+    FaultInjector inj(d.k);
+    FaultPlan drop;
+    drop.type = FaultType::MsgDrop;
+    drop.target = 0; // the design's only TimedFifo
+    ASSERT_EQ(d.k.channelPorts().size(), 1u);
+    EXPECT_TRUE(inj.apply(drop));
+    EXPECT_EQ(d.tf.size(), occ - 1);
+
+    FaultPlan delay;
+    delay.type = FaultType::MsgDelay;
+    delay.target = 0;
+    delay.param = 1000;
+    EXPECT_TRUE(inj.apply(delay));
+    // The head message is now 1000 cycles out: the drain rule must not
+    // consume anything for the next stretch.
+    d.k.run(50);
+    EXPECT_EQ(d.sink.read(), sinkBefore);
+}
+
+// ----------------------------------------------------------------- watchdog
+
+namespace {
+
+/**
+ * A two-domain producer/consumer design that can be wedged: the
+ * producer (domain "left") stops feeding the TimedFifo when fed_
+ * reaches a cap, after which the consumer (domain "right") starves.
+ * The left-side beat rule keeps firing forever, so only a heartbeat
+ * watchdog notices — and the starved domain is "right".
+ */
+struct Wedgeable
+{
+    Kernel k;
+    std::unique_ptr<DomainHint> leftHint, rightHint;
+    std::unique_ptr<Reg<uint64_t>> beat, fed, consumed;
+    std::unique_ptr<TimedFifo<uint64_t>> chan;
+
+    explicit Wedgeable(SchedulerKind kind, uint64_t feedCap)
+    {
+        {
+            DomainHint left(k, "left");
+            beat = std::make_unique<Reg<uint64_t>>(k, "beat", 0);
+            fed = std::make_unique<Reg<uint64_t>>(k, "fed", 0);
+        }
+        {
+            DomainHint right(k, "right");
+            consumed = std::make_unique<Reg<uint64_t>>(k, "consumed", 0);
+        }
+        chan = std::make_unique<TimedFifo<uint64_t>>(k, "chan", 4, 1);
+        {
+            DomainHint left(k, "left");
+            k.rule("beat", [this] { beat->write(beat->read() + 1); });
+            k.rule("produce", [this] {
+                 chan->enq(fed->read());
+                 fed->write(fed->read() + 1);
+             })
+                .when([this, feedCap] {
+                    return fed->read() < feedCap && chan->canEnq();
+                })
+                .uses({&chan->enqM});
+        }
+        {
+            DomainHint right(k, "right");
+            k.rule("consume", [this] {
+                 consumed->write(consumed->read() + chan->deq());
+             })
+                .when([this] { return chan->canDeq(); })
+                .uses({&chan->deqM});
+        }
+        k.setScheduler(kind);
+        k.setParallelThreads(1);
+        k.elaborate();
+    }
+};
+
+} // namespace
+
+TEST(Watchdog, NamesStarvedDomainUnderEverySchedulerKind)
+{
+    for (SchedulerKind kind :
+         {SchedulerKind::Exhaustive, SchedulerKind::EventDriven,
+          SchedulerKind::Parallel}) {
+        Wedgeable d(kind, 50);
+        ASSERT_EQ(d.k.domainCount(), 2u);
+        Watchdog wd(d.k, 200);
+        wd.setHeartbeat([&] { return d.consumed->read(); });
+
+        bool tripped = false;
+        try {
+            for (int c = 0; c < 5000; c++) {
+                d.k.cycle();
+                wd.observe();
+            }
+        } catch (const KernelFault &f) {
+            tripped = true;
+            EXPECT_EQ(f.kind(), FaultKind::Watchdog);
+            // The starved domain is named in the message; the trace
+            // carries the structured diagnostics dump.
+            EXPECT_NE(f.message().find("right"), std::string::npos)
+                << f.describe();
+            EXPECT_NE(f.context().trace.find("occupancy"),
+                      std::string::npos)
+                << "diagnostics dump missing from the fault trace";
+            EXPECT_NE(f.context().trace.find("beat"), std::string::npos)
+                << "fired-ring tail missing from the fault trace";
+        }
+        EXPECT_TRUE(tripped)
+            << "watchdog never fired under scheduler " << int(kind);
+        // The wedge is architectural, not a watchdog artifact: all 50
+        // fed elements were consumed before the starvation.
+        EXPECT_EQ(d.consumed->read(), 50ull * 49 / 2);
+    }
+}
+
+TEST(Watchdog, NoHeartbeatModeTripsOnGlobalQuiescence)
+{
+    // Gate every rule off after a while: with no heartbeat configured
+    // the watchdog trips only when *nothing* fires for the window.
+    Kernel k;
+    Reg<uint64_t> t(k, "t", 0);
+    k.rule("run", [&] { t.write(t.read() + 1); }).when([&] {
+        return t.read() < 100;
+    });
+    k.elaborate();
+    Watchdog wd(k, 150);
+    EXPECT_THROW(
+        {
+            for (int c = 0; c < 5000; c++) {
+                k.cycle();
+                wd.observe();
+            }
+        },
+        KernelFault);
+}
+
+TEST(Watchdog, QuietWhileProgressing)
+{
+    AllState d;
+    Watchdog wd(d.k, 50);
+    wd.setHeartbeat([&] { return d.tick.read(); });
+    for (int c = 0; c < 2000; c++) {
+        d.k.cycle();
+        wd.observe();
+    }
+    SUCCEED();
+}
+
+// ------------------------------------------------- stuck-worker detection
+
+TEST(Watchdog, BarrierTimeoutNamesStuckDomain)
+{
+    Kernel k;
+    std::atomic<bool> release{false};
+    std::atomic<bool> bodyDone{false};
+    std::unique_ptr<Reg<uint64_t>> a, b;
+    {
+        DomainHint ha(k, "stuck");
+        a = std::make_unique<Reg<uint64_t>>(k, "a", 0);
+    }
+    {
+        DomainHint hb(k, "fine");
+        b = std::make_unique<Reg<uint64_t>>(k, "b", 0);
+    }
+    // Keep the domains disjoint with a channel between them.
+    TimedFifo<uint64_t> chan(k, "chan", 2, 1);
+    {
+        DomainHint ha(k, "stuck");
+        k.rule("spin", [&] {
+            a->write(a->read() + 1);
+            auto t0 = std::chrono::steady_clock::now();
+            while (!release.load()) {
+                // Safety valve so a broken test cannot hang forever.
+                if (std::chrono::steady_clock::now() - t0 >
+                    std::chrono::seconds(10))
+                    break;
+                detail::cpuRelax();
+            }
+            bodyDone.store(true);
+        });
+    }
+    {
+        DomainHint hb(k, "fine");
+        k.rule("tick", [&] { b->write(b->read() + 1); });
+    }
+    k.setScheduler(SchedulerKind::Parallel);
+    k.setParallelThreads(2);
+    // Drive from the main thread only: it stays responsive at the
+    // barrier and can detect the wedged worker.
+    k.setParallelMainParticipates(false);
+    k.setBarrierTimeoutNs(50'000'000); // 50 ms
+    k.elaborate();
+    ASSERT_EQ(k.domainCount(), 2u);
+
+    bool tripped = false;
+    try {
+        k.cycle();
+    } catch (const KernelFault &f) {
+        tripped = true;
+        EXPECT_EQ(f.kind(), FaultKind::Watchdog);
+        EXPECT_NE(f.message().find("stuck"), std::string::npos)
+            << f.describe();
+    }
+    EXPECT_TRUE(tripped) << "barrier timeout never fired";
+
+    // Unwedge, then wait until every worker has finished its slice of
+    // the aborted cycle (bodyDone alone races with the worker's
+    // end-of-cycle commit bookkeeping, which must not overlap the
+    // sequential run below).
+    release.store(true);
+    auto b0 = std::chrono::steady_clock::now();
+    while (!bodyDone.load() &&
+           std::chrono::steady_clock::now() - b0 < std::chrono::seconds(30))
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    ASSERT_TRUE(bodyDone.load());
+    auto q0 = std::chrono::steady_clock::now();
+    while (!k.parallelQuiesced() &&
+           std::chrono::steady_clock::now() - q0 < std::chrono::seconds(30))
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    ASSERT_TRUE(k.parallelQuiesced());
+
+    // Graceful degradation: the sequential schedulers still work.
+    k.setScheduler(SchedulerKind::EventDriven);
+    uint64_t before = b->read();
+    k.run(3);
+    EXPECT_EQ(b->read(), before + 3);
+}
+
+// -------------------------------------------------------------- checkpoints
+
+TEST(Checkpoint, DiskRoundTripReplaysBitExactly)
+{
+    TmpFile f("roundtrip");
+    AllState d;
+    CheckpointManager ck(d.k, f.path);
+    EXPECT_FALSE(ck.hasCheckpoint());
+    EXPECT_FALSE(ck.load());
+
+    d.k.run(64);
+    ck.save();
+    EXPECT_TRUE(ck.hasCheckpoint());
+    EXPECT_EQ(ck.savedCount(), 1u);
+
+    std::vector<uint64_t> ref;
+    for (int i = 0; i < 30; i++) {
+        d.k.cycle();
+        ref.push_back(digest(d.k.snapshot()));
+    }
+
+    ASSERT_TRUE(ck.load());
+    for (int i = 0; i < 30; i++) {
+        d.k.cycle();
+        ASSERT_EQ(digest(d.k.snapshot()), ref[i])
+            << "diverged " << i + 1 << " cycles after disk restore";
+    }
+}
+
+TEST(Checkpoint, PayloadHooksCarryUserBytes)
+{
+    TmpFile f("payload");
+    AllState d;
+    CheckpointManager ck(d.k, f.path);
+    std::vector<uint8_t> stash{1, 2, 3, 42};
+    std::vector<uint8_t> got;
+    ck.setPayloadHooks([&] { return stash; },
+                       [&](const std::vector<uint8_t> &b) { got = b; });
+    d.k.run(10);
+    ck.save();
+    stash.clear();
+    ASSERT_TRUE(ck.load());
+    EXPECT_EQ(got, (std::vector<uint8_t>{1, 2, 3, 42}));
+}
+
+TEST(Checkpoint, CorruptionIsDetected)
+{
+    TmpFile f("corrupt");
+    AllState d;
+    CheckpointManager ck(d.k, f.path);
+    d.k.run(16);
+    ck.save();
+
+    // Flip one byte in the middle of the file.
+    std::fstream io(f.path,
+                    std::ios::binary | std::ios::in | std::ios::out);
+    ASSERT_TRUE(io.good());
+    io.seekg(0, std::ios::end);
+    auto size = io.tellg();
+    ASSERT_GT(size, 32);
+    io.seekp(int(size) / 2);
+    char byte = 0;
+    io.seekg(int(size) / 2);
+    io.read(&byte, 1);
+    byte ^= 0x10;
+    io.seekp(int(size) / 2);
+    io.write(&byte, 1);
+    io.close();
+
+    try {
+        ck.load();
+        FAIL() << "corrupt checkpoint loaded";
+    } catch (const KernelFault &f2) {
+        EXPECT_EQ(f2.kind(), FaultKind::Checkpoint);
+    }
+
+    // Truncation is detected too.
+    std::vector<char> head(size_t(size) / 3);
+    {
+        std::ifstream in(f.path, std::ios::binary);
+        in.read(head.data(), std::streamsize(head.size()));
+    }
+    {
+        std::ofstream out(f.path, std::ios::binary | std::ios::trunc);
+        out.write(head.data(), std::streamsize(head.size()));
+    }
+    EXPECT_THROW(ck.load(), KernelFault);
+}
+
+// ---------------------------------------------------------- HardenedRunner
+
+TEST(HardenedRunner, AbsorbsFaultAndDegradesScheduler)
+{
+    Kernel k;
+    k.setScheduler(SchedulerKind::EventDriven);
+    Reg<uint64_t> t(k, "t", 0);
+    bool armed = true;
+    k.rule("run", [&] {
+        if (armed && t.read() == 100) {
+            armed = false;
+            kfault(FaultKind::DesignError, "testmod", "injected failure");
+        }
+        t.write(t.read() + 1);
+    });
+    k.elaborate();
+
+    HardenedConfig hc;
+    hc.watchdogStallCycles = 0; // this test exercises the fault path
+    HardenedRunner hr(k, hc);
+    EXPECT_TRUE(hr.run([&] { return t.read() >= 300; }, 10000));
+    EXPECT_EQ(hr.faultRetries(), 1u);
+    ASSERT_EQ(hr.faultLog().size(), 1u);
+    EXPECT_NE(hr.faultLog()[0].find("injected failure"), std::string::npos);
+    EXPECT_EQ(k.scheduler(), SchedulerKind::Exhaustive)
+        << "EventDriven should have degraded one step";
+    EXPECT_EQ(t.read(), 300u);
+}
+
+TEST(HardenedRunner, RestoresCheckpointOnWatchdogTrip)
+{
+    TmpFile f("wdrestore");
+    // Permanently wedged after the producer cap: every retry restores
+    // the checkpoint and re-starves, so the runner must give up after
+    // maxFaultRetries and rethrow with the full fault log.
+    Wedgeable d(SchedulerKind::EventDriven, 10);
+    HardenedConfig hc;
+    hc.watchdogStallCycles = 100;
+    hc.watchdogPollEvery = 16;
+    hc.checkpointEvery = 64;
+    hc.checkpointPath = f.path;
+    hc.maxFaultRetries = 2;
+    HardenedRunner hr(d.k, hc);
+    hr.watchdog().setHeartbeat([&] { return d.consumed->read(); });
+
+    EXPECT_THROW(hr.run([] { return false; }, 100000), KernelFault);
+    EXPECT_EQ(hr.faultRetries(), 2u);
+    EXPECT_EQ(hr.faultLog().size(), 3u); // 2 absorbed + the rethrown one
+    EXPECT_GT(hr.checkpoints()->savedCount(), 0u);
+}
+
+TEST(HardenedRunner, CompletesAfterRestoreWhenFaultIsTransient)
+{
+    TmpFile f("transient");
+    Kernel k;
+    Reg<uint64_t> t(k, "t", 0);
+    bool armed = true;
+    k.rule("run", [&] {
+        if (armed && t.read() == 500) {
+            armed = false;
+            kfault(FaultKind::DesignError, "testmod", "transient blip");
+        }
+        t.write(t.read() + 1);
+    });
+    k.elaborate();
+
+    HardenedConfig hc;
+    hc.watchdogStallCycles = 0;
+    hc.checkpointEvery = 128;
+    hc.checkpointPath = f.path;
+    HardenedRunner hr(k, hc);
+    // The restore rewinds t below 500; the disarmed closure lets the
+    // replay pass. The absolute cycle budget must still be honored.
+    EXPECT_TRUE(hr.run([&] { return t.read() >= 1000; }, 100000));
+    EXPECT_EQ(t.read(), 1000u);
+    EXPECT_EQ(hr.faultRetries(), 1u);
+}
+
+// ------------------------------------------------- System crash recovery
+
+namespace {
+
+/** Order-sensitive FNV-1a digest of a commit stream. */
+struct CommitDigest
+{
+    uint64_t h = 1469598103934665603ull;
+
+    void
+    add(const riscy::CommitRecord &r)
+    {
+        auto mix = [this](uint64_t v) {
+            for (int i = 0; i < 8; i++) {
+                h ^= uint8_t(v >> (8 * i));
+                h *= 1099511628211ull;
+            }
+        };
+        mix(r.pc);
+        mix(r.raw);
+        if (r.hasRd && !r.volatileRd)
+            mix(r.rdVal);
+    }
+
+    std::vector<uint8_t>
+    bytes() const
+    {
+        std::vector<uint8_t> out(8);
+        for (int i = 0; i < 8; i++)
+            out[i] = uint8_t(h >> (8 * i));
+        return out;
+    }
+    void
+    restore(const std::vector<uint8_t> &b)
+    {
+        ASSERT_EQ(b.size(), 8u);
+        h = 0;
+        for (int i = 0; i < 8; i++)
+            h |= uint64_t(b[i]) << (8 * i);
+    }
+};
+
+riscy::test::Assembler
+storeLoadLoop()
+{
+    using namespace riscy::test;
+    Assembler a(kEntry);
+    // mem[i & 255] = checksum += mem[i & 255] + i, forever.
+    a.li(5, kEntry + 0x10000);
+    a.li(6, 0);
+    a.li(7, 0);
+    auto loop = a.newLabel();
+    a.bind(loop);
+    a.andi(28, 6, 255);
+    a.slli(28, 28, 3);
+    a.add(28, 28, 5);
+    a.ld(29, 0, 28);
+    a.add(29, 29, 6);
+    a.add(7, 7, 29);
+    a.sd(7, 0, 28);
+    a.addi(6, 6, 1);
+    a.j(loop);
+    return a;
+}
+
+} // namespace
+
+/**
+ * The crash-recovery acceptance test: a run killed mid-flight resumes
+ * from its checkpoint in a *new process-equivalent* System and ends
+ * with a commit-stream digest identical to an uninterrupted run.
+ */
+TEST(SystemRecovery, ResumeFromCheckpointMatchesUninterruptedRun)
+{
+    using namespace riscy;
+    TmpFile f("sysresume");
+    auto a = storeLoadLoop();
+    constexpr uint64_t kTotal = 24000;
+    constexpr uint64_t kKillAt = 9000;
+
+    auto mkCfg = [&](bool withCkpt) {
+        SystemConfig cfg = SystemConfig::riscyooB();
+        cfg.cores = 1;
+        cfg.scheduler = cmd::SchedulerKind::EventDriven;
+        if (withCkpt) {
+            cfg.checkpointEvery = 2000;
+            cfg.checkpointPath = f.path;
+        }
+        return cfg;
+    };
+
+    // Golden: uninterrupted.
+    CommitDigest golden;
+    {
+        System sys(mkCfg(false));
+        a.load(sys.mem(), test::kEntry);
+        sys.elaborate();
+        sys.setOnCommit(0, [&](const CommitRecord &r) { golden.add(r); });
+        sys.start(test::kEntry, 0, {test::kStackTop});
+        sys.run(kTotal);
+        EXPECT_EQ(sys.stopReason(), StopReason::MaxCycles);
+    }
+
+    // Victim: checkpoints every 2000 cycles, killed mid-flight (the
+    // System is simply destroyed; the checkpoint file survives).
+    {
+        System sys(mkCfg(true));
+        CommitDigest dig;
+        sys.setCheckpointUserHooks(
+            [&] { return dig.bytes(); },
+            [&](const std::vector<uint8_t> &b) { dig.restore(b); });
+        a.load(sys.mem(), test::kEntry);
+        sys.elaborate();
+        sys.setOnCommit(0, [&](const CommitRecord &r) { dig.add(r); });
+        sys.start(test::kEntry, 0, {test::kStackTop});
+        sys.run(kKillAt);
+    }
+
+    // Survivor: same config, restored from disk instead of start().
+    {
+        System sys(mkCfg(true));
+        CommitDigest dig;
+        sys.setCheckpointUserHooks(
+            [&] { return dig.bytes(); },
+            [&](const std::vector<uint8_t> &b) { dig.restore(b); });
+        a.load(sys.mem(), test::kEntry); // stale; overwritten by restore
+        sys.elaborate();
+        sys.setOnCommit(0, [&](const CommitRecord &r) { dig.add(r); });
+        ASSERT_TRUE(sys.restoreCheckpoint());
+        uint64_t resumedAt = sys.kernel().cycleCount();
+        EXPECT_GT(resumedAt, 0u);
+        EXPECT_LE(resumedAt, kKillAt);
+        sys.run(kTotal - resumedAt);
+        EXPECT_EQ(sys.kernel().cycleCount(), kTotal);
+        EXPECT_EQ(dig.h, golden.h)
+            << "commit stream diverged after crash recovery";
+    }
+}
+
+TEST(SystemRun, WallClockBudgetTrips)
+{
+    using namespace riscy;
+    auto a = storeLoadLoop();
+    SystemConfig cfg = SystemConfig::riscyooB();
+    cfg.cores = 1;
+    cfg.maxWallSeconds = 1;
+    System sys(cfg);
+    a.load(sys.mem(), test::kEntry);
+    sys.elaborate();
+    sys.start(test::kEntry, 0, {test::kStackTop});
+    EXPECT_FALSE(sys.run(~0ull >> 1));
+    EXPECT_EQ(sys.stopReason(), StopReason::WallClock);
+    EXPECT_STREQ(toString(sys.stopReason()), "wall-clock");
+}
