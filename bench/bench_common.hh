@@ -27,6 +27,9 @@ struct RunResult {
     uint64_t cycles = 0;
     uint64_t instret = 0;
     System::EventCounts ev;
+    /** CPI-stack JSON fragment (hart 0) when SystemConfig::obs.cpi was
+     *  on; embed into a result row with JsonObject::putRaw. */
+    std::string cpiJson;
     double ipc() const { return double(instret) / double(cycles); }
     /** Paper's single-core metric: 1 / cycle count. */
     double perf() const { return 1.0 / double(cycles); }
@@ -49,6 +52,9 @@ runOn(const SystemConfig &cfg, const Workload &w,
     r.cycles = workloads::runToCompletion(sys, img, maxCycles);
     r.instret = sys.instret(0);
     r.ev = sys.events(0);
+    sys.writeTraces();
+    if (const obs::CpiStack *cp = sys.cpi(0))
+        r.cpiJson = cp->json(r.instret);
     return r;
 }
 

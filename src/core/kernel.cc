@@ -554,6 +554,10 @@ Kernel::tryFire(detail::ExecContext &c, Rule &r)
         if (!r.guard_()) {
             r.last_ = Rule::Outcome::GuardFalse;
             r.guardAborts_.inc();
+#ifndef CMD_NO_OBS
+            if (obs_)
+                obs_->guardFailed(r, cycle_, r.domain_);
+#endif
             return false;
         }
         // The guard passed: its reads are the captured sensitivity.
@@ -582,6 +586,10 @@ Kernel::tryFire(detail::ExecContext &c, Rule &r)
             c.fastGuardFails++;
             r.last_ = Rule::Outcome::GuardFalse;
             r.guardAborts_.inc();
+#ifndef CMD_NO_OBS
+            if (obs_)
+                obs_->guardFailed(r, cycle_, r.domain_);
+#endif
         } else {
             fired = true;
         }
@@ -589,6 +597,10 @@ Kernel::tryFire(detail::ExecContext &c, Rule &r)
         c.guardThrows++;
         r.last_ = Rule::Outcome::GuardFalse;
         r.guardAborts_.inc();
+#ifndef CMD_NO_OBS
+        if (obs_)
+            obs_->guardFailed(r, cycle_, r.domain_);
+#endif
     } catch (const CmBlock &) {
         r.last_ = Rule::Outcome::CmBlocked;
         r.cmAborts_.inc();
@@ -611,6 +623,10 @@ Kernel::tryFire(detail::ExecContext &c, Rule &r)
         r.last_ = Rule::Outcome::Fired;
         r.fired_.inc();
         c.noteFired(&r, cycle_);
+#ifndef CMD_NO_OBS
+        if (obs_)
+            obs_->ruleFired(r, cycle_, r.domain_);
+#endif
     } else {
         abortRuleEffects(c);
     }
@@ -697,19 +713,28 @@ Kernel::cycle()
     if (!elaborated_)
         kfault(FaultKind::ApiMisuse, "kernel", "cycle() before elaboration");
     cycle_++;
-    if (parallelActive_)
-        return cycleParallel();
-    detail::CtxScope scope(&mainCtx_);
-    if (sched_ == SchedulerKind::Exhaustive) {
-        uint32_t fired = 0;
-        for (Rule *r : schedule_) {
-            if (tryFire(mainCtx_, *r))
-                fired++;
+    uint32_t fired = 0;
+    if (parallelActive_) {
+        fired = cycleParallel();
+    } else {
+        detail::CtxScope scope(&mainCtx_);
+        if (sched_ == SchedulerKind::Exhaustive) {
+            for (Rule *r : schedule_) {
+                if (tryFire(mainCtx_, *r))
+                    fired++;
+            }
+            mainCtx_.fired += fired;
+        } else {
+            fired = runCtxCycle(mainCtx_);
         }
-        mainCtx_.fired += fired;
-        return fired;
     }
-    return runCtxCycle(mainCtx_);
+    // Between-cycles hook: every domain is quiesced here, so the
+    // observer may read any module's state (the CPI probes do).
+#ifndef CMD_NO_OBS
+    if (obs_)
+        obs_->cycleEnd(cycle_, fired);
+#endif
+    return fired;
 }
 
 // ------------------------------------------------- parallel cycle execution
@@ -1465,7 +1490,15 @@ Kernel::diagnosticReport() const
         os << "channel " << p->channelName() << ": occupancy "
            << p->occupancy() << "/" << p->channelCapacity() << '\n';
     }
-    return os.str();
+    std::string out = os.str();
+#ifndef CMD_NO_OBS
+    // The observability flight recorder (obs::RuleTimeline) appends
+    // its last-N-events tail here, so KernelFault crash dumps that
+    // embed diagnosticReport() carry it automatically.
+    if (obs_)
+        obs_->appendDiagnostics(out);
+#endif
+    return out;
 }
 
 std::vector<uint8_t>
@@ -1515,59 +1548,149 @@ Kernel::restore(const std::vector<uint8_t> &snap)
     }
 }
 
+const char *
+toString(Rule::Outcome o)
+{
+    switch (o) {
+      case Rule::Outcome::NotTried:
+        return "not-tried";
+      case Rule::Outcome::Disabled:
+        return "disabled";
+      case Rule::Outcome::GuardFalse:
+        return "guard-false";
+      case Rule::Outcome::CmBlocked:
+        return "cm-blocked";
+      case Rule::Outcome::Fired:
+        return "fired";
+      case Rule::Outcome::Sleeping:
+        return "sleeping";
+    }
+    return "?";
+}
+
+KernelReport
+Kernel::report() const
+{
+    KernelReport rep;
+    rep.scheduler = "exhaustive";
+    if (sched_ == SchedulerKind::EventDriven)
+        rep.scheduler = "event-driven";
+    else if (sched_ == SchedulerKind::Parallel)
+        rep.scheduler = "parallel";
+    rep.cycle = cycle_;
+    rep.domains = domainCount_;
+    rep.attempts = ruleAttemptCount();
+    rep.sleepSkips = sleepSkipCount();
+    rep.sleeps = sleepCount();
+    rep.wakes = wakeCount();
+    rep.guardThrows = guardThrowCount();
+    rep.fastGuardFails = fastGuardFailCount();
+    rep.rules.reserve(schedule_.size());
+    for (const Rule *r : schedule_) {
+        KernelReport::RuleLine line;
+        line.name = r->name();
+        line.outcome = toString(r->last_);
+        line.fired = r->firedCount();
+        line.guardAborts = r->guardAbortCount();
+        line.cmAborts = r->cmAbortCount();
+        line.domain = r->domain_;
+        rep.rules.push_back(std::move(line));
+    }
+    if (sched_ == SchedulerKind::Parallel) {
+        rep.threads = effectiveThreads();
+        rep.parallelCycles = parallelCycles_;
+        rep.barrierWaitNs = barrierWaitNs_;
+        for (const detail::ExecContext &c : ctxs_) {
+            KernelReport::DomainLine d;
+            d.id = c.domainId;
+            d.name = domainName(c.domainId);
+            d.rules = c.sched.size();
+            d.attempts = c.attempts;
+            d.fired = c.fired;
+            d.sleeps = c.sleeps;
+            d.wakes = c.wakes;
+            d.sleepSkips = c.sleepSkips;
+            d.execNs = c.execNs;
+            rep.domainLines.push_back(std::move(d));
+        }
+    }
+    return rep;
+}
+
 std::string
-Kernel::progressReport() const
+KernelReport::text() const
 {
     std::ostringstream os;
-    for (const Rule *r : schedule_) {
-        const char *o = "?";
-        switch (r->last_) {
-          case Rule::Outcome::NotTried:
-            o = "not-tried";
-            break;
-          case Rule::Outcome::Disabled:
-            o = "disabled";
-            break;
-          case Rule::Outcome::GuardFalse:
-            o = "guard-false";
-            break;
-          case Rule::Outcome::CmBlocked:
-            o = "cm-blocked";
-            break;
-          case Rule::Outcome::Fired:
-            o = "fired";
-            break;
-          case Rule::Outcome::Sleeping:
-            o = "sleeping";
-            break;
-        }
-        os << r->name() << ": last=" << o << " fired=" << r->firedCount()
-           << " guardAborts=" << r->guardAbortCount()
-           << " cmAborts=" << r->cmAbortCount() << '\n';
+    for (const RuleLine &r : rules) {
+        os << r.name << ": last=" << r.outcome << " fired=" << r.fired
+           << " guardAborts=" << r.guardAborts << " cmAborts=" << r.cmAborts
+           << '\n';
     }
-    const char *kind = "exhaustive";
-    if (sched_ == SchedulerKind::EventDriven)
-        kind = "event-driven";
-    else if (sched_ == SchedulerKind::Parallel)
-        kind = "parallel";
-    os << "scheduler: kind=" << kind << " domains=" << domainCount_
-       << " attempts=" << ruleAttemptCount()
-       << " sleepSkips=" << sleepSkipCount() << " sleeps=" << sleepCount()
-       << " wakes=" << wakeCount() << " guardThrows=" << guardThrowCount()
-       << " fastGuardFails=" << fastGuardFailCount() << '\n';
-    if (sched_ == SchedulerKind::Parallel) {
-        os << "parallel: threads=" << effectiveThreads()
-           << " cycles=" << parallelCycles_
-           << " barrierWaitNs=" << barrierWaitNs_ << '\n';
-        for (const detail::ExecContext &c : ctxs_) {
-            os << "domain " << c.domainId << ": rules=" << c.sched.size()
-               << " attempts=" << c.attempts << " fired=" << c.fired
-               << " sleeps=" << c.sleeps << " wakes=" << c.wakes
-               << " sleepSkips=" << c.sleepSkips << " execNs=" << c.execNs
+    os << "scheduler: kind=" << scheduler << " domains=" << domains
+       << " attempts=" << attempts << " sleepSkips=" << sleepSkips
+       << " sleeps=" << sleeps << " wakes=" << wakes
+       << " guardThrows=" << guardThrows
+       << " fastGuardFails=" << fastGuardFails << '\n';
+    if (threads) {
+        os << "parallel: threads=" << threads << " cycles=" << parallelCycles
+           << " barrierWaitNs=" << barrierWaitNs << '\n';
+        for (const DomainLine &d : domainLines) {
+            os << "domain " << d.id << ": rules=" << d.rules
+               << " attempts=" << d.attempts << " fired=" << d.fired
+               << " sleeps=" << d.sleeps << " wakes=" << d.wakes
+               << " sleepSkips=" << d.sleepSkips << " execNs=" << d.execNs
                << '\n';
         }
     }
     return os.str();
+}
+
+std::string
+KernelReport::json() const
+{
+    std::ostringstream os;
+    os << "{\"scheduler\": \"" << scheduler << "\", \"cycle\": " << cycle
+       << ", \"domains\": " << domains << ", \"attempts\": " << attempts
+       << ", \"sleep_skips\": " << sleepSkips << ", \"sleeps\": " << sleeps
+       << ", \"wakes\": " << wakes << ", \"guard_throws\": " << guardThrows
+       << ", \"fast_guard_fails\": " << fastGuardFails;
+    if (threads) {
+        os << ", \"threads\": " << threads
+           << ", \"parallel_cycles\": " << parallelCycles
+           << ", \"barrier_wait_ns\": " << barrierWaitNs;
+    }
+    os << ", \"rules\": [";
+    for (size_t i = 0; i < rules.size(); i++) {
+        const RuleLine &r = rules[i];
+        os << (i ? ", " : "") << "{\"name\": \"" << jsonEscape(r.name)
+           << "\", \"last\": \"" << r.outcome << "\", \"fired\": " << r.fired
+           << ", \"guard_aborts\": " << r.guardAborts
+           << ", \"cm_aborts\": " << r.cmAborts
+           << ", \"domain\": " << r.domain << "}";
+    }
+    os << "]";
+    if (!domainLines.empty()) {
+        os << ", \"domain_detail\": [";
+        for (size_t i = 0; i < domainLines.size(); i++) {
+            const DomainLine &d = domainLines[i];
+            os << (i ? ", " : "") << "{\"id\": " << d.id << ", \"name\": \""
+               << jsonEscape(d.name) << "\", \"rules\": " << d.rules
+               << ", \"attempts\": " << d.attempts
+               << ", \"fired\": " << d.fired << ", \"sleeps\": " << d.sleeps
+               << ", \"wakes\": " << d.wakes
+               << ", \"sleep_skips\": " << d.sleepSkips
+               << ", \"exec_ns\": " << d.execNs << "}";
+        }
+        os << "]";
+    }
+    os << "}";
+    return os.str();
+}
+
+std::string
+Kernel::progressReport() const
+{
+    return report().text();
 }
 
 void
@@ -1575,6 +1698,13 @@ Kernel::dumpStats(std::ostream &os) const
 {
     for (const Module *m : modules_)
         const_cast<Module *>(m)->stats().dump(os, m->name());
+}
+
+void
+Kernel::resetAllStats()
+{
+    for (Module *m : modules_)
+        m->stats().resetAll();
 }
 
 } // namespace cmd

@@ -190,6 +190,102 @@ class ChannelPort
     virtual bool faultDelayHead(uint32_t extraCycles) = 0;
 };
 
+/**
+ * Observer of the kernel's fire/commit path — the hook layer the
+ * observability subsystem (src/obs) plugs into. At most one observer
+ * is installed per kernel; every hook site is a single null-pointer
+ * check when no observer is installed, and compiles out entirely when
+ * CMD_NO_OBS is defined (the REPRO_DISABLE_OBS CMake option), so the
+ * hot path is provably unaffected by disabled tracing.
+ *
+ * Threading contract: ruleFired/guardFailed run on whichever thread
+ * executes the rule — under SchedulerKind::Parallel that is the
+ * domain's worker thread, so implementations must only touch state
+ * owned by the rule's domain (@p domain is the rule's elaborated
+ * domain, stable across schedulers). cycleEnd and appendDiagnostics
+ * run on the driving thread between cycles.
+ */
+class KernelObserver
+{
+  public:
+    virtual ~KernelObserver() = default;
+
+    /** @p r committed its effects this cycle. */
+    virtual void ruleFired(const Rule &r, uint64_t cycle, uint32_t domain)
+    {
+        (void)r;
+        (void)cycle;
+        (void)domain;
+    }
+    /** @p r was attempted and aborted on a false guard. */
+    virtual void guardFailed(const Rule &r, uint64_t cycle, uint32_t domain)
+    {
+        (void)r;
+        (void)cycle;
+        (void)domain;
+    }
+    /** End of Kernel::cycle(); @p fired rules committed in it. */
+    virtual void cycleEnd(uint64_t cycle, uint32_t fired)
+    {
+        (void)cycle;
+        (void)fired;
+    }
+    /** Extra text for Kernel::diagnosticReport() (crash dumps). */
+    virtual void appendDiagnostics(std::string &out) const { (void)out; }
+};
+
+/**
+ * Machine-readable snapshot of the scheduler's progress state: what
+ * progressReport() used to render straight to text. Built from the
+ * per-rule outcome/counter state plus the per-context scheduler
+ * counters; render with text() (the human format) or json().
+ */
+struct KernelReport
+{
+    struct RuleLine
+    {
+        std::string name;
+        const char *outcome; ///< toString(Rule::Outcome)
+        uint64_t fired = 0;
+        uint64_t guardAborts = 0;
+        uint64_t cmAborts = 0;
+        uint32_t domain = 0;
+    };
+    struct DomainLine
+    {
+        uint32_t id = 0;
+        std::string name;
+        uint64_t rules = 0;
+        uint64_t attempts = 0;
+        uint64_t fired = 0;
+        uint64_t sleeps = 0;
+        uint64_t wakes = 0;
+        uint64_t sleepSkips = 0;
+        uint64_t execNs = 0;
+    };
+
+    const char *scheduler = "exhaustive";
+    uint64_t cycle = 0;
+    uint32_t domains = 1;
+    uint64_t attempts = 0;
+    uint64_t sleepSkips = 0;
+    uint64_t sleeps = 0;
+    uint64_t wakes = 0;
+    uint64_t guardThrows = 0;
+    uint64_t fastGuardFails = 0;
+    // Parallel-scheduler extras (threads == 0 otherwise):
+    uint32_t threads = 0;
+    uint64_t parallelCycles = 0;
+    uint64_t barrierWaitNs = 0;
+    std::vector<RuleLine> rules;
+    std::vector<DomainLine> domainLines;
+
+    /** The historical progressReport() text format. */
+    std::string text() const;
+    /** One JSON object (rules array + scheduler counters). */
+    std::string json() const;
+};
+
 namespace detail {
 /// Kernel currently executing a rule or atomic action on this thread;
 /// lets requireFast() report a guard failure without a throw.
@@ -669,6 +765,10 @@ class Rule
     /** True while the event-driven scheduler has this rule asleep. */
     bool asleep() const { return asleep_; }
 
+    /** Position in the elaborated schedule (valid after elaborate();
+     *  stable per-run id, used by the observability timeline). */
+    uint32_t schedPos() const { return schedPos_; }
+
   private:
     friend class Kernel;
 
@@ -702,6 +802,9 @@ class Rule
     detail::ExecContext *ctx_ = nullptr;
     uint32_t ctxPos_ = 0; ///< position in ctx_->sched
 };
+
+/** Printable name of a rule outcome ("fired", "guard-false", ...). */
+const char *toString(Rule::Outcome o);
 
 /**
  * The simulation kernel: owns the rule schedule and drives cycles.
@@ -882,11 +985,34 @@ class Kernel
      */
     std::string diagnosticReport() const;
 
+    /**
+     * Structured scheduler-progress report (per-rule outcomes and
+     * counters, per-domain scheduler state). progressReport() is its
+     * text rendering; report().json() the machine-readable one.
+     */
+    KernelReport report() const;
+
     /** Human-readable report of each rule's last outcome and stats. */
     std::string progressReport() const;
 
+    /**
+     * Install (or, with null, remove) the fire/commit-path observer.
+     * At most one; the caller keeps ownership and must remove it
+     * before destroying it. Install between cycles only.
+     */
+    void setObserver(KernelObserver *o) { obs_ = o; }
+    KernelObserver *observer() const { return obs_; }
+
     /** Dump every module's statistics group. */
     void dumpStats(std::ostream &os) const;
+
+    /**
+     * Reset every module's statistics group (counters + histograms;
+     * formulas are recomputed on read). Supports warmup windows: run
+     * N cycles, resetAllStats(), measure. Architectural state is
+     * untouched.
+     */
+    void resetAllStats();
 
     // ---- framework-internal interface (used by Method/State/Module)
     void registerState(StateBase *s);
@@ -996,6 +1122,7 @@ class Kernel
 
     bool elaborated_ = false;
     uint64_t cycle_ = 0;
+    KernelObserver *obs_ = nullptr;
 
     // Scheduler state:
     SchedulerKind sched_ = SchedulerKind::Exhaustive;

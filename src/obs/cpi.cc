@@ -1,0 +1,91 @@
+#include "obs/cpi.hh"
+
+#include <cstdio>
+
+namespace obs {
+
+const char *
+toString(StallCause c)
+{
+    switch (c) {
+      case StallCause::Base:
+        return "base";
+      case StallCause::Frontend:
+        return "frontend";
+      case StallCause::BranchMispredict:
+        return "branch_mispredict";
+      case StallCause::RobFull:
+        return "rob_full";
+      case StallCause::IqFull:
+        return "iq_full";
+      case StallCause::LsqFull:
+        return "lsq_full";
+      case StallCause::DMiss:
+        return "d_miss";
+      case StallCause::TlbMiss:
+        return "tlb_miss";
+      case StallCause::Serialization:
+        return "serialization";
+    }
+    return "?";
+}
+
+void
+CpiStack::exportStats(cmd::StatGroup &g,
+                      const std::function<uint64_t()> &instret) const
+{
+    for (uint32_t i = 0; i < kNumStallCauses; i++) {
+        g.counter(std::string("cpi.") + toString(StallCause(i)))
+            .set(counts_[i]);
+    }
+    g.counter("cpi.total_cycles").set(cycles_);
+    const CpiStack *self = this;
+    g.formula("ipc", [self, instret] {
+        return self->cycles_ ? double(instret()) / double(self->cycles_)
+                             : 0.0;
+    });
+}
+
+std::string
+CpiStack::json(uint64_t instret) const
+{
+    std::string out = "{";
+    for (uint32_t i = 0; i < kNumStallCauses; i++) {
+        out += '"';
+        out += toString(StallCause(i));
+        out += "\": ";
+        out += std::to_string(counts_[i]);
+        out += ", ";
+    }
+    out += "\"total_cycles\": " + std::to_string(cycles_);
+    if (instret) {
+        out += ", \"instret\": " + std::to_string(instret);
+        if (cycles_) {
+            out += ", \"ipc\": " +
+                   cmd::jsonDouble(double(instret) / double(cycles_));
+            out += ", \"cpi\": " +
+                   cmd::jsonDouble(double(cycles_) / double(instret));
+        }
+    }
+    out += "}";
+    return out;
+}
+
+std::string
+CpiStack::summary() const
+{
+    std::string out;
+    char buf[64];
+    for (uint32_t i = 0; i < kNumStallCauses; i++) {
+        std::snprintf(buf, sizeof(buf), "%s%s=%llu", i ? " " : "",
+                      toString(StallCause(i)),
+                      (unsigned long long)counts_[i]);
+        out += buf;
+    }
+    std::snprintf(buf, sizeof(buf), " total=%llu",
+                  (unsigned long long)cycles_);
+    out += buf;
+    return out;
+}
+
+} // namespace obs

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Top-down CPI stacks: commit-point attribution of every cycle to one
+ * cause. The accounting is exhaustive and exclusive by construction —
+ * each sampled cycle lands in exactly one bucket, so the components
+ * always sum to the total sampled cycles (the conservation property
+ * the tests assert).
+ *
+ * The classification itself lives with the core (OooCore::cpiSample):
+ * it needs commit-point visibility (ROB head, LSQ head state, rename
+ * backpressure) that only the core has. This file is the dumb,
+ * core-agnostic accumulator plus naming and JSON rendering.
+ */
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "core/stats.hh"
+
+namespace obs {
+
+/**
+ * Why a cycle failed to commit (or committed). Commit-point ("blame
+ * the oldest instruction") taxonomy:
+ *  - Base: at least one instruction committed, or the head is merely
+ *    flowing through execution latency / dependency chains with no
+ *    structural or miss condition to blame.
+ *  - Frontend: the ROB ran empty with no recovery in progress — fetch
+ *    (I-cache, ITLB, fetch bandwidth) starved the backend.
+ *  - BranchMispredict: ROB empty while refilling after a mispredict
+ *    redirect.
+ *  - RobFull / IqFull / LsqFull: the head is waiting on execution and
+ *    the corresponding structure is exerting rename backpressure.
+ *  - DMiss: the head is a memory op waiting on the data cache (or an
+ *    MMIO/atomic access at commit).
+ *  - TlbMiss: the head is a memory op waiting on translation.
+ *  - Serialization: flush recovery other than a branch mispredict
+ *    (CSR/fence/satp/load-order-kill), a serialized instruction
+ *    holding rename, or a done head blocked from committing.
+ */
+enum class StallCause : uint8_t {
+    Base,
+    Frontend,
+    BranchMispredict,
+    RobFull,
+    IqFull,
+    LsqFull,
+    DMiss,
+    TlbMiss,
+    Serialization,
+};
+
+constexpr uint32_t kNumStallCauses = 9;
+
+const char *toString(StallCause c);
+
+/** Per-core CPI-stack accumulator. */
+class CpiStack
+{
+  public:
+    void
+    attribute(StallCause c)
+    {
+        counts_[uint32_t(c)]++;
+        cycles_++;
+    }
+
+    /** Warmup-window reset (System::statsResetAtCycle). */
+    void
+    reset()
+    {
+        counts_.fill(0);
+        cycles_ = 0;
+    }
+
+    uint64_t cycles() const { return cycles_; }
+    uint64_t count(StallCause c) const { return counts_[uint32_t(c)]; }
+
+    /** Sum of all components (== cycles() by construction). */
+    uint64_t
+    total() const
+    {
+        uint64_t t = 0;
+        for (uint64_t c : counts_)
+            t += c;
+        return t;
+    }
+
+    /** Register the stack as counters on a stats group ("cpi.<cause>")
+     *  plus an ipc formula, so it rides every stats dump path. */
+    void exportStats(cmd::StatGroup &g,
+                     const std::function<uint64_t()> &instret) const;
+
+    /**
+     * JSON object: per-cause cycle counts, total, and (when @p instret
+     * is nonzero) ipc/cpi — the fragment bench_common embeds into
+     * BENCH_*.json result rows.
+     */
+    std::string json(uint64_t instret = 0) const;
+
+    /** One-line human summary: "base=.. frontend=.. ... total=..". */
+    std::string summary() const;
+
+  private:
+    std::array<uint64_t, kNumStallCauses> counts_{};
+    uint64_t cycles_ = 0;
+};
+
+} // namespace obs

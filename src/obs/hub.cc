@@ -1,0 +1,84 @@
+#include "obs/hub.hh"
+
+namespace obs {
+
+ObsHub::ObsHub(cmd::Kernel &k, const ObsConfig &cfg, uint32_t numCores)
+    : k_(k), cfg_(cfg)
+{
+    // The timeline doubles as the crash-dump flight recorder, so it
+    // exists whenever a hub does; the file sink (event retention) is
+    // sized to zero when timeline tracing is off.
+    timeline_ = std::make_unique<RuleTimeline>(
+        k, cfg_.timeline ? cfg_.maxTimelineEvents : 0,
+        cfg_.timeline && cfg_.timelineGuardFails);
+
+    pipes_.resize(numCores);
+    cpis_.resize(numCores);
+    for (uint32_t h = 0; h < numCores; h++) {
+        if (cfg_.pipeline && cfg_.traceCore(h))
+            pipes_[h] =
+                std::make_unique<PipelineTracer>(h, cfg_.maxPipelineUops);
+        if (cfg_.cpi && cfg_.traceCore(h))
+            cpis_[h] = std::make_unique<CpiStack>();
+    }
+    k_.setObserver(this);
+}
+
+ObsHub::~ObsHub()
+{
+    finish();
+    if (k_.observer() == this)
+        k_.setObserver(nullptr);
+}
+
+bool
+ObsHub::finish()
+{
+    if (finished_)
+        return true;
+    finished_ = true;
+    bool ok = true;
+    // An empty path means record-only (overhead measurement, tests
+    // reading the in-memory buffers): nothing is written.
+    if (cfg_.pipeline && !cfg_.pipelinePath.empty()) {
+        std::vector<const PipelineTracer *> cores;
+        for (const auto &p : pipes_) {
+            if (p)
+                cores.push_back(p.get());
+        }
+        ok &= KonataWriter::writeFile(cfg_.pipelinePath, cores);
+    }
+    if (cfg_.timeline && !cfg_.timelinePath.empty())
+        ok &= timeline_->writeFile(cfg_.timelinePath);
+    return ok;
+}
+
+void
+ObsHub::ruleFired(const cmd::Rule &r, uint64_t cycle, uint32_t domain)
+{
+    timeline_->record(r, cycle, domain, false);
+}
+
+void
+ObsHub::guardFailed(const cmd::Rule &r, uint64_t cycle, uint32_t domain)
+{
+    if (cfg_.timeline && cfg_.timelineGuardFails)
+        timeline_->record(r, cycle, domain, true);
+}
+
+void
+ObsHub::cycleEnd(uint64_t cycle, uint32_t fired)
+{
+    (void)fired;
+    if (postHook_)
+        postHook_(cycle);
+}
+
+void
+ObsHub::appendDiagnostics(std::string &out) const
+{
+    out += "\n";
+    out += timeline_->flightRecorderText();
+}
+
+} // namespace obs

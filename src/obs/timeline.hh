@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Rule/domain timeline tracing: which rule fired when, in which
+ * domain, rendered as Chrome/Perfetto trace-event JSON (open the file
+ * in ui.perfetto.dev or chrome://tracing). One timeline serves all
+ * three SchedulerKinds; each partition domain becomes a named track.
+ *
+ * Thread-safety: events are appended into per-domain buffers indexed
+ * by the rule's *elaborated* domain. Under the parallel scheduler each
+ * domain is driven by exactly one worker per cycle, so every buffer
+ * has a single writer; under the sequential schedulers everything runs
+ * on the driving thread. No locks needed.
+ *
+ * Determinism: within one (domain, cycle) all three schedulers fire
+ * rules in increasing schedule position, so per-domain buffers fill in
+ * the canonical order (cycle, schedule position) without sorting, and
+ * the exported JSON is byte-identical across schedulers (for fire
+ * events; guard-fail recording is opt-in because attempt patterns are
+ * scheduler-specific).
+ *
+ * The last-N fire events per domain also feed an always-on flight
+ * recorder that Kernel::diagnosticReport() appends to KernelFault
+ * crash dumps.
+ */
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace cmd {
+class Kernel;
+class Rule;
+} // namespace cmd
+
+namespace obs {
+
+class RuleTimeline
+{
+  public:
+    /** Build after Kernel::elaborate() (needs domains + schedule). */
+    RuleTimeline(const cmd::Kernel &k, uint64_t maxEventsPerDomain,
+                 bool recordGuardFails);
+
+    /** Hook target; called from KernelObserver::ruleFired/guardFailed
+     *  with @p domain = the rule's elaborated domain. */
+    void record(const cmd::Rule &r, uint64_t cycle, uint32_t domain,
+                bool guardFail);
+
+    /** Chrome trace-event JSON ({"traceEvents": [...]}). */
+    bool write(std::ostream &os) const;
+    bool writeFile(const std::string &path) const;
+
+    /** Last ~64 fire events across all domains, newest last — the
+     *  crash-dump flight recorder. */
+    std::string flightRecorderText() const;
+
+    uint64_t recorded() const;
+    uint64_t dropped() const;
+
+  private:
+    struct Ev {
+        uint64_t cycle;
+        uint32_t schedPos; ///< position in the elaborated schedule
+        bool guardFail;
+    };
+
+    struct DomainBuf {
+        std::vector<Ev> events;
+        uint64_t droppedEvents = 0;
+        // Always-on ring of the most recent fires (cheap: fixed size).
+        std::vector<Ev> flight;
+        size_t flightNext = 0;
+        uint64_t flightCount = 0;
+    };
+
+    static constexpr size_t kFlightRing = 64;
+
+    const cmd::Kernel &k_;
+    uint64_t maxEvents_;
+    bool guardFails_;
+    std::vector<DomainBuf> bufs_;
+    /// rule names indexed by schedule position (stable post-elab)
+    std::vector<std::string> ruleNames_;
+};
+
+} // namespace obs

@@ -30,6 +30,8 @@ struct RobEntry {
     bool ldKilled = false;  ///< memory-order violation: flush at commit
     bool isMmio = false;    ///< non-speculative access at commit
     bool atCommitSent = false;
+    /// fetch cycle of the instruction (fetch-to-commit latency stat)
+    uint64_t fetchCycle = 0;
 };
 
 class Rob : public cmd::Module

@@ -23,6 +23,18 @@ struct Uop {
     uint8_t epoch = 0;     ///< fetch epoch (wrong-path filtering)
     uint16_t ghist = 0;    ///< global-history snapshot for the predictor
 
+    /**
+     * Stable per-core trace sequence id (obs::PipelineTracer); 0 when
+     * the uop is untraced. Assigned at rename — only when pipeline
+     * tracing is enabled, so untraced runs keep bit-identical state
+     * snapshots with pre-tracing builds.
+     */
+    uint64_t seq = 0;
+    /// cycle the fetch request for this uop was issued (doFetch1)
+    uint64_t fetchCycle = 0;
+    /// cycle the uop entered the instruction queue (doFetch3)
+    uint64_t decodeCycle = 0;
+
     // Filled at rename:
     PhysReg ps1 = 0, ps2 = 0, pd = 0, stalePd = 0;
     bool hasPd = false;

@@ -10,6 +10,7 @@
 
 #include "cache/hierarchy.hh"
 #include "core/kernel.hh"
+#include "obs/obs_config.hh"
 #include "ooo/iq.hh"
 #include "tlb/tlb.hh"
 
@@ -84,6 +85,17 @@ struct SystemConfig {
      * in nanoseconds; 0 disables.
      */
     uint64_t barrierTimeoutNs = 0;
+
+    // ---- observability (see obs/obs_config.hh and System::elaborate)
+    /** Trace/attribution sinks: Konata pipeline traces, Perfetto rule
+     *  timelines, top-down CPI stacks. All off by default. */
+    obs::ObsConfig obs;
+    /**
+     * Warmup window: reset every stats group (counters, histograms)
+     * and the CPI stacks once the kernel reaches this cycle, so
+     * post-warmup stats exclude cold caches/predictors. 0 disables.
+     */
+    uint64_t statsResetAtCycle = 0;
 
     CoreConfig core;
     MemHierarchyConfig mem;

@@ -24,6 +24,37 @@ memId(bool isLq, uint8_t idx)
 
 } // namespace
 
+/*
+ * Pipeline-trace hook sites. Placement rule: hooks go at the END of a
+ * rule body, after the last statement that could abort (an implicit
+ * guard failing mid-body rolls the kernel state back but would NOT
+ * roll back tracer records, and abort patterns are scheduler-specific
+ * — a phantom event would break the byte-identical-across-schedulers
+ * guarantee the determinism tests enforce). Disabled cost is one
+ * null-pointer test; CMD_NO_OBS removes even that.
+ */
+#ifndef CMD_NO_OBS
+#define OBS_STAGE(seq, st)                                                 \
+    do {                                                                   \
+        if (tracer_)                                                       \
+            tracer_->stage((seq), obs::Stage::st, k_.cycleCount());        \
+    } while (0)
+#define OBS_RETIRE(robIdx)                                                 \
+    do {                                                                   \
+        if (tracer_)                                                       \
+            tracer_->retire(robSeq_[robIdx], k_.cycleCount());             \
+    } while (0)
+#else
+#define OBS_STAGE(seq, st)                                                 \
+    do {                                                                   \
+        (void)(seq);                                                       \
+    } while (0)
+#define OBS_RETIRE(robIdx)                                                 \
+    do {                                                                   \
+        (void)(robIdx);                                                    \
+    } while (0)
+#endif
+
 OooCore::OooCore(Kernel &k, const std::string &name, uint32_t hartId,
                  const CoreConfig &cfg, L1Cache &icache, L1Cache &dcache,
                  UncachedPort &walkPort, HostDevice &host)
@@ -50,6 +81,11 @@ OooCore::OooCore(Kernel &k, const std::string &name, uint32_t hartId,
     committedLoads_ = &meta_->stats().counter("committedLoads");
     committedStores_ = &meta_->stats().counter("committedStores");
     committedAmos_ = &meta_->stats().counter("committedAmos");
+    // Occupancy sampled by obsCycle() (only when observability is on);
+    // fetch-to-commit latency sampled at every commit.
+    robOccupancy_ = &meta_->stats().histogram("robOccupancy", 0,
+                                              cfg.robSize + 1, 16);
+    fetchToCommit_ = &meta_->stats().histogram("fetchToCommit", 0, 512, 32);
 
     epoch_ = std::make_unique<EpochManager>(k, name + ".epoch");
     btb_ = std::make_unique<Btb>(k, name + ".btb", cfg.btbEntries);
@@ -485,6 +521,7 @@ OooCore::doFetch1()
     fr.n = static_cast<uint8_t>(n);
     fr.epoch = epoch_->current();
     fr.seq = fetchSeq_.read();
+    fr.fetchCycle = k_.cycleCount();
     if (kTrace) {
         fprintf(stderr, "[%llu] fetch1 pc=%llx n=%u next=%llx ep=%u "
                 "seq=%u\n",
@@ -547,6 +584,8 @@ OooCore::doFetch3()
         u.predNext = fr.pc + 4;
         u.preException = true;
         u.preCause = static_cast<uint8_t>(Cause::FetchPageFault);
+        u.fetchCycle = fr.fetchCycle;
+        u.decodeCycle = k_.cycleCount();
         instQ_->enqGroup(&u, 1);
         f3q_->deq();
         return;
@@ -569,6 +608,8 @@ OooCore::doFetch3()
         u.pc = pc;
         u.epoch = fr.epoch;
         u.ghist = ghr;
+        u.fetchCycle = fr.fetchCycle;
+        u.decodeCycle = k_.cycleCount();
         u.inst = decode(raw);
         u.inst.raw = raw;
         const Inst &ins = u.inst;
@@ -635,6 +676,15 @@ OooCore::doRename()
     uint32_t qn = instQ_->size();
     uint32_t consumed = 0;
     uint32_t m = 0;
+#ifndef CMD_NO_OBS
+    // Trace seq ids are pre-assigned from the tracer's next-id so the
+    // Uop copies entering the issue queues below carry them; the
+    // actual create() calls happen at the end of the body (see the
+    // hook-placement comment at the top of this file) and hand back
+    // exactly these ids.
+    const uint64_t seqBase = tracer_ ? tracer_->created() : 0;
+    uint32_t traceN = 0;
+#endif
 
     RobEntry entries[kMaxWidth];
     struct Placed {
@@ -713,7 +763,14 @@ OooCore::doRename()
                     allocCount++;
                 }
             }
+            e.fetchCycle = u.fetchCycle;
+            u.rob = rob_->enqIndex(0);
+#ifndef CMD_NO_OBS
+            if (tracer_)
+                u.seq = seqBase + ++traceN;
+#endif
             entries[0] = e;
+            placed[0] = {u, 0, false, false};
             serialPending_.write(true);
             m = 1;
             consumed++;
@@ -808,6 +865,11 @@ OooCore::doRename()
         e.specMask = u.specMask;
         e.specTag = u.specTag;
         e.hasSpecTag = u.hasSpecTag;
+        e.fetchCycle = u.fetchCycle;
+#ifndef CMD_NO_OBS
+        if (tracer_)
+            u.seq = seqBase + ++traceN;
+#endif
         entries[m] = e;
         placed[m] = {u, iq, rdy1, rdy2};
         if (kTrace) {
@@ -877,6 +939,26 @@ OooCore::doRename()
         rob_->enqGroup(entries, 1);
     }
     instQ_->deqN(consumed);
+
+#ifndef CMD_NO_OBS
+    if (tracer_ && m > 0) {
+        const uint64_t now = k_.cycleCount();
+        for (uint32_t i = 0; i < m; i++) {
+            const Uop &u = placed[i].u;
+            // Returns the pre-assigned u.seq, or 0 once the trace cap
+            // is hit (then every later call on this id is a no-op).
+            uint64_t s = tracer_->create(u.pc, opName(u.inst.op),
+                                         u.fetchCycle, u.decodeCycle);
+            tracer_->stage(s, obs::Stage::Rename, now);
+            tracer_->setSpecMask(s, u.specMask);
+            robSeq_[u.rob] = s;
+            if (u.inst.isLq())
+                tracer_->mapLq(u.lsqIdx, s);
+            else if (u.inst.isSq())
+                tracer_->mapSq(u.lsqIdx, s);
+        }
+    }
+#endif
 }
 
 // --------------------------------------------------------- ALU pipelines
@@ -907,7 +989,9 @@ OooCore::readOperands(Uop &u)
 void
 OooCore::doIssue(uint32_t p)
 {
-    aluRrq_[p]->enq(aluIq_[p]->issue());
+    Uop u = aluIq_[p]->issue();
+    aluRrq_[p]->enq(u);
+    OBS_STAGE(u.seq, Issue);
 }
 
 void
@@ -917,6 +1001,7 @@ OooCore::doRegRead(uint32_t p)
     require(readOperands(u));
     aluExq_[p]->enq(u);
     aluRrq_[p]->deq();
+    OBS_STAGE(u.seq, RegRead);
 }
 
 void
@@ -994,6 +1079,9 @@ OooCore::doExec(uint32_t p)
     uint64_t res = 0;
     uint64_t actualNext = u.pc + 4;
     bool taken = false;
+#ifndef CMD_NO_OBS
+    SpecMask deadForObs = 0; // squashed mask, recorded at body end
+#endif
 
     if (ins.isBranch()) {
         taken = branchTaken(ins, u.a, u.b);
@@ -1035,6 +1123,9 @@ OooCore::doExec(uint32_t p)
                 fetchGhr_.write(static_cast<uint16_t>(
                     (u.ghist << 1) | (taken ? 1 : 0)));
                 mispredicts_->inc();
+#ifndef CMD_NO_OBS
+                deadForObs = dead;
+#endif
             } else {
                 specMgr_->commit(u.specTag);
                 applyCorrectSpec(bit);
@@ -1058,6 +1149,14 @@ OooCore::doExec(uint32_t p)
     u.a = res;
     aluWbq_[p]->enq(u);
     aluExq_[p]->deq();
+    OBS_STAGE(u.seq, Execute);
+#ifndef CMD_NO_OBS
+    if (deadForObs) {
+        mispredRecover_ = true;
+        if (tracer_)
+            tracer_->squashMask(deadForObs, k_.cycleCount());
+    }
+#endif
 }
 
 void
@@ -1070,6 +1169,7 @@ OooCore::doRegWrite(uint32_t p)
     }
     rob_->markDone(u.rob);
     aluWbq_[p]->deq();
+    OBS_STAGE(u.seq, Writeback);
 }
 
 // ------------------------------------------------------------ MULDIV pipe
@@ -1077,7 +1177,9 @@ OooCore::doRegWrite(uint32_t p)
 void
 OooCore::doIssueMd()
 {
-    mdRrq_->enq(mdIq_->issue());
+    Uop u = mdIq_->issue();
+    mdRrq_->enq(u);
+    OBS_STAGE(u.seq, Issue);
 }
 
 void
@@ -1094,6 +1196,10 @@ OooCore::doRegReadMd()
                   (u.inst.isDiv() ? cfg_.divLatency : cfg_.mulLatency);
     mdBusy_.write(b);
     mdRrq_->deq();
+    // RegRead + the multi-cycle Execute start in the same body; Execute
+    // renders as the busy window once doMdWb posts Writeback.
+    OBS_STAGE(u.seq, RegRead);
+    OBS_STAGE(u.seq, Execute);
 }
 
 void
@@ -1111,6 +1217,7 @@ OooCore::doMdWb()
     }
     rob_->markDone(b.uop.rob);
     mdBusy_.write(MdBusy{});
+    OBS_STAGE(b.uop.seq, Writeback);
 }
 
 // -------------------------------------------------------------- MEM pipe
@@ -1118,7 +1225,9 @@ OooCore::doMdWb()
 void
 OooCore::doIssueMem()
 {
-    memRrq_->enq(memIq_->issue());
+    Uop u = memIq_->issue();
+    memRrq_->enq(u);
+    OBS_STAGE(u.seq, Issue);
 }
 
 void
@@ -1128,6 +1237,7 @@ OooCore::doRegReadMem()
     require(readOperands(u));
     memAmq_->enq(u);
     memRrq_->deq();
+    OBS_STAGE(u.seq, RegRead);
 }
 
 void
@@ -1149,6 +1259,7 @@ OooCore::doAddrCalc()
             lsq_->updateSt(u.lsqIdx, va, 0, true, cause, false, u.b);
         rob_->setAfterTranslation(u.rob, false, true, cause, va, false);
         memAmq_->deq();
+        OBS_STAGE(u.seq, Mem);
         return;
     }
 
@@ -1161,6 +1272,7 @@ OooCore::doAddrCalc()
     dtlb_->req(id, va, t);
     inflight_.write(id, {true, u, va});
     memAmq_->deq();
+    OBS_STAGE(u.seq, Mem);
 }
 
 void
@@ -1206,6 +1318,11 @@ OooCore::completeLoad(uint8_t lqIdx, uint64_t value)
         iq->wakeup(pd);
     mdIq_->wakeup(pd);
     memIq_->wakeup(pd);
+#ifndef CMD_NO_OBS
+    if (tracer_)
+        tracer_->stage(tracer_->lqSeq(lqIdx), obs::Stage::Writeback,
+                       k_.cycleCount());
+#endif
 }
 
 void
@@ -1393,6 +1510,8 @@ OooCore::doCommit()
 {
     require(!flushReq_.read().valid);
     require(rob_->frontValid());
+    // Head index before any deqGroup moves it (retire hooks below).
+    const RobIdx head0 = rob_->frontIdx();
     RobEntry e0 = rob_->front();
     const Inst &i0 = e0.inst;
 
@@ -1448,6 +1567,8 @@ OooCore::doCommit()
             committedLoads_->inc();
             instret_.write(instret_.read() + 1);
             emitCommit(e0, false, 0, true, val);
+            fetchToCommit_->sample(k_.cycleCount() - e0.fetchCycle);
+            OBS_RETIRE(head0);
         } else {
             require(lsq_->sqHeadIdx() == e0.lsqIdx);
             const Lsq::SqEntry &se = lsq_->sqEntry(e0.lsqIdx);
@@ -1461,6 +1582,8 @@ OooCore::doCommit()
             // MMIO store is the last (non-abortable) effect.
             host_.store(hartId_, pa, data, k_.cycleCount());
             emitCommit(e0, false, 0);
+            fetchToCommit_->sample(k_.cycleCount() - e0.fetchCycle);
+            OBS_RETIRE(head0);
         }
         return;
     }
@@ -1491,6 +1614,8 @@ OooCore::doCommit()
         rob_->deqGroup(1);
         instret_.write(instret_.read() + 1);
         emitCommit(e0, true, e0.cause);
+        fetchToCommit_->sample(k_.cycleCount() - e0.fetchCycle);
+        OBS_RETIRE(head0);
         return;
     }
     if (i0.op == Op::MRET) {
@@ -1500,6 +1625,8 @@ OooCore::doCommit()
         rob_->deqGroup(1);
         instret_.write(instret_.read() + 1);
         emitCommit(e0, false, 0);
+        fetchToCommit_->sample(k_.cycleCount() - e0.fetchCycle);
+        OBS_RETIRE(head0);
         return;
     }
     if (i0.isCsr()) {
@@ -1551,6 +1678,8 @@ OooCore::doCommit()
             rob_->deqGroup(1);
             instret_.write(instret_.read() + 1);
             emitCommit(e0, true, cs.mcause);
+            fetchToCommit_->sample(k_.cycleCount() - e0.fetchCycle);
+            OBS_RETIRE(head0);
             return;
         }
         csr_.write(cs);
@@ -1573,6 +1702,8 @@ OooCore::doCommit()
         }
         instret_.write(instret_.read() + 1);
         emitCommit(e0, false, 0, true, old);
+        fetchToCommit_->sample(k_.cycleCount() - e0.fetchCycle);
+        OBS_RETIRE(head0);
         return;
     }
     // ---- normal path: retire up to `width` plain instructions
@@ -1627,6 +1758,11 @@ OooCore::doCommit()
     instret_.write(instret_.read() + n);
     for (uint32_t s = 0; s < n; s++)
         emitCommit(group[s], false, 0);
+    const uint64_t now = k_.cycleCount();
+    for (uint32_t s = 0; s < n; s++) {
+        fetchToCommit_->sample(now - group[s].fetchCycle);
+        OBS_RETIRE(static_cast<RobIdx>((head0 + s) % rob_->size()));
+    }
 }
 
 void
@@ -1670,6 +1806,90 @@ OooCore::doFlush()
     epoch_->redirect(f.redirectPc);
     serialPending_.write(false);
     flushReq_.write(FlushReq{});
+#ifndef CMD_NO_OBS
+    flushRecover_ = true;
+    if (tracer_)
+        tracer_->squashAll(k_.cycleCount());
+#endif
+}
+
+// --------------------------------------------------------- observability
+
+void
+OooCore::obsCycle()
+{
+#ifndef CMD_NO_OBS
+    robOccupancy_->sample(rob_->count());
+    if (cpiStack_)
+        cpiStack_->attribute(classifyCycle());
+#endif
+}
+
+/*
+ * Commit-point cycle attribution (top-down): blame the oldest
+ * instruction. Exactly one cause per cycle, so the CPI components sum
+ * to the sampled cycles by construction (conservation test).
+ */
+obs::StallCause
+OooCore::classifyCycle()
+{
+    const uint64_t instret = instret_.read();
+    const uint64_t committed = instret - cpiLastInstret_;
+    cpiLastInstret_ = instret;
+    if (committed > 0) {
+        mispredRecover_ = flushRecover_ = false;
+        return obs::StallCause::Base;
+    }
+    if (flushReq_.read().valid)
+        return obs::StallCause::Serialization;
+    if (rob_->empty()) {
+        // Empty backend: either recovering from a redirect or starved
+        // by the front end.
+        if (mispredRecover_)
+            return obs::StallCause::BranchMispredict;
+        if (flushRecover_)
+            return obs::StallCause::Serialization;
+        return obs::StallCause::Frontend;
+    }
+    // The backend holds work again: recovery windows are over.
+    mispredRecover_ = flushRecover_ = false;
+
+    const RobEntry &e = rob_->front();
+    if (e.done) {
+        // Done but not committed this cycle: commit-point serialized
+        // work (atomics waiting for drain, MMIO ordering, CSRs).
+        return obs::StallCause::Serialization;
+    }
+    const Inst &ins = e.inst;
+    if (ins.isMem()) {
+        if (ins.isAtomic() || e.isMmio)
+            return obs::StallCause::DMiss;
+        if (ins.isLq()) {
+            const Lsq::LqEntry &le = lsq_->lqEntry(e.lsqIdx);
+            if (le.valid && le.addrValid) {
+                // Address known: blocked on the D-cache if issued,
+                // else it's still contending in the LSQ (base).
+                if (le.state == Lsq::LdState::Issued)
+                    return obs::StallCause::DMiss;
+            } else if (inflight_.read(memId(true, e.lsqIdx)).valid) {
+                return obs::StallCause::TlbMiss;
+            }
+        } else if (inflight_.read(memId(false, e.lsqIdx)).valid) {
+            return obs::StallCause::TlbMiss;
+        }
+    }
+    // Head is mid-execution: charge rename backpressure if a structure
+    // is full, otherwise the cycle is plain latency/dependency (base).
+    if (!rob_->canEnq(1))
+        return obs::StallCause::RobFull;
+    bool iqFull = !mdIq_->canEnter() || !memIq_->canEnter();
+    for (auto &iq : aluIq_)
+        iqFull = iqFull || !iq->canEnter();
+    if (iqFull)
+        return obs::StallCause::IqFull;
+    if (!lsq_->canEnqLd() || !lsq_->canEnqSt())
+        return obs::StallCause::LsqFull;
+    return obs::StallCause::Base;
 }
 
 } // namespace riscy

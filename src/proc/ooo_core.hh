@@ -17,10 +17,14 @@
 #include <functional>
 #include <memory>
 
+#include <array>
+
 #include "cache/hierarchy.hh"
 #include "frontend/predictors.hh"
 #include "isa/csr.hh"
 #include "lsq/lsq.hh"
+#include "obs/cpi.hh"
+#include "obs/pipeline.hh"
 #include "ooo/engine.hh"
 #include "ooo/group_fifo.hh"
 #include "ooo/iq.hh"
@@ -67,6 +71,19 @@ class OooCore
     /** Human-readable stall diagnosis (watchdog reports). */
     std::string debugString() const;
 
+    // ---- observability wiring (System::elaborate / obs::ObsHub)
+    /** Per-uop pipeline tracer for this hart (null = untraced). */
+    void setTracer(obs::PipelineTracer *t) { tracer_ = t; }
+    /** CPI-stack accumulator for this hart (null = off). */
+    void setCpiStack(obs::CpiStack *c) { cpiStack_ = c; }
+    /**
+     * Per-cycle observability sampling: ROB-occupancy histogram and
+     * (when a CPI stack is attached) commit-point cycle attribution.
+     * Called by the ObsHub post-cycle hook between kernel cycles,
+     * never under a rule context.
+     */
+    void obsCycle();
+
   private:
     static constexpr uint32_t kMaxWidth = 4;
 
@@ -76,6 +93,7 @@ class OooCore
         uint8_t n = 0;
         uint8_t epoch = 0;
         uint8_t seq = 0;
+        uint64_t fetchCycle = 0; ///< cycle doFetch1 issued this request
     };
 
     struct FetchXlated {
@@ -169,6 +187,9 @@ class OooCore
                     bool haveVal = false, uint64_t val = 0);
     std::vector<const cmd::Method *> specMethods() const;
     std::vector<const cmd::Method *> wakeupMethods() const;
+    /** Top-down commit-point attribution of one non-committing cycle;
+     *  exhaustive and exclusive (see obs/cpi.hh). */
+    obs::StallCause classifyCycle();
 
     cmd::Kernel &k_;
     std::string name_;
@@ -233,6 +254,19 @@ class OooCore
     cmd::Stat *branches_, *mispredicts_, *ldKillFlushes_, *flushes_,
         *fetchRedirects_, *committedLoads_, *committedStores_,
         *committedAmos_;
+    cmd::Histogram *robOccupancy_ = nullptr;
+    cmd::Histogram *fetchToCommit_ = nullptr;
+
+    // ---- observability (not architectural state: none of this is in
+    // the kernel snapshot, and none of it feeds back into timing)
+    obs::PipelineTracer *tracer_ = nullptr;
+    obs::CpiStack *cpiStack_ = nullptr;
+    /// instret at the last CPI sample (commit-per-cycle delta)
+    uint64_t cpiLastInstret_ = 0;
+    /// refilling after a mispredict redirect / a commit-point flush
+    bool mispredRecover_ = false, flushRecover_ = false;
+    /// ROB index -> pipeline-trace seq (side map; RobIdx is 8 bits)
+    std::array<uint64_t, 256> robSeq_{};
 };
 
 } // namespace riscy

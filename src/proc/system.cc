@@ -53,6 +53,60 @@ System::System(const SystemConfig &cfg) : cfg_(cfg)
 }
 
 void
+System::elaborate()
+{
+    k_.elaborate();
+    setupObs();
+}
+
+void
+System::setupObs()
+{
+    if (!cfg_.obs.enabled() && !cfg_.statsResetAtCycle)
+        return;
+    obsHub_ = std::make_unique<obs::ObsHub>(k_, cfg_.obs, cfg_.cores);
+    warmupInstret_.assign(cfg_.cores, 0);
+    if (!cfg_.inOrder) {
+        for (uint32_t i = 0; i < cfg_.cores; i++) {
+            oooCores_[i]->setTracer(obsHub_->pipeline(i));
+            oooCores_[i]->setCpiStack(obsHub_->cpi(i));
+        }
+    }
+    // Between kernel cycles (driving thread, all domains quiesced):
+    // per-core sampling, then the warmup-window stats reset.
+    obsHub_->setCyclePostHook([this](uint64_t cycle) {
+        for (auto &c : oooCores_)
+            c->obsCycle();
+        if (cfg_.statsResetAtCycle && cycle == cfg_.statsResetAtCycle) {
+            k_.resetAllStats();
+            for (uint32_t i = 0; i < cfg_.cores; i++) {
+                if (auto *cp = obsHub_->cpi(i))
+                    cp->reset();
+                warmupInstret_[i] = instret(i);
+            }
+        }
+    });
+}
+
+bool
+System::writeTraces()
+{
+    if (!obsHub_)
+        return true;
+    if (!cfg_.inOrder) {
+        for (uint32_t i = 0; i < cfg_.cores; i++) {
+            if (const obs::CpiStack *cp = obsHub_->cpi(i)) {
+                const uint32_t hart = i;
+                cp->exportStats(oooCores_[i]->stats(), [this, hart] {
+                    return instret(hart) - warmupInstret_[hart];
+                });
+            }
+        }
+    }
+    return obsHub_->finish();
+}
+
+void
 System::start(Addr entry, uint64_t satp, const std::vector<Addr> &sp)
 {
     for (uint32_t i = 0; i < cfg_.cores; i++) {

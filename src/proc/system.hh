@@ -8,6 +8,7 @@
 #pragma once
 
 #include "core/harden.hh"
+#include "obs/hub.hh"
 #include "proc/inorder_core.hh"
 #include "proc/ooo_core.hh"
 
@@ -36,8 +37,10 @@ class System
     const SystemConfig &config() const { return cfg_; }
     uint32_t cores() const { return cfg_.cores; }
 
-    /** Finalize the design (Kernel::elaborate). */
-    void elaborate() { k_.elaborate(); }
+    /** Finalize the design (Kernel::elaborate) and, when any
+     *  SystemConfig::obs sink or the warmup stats reset is enabled,
+     *  install the observability hub. */
+    void elaborate();
 
     /** Reset every hart (after elaborate). One stack top per hart. */
     void start(Addr entry, uint64_t satp, const std::vector<Addr> &sp);
@@ -102,8 +105,26 @@ class System
     /** Host nanoseconds accumulated across all run() calls. */
     uint64_t runWallNs() const { return runWallNs_; }
 
+    // ---- observability (src/obs, SystemConfig::obs)
+    /** The installed hub, or null when every obs sink is off. */
+    obs::ObsHub *obsHub() { return obsHub_.get(); }
+    /** Per-hart CPI stack, or null when obs.cpi is off. */
+    const obs::CpiStack *
+    cpi(uint32_t i) const
+    {
+        return obsHub_ ? obsHub_->cpi(i) : nullptr;
+    }
+    /**
+     * Export the CPI stacks into the per-core stats groups (counters +
+     * ipc formula, post-warmup instret) and write the configured trace
+     * files. Idempotent; also runs at destruction via the hub.
+     * @return false if a configured sink failed to write.
+     */
+    bool writeTraces();
+
   private:
     cmd::HardenedRunner &runner();
+    void setupObs();
     std::vector<uint8_t> checkpointPayload() const;
     void loadCheckpointPayload(const std::vector<uint8_t> &bytes);
 
@@ -119,6 +140,10 @@ class System
     std::function<void(const std::vector<uint8_t> &)> userLoad_;
     std::vector<std::unique_ptr<OooCore>> oooCores_;
     std::vector<std::unique_ptr<InOrderCore>> ioCores_;
+    /// per-hart instret at the warmup reset (post-warmup IPC baseline)
+    std::vector<uint64_t> warmupInstret_;
+    /// declared last: its destructor detaches from k_ and flushes traces
+    std::unique_ptr<obs::ObsHub> obsHub_;
 };
 
 } // namespace riscy
