@@ -1,0 +1,316 @@
+/**
+ * @file
+ * The execution-mode ablation (ROADMAP Open item 1): functional
+ * fast-forward and SMARTS-style sampled simulation versus the full
+ * detailed model, on the Fig. 15-20 SPEC CINT2006 stand-ins.
+ *
+ * Three runs per workload:
+ *
+ *   detailed      every cycle through the CMD kernel (EventDriven),
+ *                 the reference for IPC and simulation speed;
+ *   fast-forward  the whole program through the GoldenModel
+ *                 interpreter (ExecMode::FastForward);
+ *   sampled       (skip, warmup, measure) interval sampling with warm
+ *                 handoffs (ExecMode::Sampled), reporting mean IPC
+ *                 with a 95% confidence interval.
+ *
+ * Gates (exit nonzero on violation):
+ *   - geomean fast-forward speedup over detailed >= 100x
+ *     (>= 50x under --ci, where workloads are trimmed for runner
+ *     time and the detailed baseline runs fewer instructions);
+ *   - max |sampled IPC - detailed IPC| / detailed IPC <= 2%.
+ *
+ * Writes BENCH_fastforward.json in the shared bench schema.
+ *
+ * Usage:
+ *   ablation_fastforward [--ci] [--workload NAME]
+ *                        [--exec-mode detailed|fast-forward|sampled]
+ *                        [--skip N] [--warmup N] [--measure N]
+ *                        [--out PATH]
+ *
+ * --exec-mode runs just that mode (quickstart; no gates), e.g.
+ *   build/ablation_fastforward --exec-mode sampled --workload mcf
+ */
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+
+using namespace riscy;
+using namespace riscy::bench;
+
+namespace {
+
+struct ModeResult {
+    uint64_t cycles = 0;  ///< 0 for pure fast-forward (no timing)
+    uint64_t insts = 0;
+    uint64_t wallNs = 0;
+    bool exited = false;
+    uint64_t exitCode = 0;
+    double ipc = 0;      ///< measured (detailed) or estimated (sampled)
+    double ipcCi95 = 0;  ///< sampled only
+    uint64_t intervals = 0;
+    uint64_t measuredInsts = 0, measuredCycles = 0;
+    uint64_t ffInsts = 0, warmupInsts = 0;
+    double decodeHitRate = 0; ///< fast-forward only
+    double kips() const
+    {
+        return wallNs ? 1e6 * double(insts) / double(wallNs) : 0.0;
+    }
+};
+
+SystemConfig
+baseConfig()
+{
+    SystemConfig cfg = SystemConfig::riscyooB();
+    cfg.scheduler = cmd::SchedulerKind::EventDriven;
+    return cfg;
+}
+
+ModeResult
+runDetailed(const Workload &w)
+{
+    SystemConfig cfg = baseConfig();
+    System sys(cfg);
+    Image img = w.build(sys, 1);
+    sys.elaborate();
+    ModeResult r;
+    r.cycles = workloads::runToCompletion(sys, img, 400000000);
+    r.insts = sys.instret(0);
+    r.wallNs = sys.runWallNs();
+    r.exited = true;
+    r.exitCode = sys.host().exitCode(0);
+    r.ipc = double(r.insts) / double(r.cycles);
+    return r;
+}
+
+ModeResult
+runFastForward(const Workload &w)
+{
+    SystemConfig cfg = baseConfig();
+    cfg.execMode = ExecMode::FastForward;
+    System sys(cfg);
+    Image img = w.build(sys, 1);
+    sys.elaborate();
+    sys.start(img.entry, img.satp, img.stacks);
+    ModeResult r;
+    r.exited = sys.runFastForward();
+    if (!r.exited)
+        cmd::fatal("%s: fast-forward did not complete (%s)",
+                   w.name.c_str(), toString(sys.stopReason()));
+    r.insts = sys.sampleStats().ffInsts;
+    r.wallNs = sys.runWallNs();
+    r.exitCode = sys.host().exitCode(0);
+    r.decodeHitRate = sys.funcHart(0).fastStats().hitRate();
+    return r;
+}
+
+ModeResult
+runSampled(const Workload &w, const SamplingConfig &sc)
+{
+    SystemConfig cfg = baseConfig();
+    cfg.execMode = ExecMode::Sampled;
+    cfg.sampling = sc;
+    System sys(cfg);
+    Image img = w.build(sys, 1);
+    sys.elaborate();
+    sys.start(img.entry, img.satp, img.stacks);
+    ModeResult r;
+    r.exited = sys.runSampled();
+    if (!r.exited)
+        cmd::fatal("%s: sampled run did not complete (%s)",
+                   w.name.c_str(), toString(sys.stopReason()));
+    const SampleStats &st = sys.sampleStats();
+    if (std::getenv("FF_DEBUG_INTERVALS")) {
+        std::printf("%s per-interval CPI:", w.name.c_str());
+        for (double c : st.intervalCpi)
+            std::printf(" %.2f", c);
+        std::printf("\n");
+    }
+    r.cycles = st.estTotalCycles;
+    r.insts = st.totalInsts;
+    r.wallNs = sys.runWallNs();
+    r.exitCode = sys.host().exitCode(0);
+    r.ipc = st.meanIpc;
+    r.ipcCi95 = st.ipcCi95;
+    r.intervals = st.intervals;
+    r.measuredInsts = st.measuredInsts;
+    r.measuredCycles = st.measuredCycles;
+    r.ffInsts = st.ffInsts;
+    r.warmupInsts = st.warmupInsts;
+    return r;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool ci = false;
+    std::string only, execMode, outPath;
+    // Defaults tuned on the fig15-20 set: short strides keep several
+    // measured windows inside even the smallest (toy-scale) workloads,
+    // and functional warming (caches + TLBs + predictors) lets the
+    // detailed warmup stay short.
+    SamplingConfig sc;
+    sc.skip = 3000;
+    sc.warmup = 1000;
+    sc.measure = 3000;
+    for (int i = 1; i < argc; i++) {
+        auto val = [&]() -> const char * {
+            if (i + 1 >= argc)
+                cmd::fatal("%s needs a value", argv[i]);
+            return argv[++i];
+        };
+        if (!std::strcmp(argv[i], "--ci"))
+            ci = true;
+        else if (!std::strcmp(argv[i], "--workload"))
+            only = val();
+        else if (!std::strcmp(argv[i], "--exec-mode"))
+            execMode = val();
+        else if (!std::strcmp(argv[i], "--skip"))
+            sc.skip = std::strtoull(val(), nullptr, 0);
+        else if (!std::strcmp(argv[i], "--warmup"))
+            sc.warmup = std::strtoull(val(), nullptr, 0);
+        else if (!std::strcmp(argv[i], "--measure"))
+            sc.measure = std::strtoull(val(), nullptr, 0);
+        else if (!std::strcmp(argv[i], "--out"))
+            outPath = val();
+        else
+            cmd::fatal("unknown flag %s", argv[i]);
+    }
+
+    std::vector<Workload> all = workloads::specWorkloads();
+    std::vector<Workload> ws;
+    for (const Workload &w : all) {
+        if (!only.empty() && w.name != only)
+            continue;
+        // CI trims to four profiles: mixed, TLB-bound, cache-miss
+        // bound, and predictor-bound.
+        if (ci && only.empty() && w.name != "bzip2" && w.name != "mcf" &&
+            w.name != "libquantum" && w.name != "sjeng")
+            continue;
+        ws.push_back(w);
+    }
+    if (ws.empty())
+        cmd::fatal("no workload matches '%s'", only.c_str());
+
+    // Quickstart path: run one mode, print its numbers, no gates.
+    if (!execMode.empty()) {
+        for (const Workload &w : ws) {
+            if (execMode == "detailed") {
+                ModeResult r = runDetailed(w);
+                std::printf("%-12s detailed: %llu insts, %llu cycles, "
+                            "IPC %.3f, %.0f KIPS\n",
+                            w.name.c_str(), (unsigned long long)r.insts,
+                            (unsigned long long)r.cycles, r.ipc,
+                            r.kips());
+            } else if (execMode == "fast-forward") {
+                ModeResult r = runFastForward(w);
+                std::printf("%-12s fast-forward: %llu insts, %.1f MIPS "
+                            "(decode cache %.1f%% hits)\n",
+                            w.name.c_str(), (unsigned long long)r.insts,
+                            r.kips() / 1000.0, 100 * r.decodeHitRate);
+            } else if (execMode == "sampled") {
+                ModeResult r = runSampled(w, sc);
+                std::printf("%-12s sampled: IPC %.3f +/- %.3f (95%% CI, "
+                            "%llu intervals), est %llu cycles, "
+                            "%.0f KIPS\n",
+                            w.name.c_str(), r.ipc, r.ipcCi95,
+                            (unsigned long long)r.intervals,
+                            (unsigned long long)r.cycles, r.kips());
+            } else {
+                cmd::fatal("unknown --exec-mode '%s'", execMode.c_str());
+            }
+        }
+        return 0;
+    }
+
+    const double speedupGate = ci ? 50.0 : 100.0;
+    const double ipcErrGatePct = 2.0;
+
+    printHeader("execution modes (fig15-20 workloads)",
+                {"det-IPC", "smp-IPC", "err-%", "det-KIPS", "ff-MIPS",
+                 "speedup"});
+    std::vector<JsonObject> rows;
+    std::vector<double> speedups, errs;
+    bool ok = true;
+    for (const Workload &w : ws) {
+        ModeResult det = runDetailed(w);
+        ModeResult ff = runFastForward(w);
+        ModeResult smp = runSampled(w, sc);
+
+        if (ff.insts != det.insts || ff.exitCode != det.exitCode) {
+            std::printf("%-12s FF DIVERGED: %llu insts exit %llu vs "
+                        "detailed %llu insts exit %llu\n",
+                        w.name.c_str(), (unsigned long long)ff.insts,
+                        (unsigned long long)ff.exitCode,
+                        (unsigned long long)det.insts,
+                        (unsigned long long)det.exitCode);
+            ok = false;
+        }
+        double speedup = ff.kips() / det.kips();
+        double errPct = 100.0 * (smp.ipc - det.ipc) / det.ipc;
+        speedups.push_back(speedup);
+        errs.push_back(errPct < 0 ? -errPct : errPct);
+        printRow(w.name,
+                 {det.ipc, smp.ipc, errPct, det.kips(),
+                  ff.kips() / 1000.0, speedup});
+
+        JsonObject o;
+        o.put("workload", w.name)
+            .put("detailed_cycles", det.cycles)
+            .put("detailed_insts", det.insts)
+            .put("detailed_ipc", det.ipc)
+            .put("detailed_kips", det.kips())
+            .put("ff_insts", ff.insts)
+            .put("ff_kips", ff.kips())
+            .put("ff_decode_hit_rate", ff.decodeHitRate)
+            .put("ff_speedup", speedup)
+            .put("sampled_ipc", smp.ipc)
+            .put("sampled_ipc_ci95", smp.ipcCi95)
+            .put("sampled_intervals", smp.intervals)
+            .put("sampled_est_cycles", smp.cycles)
+            .put("sampled_total_insts", smp.insts)
+            .put("sampled_measured_insts", smp.measuredInsts)
+            .put("sampled_measured_cycles", smp.measuredCycles)
+            .put("sampled_ff_insts", smp.ffInsts)
+            .put("sampled_warmup_insts", smp.warmupInsts)
+            .put("ipc_err_pct", errPct);
+        putSimSpeed(o, ff.insts, ff.wallNs);
+        rows.push_back(std::move(o));
+    }
+
+    double gm = geomean(speedups);
+    double maxErr = 0;
+    for (double e : errs)
+        maxErr = e > maxErr ? e : maxErr;
+    std::printf("\ngeomean fast-forward speedup: %.1fx (gate >= %.0fx)\n"
+                "max sampled IPC error: %.2f%% (gate <= %.1f%%)\n",
+                gm, speedupGate, maxErr, ipcErrGatePct);
+    if (gm < speedupGate) {
+        std::printf("FAIL: fast-forward speedup below gate\n");
+        ok = false;
+    }
+    if (maxErr > ipcErrGatePct) {
+        std::printf("FAIL: sampled IPC error above gate\n");
+        ok = false;
+    }
+
+    JsonObject cfg;
+    cfg.put("system", "RiscyOO-B")
+        .put("scheduler", "event")
+        .put("ci", ci)
+        .put("skip", sc.skip)
+        .put("warmup", sc.warmup)
+        .put("measure", sc.measure)
+        .put("speedup_gate", speedupGate)
+        .put("ipc_err_gate_pct", ipcErrGatePct)
+        .put("geomean_speedup", gm)
+        .put("max_ipc_err_pct", maxErr);
+    writeBenchJson("fastforward", cfg, rows, outPath);
+
+    return ok ? 0 : 1;
+}

@@ -155,6 +155,7 @@ main(int argc, char **argv)
             .put("wall_ns", t.bestNs)
             .put("ipc", t.r.ipc())
             .put("overhead_pct", ov);
+        putSimSpeed(o, t.r.instret, t.bestNs);
         if (!t.r.cpiJson.empty())
             o.putRaw("cpi", t.r.cpiJson);
         rows.push_back(o);

@@ -170,6 +170,7 @@ main(int argc, char **argv)
             .put("speedup_vs_event", double(ev.wallNs) / double(r.wallNs))
             .putHex("digest", r.stateDigest)
             .put("digest_match", r.stateDigest == results[0].stateDigest);
+        riscy::bench::putSimSpeed(o, r.instret, r.wallNs);
         out.push_back(std::move(o));
     }
     writeBenchJson("parallel", jcfg, out);

@@ -207,6 +207,11 @@ main()
             .put("exhaustive_guard_throws", r.ex.guardThrows)
             .put("event_guard_throws", r.ev.guardThrows)
             .put("event_fast_guard_fails", r.ev.fastGuardFails);
+        // Kernel-only microbench: the retired unit is a cycle, and the
+        // headline (event-driven) run provides the wall time.
+        riscy::bench::putSimSpeed(
+            o, kCycles,
+            uint64_t(1e9 * double(kCycles) / r.ev.cps));
         out.push_back(std::move(o));
     }
     riscy::bench::writeBenchJson("scheduler", cfg, out);

@@ -214,6 +214,23 @@ class JsonObject
     std::vector<std::pair<std::string, std::string>> kv_;
 };
 
+/**
+ * Simulation-speed fields shared by every BENCH_*.json row: the host
+ * wall time and the simulated instruction rate it implies. @p units
+ * is retired instructions (kernel-only microbenches pass cycles —
+ * their "retired unit" — so the speed trajectory stays comparable
+ * across benches).
+ */
+inline JsonObject &
+putSimSpeed(JsonObject &row, uint64_t units, uint64_t wallNs)
+{
+    row.put("wall_ms", double(wallNs) / 1e6);
+    // KIPS = thousand retired units per host second.
+    row.put("simulated_kips",
+            wallNs ? 1e6 * double(units) / double(wallNs) : 0.0);
+    return row;
+}
+
 /** Host info stamped into every BENCH_*.json. */
 inline JsonObject
 hostInfo()

@@ -23,6 +23,7 @@
  *
  * Usage: fault_campaign [nFaults=48] [seed=20260805] [out.json]
  */
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -141,6 +142,8 @@ struct RunResultF
     uint64_t digest = 0;
     uint64_t exitCode = 0;
     uint64_t cycles = 0;
+    uint64_t instret = 0;
+    uint64_t wallNs = 0;
     bool exited = false;
     std::string dump; ///< crash-dump body for detected/hang runs
 };
@@ -175,6 +178,14 @@ runOne(const Assembler &prog, const FaultPlan *plan, uint64_t budget,
 
     uint64_t releaseAt = 0;
     uint64_t sincePoll = 0;
+    auto t0 = std::chrono::steady_clock::now();
+    auto stamp = [&] {
+        r.instret = sys.instret(0);
+        r.wallNs = static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count());
+    };
     try {
         while (k.cycleCount() < budget) {
             if (sys.host().allExited() || sys.host().failed())
@@ -201,11 +212,13 @@ runOne(const Assembler &prog, const FaultPlan *plan, uint64_t budget,
         r.digest = dig.h;
         r.cycles = k.cycleCount();
         r.dump = f.describe();
+        stamp();
         return r;
     }
 
     r.digest = dig.h;
     r.cycles = k.cycleCount();
+    stamp();
     if (sys.host().failed()) {
         r.outcome = FaultOutcome::Detected;
         r.dump = strfmt("workload self-check failed (code %#llx)\n",
@@ -328,6 +341,7 @@ main(int argc, char **argv)
         row.put("inject_cycle", plans[i].cycle);
         row.put("outcome", toString(r.outcome));
         row.put("cycles", r.cycles);
+        putSimSpeed(row, r.instret, r.wallNs);
         row.putHex("commit_digest", r.digest);
         rows.push_back(std::move(row));
     }

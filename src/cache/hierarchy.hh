@@ -72,6 +72,97 @@ class MemHierarchy
         }
     }
 
+    // ---- warm-handoff interface (System::runSampled; between cycles)
+    /**
+     * Overwrite every cached copy of @p line (L2 and all L1s) with
+     * @p src — the data-only resync after fast-forwarding has advanced
+     * physical memory underneath the hierarchy. Caches stay warm:
+     * no allocation, eviction, or protocol-state change. Call under
+     * runAtomically while quiescent().
+     */
+    void
+    debugPatchLine(Addr line, const Line &src)
+    {
+        l2_->debugPatchLine(line, src);
+        for (auto &c : dcache_)
+            c->debugPatchLine(line, src);
+        for (auto &c : icache_)
+            c->debugPatchLine(line, src);
+    }
+
+    /**
+     * Functional warming, phase 1 of 2: install/refresh @p line (data
+     * from @p src, the memory image) in the shared L2, displacing an
+     * LRU victim protocol-consistently (directory updated, inclusivity
+     * preserved by recalling the victim from every child, writebacks
+     * elided since every cached line's data equals memory at handoff
+     * time). Between cycles, under runAtomically, on a drained
+     * quiescent() machine only. @return false when warming was skipped
+     * (another core's L1 holds the line at E/M, or the slot is busy).
+     *
+     * Phase 2 (warmTouchL1) must run in a SEPARATE atomic action:
+     * within one action reads see start-of-action state, so the L1
+     * victim pick would not observe a recall this phase performed on
+     * the same set — and re-picking the recalled way would double-
+     * write its state register within one rule.
+     */
+    bool
+    warmTouchL2(uint32_t core, bool ifetch, Addr line, const Line &src)
+    {
+        // Child index mapping fixed by the constructor: per core the
+        // D-side channel is registered first, then the I-side.
+        int child = static_cast<int>(2 * core + (ifetch ? 1 : 0));
+        auto recall = [this](uint32_t c, Addr ln) {
+            auto &side = (c & 1) ? icache_ : dcache_;
+            side[c / 2]->warmInvalidate(ln);
+        };
+        return l2_->warmEnsure(child, line, src, recall);
+    }
+
+    /**
+     * Functional warming, phase 2: install/refresh @p line in core
+     * @p core's L1 I- or D-side in S state, keeping the L2 directory
+     * exact when an L1 victim is displaced. Call in its own atomic
+     * action, only after warmTouchL2 for the same touch committed.
+     */
+    bool
+    warmTouchL1(uint32_t core, bool ifetch, Addr line, const Line &src)
+    {
+        L1Cache &l1 = ifetch ? *icache_[core] : *dcache_[core];
+        int child = static_cast<int>(2 * core + (ifetch ? 1 : 0));
+        if (l1.warmHit(line, src))
+            return true;
+        bool evicted = false;
+        Addr victim = 0;
+        if (!l1.warmInstall(line, src, evicted, victim))
+            return false;
+        if (evicted)
+            l2_->warmChildEvicted(child, victim);
+        return true;
+    }
+
+    /** True when no request, fill, writeback, downgrade, or page walk
+     *  is in flight anywhere in the hierarchy (between cycles). */
+    bool
+    quiescent() const
+    {
+        for (auto &c : dcache_)
+            if (!c->quiescent())
+                return false;
+        for (auto &c : icache_)
+            if (!c->quiescent())
+                return false;
+        if (!l2_->quiescent() || !dram_->quiescent())
+            return false;
+        for (auto &ch : chan_)
+            if (ch->req.size() || ch->resp.size() || ch->fromParent.size())
+                return false;
+        for (auto &w : walk_)
+            if (w->req.size() || w->resp.size())
+                return false;
+        return true;
+    }
+
     L1Cache &dcache(uint32_t i) { return *dcache_[i]; }
     L1Cache &icache(uint32_t i) { return *icache_[i]; }
     UncachedPort &walkPort(uint32_t i) { return *walk_[i]; }

@@ -97,6 +97,79 @@ L1Cache::setEvictHook(std::function<void(Addr)> hook,
     rules_[3]->uses(methods);
 }
 
+// ------------------------------------------------------ warm handoff
+
+bool
+L1Cache::debugPatchLine(Addr line, const Line &src)
+{
+    int w = findWay(line);
+    if (w < 0)
+        return false;
+    uint32_t sl = slot(setOf(line), w);
+    if (static_cast<Msi>(state_.read(sl)) == Msi::I)
+        return false; // busy-way placeholder: no data to resync
+    data_.write(sl, src);
+    return true;
+}
+
+bool
+L1Cache::quiescent() const
+{
+    for (uint32_t i = 0; i < cfg_.mshrs; i++)
+        if (mshr_.read(i).valid)
+            return false;
+    for (uint32_t sl = 0; sl < sets_ * ways_; sl++)
+        if (lockedSt_.read(sl))
+            return false;
+    return reqQ_.size() == 0 && prefQ_.size() == 0 &&
+           respLdQ_.size() == 0 && respStQ_.size() == 0 &&
+           respAtomicQ_.size() == 0;
+}
+
+bool
+L1Cache::warmHit(Addr line, const Line &src)
+{
+    int w = findWay(line);
+    if (w < 0)
+        return false;
+    data_.write(slot(setOf(line), w), src);
+    return true;
+}
+
+bool
+L1Cache::warmInstall(Addr line, const Line &src, bool &evicted,
+                     Addr &victim)
+{
+    uint32_t set = setOf(line);
+    int w = pickVictim(set);
+    if (w < 0)
+        return false;
+    uint32_t sl = slot(set, w);
+    evicted = state_.read(sl) != static_cast<uint8_t>(Msi::I);
+    if (evicted) {
+        victim = tags_.read(sl);
+        if (resvValid_.read() && resvLine_.read() == victim)
+            resvValid_.write(false);
+    }
+    tags_.write(sl, line);
+    state_.write(sl, static_cast<uint8_t>(Msi::S));
+    data_.write(sl, src);
+    lockedSt_.write(sl, 0);
+    lruPtr_.write(set, (w + 1) % ways_);
+    return true;
+}
+
+void
+L1Cache::warmInvalidate(Addr line)
+{
+    int w = findWay(line);
+    if (w < 0)
+        return;
+    state_.write(slot(setOf(line), w), static_cast<uint8_t>(Msi::I));
+    if (resvValid_.read() && resvLine_.read() == line)
+        resvValid_.write(false);
+}
+
 // --------------------------------------------------------- interface
 
 void

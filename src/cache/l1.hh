@@ -124,6 +124,40 @@ class L1Cache : public cmd::Module
             state_.read(slot(setOf(lineAddr(addr)), w)));
     }
 
+    // ---- warm-handoff interface (System::runSampled; between cycles)
+    /**
+     * Overwrite the cached copy of @p line with @p src, leaving every
+     * piece of protocol state (MSI state, locks, LRU, MSHRs) exactly
+     * as it is — a data-only resync after functional fast-forwarding
+     * has advanced memory behind the cache's back. Only legal between
+     * kernel cycles under runAtomically, with the cache quiescent().
+     * @return true when the line was resident and patched.
+     */
+    bool debugPatchLine(Addr line, const Line &src);
+    /** No transaction in flight: every MSHR idle, no queued request
+     *  or response, no line locked awaiting store data. */
+    bool quiescent() const;
+
+    // ---- functional warming (sampled-mode handoff; between cycles on
+    //      a drained, quiescent machine — see MemHierarchy::warmTouch)
+    /** If @p line is resident, refresh its data from @p src (state and
+     *  LRU untouched). @return true on a hit. */
+    bool warmHit(Addr line, const Line &src);
+    /**
+     * Install @p line in S state into the LRU victim way. A displaced
+     * valid victim's line address is returned via @p victim — the
+     * caller must clear this child's sharer bit in the L2 directory
+     * (the between-cycles analogue of the voluntary writeback in
+     * allocateMiss; no evict hook fires because the drained LSQ has
+     * nothing to kill). @return false when no way is usable
+     * (impossible when quiescent; defensive).
+     */
+    bool warmInstall(Addr line, const Line &src, bool &evicted,
+                     Addr &victim);
+    /** Parent-side recall while warming: drop @p line if resident
+     *  (the L2 evicted it; inclusive hierarchy). */
+    void warmInvalidate(Addr line);
+
     /**
      * Install the eviction hook (TSO cacheEvict). @p methods are the
      * interface methods the hook calls, declared as subcalls of the

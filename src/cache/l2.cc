@@ -98,6 +98,87 @@ L2Cache::findWay(Addr line) const
     return -1;
 }
 
+// ------------------------------------------------------ warm handoff
+
+bool
+L2Cache::debugPatchLine(Addr line, const Line &src)
+{
+    int w = findWay(line);
+    if (w < 0)
+        return false;
+    data_.write(slot(setOf(line), w), src);
+    return true;
+}
+
+bool
+L2Cache::quiescent() const
+{
+    for (uint32_t i = 0; i < txn_.size(); i++)
+        if (txn_.read(i).valid)
+            return false;
+    return true;
+}
+
+bool
+L2Cache::warmEnsure(int child, Addr line, const Line &src,
+                    const std::function<void(uint32_t, Addr)> &recall)
+{
+    int w = findWay(line);
+    if (w >= 0) {
+        uint32_t sl = slot(setOf(line), w);
+        if (wayBusy_.read(sl))
+            return false; // defensive: cannot happen when quiescent
+        DirEntry d = dir_.read(sl);
+        for (uint32_t c = 0; c < children_.size(); c++) {
+            if (static_cast<int>(c) != child &&
+                d.st[c] >= static_cast<uint8_t>(Msi::E))
+                return false;
+        }
+        data_.write(sl, src);
+        dirty_.write(sl, 0); // src is the memory image
+        if (d.st[child] == static_cast<uint8_t>(Msi::I)) {
+            d.st[child] = static_cast<uint8_t>(Msi::S);
+            dir_.write(sl, d);
+        }
+        return true;
+    }
+
+    uint32_t set = setOf(line);
+    int v = pickVictim(set);
+    if (v < 0)
+        return false;
+    uint32_t sl = slot(set, v);
+    if (valid_.read(sl)) {
+        Addr vline = tags_.read(sl);
+        const DirEntry &d = dir_.read(sl);
+        for (uint32_t c = 0; c < children_.size(); c++) {
+            if (d.st[c] != static_cast<uint8_t>(Msi::I))
+                recall(c, vline);
+        }
+    }
+    tags_.write(sl, line);
+    valid_.write(sl, 1);
+    dirty_.write(sl, 0);
+    DirEntry nd{};
+    nd.st[child] = static_cast<uint8_t>(Msi::S);
+    dir_.write(sl, nd);
+    data_.write(sl, src);
+    lruPtr_.write(set, (v + 1) % ways_);
+    return true;
+}
+
+void
+L2Cache::warmChildEvicted(int child, Addr line)
+{
+    int w = findWay(line);
+    if (w < 0)
+        return; // inclusivity says resident; defensive
+    uint32_t sl = slot(setOf(line), w);
+    DirEntry d = dir_.read(sl);
+    d.st[child] = static_cast<uint8_t>(Msi::I);
+    dir_.write(sl, d);
+}
+
 bool
 L2Cache::lineBlocked(Addr line) const
 {

@@ -55,6 +55,32 @@ class L2Cache : public cmd::Module
             std::vector<CacheChannel *> children,
             std::vector<UncachedPort *> uncached, Dram &dram);
 
+    // ---- warm-handoff interface (see L1Cache::debugPatchLine)
+    /** Data-only resync of @p line when resident; protocol state,
+     *  directory and LRU untouched. Between cycles only. */
+    bool debugPatchLine(Addr line, const Line &src);
+    /** No open transaction. */
+    bool quiescent() const;
+
+    // ---- functional warming (sampled-mode handoff; between cycles on
+    //      a drained, quiescent machine — see MemHierarchy::warmTouch)
+    /**
+     * Ensure @p line is resident with fresh @p src data (which came
+     * from memory, so the line becomes clean) and record child
+     * @p child as at least an S sharer. A miss installs into the LRU
+     * victim way, recalling the victim from every child through
+     * @p recall(childIdx, victimLine); the victim's writeback is
+     * elided because at handoff time every cached line's data equals
+     * memory. @return false when warming must be skipped: a
+     * *different* child holds the line at E/M (warming never
+     * downgrades a live exclusive copy) or no way is usable.
+     */
+    bool warmEnsure(int child, Addr line, const Line &src,
+                    const std::function<void(uint32_t, Addr)> &recall);
+    /** Child @p child silently dropped @p line during warming; clear
+     *  its sharer bit (the analogue of a voluntary DowngradeResp). */
+    void warmChildEvicted(int child, Addr line);
+
   private:
     struct DirEntry {
         uint8_t st[kMaxChildren] = {};

@@ -1,5 +1,7 @@
 #include "isa/golden.hh"
 
+#include <cstring>
+
 #include "core/log.hh"
 #include "isa/exec.hh"
 
@@ -7,7 +9,8 @@ namespace riscy::isa {
 
 GoldenModel::GoldenModel(PhysMem &mem, HostDevice &host, uint32_t hartId,
                          Addr resetPc)
-    : mem_(mem), host_(host), hartId_(hartId), pc_(resetPc)
+    : mem_(mem), host_(host), hartId_(hartId), pc_(resetPc),
+      decCache_(kDecEntries)
 {
 }
 
@@ -18,6 +21,39 @@ GoldenModel::setReg(unsigned i, uint64_t v)
         regs_[i] = v;
 }
 
+ArchState
+GoldenModel::archState() const
+{
+    ArchState as;
+    as.regs = regs_;
+    as.pc = pc_;
+    as.instret = instret_;
+    as.csr = csr_;
+    return as;
+}
+
+void
+GoldenModel::setArchState(const ArchState &as)
+{
+    regs_ = as.regs;
+    regs_[0] = 0;
+    pc_ = as.pc;
+    instret_ = as.instret;
+    csr_ = as.csr;
+    hasReservation_ = false;
+    invalidateFastCaches();
+}
+
+void
+GoldenModel::invalidateFastCaches()
+{
+    for (auto &e : decCache_)
+        e.tag = ~0ull;
+    fetchPg_ = PageCache{};
+    loadPg_ = PageCache{};
+    storePg_ = PageCache{};
+}
+
 GoldenModel::Xlate
 GoldenModel::translate(Addr va, AccessType type) const
 {
@@ -26,6 +62,15 @@ GoldenModel::translate(Addr va, AccessType type) const
     Addr tableBase = satpRoot(csr_.satp);
     for (int level = kSv39Levels - 1; level >= 0; level--) {
         Addr pteAddr = tableBase + vpn(va, level) * 8;
+        if (journal_) {
+            // Page-table lines are cache traffic too: the detailed
+            // walkers read them through the L2 uncached ports.
+            Addr ln = pteAddr & ~static_cast<Addr>(63);
+            if (ln != lastLd_) {
+                journal_->push_back(ln);
+                lastLd_ = ln;
+            }
+        }
         uint64_t pte = mem_.read(pteAddr, 8);
         if (!(pte & PTE_V))
             return {true, 0};
@@ -43,11 +88,46 @@ GoldenModel::translate(Addr va, AccessType type) const
             if (ppn & levelMask)
                 return {true, 0};
             uint64_t pageOff = va & ((1ull << (kPageShift + 9 * level)) - 1);
-            return {false, (ppn << kPageShift) | pageOff};
+            Xlate x;
+            x.fault = false;
+            x.pa = (ppn << kPageShift) | pageOff;
+            x.ppn = ppn;
+            x.level = static_cast<uint8_t>(level);
+            x.flags = pte & (PTE_R | PTE_W | PTE_X);
+            return x;
         }
         tableBase = ptePpn(pte) << kPageShift;
     }
     return {true, 0};
+}
+
+bool
+GoldenModel::xlatePage(PageCache &pgc, Addr va, AccessType type, Addr &pa)
+{
+    const uint64_t vaPage = va >> kPageShift;
+    if (pgc.vaPage == vaPage) {
+        pa = pgc.paPage | (va & (kPageSize - 1));
+        return true;
+    }
+    Xlate x = translate(va, type);
+    if (x.fault)
+        return false;
+    if (xlateJournal_ && satpSv39(csr_.satp)) {
+        XlateRec r;
+        r.va = va;
+        r.ppn = x.ppn;
+        r.level = x.level;
+        r.flags = x.flags;
+        r.type = static_cast<uint8_t>(type);
+        xlateJournal_->push_back(r);
+    }
+    pgc.vaPage = vaPage;
+    pgc.paPage = x.pa & ~(kPageSize - 1);
+    // MMIO accesses never go through a raw page pointer; the null ptr
+    // steers the data path to the HostDevice / PhysMem fallback.
+    pgc.ptr = isMmioAddr(x.pa) ? nullptr : mem_.pagePtr(pgc.paPage);
+    pa = x.pa;
+    return true;
 }
 
 GoldenModel::Commit
@@ -73,10 +153,24 @@ GoldenModel::trap(Commit c, Cause cause, uint64_t tval)
 uint64_t
 GoldenModel::memLoad(Addr pa, const Inst &inst)
 {
+    if (journal_ && !isMmioAddr(pa)) {
+        Addr ln = pa & ~static_cast<Addr>(63);
+        if (ln != lastLd_) {
+            journal_->push_back(ln);
+            lastLd_ = ln;
+        }
+        Addr lnEnd = (pa + inst.memBytes() - 1) & ~static_cast<Addr>(63);
+        if (lnEnd != ln) // misaligned straddle
+            journal_->push_back(lnEnd);
+    }
     uint64_t raw;
     if (isMmioAddr(pa))
         raw = host_.load(hartId_, pa);
-    else
+    else if (loadPg_.ptr && (pa & ~(kPageSize - 1)) == loadPg_.paPage) {
+        raw = 0;
+        std::memcpy(&raw, loadPg_.ptr + (pa & (kPageSize - 1)),
+                    inst.memBytes());
+    } else
         raw = mem_.read(pa, inst.memBytes());
     return loadExtend(inst.op, raw);
 }
@@ -84,8 +178,22 @@ GoldenModel::memLoad(Addr pa, const Inst &inst)
 void
 GoldenModel::memStore(Addr pa, uint64_t v, unsigned bytes)
 {
-    if (isMmioAddr(pa))
+    if (isMmioAddr(pa)) {
         host_.store(hartId_, pa, v, instret_);
+        return;
+    }
+    if (journal_) {
+        Addr ln = pa & ~static_cast<Addr>(63); // 64 B cache lines
+        if (ln != lastSt_) {
+            journal_->push_back(ln | kTouchStore);
+            lastSt_ = ln;
+        }
+        Addr lnEnd = (pa + bytes - 1) & ~static_cast<Addr>(63);
+        if (lnEnd != ln) // misaligned straddle
+            journal_->push_back(lnEnd | kTouchStore);
+    }
+    if (storePg_.ptr && (pa & ~(kPageSize - 1)) == storePg_.paPage)
+        std::memcpy(storePg_.ptr + (pa & (kPageSize - 1)), &v, bytes);
     else
         mem_.write(pa, v, bytes);
 }
@@ -93,18 +201,63 @@ GoldenModel::memStore(Addr pa, uint64_t v, unsigned bytes)
 GoldenModel::Commit
 GoldenModel::step()
 {
-    Commit c;
-    c.pc = pc_;
+    return stepImpl<true>();
+}
 
-    // Fetch.
-    Xlate fx = translate(pc_, AccessType::Fetch);
-    if (fx.fault)
+uint64_t
+GoldenModel::run(uint64_t maxInsts)
+{
+    uint64_t n = 0;
+    while (n < maxInsts && !halted()) {
+        stepImpl<false>();
+        n++;
+    }
+    return n;
+}
+
+template <bool kRecord>
+GoldenModel::Commit
+GoldenModel::stepImpl()
+{
+    Commit c;
+    c.pc = pc_; // trap() records it as mepc even on the fast path
+
+    // Fetch through the page-translation and decode caches.
+    Addr fpa;
+    if (!xlatePage(fetchPg_, pc_, AccessType::Fetch, fpa))
         return trap(c, Cause::FetchPageFault, pc_);
-    c.raw = static_cast<uint32_t>(mem_.read(fx.pa, 4));
-    c.inst = decode(c.raw);
-    const Inst &d = c.inst;
-    if (d.op == Op::ILLEGAL)
-        return trap(c, Cause::IllegalInst, c.raw);
+    if (journal_) {
+        // Journal the fetch line even on decode-cache hits: the hit
+        // elides the memory read, not the icache-warming effect.
+        Addr ln = fpa & ~static_cast<Addr>(63);
+        if (ln != lastIf_) {
+            journal_->push_back(ln | kTouchFetch);
+            lastIf_ = ln;
+        }
+    }
+    DecEntry &de = decCache_[(fpa >> 2) & (kDecEntries - 1)];
+    fastStats_.decodeAccesses++;
+    if (de.tag != fpa) {
+        uint32_t raw;
+        if (fetchPg_.ptr && !(fpa & 3))
+            std::memcpy(&raw, fetchPg_.ptr + (fpa & (kPageSize - 1)), 4);
+        else
+            raw = static_cast<uint32_t>(mem_.read(fpa, 4));
+        de.inst = decode(raw);
+        de.inst.raw = raw;
+        de.tag = fpa;
+    } else {
+        fastStats_.decodeHits++;
+    }
+    const Inst &d = de.inst;
+    if constexpr (kRecord) {
+        c.raw = d.raw;
+        c.inst = d;
+    }
+    if (d.op == Op::ILLEGAL) {
+        c.raw = d.raw;
+        return trap(c, Cause::IllegalInst, d.raw);
+    }
 
     uint64_t a = regs_[d.rs1];
     uint64_t b = regs_[d.rs2];
@@ -113,54 +266,73 @@ GoldenModel::step()
     bool hasRd = d.writesRd();
 
     if (d.isBranch()) {
-        if (branchTaken(d, a, b))
+        bool taken = branchTaken(d, a, b);
+        if (taken)
             nextPc = controlTarget(d, pc_, a);
+        if (branchJournal_) {
+            BranchRec r;
+            r.pc = pc_;
+            r.target = nextPc;
+            r.kind = BranchRec::Branch;
+            r.taken = taken;
+            branchJournal_->push_back(r);
+        }
     } else if (d.isJal() || d.isJalr()) {
         rdVal = pc_ + 4;
         nextPc = controlTarget(d, pc_, a);
+        if (branchJournal_) {
+            BranchRec r;
+            r.pc = pc_;
+            r.target = nextPc;
+            r.kind = d.isJal() ? BranchRec::Jal : BranchRec::Jalr;
+            r.taken = true;
+            r.rs1 = d.rs1;
+            r.rd = d.rd;
+            branchJournal_->push_back(r);
+        }
     } else if (d.isLoad() || d.isLr()) {
         Addr va = d.isLr() ? a : a + static_cast<uint64_t>(d.imm);
         if (va & (d.memBytes() - 1))
             return trap(c, Cause::LoadMisaligned, va);
-        Xlate x = translate(va, AccessType::Load);
-        if (x.fault)
+        Addr pa;
+        if (!xlatePage(loadPg_, va, AccessType::Load, pa))
             return trap(c, Cause::LoadPageFault, va);
-        rdVal = memLoad(x.pa, d);
+        rdVal = memLoad(pa, d);
         if (d.isLr()) {
             hasReservation_ = true;
-            reservation_ = x.pa & ~7ull;
+            reservation_ = pa & ~7ull;
         }
     } else if (d.isStore() || d.isSc()) {
         Addr va = d.isSc() ? a : a + static_cast<uint64_t>(d.imm);
         if (va & (d.memBytes() - 1))
             return trap(c, Cause::StoreMisaligned, va);
-        Xlate x = translate(va, AccessType::Store);
-        if (x.fault)
+        Addr pa;
+        if (!xlatePage(storePg_, va, AccessType::Store, pa))
             return trap(c, Cause::StorePageFault, va);
         if (d.isSc()) {
-            bool ok = hasReservation_ && reservation_ == (x.pa & ~7ull);
+            bool ok = hasReservation_ && reservation_ == (pa & ~7ull);
             hasReservation_ = false;
             if (ok)
-                memStore(x.pa, b, d.memBytes());
+                memStore(pa, b, d.memBytes());
             rdVal = ok ? 0 : 1;
         } else {
-            memStore(x.pa, b, d.memBytes());
+            memStore(pa, b, d.memBytes());
         }
     } else if (d.isAmoRmw()) {
         Addr va = a;
         if (va & (d.memBytes() - 1))
             return trap(c, Cause::StoreMisaligned, va);
-        Xlate x = translate(va, AccessType::Store);
-        if (x.fault)
+        Addr pa;
+        if (!xlatePage(storePg_, va, AccessType::Store, pa))
             return trap(c, Cause::StorePageFault, va);
-        uint64_t old = memLoad(x.pa, d);
-        memStore(x.pa, amoCompute(d.op, old, b), d.memBytes());
+        uint64_t old = memLoad(pa, d);
+        memStore(pa, amoCompute(d.op, old, b), d.memBytes());
         rdVal = old;
     } else if (d.isCsr()) {
         uint64_t operand = (d.op >= Op::CSRRWI) ? d.rs1 : a;
         uint64_t old = 0;
         if (!csr_.read(d.csr, instret_, instret_, hartId_, old))
-            return trap(c, Cause::IllegalInst, c.raw);
+            return trap(c, Cause::IllegalInst, d.raw);
         bool doWrite = (d.op == Op::CSRRW || d.op == Op::CSRRWI) ||
                        ((d.op == Op::CSRRS || d.op == Op::CSRRSI ||
                          d.op == Op::CSRRC || d.op == Op::CSRRCI) &&
@@ -172,33 +344,53 @@ GoldenModel::step()
             newVal = old | operand;
         else
             newVal = old & ~operand;
-        if (doWrite && !csr_.write(d.csr, newVal))
-            return trap(c, Cause::IllegalInst, c.raw);
+        if (doWrite) {
+            if (!csr_.write(d.csr, newVal))
+                return trap(c, Cause::IllegalInst, d.raw);
+            // A satp write retargets translation: drop the page
+            // caches, matching the detailed cores' TLB flush.
+            if (d.csr == kCsrSatp) {
+                fetchPg_ = PageCache{};
+                loadPg_ = PageCache{};
+                storePg_ = PageCache{};
+            }
+        }
         rdVal = old;
-        c.volatileRd = CsrState::isVolatile(d.csr);
+        if constexpr (kRecord)
+            c.volatileRd = CsrState::isVolatile(d.csr);
     } else if (d.op == Op::ECALL) {
         return trap(c, Cause::EcallM, 0);
     } else if (d.op == Op::EBREAK) {
         return trap(c, Cause::Breakpoint, 0);
     } else if (d.op == Op::MRET) {
         nextPc = csr_.mepc;
-    } else if (d.op == Op::FENCE || d.op == Op::FENCE_I ||
-               d.op == Op::WFI) {
+    } else if (d.op == Op::FENCE || d.op == Op::WFI) {
         // Architecturally a no-op for a single in-order stream.
+    } else if (d.op == Op::FENCE_I) {
+        // Synchronize the instruction stream with prior stores: the
+        // only event that may invalidate cached decodes.
+        for (auto &e : decCache_)
+            e.tag = ~0ull;
     } else {
         rdVal = aluCompute(d, a, b, pc_);
     }
 
     if (hasRd) {
-        setReg(d.rd, rdVal);
-        c.hasRd = true;
-        c.rd = d.rd;
-        c.rdVal = rdVal;
+        regs_[d.rd] = rdVal;
+        if constexpr (kRecord) {
+            c.hasRd = true;
+            c.rd = d.rd;
+            c.rdVal = rdVal;
+        }
     }
-    c.nextPc = nextPc;
+    if constexpr (kRecord)
+        c.nextPc = nextPc;
     pc_ = nextPc;
     instret_++;
     return c;
 }
+
+template GoldenModel::Commit GoldenModel::stepImpl<true>();
+template GoldenModel::Commit GoldenModel::stepImpl<false>();
 
 } // namespace riscy::isa

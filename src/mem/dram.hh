@@ -37,6 +37,9 @@ class Dram : public cmd::Module
 
     bool canReq() const { return reqQ_.canEnq(); }
     bool respReady() const { return respQ_.canDeq(); }
+    /** Warm handoff: no request or in-flight response (between cycles,
+     *  so delayed TimedFifo elements count as occupancy). */
+    bool quiescent() const { return reqQ_.size() == 0 && respQ_.size() == 0; }
 
     cmd::Method &reqM, &respM;
 

@@ -65,6 +65,17 @@ class PhysMem
     void writeBlock(Addr a, const void *src, size_t len);
     void readBlock(Addr a, void *dst, size_t len) const;
 
+    /**
+     * Stable pointer to the 4 KiB page holding @p a (allocating it,
+     * zero-filled, like any other access). Used by the fast functional
+     * interpreter to batch accesses page-at-a-time; the pointer stays
+     * valid until deserialize() or copy-assignment replaces the pages
+     * (callers must drop cached pointers then — see
+     * isa::GoldenModel::invalidateFastCaches).
+     */
+    uint8_t *pagePtr(Addr a) { return pageForWrite(a); }
+    const uint8_t *pagePtr(Addr a) const { return pageFor(a); }
+
     /** Number of distinct pages ever touched. */
     size_t touchedPages() const { return pages_.size(); }
 

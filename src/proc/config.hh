@@ -12,6 +12,7 @@
 #include "core/kernel.hh"
 #include "obs/obs_config.hh"
 #include "ooo/iq.hh"
+#include "proc/sampling.hh"
 #include "tlb/tlb.hh"
 
 namespace riscy {
@@ -62,6 +63,19 @@ struct SystemConfig {
      * count). Ignored by the sequential schedulers.
      */
     uint32_t threads = 0;
+
+    // ---- execution mode (see proc/sampling.hh and System::run*)
+    /**
+     * How the program executes: Detailed (every cycle through the CMD
+     * kernel; System::run), FastForward (pure functional
+     * interpretation at multi-MIPS; System::runFastForward), or
+     * Sampled (SMARTS-style skip/warmup/measure sampling with warm
+     * checkpoint handoffs; System::runSampled). FastForward supports
+     * any core count; Sampled requires a single core.
+     */
+    ExecMode execMode = ExecMode::Detailed;
+    /** Interval tuple for ExecMode::Sampled. */
+    SamplingConfig sampling;
 
     // ---- hardening knobs (see core/harden.hh and System::run)
     /** Wall-clock budget for System::run; 0 = unlimited. */

@@ -70,7 +70,8 @@ OooCore::OooCore(Kernel &k, const std::string &name, uint32_t hartId,
       csr_(k, name + ".csr"),
       instret_(k, name + ".instret", 0),
       flushReq_(k, name + ".flushReq"),
-      serialPending_(k, name + ".serialPending", false)
+      serialPending_(k, name + ".serialPending", false),
+      fetchStall_(k, name + ".fetchStall", false)
 {
     meta_ = std::make_unique<Meta>(k, name + ".core");
     branches_ = &meta_->stats().counter("branches");
@@ -187,7 +188,7 @@ OooCore::OooCore(Kernel &k, const std::string &name, uint32_t hartId,
 
     k.rule(name + ".doFetch1", [this] { doFetch1(); })
         .when([this] {
-            return !flushReq_.read().valid &&
+            return !flushReq_.read().valid && !fetchStall_.read() &&
                    !epoch_->redirectedThisCycle() && f2q_->canEnq() &&
                    itlb_->canReq();
         })
@@ -490,12 +491,192 @@ OooCore::reset(Addr pc, uint64_t satp, Addr sp)
         panic("%s: reset failed", name_.c_str());
 }
 
+/*
+ * Fast-forward -> detailed handoff: like reset(), but materializing a
+ * complete architectural state. The kernel was just restored to its
+ * pristine post-start snapshot (empty pipelines, identity rename), so
+ * arch register i lives in physical register i.
+ */
+void
+OooCore::restoreArch(const isa::ArchState &as)
+{
+    bool ok = k_.runAtomically([&] {
+        rt_->initIdentity();
+        fl_->initRange(32, cfg_.numPhys() - 32);
+        csr_.write(as.csr);
+        epoch_->setFetchPc(as.pc);
+        itlb_->setSatp(as.csr.satp);
+        dtlb_->setSatp(as.csr.satp);
+        l2tlb_->setSatp(as.csr.satp);
+        for (unsigned i = 1; i < 32; i++)
+            prf_->write(i, as.regs[i]);
+        instret_.write(as.instret);
+    });
+    if (!ok)
+        panic("%s: restoreArch failed", name_.c_str());
+}
+
+/*
+ * Sampled-mode warm handoff, detailed -> fast-forward: park fetch and
+ * raise a commit-point flush. doFlush squashes all in-flight work back
+ * to the committed state — the exact machinery a trap uses — while
+ * leaving caches, TLBs and predictors warm; with fetch stalled the
+ * remaining queued fetch groups filter out as epoch-stale within a few
+ * cycles and the store buffer drains its committed stores.
+ */
+void
+OooCore::beginDrain()
+{
+    bool ok = k_.runAtomically([&] {
+        fetchStall_.write(true);
+        // Preserve a pending satpChanged: a satp write may have
+        // committed in the window's final cycle.
+        FlushReq f = flushReq_.read();
+        f.valid = true;
+        f.redirectPc = 0; // parked; resumeArch() supplies the real pc
+        flushReq_.write(f);
+    });
+    if (!ok)
+        panic("%s: beginDrain failed", name_.c_str());
+}
+
+bool
+OooCore::drained() const
+{
+    if (flushReq_.read().valid || !rob_->empty() || !lsq_->lqEmpty() ||
+        !lsq_->sqEmpty() || !storeBuf_->empty())
+        return false;
+    if (instQ_->size() || f2q_->size() || f3q_->size() ||
+        forwardQ_->size())
+        return false;
+    for (uint32_t i = 0; i < fetchResp_.size(); i++)
+        if (fetchResp_.read(i).valid)
+            return false;
+    if (mdBusy_.read().valid || pendingAtomic_.read().valid)
+        return false;
+    for (uint32_t i = 0; i < inflight_.size(); i++)
+        if (inflight_.read(i).valid)
+            return false;
+    return itlb_->quiescent() && dtlb_->quiescent() &&
+           l2tlb_->quiescent() && itlbChan_->req.size() == 0 &&
+           itlbChan_->resp.size() == 0 && dtlbChan_->req.size() == 0 &&
+           dtlbChan_->resp.size() == 0;
+}
+
+/*
+ * Fast-forward -> detailed on a drained core: like restoreArch(), but
+ * the kernel state is the *warm* post-drain state, not a pristine
+ * snapshot. The drain flush already reset rename to the committed map;
+ * re-seeding the identity map and free list from scratch is valid on
+ * any empty pipeline. The TLBs keep their contents when satp is
+ * unchanged (L2Tlb::setSatp would flush 2048 warm entries).
+ */
+void
+OooCore::resumeArch(const isa::ArchState &as)
+{
+    bool ok = k_.runAtomically([&] {
+        rt_->initIdentity();
+        fl_->initRange(32, cfg_.numPhys() - 32);
+        const bool satpChanged = csr_.read().satp != as.csr.satp;
+        csr_.write(as.csr);
+        if (satpChanged) {
+            itlb_->flush();
+            dtlb_->flush();
+            itlb_->setSatp(as.csr.satp);
+            dtlb_->setSatp(as.csr.satp);
+            l2tlb_->setSatp(as.csr.satp);
+        }
+        for (unsigned i = 1; i < 32; i++)
+            prf_->write(i, as.regs[i]);
+        instret_.write(as.instret);
+        // Bump the epochs so any straggler response is stale-dropped,
+        // then release fetch at the resume pc.
+        epoch_->redirect(as.pc);
+        fetchStall_.write(false);
+    });
+    if (!ok)
+        panic("%s: resumeArch failed", name_.c_str());
+}
+
+/*
+ * Functional TLB warming: each record is one leaf translation the
+ * fast-forward leg performed. Install it exactly where a completed
+ * walk would have landed — the requesting L1 TLB plus the L2 TLB —
+ * one runAtomically per record so repeated pages never double-write a
+ * TLB slot within a rule.
+ */
+void
+OooCore::warmTlbs(const std::vector<isa::GoldenModel::XlateRec> &recs)
+{
+    bool ok = true;
+    for (const auto &r : recs) {
+        ok &= k_.runAtomically([&] {
+            TlbEntry te;
+            te.valid = true;
+            te.vpn = isa::fullVpn(r.va);
+            te.ppn = r.ppn;
+            te.level = r.level;
+            te.flags = r.flags;
+            bool fetch =
+                r.type == static_cast<uint8_t>(isa::AccessType::Fetch);
+            (fetch ? itlb_ : dtlb_)->warmInsert(te, r.va);
+            l2tlb_->warmInsert(te, r.va);
+        });
+    }
+    if (!ok)
+        panic("%s: warmTlbs failed", name_.c_str());
+}
+
+/*
+ * Functional predictor warming: replay the fast-forward leg's control
+ * transfers through the same update discipline execute uses, rolling
+ * a local copy of the global history the way fetch3 would have
+ * (shift in each branch direction), so the trained pattern tables and
+ * the live GHR agree at resume.
+ */
+void
+OooCore::warmPredictors(
+    const std::vector<isa::GoldenModel::BranchRec> &recs)
+{
+    bool ok = true;
+    uint16_t ghr = fetchGhr_.read();
+    for (const auto &r : recs) {
+        ok &= k_.runAtomically([&] {
+            switch (r.kind) {
+            case isa::GoldenModel::BranchRec::Branch:
+                bp_->update(r.pc, ghr, r.taken);
+                if (r.taken)
+                    btb_->update(r.pc, r.target, true);
+                break;
+            case isa::GoldenModel::BranchRec::Jal:
+                if (r.rd == 1)
+                    ras_->push(r.pc + 4);
+                btb_->update(r.pc, r.target, true);
+                break;
+            case isa::GoldenModel::BranchRec::Jalr:
+                if (r.rs1 == 1 && r.rd == 0)
+                    ras_->pop();
+                if (r.rd == 1)
+                    ras_->push(r.pc + 4);
+                btb_->update(r.pc, r.target, true);
+                break;
+            }
+        });
+        if (r.kind == isa::GoldenModel::BranchRec::Branch)
+            ghr = static_cast<uint16_t>((ghr << 1) | (r.taken ? 1 : 0));
+    }
+    ok &= k_.runAtomically([&] { fetchGhr_.write(ghr); });
+    if (!ok)
+        panic("%s: warmPredictors failed", name_.c_str());
+}
+
 // ------------------------------------------------------------- front end
 
 void
 OooCore::doFetch1()
 {
-    require(!flushReq_.read().valid && !epoch_->redirectedThisCycle());
+    require(!flushReq_.read().valid && !fetchStall_.read() &&
+            !epoch_->redirectedThisCycle());
     uint64_t pc = epoch_->fetchPc();
     uint32_t maxN =
         std::min<uint32_t>(cfg_.width,
@@ -1819,6 +2000,8 @@ void
 OooCore::obsCycle()
 {
 #ifndef CMD_NO_OBS
+    if (cpiMuted_)
+        return; // sampled-mode warmup window: keep measured stats pure
     robOccupancy_->sample(rob_->count());
     if (cpiStack_)
         cpiStack_->attribute(classifyCycle());

@@ -22,6 +22,7 @@
 #include "cache/hierarchy.hh"
 #include "frontend/predictors.hh"
 #include "isa/csr.hh"
+#include "isa/golden.hh"
 #include "lsq/lsq.hh"
 #include "obs/cpi.hh"
 #include "obs/pipeline.hh"
@@ -57,6 +58,49 @@ class OooCore
     /** Initialize architectural state (call after Kernel::elaborate). */
     void reset(Addr pc, uint64_t satp, Addr sp);
 
+    /**
+     * Materialize a full architectural state (all 32 registers, PC,
+     * CSRs, instret) into the core — the fast-forward -> detailed
+     * handoff (proc/sampling.hh). Call between cycles with the kernel
+     * freshly restored to its pristine post-start snapshot, so
+     * pipelines and rename structures are empty.
+     */
+    void restoreArch(const isa::ArchState &as);
+
+    // ---- sampled-mode warm handoff (System::runSampled)
+    /**
+     * Detailed -> fast-forward: stall fetch and raise a commit-point
+     * flush, squashing every in-flight instruction back to the
+     * committed state with the same machinery a trap uses — caches,
+     * TLBs and predictors stay warm. Call between cycles, then run the
+     * kernel until drained().
+     */
+    void beginDrain();
+    /** Fully drained after beginDrain(): pipeline empty, no memory or
+     *  translation request in flight (between cycles only). */
+    bool drained() const;
+    /**
+     * Fast-forward -> detailed on a drained, warm core: re-seed the
+     * architectural state (identity rename, registers, CSRs, pc) and
+     * resume fetch. TLB contents are preserved when satp is unchanged.
+     */
+    void resumeArch(const isa::ArchState &as);
+    /**
+     * Functional TLB warming (sampled handoff, drained core, between
+     * cycles): replay the fast-forward leg's leaf translations into
+     * the L1 I/D TLBs and the shared L2 TLB, as if each walk had
+     * completed during the skipped region.
+     */
+    void warmTlbs(const std::vector<isa::GoldenModel::XlateRec> &recs);
+    /**
+     * Functional predictor warming: replay the fast-forward leg's
+     * control transfers through the same BTB / tournament-predictor /
+     * RAS update discipline the execute stage uses, rolling the global
+     * history forward exactly as fetch would have.
+     */
+    void
+    warmPredictors(const std::vector<isa::GoldenModel::BranchRec> &recs);
+
     uint64_t instret() const { return instret_.read(); }
     bool halted() const { return host_.exited(hartId_); }
     cmd::StatGroup &stats() { return meta_->stats(); }
@@ -76,6 +120,17 @@ class OooCore
     void setTracer(obs::PipelineTracer *t) { tracer_ = t; }
     /** CPI-stack accumulator for this hart (null = off). */
     void setCpiStack(obs::CpiStack *c) { cpiStack_ = c; }
+    /**
+     * Suppress per-cycle CPI/occupancy sampling (sampled-mode warmup
+     * windows): with muting toggled around each measured interval the
+     * CPI stack conserves exactly the measured cycles.
+     */
+    void
+    setCpiMuted(bool m)
+    {
+        cpiMuted_ = m;
+        cpiLastInstret_ = instret_.read(); // commit-delta baseline
+    }
     /**
      * Per-cycle observability sampling: ROB-occupancy histogram and
      * (when a CPI stack is attached) commit-point cycle attribution.
@@ -249,6 +304,8 @@ class OooCore
     cmd::Reg<FlushReq> flushReq_;
     /// a rename-serialized instruction is in flight: rename stalls
     cmd::Reg<bool> serialPending_;
+    /// sampled-mode drain: doFetch1 parks until resumeArch()
+    cmd::Reg<bool> fetchStall_;
 
     // stats
     cmd::Stat *branches_, *mispredicts_, *ldKillFlushes_, *flushes_,
@@ -265,6 +322,8 @@ class OooCore
     uint64_t cpiLastInstret_ = 0;
     /// refilling after a mispredict redirect / a commit-point flush
     bool mispredRecover_ = false, flushRecover_ = false;
+    /// warmup window of a sampled interval: skip CPI/occupancy samples
+    bool cpiMuted_ = false;
     /// ROB index -> pipeline-trace seq (side map; RobIdx is 8 bits)
     std::array<uint64_t, 256> robSeq_{};
 };

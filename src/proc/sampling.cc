@@ -1,0 +1,19 @@
+#include "proc/sampling.hh"
+
+namespace riscy {
+
+const char *
+toString(ExecMode m)
+{
+    switch (m) {
+      case ExecMode::Detailed:
+        return "detailed";
+      case ExecMode::FastForward:
+        return "fast-forward";
+      case ExecMode::Sampled:
+        return "sampled";
+    }
+    return "?";
+}
+
+} // namespace riscy

@@ -1,5 +1,6 @@
 #include "proc/system.hh"
 
+#include <algorithm>
 #include <chrono>
 #include <iostream>
 
@@ -21,6 +22,8 @@ toString(StopReason r)
         return "max-cycles";
       case StopReason::WallClock:
         return "wall-clock";
+      case StopReason::MaxInsts:
+        return "max-insts";
     }
     return "?";
 }
@@ -98,6 +101,10 @@ System::writeTraces()
             if (const obs::CpiStack *cp = obsHub_->cpi(i)) {
                 const uint32_t hart = i;
                 cp->exportStats(oooCores_[i]->stats(), [this, hart] {
+                    // Sampled mode: the stack only saw the measured
+                    // windows, so divide by the measured instructions.
+                    if (cfg_.execMode == ExecMode::Sampled)
+                        return sampleStats_.measuredInsts;
                     return instret(hart) - warmupInstret_[hart];
                 });
             }
@@ -115,6 +122,23 @@ System::start(Addr entry, uint64_t satp, const std::vector<Addr> &sp)
             ioCores_[i]->reset(entry, satp, s);
         else
             oooCores_[i]->reset(entry, satp, s);
+    }
+    funcHarts_.clear();
+    pristineSnap_.clear();
+    if (cfg_.execMode != ExecMode::Detailed) {
+        // Functional harts, seeded exactly like the core resets above
+        // (x2 = stack top, x10 = hart id) and sharing mem_/host_.
+        for (uint32_t i = 0; i < cfg_.cores; i++) {
+            auto g = std::make_unique<isa::GoldenModel>(mem_, *host_, i,
+                                                        entry);
+            g->csrs().satp = satp;
+            g->setReg(2, i < sp.size() ? sp[i] : 0);
+            g->setReg(10, i);
+            funcHarts_.push_back(std::move(g));
+        }
+        // The handoff baseline: a freshly reset kernel with empty
+        // pipelines and caches, same image CheckpointManager persists.
+        pristineSnap_ = k_.snapshot();
     }
 }
 
@@ -281,6 +305,374 @@ System::run(uint64_t maxCycles)
         throw;
     }
     runWallNs_ += nsSince();
+    return stopReason_ == StopReason::AllExited;
+}
+
+/*
+ * ---- Execution modes (SystemConfig::execMode, proc/sampling.hh) ----
+ */
+
+bool
+System::runFastForward(uint64_t maxInsts)
+{
+    if (funcHarts_.empty())
+        kfault(FaultKind::ApiMisuse, "system",
+               "runFastForward() needs execMode != Detailed (and a "
+               "prior start())");
+    auto t0 = std::chrono::steady_clock::now();
+    // Round-robin batches keep multi-hart spin barriers live: a hart
+    // parked on a barrier burns its batch, but its peers advance.
+    constexpr uint64_t kBatch = 8192;
+    uint64_t total = 0;
+    stopReason_ = StopReason::MaxInsts;
+    for (;;) {
+        uint64_t ran = 0;
+        for (auto &g : funcHarts_) {
+            uint64_t budget = kBatch;
+            if (maxInsts && maxInsts - total - ran < budget)
+                budget = maxInsts - total - ran;
+            ran += g->run(budget);
+            if (host_->failed())
+                break;
+        }
+        total += ran;
+        if (host_->failed()) {
+            stopReason_ = StopReason::HostFail;
+            break;
+        }
+        if (host_->allExited()) {
+            stopReason_ = StopReason::AllExited;
+            break;
+        }
+        if (maxInsts && total >= maxInsts)
+            break; // MaxInsts
+        if (ran == 0 && !maxInsts) {
+            // Every live hart is spinning without retiring (can only
+            // happen with a zero budget); avoid a silent infinite loop.
+            kfault(FaultKind::ApiMisuse, "system",
+                   "runFastForward(0) made no progress");
+        }
+    }
+    sampleStats_.ffInsts += total;
+    sampleStats_.totalInsts += total;
+    runWallNs_ += static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+    return stopReason_ == StopReason::AllExited;
+}
+
+void
+System::handoffToDetailed()
+{
+    if (funcHarts_.empty() || pristineSnap_.empty())
+        kfault(FaultKind::ApiMisuse, "system",
+               "handoffToDetailed() needs execMode != Detailed (and a "
+               "prior start())");
+    k_.restore(pristineSnap_);
+    for (uint32_t i = 0; i < cfg_.cores; i++) {
+        isa::ArchState as = funcHarts_[i]->archState();
+        if (cfg_.inOrder)
+            ioCores_[i]->restoreArch(as);
+        else
+            oooCores_[i]->restoreArch(as);
+    }
+    if (runner_)
+        runner_->watchdog().reset();
+}
+
+/*
+ * One detailed (warmup + measure) window, plus the drain back to a
+ * quiescent machine. The caller has already fast-forwarded and handed
+ * off; we follow commits with the shadow, stop once `measure`
+ * instructions retired past the warmup boundary, then park fetch and
+ * cycle until the core and the memory hierarchy are empty — so the
+ * next handoff can resync cache data without racing in-flight refills.
+ * Returns true when the window ended for a terminal reason (exit,
+ * failure, cycle overrun) — stopReason_ says which.
+ */
+bool
+System::sampledInterval(ShadowTracker &shadow, uint64_t &warmCycles,
+                        uint64_t &warmInsts, uint64_t &measCycles,
+                        uint64_t &measInsts, uint64_t &drainInsts)
+{
+    const SamplingConfig &sc = cfg_.sampling;
+    OooCore *ooo = cfg_.inOrder ? nullptr : oooCores_[0].get();
+    InOrderCore *io = cfg_.inOrder ? ioCores_[0].get() : nullptr;
+
+    // Chain the shadow in front of any existing commit hook.
+    auto &hook = ooo ? ooo->onCommit : io->onCommit;
+    auto prev = hook;
+    hook = [&shadow, prev](const CommitRecord &r) {
+        shadow.step(r.pc, r.trapped);
+        if (prev)
+            prev(r);
+    };
+    if (ooo)
+        ooo->setCpiMuted(true); // warmup cycles stay out of the stats
+
+    const uint64_t i0 = instret(0);
+    const uint64_t c0 = k_.cycleCount();
+    uint64_t iWarm = i0, cWarm = c0;
+    bool measuring = sc.warmup == 0;
+    if (measuring && ooo)
+        ooo->setCpiMuted(false);
+    // Generous per-window cycle budget: even at CPI 50 a window
+    // fits; hitting it means the interval wedged, not a slow phase.
+    const uint64_t cap = (sc.warmup + sc.measure) * 50 + 100000;
+
+    HardenedRunner &hr = runner();
+    auto t0 = std::chrono::steady_clock::now();
+    stopReason_ = StopReason::MaxCycles;
+    auto done = [&] {
+        if (host_->failed()) {
+            stopReason_ = StopReason::HostFail;
+            return true;
+        }
+        if (host_->allExited()) {
+            stopReason_ = StopReason::AllExited;
+            return true;
+        }
+        if (!measuring && instret(0) - i0 >= sc.warmup) {
+            measuring = true;
+            iWarm = instret(0);
+            cWarm = k_.cycleCount();
+            if (ooo)
+                ooo->setCpiMuted(false);
+        }
+        if (measuring && instret(0) - iWarm >= sc.measure) {
+            stopReason_ = StopReason::MaxInsts;
+            return true;
+        }
+        return false;
+    };
+    try {
+        hr.run(done, cap);
+    } catch (const KernelFault &) {
+        hook = prev;
+        std::cerr << k_.progressReport();
+        throw;
+    }
+    if (ooo)
+        ooo->setCpiMuted(true);
+
+    if (!measuring) {
+        iWarm = instret(0);
+        cWarm = k_.cycleCount();
+    }
+    warmInsts = iWarm - i0;
+    warmCycles = cWarm - c0;
+    measInsts = instret(0) - iWarm;
+    measCycles = k_.cycleCount() - cWarm;
+    const bool terminal = stopReason_ != StopReason::MaxInsts;
+
+    // Warm handoff back to fast-forward: park fetch, squash (OOO) or
+    // retire (in-order) the in-flight work, and cycle until the core
+    // and the whole hierarchy are quiescent, so the next handoff can
+    // resync cache data without racing an in-flight refill. Drain
+    // commits are real program instructions — the shadow (still
+    // hooked) keeps following them; cycles stay CPI-muted.
+    if (!terminal) {
+        const uint64_t iDrain0 = instret(0);
+        try {
+            if (ooo)
+                ooo->beginDrain();
+            else
+                io->beginDrain();
+            auto quiet = [&] {
+                return (ooo ? ooo->drained() : io->drained()) &&
+                       hier_->quiescent();
+            };
+            // Generous bound: a full drain is ROB+SB+MSHR depth worth
+            // of DRAM round trips, a few thousand cycles at most.
+            uint64_t left = 100000;
+            while (!quiet()) {
+                if (left-- == 0)
+                    kfault(FaultKind::DesignError, "system",
+                           "sampled handoff drain did not quiesce");
+                k_.run(1);
+            }
+        } catch (const KernelFault &) {
+            hook = prev;
+            std::cerr << k_.progressReport();
+            throw;
+        }
+        drainInsts = instret(0) - iDrain0;
+    }
+
+    runWallNs_ += static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+    hook = prev;
+    return terminal;
+}
+
+bool
+System::runSampled(uint64_t maxInsts)
+{
+    if (cfg_.execMode != ExecMode::Sampled)
+        kfault(FaultKind::ApiMisuse, "system",
+               "runSampled() needs execMode == Sampled");
+    if (cfg_.cores != 1)
+        kfault(FaultKind::ApiMisuse, "system",
+               "sampled mode is single-core (cores=%u)", cfg_.cores);
+    if (funcHarts_.empty())
+        kfault(FaultKind::ApiMisuse, "system",
+               "runSampled() before start()");
+    const SamplingConfig &sc = cfg_.sampling;
+    if (sc.measure == 0)
+        kfault(FaultKind::ApiMisuse, "system",
+               "sampling.measure must be > 0");
+
+    sampleStats_ = SampleStats{};
+    IntervalEstimator est;
+    isa::GoldenModel &g = *funcHarts_[0];
+    // Journal every line fast-forwarding touches (fetch, load, store,
+    // page-table walk), so each handoff can functionally warm the
+    // caches with the skip's working set and resync dirtied lines.
+    std::vector<uint64_t> journal;
+    g.setTouchJournal(&journal);
+    // Companion journals for the non-cache microarchitectural state:
+    // leaf translations (TLB warming) and control transfers (BTB /
+    // direction-predictor / RAS warming).
+    std::vector<isa::GoldenModel::XlateRec> xlates;
+    std::vector<isa::GoldenModel::BranchRec> branches;
+    g.setXlateJournal(&xlates);
+    g.setBranchJournal(&branches);
+    stopReason_ = StopReason::MaxInsts;
+    bool terminal = false;
+    while (!terminal) {
+        if (sc.maxIntervals && sampleStats_.intervals >= sc.maxIntervals)
+            break; // MaxInsts: interval budget spent
+        if (maxInsts && sampleStats_.totalInsts >= maxInsts)
+            break;
+
+        // 1. Warm handoff into the detailed core. Intervals are
+        // measure-first: the detailed (warmup, measure) window runs
+        // before each fast-forward skip, so the very start of the
+        // program — often an unrepresentative setup phase — lands
+        // inside a measured window instead of being systematically
+        // skipped (skip-first ordering biases the estimate on short
+        // programs whose fastest code is the beginning). The previous
+        // interval left the machine drained and quiescent with every
+        // cache, TLB and predictor warm (SMARTS' functional warming
+        // for free); fast-forwarding advanced memory underneath the
+        // caches, so resync the journaled lines' cached copies —
+        // data only, no protocol-state change — then re-seed the
+        // architectural state. The first iteration runs this on the
+        // pristine post-start() machine, where it degenerates to
+        // restoreArch (nothing is cached yet).
+        isa::ArchState as = g.archState();
+        ShadowTracker shadow(mem_, cfg_.cores, 0, as);
+        // Functional warming: replay the skip's touches in program
+        // order (LRU-faithful), one atomic action per touch — within
+        // one action reads see start-of-action state, so sequential
+        // victim selection needs a commit between touches. Stored-to
+        // lines additionally get a data-only resync afterwards,
+        // catching cached copies a skipped warmTouch (e.g. an E/M
+        // holder on another child) left stale.
+        std::vector<Addr> stores;
+        bool ok = true;
+        for (uint64_t e : journal) {
+            Addr ln = e & ~static_cast<uint64_t>(63);
+            bool ifetch = (e & isa::GoldenModel::kTouchFetch) != 0;
+            // Two atomic actions per touch: the L2 install's victim
+            // recall must commit before the L1 victim pick reads the
+            // set's state (see MemHierarchy::warmTouchL2).
+            bool inL2 = false;
+            ok &= k_.runAtomically([&] {
+                inL2 = hier_->warmTouchL2(0, ifetch, ln, readLine(mem_, ln));
+            });
+            if (inL2)
+                ok &= k_.runAtomically([&] {
+                    hier_->warmTouchL1(0, ifetch, ln, readLine(mem_, ln));
+                });
+            if (e & isa::GoldenModel::kTouchStore)
+                stores.push_back(ln);
+        }
+        std::sort(stores.begin(), stores.end());
+        stores.erase(std::unique(stores.begin(), stores.end()),
+                     stores.end());
+        ok &= k_.runAtomically([&] {
+            for (Addr ln : stores)
+                hier_->debugPatchLine(ln, readLine(mem_, ln));
+        });
+        if (!ok)
+            kfault(FaultKind::DesignError, "system",
+                   "sampled handoff cache warming failed");
+        journal.clear();
+        g.setTouchJournal(&journal); // reset the dedup filters
+        if (cfg_.inOrder) {
+            ioCores_[0]->warmTlbs(xlates);
+            ioCores_[0]->warmPredictors(branches);
+            ioCores_[0]->resumeArch(as);
+        } else {
+            oooCores_[0]->warmTlbs(xlates);
+            oooCores_[0]->warmPredictors(branches);
+            oooCores_[0]->resumeArch(as);
+        }
+        xlates.clear();
+        branches.clear();
+        runner().watchdog().reset();
+
+        // 2. Detailed warmup + measure window, then drain back to a
+        // quiescent machine.
+        uint64_t wc = 0, wi = 0, mc = 0, mi = 0, di = 0;
+        terminal = sampledInterval(shadow, wc, wi, mc, mi, di);
+        sampleStats_.warmupInsts += wi + di; // di: drained, unmeasured
+        sampleStats_.measuredInsts += mi;
+        sampleStats_.measuredCycles += mc;
+        sampleStats_.totalInsts += wi + mi + di;
+        if (mc > 0 && mi >= sc.minMeasure) {
+            // Accumulate CPI, not IPC: intervals hold a fixed
+            // instruction count, so the arithmetic mean of per-interval
+            // CPIs is the instruction-weighted estimate (the SMARTS
+            // estimator); a mean of IPCs would be biased high on
+            // phase-heterogeneous programs (Jensen's inequality).
+            est.add(double(mc) / double(mi));
+            sampleStats_.intervalCpi.push_back(double(mc) / double(mi));
+            sampleStats_.intervals++;
+        }
+
+        // 3. Hand back: the shadow holds the architecturally complete
+        // committed state. Replacing mem_ with it is consistent with
+        // the warm caches — every dirty line holds committed store
+        // data, which the shadow applied too, so cached copies and
+        // memory agree line for line.
+        mem_ = shadow.mem();
+        g.setArchState(shadow.archState()); // invalidates fast caches
+                                            // (mem_ pages moved)
+        if (terminal)
+            break;
+
+        // 4. Fast-forward `skip` instructions functionally.
+        auto t0 = std::chrono::steady_clock::now();
+        uint64_t skipped = g.run(sc.skip);
+        runWallNs_ += static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count());
+        sampleStats_.ffInsts += skipped;
+        sampleStats_.totalInsts += skipped;
+        if (host_->failed()) {
+            stopReason_ = StopReason::HostFail;
+            break;
+        }
+        if (g.halted()) {
+            stopReason_ = StopReason::AllExited;
+            break;
+        }
+    }
+
+    const double cpi = est.mean();
+    if (cpi > 0) {
+        sampleStats_.meanIpc = 1.0 / cpi;
+        // Delta method: d(1/x) = dx / x^2.
+        sampleStats_.ipcCi95 = est.ci95Half() / (cpi * cpi);
+        sampleStats_.estTotalCycles =
+            uint64_t(double(sampleStats_.totalInsts) * cpi);
+    }
     return stopReason_ == StopReason::AllExited;
 }
 

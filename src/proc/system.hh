@@ -14,13 +14,15 @@
 
 namespace riscy {
 
-/** Why the last System::run() returned. */
+/** Why the last System::run() family call returned. */
 enum class StopReason : uint8_t {
     None,      ///< run() not called yet
     AllExited, ///< every hart exited cleanly via the host device
     HostFail,  ///< the host device's Fail channel fired
     MaxCycles, ///< cycle budget exhausted
     WallClock, ///< SystemConfig::maxWallSeconds budget exhausted
+    MaxInsts,  ///< instruction/interval budget exhausted (fast-forward
+               ///< and sampled modes)
 };
 
 const char *toString(StopReason r);
@@ -60,6 +62,45 @@ class System
 
     /** Why the last run() returned. */
     StopReason stopReason() const { return stopReason_; }
+
+    // ---- execution modes (SystemConfig::execMode, proc/sampling.hh)
+    /**
+     * Run purely functionally through the per-hart GoldenModel
+     * interpreters (ExecMode::FastForward or Sampled; harts are
+     * created by start()). Multi-hart programs interleave in
+     * round-robin instruction batches, so spin barriers still make
+     * progress. Stops on clean exit, host failure, or after
+     * @p maxInsts total instructions (0 = no budget). No kernel
+     * cycles elapse. @return true if all harts exited cleanly.
+     */
+    bool runFastForward(uint64_t maxInsts = 0);
+
+    /**
+     * Warm handoff, functional -> detailed: restore the kernel to its
+     * pristine post-start snapshot (empty pipelines and caches) and
+     * materialize every functional hart's architectural state into
+     * its detailed core. Memory and the host device are already
+     * shared. Detailed execution may then continue with run().
+     */
+    void handoffToDetailed();
+
+    /**
+     * SMARTS-style sampled simulation (ExecMode::Sampled, single
+     * core): repeat (skip, warmup, measure) intervals per
+     * SystemConfig::sampling until the program exits or budgets run
+     * out; sampleStats() holds the estimate. During the detailed
+     * windows a ShadowTracker follows the commit stream so the
+     * handoff back to fast-forward needs no pipeline/cache draining.
+     * @p maxInsts bounds total instructions (0 = none).
+     * @return true if the program exited cleanly.
+     */
+    bool runSampled(uint64_t maxInsts = 0);
+
+    /** Aggregate fast-forward/sampling outcome of the last run. */
+    const SampleStats &sampleStats() const { return sampleStats_; }
+
+    /** Functional hart @p i (valid after start() in FF/Sampled mode). */
+    isa::GoldenModel &funcHart(uint32_t i) { return *funcHarts_[i]; }
 
     /**
      * Extra bytes carried inside each checkpoint alongside the kernel
@@ -125,6 +166,10 @@ class System
   private:
     cmd::HardenedRunner &runner();
     void setupObs();
+    /** One detailed (warmup + measure + drain) window of runSampled(). */
+    bool sampledInterval(ShadowTracker &shadow, uint64_t &warmCycles,
+                         uint64_t &warmInsts, uint64_t &measCycles,
+                         uint64_t &measInsts, uint64_t &drainInsts);
     std::vector<uint8_t> checkpointPayload() const;
     void loadCheckpointPayload(const std::vector<uint8_t> &bytes);
 
@@ -140,6 +185,11 @@ class System
     std::function<void(const std::vector<uint8_t> &)> userLoad_;
     std::vector<std::unique_ptr<OooCore>> oooCores_;
     std::vector<std::unique_ptr<InOrderCore>> ioCores_;
+    /// one GoldenModel per hart when execMode != Detailed
+    std::vector<std::unique_ptr<isa::GoldenModel>> funcHarts_;
+    /// kernel snapshot right after start(): the handoff baseline
+    std::vector<uint8_t> pristineSnap_;
+    SampleStats sampleStats_;
     /// per-hart instret at the warmup reset (post-warmup IPC baseline)
     std::vector<uint64_t> warmupInstret_;
     /// declared last: its destructor detaches from k_ and flushes traces

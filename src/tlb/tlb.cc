@@ -85,6 +85,15 @@ L1Tlb::lookup(Addr va) const
     return -1;
 }
 
+void
+L1Tlb::warmInsert(const TlbEntry &e, Addr va)
+{
+    if (lookup(va) >= 0)
+        return;
+    entries_.write(replPtr_.read(), e);
+    replPtr_.write((replPtr_.read() + 1) % cfg_.entries);
+}
+
 bool
 L1Tlb::permOk(uint8_t flags, AccessType t) const
 {
@@ -294,6 +303,14 @@ L2Tlb::lookup(Addr va) const
             return static_cast<int>(sl);
     }
     return -1;
+}
+
+void
+L2Tlb::warmInsert(const TlbEntry &e, Addr va)
+{
+    if (lookup(va) >= 0)
+        return;
+    insert(e, va);
 }
 
 void

@@ -105,6 +105,19 @@ class L1Tlb : public cmd::Module
 
     bool canReq() const { return reqQ_.canEnq(); }
     bool respReady() const { return respQ_.canDeq(); }
+    /** Functional warming (sampled handoff, between cycles under
+     *  runAtomically): install @p e at the replacement pointer unless
+     *  an entry already covers @p va. */
+    void warmInsert(const TlbEntry &e, Addr va);
+    /** Warm handoff: no queued request/response or pending miss. */
+    bool
+    quiescent() const
+    {
+        for (uint32_t i = 0; i < miss_.size(); i++)
+            if (miss_.read(i).valid)
+                return false;
+        return reqQ_.size() == 0 && respQ_.size() == 0;
+    }
 
     cmd::Method &reqM, &respM, &flushM, &setSatpM;
 
@@ -162,6 +175,18 @@ class L2Tlb : public cmd::Module
 
     /** Set the root of translation (satp) and flush. */
     void setSatp(uint64_t satp);
+    /** Functional warming: install @p e unless @p va is covered
+     *  (between cycles under runAtomically). */
+    void warmInsert(const TlbEntry &e, Addr va);
+    /** Warm handoff: no page walk in flight. */
+    bool
+    quiescent() const
+    {
+        for (uint32_t i = 0; i < walks_.size(); i++)
+            if (walks_.read(i).valid)
+                return false;
+        return true;
+    }
     cmd::Method &setSatpM;
 
   private:
