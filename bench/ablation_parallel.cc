@@ -5,6 +5,7 @@
  *
  *   - exhaustive      (reference sequential scheduler)
  *   - event-driven    (PR 1's sensitivity-tracked sequential walk)
+ *   - compiled        (elaboration-time static schedule, PR 7)
  *   - parallel x1/2/4 (domain-partitioned execution, PR 2)
  *
  * All five runs replay the same fixed cycle window from one
@@ -64,8 +65,14 @@ struct Result {
 int
 main(int argc, char **argv)
 {
-    const uint64_t cycles = argc > 1 ? strtoull(argv[1], nullptr, 0)
-                                     : 200000;
+    bool ci = false;
+    uint64_t cycles = 200000;
+    for (int i = 1; i < argc; i++) {
+        if (std::string(argv[i]) == "--ci")
+            ci = true;
+        else
+            cycles = strtoull(argv[i], nullptr, 0);
+    }
 
     // Quad-core TSO system running the data-parallel "blackscholes"
     // stand-in with one worker thread per hart.
@@ -90,6 +97,7 @@ main(int argc, char **argv)
     const std::vector<Mode> modes = {
         {"exhaustive", cmd::SchedulerKind::Exhaustive, 0},
         {"event", cmd::SchedulerKind::EventDriven, 0},
+        {"compiled", cmd::SchedulerKind::Compiled, 0},
         {"parallel-1", cmd::SchedulerKind::Parallel, 1},
         {"parallel-2", cmd::SchedulerKind::Parallel, 2},
         {"parallel-4", cmd::SchedulerKind::Parallel, 4},
@@ -173,7 +181,12 @@ main(int argc, char **argv)
         riscy::bench::putSimSpeed(o, r.instret, r.wallNs);
         out.push_back(std::move(o));
     }
-    writeBenchJson("parallel", jcfg, out);
+    bool wrote = writeBenchJson("parallel", jcfg, out);
+    if (ci && !wrote) {
+        std::fprintf(stderr, "GATE: --ci requires BENCH_parallel.json "
+                             "to be written\n");
+        ok = false;
+    }
 
     return ok ? 0 : 1;
 }

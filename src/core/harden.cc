@@ -514,6 +514,12 @@ HardenedRunner::degrade()
             std::this_thread::sleep_for(std::chrono::milliseconds(1));
         kernel_.setScheduler(SchedulerKind::EventDriven);
         break;
+      case SchedulerKind::Compiled:
+        // The compiled fast path trades enforcement for speed on the
+        // strength of an elaboration-time proof; after a fault, fall
+        // back to the fully checked dynamic scheduler.
+        kernel_.setScheduler(SchedulerKind::EventDriven);
+        break;
       case SchedulerKind::EventDriven:
         kernel_.setScheduler(SchedulerKind::Exhaustive);
         break;

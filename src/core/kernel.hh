@@ -124,11 +124,23 @@ const char *toString(Conflict c);
  *    a per-cycle barrier. Falls back to the sequential event-driven
  *    walk when the design partitions into a single domain. State
  *    evolution stays bit-identical to the other schedulers.
+ *  - Compiled: the schedule is compiled at elaboration into a flat
+ *    dispatch table walked in schedule order (what the BSV compiler
+ *    does statically). Rules classified as CM-inert have their
+ *    per-method-call bookkeeping elided entirely, and a short
+ *    profiling prefix re-specializes the table once: empirically hot
+ *    rules move onto a streamlined fire path with no sensitivity
+ *    capture, while the cold residue keeps the event-driven
+ *    sleep/wake machinery. State evolution stays bit-identical to
+ *    the other schedulers; see DESIGN.md "Static scheduling" for the
+ *    argument and for the (enforcement-only) checks the fast path
+ *    legitimately skips.
  */
 enum class SchedulerKind : uint8_t {
     Exhaustive,
     EventDriven,
     Parallel,
+    Compiled,
 };
 
 /**
@@ -267,6 +279,8 @@ struct KernelReport
     const char *scheduler = "exhaustive";
     uint64_t cycle = 0;
     uint32_t domains = 1;
+    /// Compiled scheduler only: rules on the fast dispatch path.
+    uint32_t compiledFastRules = 0;
     uint64_t attempts = 0;
     uint64_t sleepSkips = 0;
     uint64_t sleeps = 0;
@@ -347,6 +361,26 @@ enum class ReadMode : uint8_t {
 /// crash dumps show the merged tail of these).
 constexpr uint32_t kFireRingSize = 32;
 
+/**
+ * One slot of a compiled dispatch table (SchedulerKind::Compiled):
+ * the rule plus everything the specialized walk needs resolved ahead
+ * of time — guard and body targets, and the classification flags.
+ * Tables are rebuilt whole on (re-)specialization, never patched.
+ */
+struct CompiledEntry
+{
+    Rule *rule = nullptr;
+    /// when() guard to test ahead of the body; null = always attempt
+    const std::function<bool()> *guard = nullptr;
+    const std::function<void()> *body = nullptr;
+    /// streamlined fire path: attempted every cycle, no sensitivity
+    /// capture, never sleeps
+    bool fast = false;
+    /// CM-inert (proven at elaboration): method-call bookkeeping and
+    /// the fired-mask merge are elided for this rule's attempts
+    bool lite = false;
+};
+
 struct ExecContext
 {
     uint32_t domainId = kNoDomain;
@@ -371,6 +405,17 @@ struct ExecContext
     std::vector<Rule *> sched;
     /// bitmap over sched positions of awake rules (the event wheel)
     std::vector<uint64_t> awakeBits;
+
+    // Compiled scheduler (SchedulerKind::Compiled) state:
+    /// dispatch table aligned with sched; empty unless compiled
+    std::vector<CompiledEntry> ctable;
+    /// attempt in flight is a CM-inert compiled rule: onMethodCall()
+    /// returns immediately (the checks are proven unnecessary)
+    bool liteCalls = false;
+    /// every rule of this context is on the compiled fast path, so no
+    /// rule ever sleeps here: commits skip the commit-cycle stamp and
+    /// the waiter scan, and the walk degenerates to a flat array scan
+    bool fusedCommit = false;
 
     // Counters (Kernel getters sum them across contexts):
     uint64_t attempts = 0;
@@ -795,6 +840,16 @@ class Rule
     uint64_t sleepGen_ = 0;
     uint32_t schedPos_ = 0; ///< position in Kernel::schedule_
 
+    // Compiled scheduler classification (see Kernel::compileSchedule):
+    /// proven at elaboration: no method pair of this rule against any
+    /// later-scheduled rule has a C or > CM entry, so this rule can
+    /// neither CM-block another rule nor be blocked itself
+    bool cmInert_ = false;
+    /// currently on the compiled fast dispatch path
+    bool compiledFast_ = false;
+    /// attempt-counter baseline captured when profiling started
+    uint64_t profBase_ = 0;
+
     // Domain partitioning / context binding:
     uint32_t hintGroup_ = 0; ///< hint group at construction
     uint32_t domain_ = 0;    ///< resolved at elaboration
@@ -876,6 +931,25 @@ class Kernel
      */
     void setParallelThreads(uint32_t n);
     uint32_t parallelThreads() const { return threadsWanted_; }
+
+    /**
+     * Configure the compiled scheduler's profiling prefix. For the
+     * first @p profileCycles cycles under SchedulerKind::Compiled,
+     * every rule runs on the event-driven residue path while its
+     * attempt rate is observed; the table is then re-specialized
+     * once, promoting rules whose attempt rate is at least
+     * @p hotRate (attempts per cycle, in [0, 1]) onto the fast
+     * dispatch path — those rules were not benefiting from sleeping,
+     * so the per-attempt sensitivity capture was pure overhead.
+     * profileCycles == 0 skips profiling entirely: every rule
+     * compiles fast immediately (the fully static schedule).
+     * May be called between cycles; under an active compiled
+     * scheduler it restarts profiling from the current cycle.
+     */
+    void setCompiledProfile(uint64_t profileCycles, double hotRate = 0.5);
+    uint64_t compiledProfileCycles() const { return compiledProfileCycles_; }
+    /** Rules currently on the compiled fast path (0 when not compiled). */
+    uint32_t compiledFastRuleCount() const;
 
     /** Number of domains the design partitioned into (post-elab). */
     uint32_t domainCount() const { return domainCount_; }
@@ -1028,7 +1102,7 @@ class Kernel
     /** Publish @p s to cross-domain readers at every cycle barrier. */
     void registerMirror(StateBase *s);
     void onMethodCall(const Method &m);
-    void noteStateTouched(StateBase *s);
+    void noteStateTouched(StateBase *s); // inline, below StateBase
     bool
     inRule() const
     {
@@ -1044,6 +1118,8 @@ class Kernel
     }
     /** Slow path of StateBase::noteRead(). */
     void noteStateRead(StateBase *s, detail::ExecContext &c);
+    /** Out-of-line fault path of noteStateTouched(). */
+    void crossDomainTouchFault(detail::ExecContext *c, StateBase *s);
     /** requireFast() backend: flag a no-throw guard failure. */
     void
     failGuardFast()
@@ -1065,6 +1141,20 @@ class Kernel
 
     /** One event-driven walk of @p c's schedule. @return fired. */
     uint32_t runCtxCycle(detail::ExecContext &c);
+
+    // ---- compiled scheduler internals
+    /** Mark every rule provably free of CM interaction (one-shot). */
+    void computeCmInertia();
+    /** (Re)build the dispatch table from the current classification. */
+    void compileSchedule();
+    /** Reset classification + profiling baselines, build the table. */
+    void startCompiled();
+    /** One-shot promotion of empirically hot rules to the fast path. */
+    void respecializeCompiled();
+    /** Streamlined attempt of a fast table entry. @return fired? */
+    bool fastFire(detail::ExecContext &c, const detail::CompiledEntry &e);
+    /** One compiled walk of @p c's dispatch table. @return fired. */
+    uint32_t runCompiledCycle(detail::ExecContext &c);
 
     // ---- event-driven scheduler internals
     /** Sleep @p r on the attempt's read set if it was captured exactly. */
@@ -1123,6 +1213,13 @@ class Kernel
     bool elaborated_ = false;
     uint64_t cycle_ = 0;
     KernelObserver *obs_ = nullptr;
+
+    // Compiled scheduler:
+    bool cmInertComputed_ = false;      ///< inertness pass ran (one-shot)
+    bool compiledRespecialized_ = false;
+    uint64_t compiledProfileCycles_ = 1024;
+    double compiledHotRate_ = 0.5;
+    uint64_t compiledProfileStart_ = 0; ///< cycle_ when profiling began
 
     // Scheduler state:
     SchedulerKind sched_ = SchedulerKind::Exhaustive;
@@ -1183,6 +1280,35 @@ StateBase::noteRead() const
     detail::ExecContext *c = detail::activeCtx;
     if (c && c->readMode != detail::ReadMode::Off)
         kernel_.noteStateRead(const_cast<StateBase *>(this), *c);
+}
+
+inline void
+Method::operator()() const
+{
+    // A CM-inert rule on the compiled fast path skips the whole
+    // kernel visit — elaboration proved no check in onMethodCall()
+    // can fail for it and nothing reads the masks it would update
+    // (see Kernel::computeCmInertia and DESIGN.md "Static
+    // scheduling"). Checked inline so the elision costs one branch.
+    detail::ExecContext *c = detail::activeCtx;
+    if (c && c->liteCalls)
+        return;
+    owner_.kernel().onMethodCall(*this);
+}
+
+inline void
+Kernel::noteStateTouched(StateBase *s)
+{
+    detail::ExecContext *c = detail::activeCtx;
+    if (!c) {
+        // Construction-time initialization outside any transaction;
+        // swept up by the next main-context commit, as before.
+        mainCtx_.touched.push_back(s);
+        return;
+    }
+    if (c->domainId != detail::kNoDomain && s->domain_ != c->domainId)
+        crossDomainTouchFault(c, s); // throws
+    c->touched.push_back(s);
 }
 
 inline uint64_t

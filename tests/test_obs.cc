@@ -176,35 +176,48 @@ TEST(ObsCpi, ComponentsSumToTotalCycles)
 
 /**
  * Same seed + config => byte-identical Konata and Perfetto exports
- * under all three schedulers. This is the observable face of the
+ * under all four schedulers. This is the observable face of the
  * kernel's cross-scheduler equivalence guarantee: not just the same
  * architectural evolution, but the same fired-rule timeline and the
- * same per-uop pipeline occupancy.
+ * same per-uop pipeline occupancy. The 20k-cycle run crosses the
+ * compiled scheduler's default 1024-cycle profiling prefix, so both
+ * its regimes (profiling walk and fused fast path) are compared.
  */
 TEST(ObsTrace, ByteIdenticalAcrossSchedulers)
 {
     constexpr uint64_t kCycles = 20000;
     Assembler a = obsProgram();
 
+    struct Traces {
+        std::string konata, perfetto, cpi;
+    };
     auto runOne = [&](cmd::SchedulerKind kind) {
         auto sys = mkObsSys(a, kind);
         sys->kernel().run(kCycles);
-        return std::pair<std::string, std::string>(konataText(*sys),
-                                                   perfettoText(*sys));
+        const obs::CpiStack *cp = sys->cpi(0);
+        return Traces{konataText(*sys), perfettoText(*sys),
+                      cp ? cp->json(sys->instret(0)) : std::string()};
     };
     auto ex = runOne(cmd::SchedulerKind::Exhaustive);
     auto ev = runOne(cmd::SchedulerKind::EventDriven);
     auto par = runOne(cmd::SchedulerKind::Parallel);
+    auto co = runOne(cmd::SchedulerKind::Compiled);
 
     // Sanity: the traces are real before we compare them.
-    ASSERT_GT(ex.first.size(), 1000u);
-    ASSERT_EQ(ex.first.rfind("Kanata\t0004\n", 0), 0u);
-    ASSERT_GT(ex.second.size(), 1000u);
+    ASSERT_GT(ex.konata.size(), 1000u);
+    ASSERT_EQ(ex.konata.rfind("Kanata\t0004\n", 0), 0u);
+    ASSERT_GT(ex.perfetto.size(), 1000u);
+    ASSERT_GT(ex.cpi.size(), 10u);
 
-    EXPECT_EQ(ex.first, ev.first) << "Konata diverged: event-driven";
-    EXPECT_EQ(ex.first, par.first) << "Konata diverged: parallel";
-    EXPECT_EQ(ex.second, ev.second) << "Perfetto diverged: event-driven";
-    EXPECT_EQ(ex.second, par.second) << "Perfetto diverged: parallel";
+    EXPECT_EQ(ex.konata, ev.konata) << "Konata diverged: event-driven";
+    EXPECT_EQ(ex.konata, par.konata) << "Konata diverged: parallel";
+    EXPECT_EQ(ex.konata, co.konata) << "Konata diverged: compiled";
+    EXPECT_EQ(ex.perfetto, ev.perfetto) << "Perfetto diverged: event-driven";
+    EXPECT_EQ(ex.perfetto, par.perfetto) << "Perfetto diverged: parallel";
+    EXPECT_EQ(ex.perfetto, co.perfetto) << "Perfetto diverged: compiled";
+    EXPECT_EQ(ex.cpi, ev.cpi) << "CPI stack diverged: event-driven";
+    EXPECT_EQ(ex.cpi, par.cpi) << "CPI stack diverged: parallel";
+    EXPECT_EQ(ex.cpi, co.cpi) << "CPI stack diverged: compiled";
 }
 
 /** Every traced uop resolves: retired + squashed == created. */
