@@ -16,6 +16,14 @@
  *   hang     - forward-progress watchdog tripped, or the cycle budget
  *              ran out (deadlock/livelock)
  *
+ * Four legs share one workload image: the general single-core slice,
+ * a register-file AVF slice (flips into hart0.prf, where SDCs
+ * concentrate), a quad-core slice on the PARSEC multicore config
+ * (faults land anywhere in four cores + the coherent hierarchy), and
+ * a single-core slice under SchedulerKind::Compiled — whose golden
+ * run must match the EventDriven golden commit-for-commit, making the
+ * campaign double as a scheduler-equivalence check.
+ *
  * The campaign is bit-reproducible: plans are a pure function of
  * (seed, design), and the whole campaign is run twice and compared.
  * Crash dumps of the first few detected/hung runs land in
@@ -30,6 +38,7 @@
 
 #include "asmkit/assembler.hh"
 #include "bench_common.hh"
+#include "isa/csr.hh"
 
 using namespace riscy;
 using namespace riscy::bench;
@@ -61,11 +70,20 @@ checksumWorkload()
 {
     Assembler a(kEntry);
     constexpr int kWords = 256;
-    a.li(s0, kEntry + 0x10000); // array base
+    // Hart-aware: each hart works a private 4KB array region with a
+    // per-hart LCG seed, so the one image runs 1- or 4-core unchanged
+    // and every hart exits with its own checksum.
+    a.csrr(t5, isa::kCsrMhartid);
+    a.slli(t6, t5, 12);
+    a.li(s0, kEntry + 0x10000); // array base...
+    a.add(s0, s0, t6);          // ...plus 4KB per hart
     a.li(s1, 0);                // i
     a.li(s2, 0);                // sum1 (fill-time)
-    a.li(s3, 0x1234);           // LCG state
+    a.li(s3, 0x1234);           // LCG state...
+    a.add(s3, s3, t5);          // ...decorrelated per hart
     a.li(s5, 0xabcd);           // unchecked accumulator (SDC surface)
+    a.slli(t6, t5, 4);
+    a.xor_(s5, s5, t6);
     a.li(t0, 0x27bb2ee6);       // LCG multiplier
     a.li(t2, kWords);
     auto fill = a.newLabel();
@@ -148,43 +166,81 @@ struct RunResultF
     std::string dump; ///< crash-dump body for detected/hang runs
 };
 
+const char *
+schedName(cmd::SchedulerKind k)
+{
+    switch (k) {
+      case cmd::SchedulerKind::Exhaustive: return "exhaustive";
+      case cmd::SchedulerKind::EventDriven: return "event";
+      case cmd::SchedulerKind::Parallel: return "parallel";
+      case cmd::SchedulerKind::Compiled: return "compiled";
+    }
+    return "?";
+}
+
+/** Leg geometry: which machine a run (and its plans) targets. */
+SystemConfig
+legConfig(uint32_t cores, cmd::SchedulerKind sched)
+{
+    SystemConfig cfg = cores > 1 ? SystemConfig::multicore(/*tso=*/true)
+                                 : SystemConfig::riscyooB();
+    cfg.cores = cores;
+    cfg.scheduler = sched;
+    return cfg;
+}
+
 /**
  * One run of the workload with at most one fault injected. The drive
  * loop applies the plan at its commit boundary, releases GuardStuck
- * windows, and polls a heartbeat watchdog.
+ * windows, and polls a heartbeat watchdog. All harts' commit streams
+ * and exit codes fold into one digest, so any hart's divergence is a
+ * campaign divergence.
  */
 RunResultF
 runOne(const Assembler &prog, const FaultPlan *plan, uint64_t budget,
-       uint64_t stallCycles)
+       uint64_t stallCycles, uint32_t cores, cmd::SchedulerKind sched)
 {
-    SystemConfig cfg = SystemConfig::riscyooB();
-    cfg.cores = 1;
-    cfg.scheduler = cmd::SchedulerKind::EventDriven;
-    System sys(cfg);
+    System sys(legConfig(cores, sched));
     const_cast<Assembler &>(prog).load(sys.mem(), kEntry);
     sys.elaborate();
 
     RunResultF r;
-    CommitDigest dig;
-    sys.setOnCommit(0, [&](const CommitRecord &rec) { dig.add(rec); });
-    sys.start(kEntry, 0, {kEntry + 0x40000});
+    std::vector<CommitDigest> dig(cores);
+    for (uint32_t h = 0; h < cores; h++)
+        sys.setOnCommit(
+            h, [&dig, h](const CommitRecord &rec) { dig[h].add(rec); });
+    std::vector<Addr> sp;
+    for (uint32_t h = 0; h < cores; h++)
+        sp.push_back(kEntry + 0x40000 + h * 0x10000);
+    sys.start(kEntry, 0, sp);
 
     cmd::Kernel &k = sys.kernel();
     FaultInjector inj(k);
     Watchdog wd(k, stallCycles);
     wd.setHeartbeat([&] {
-        return sys.instret(0) + (sys.host().exited(0) ? 1 : 0);
+        uint64_t hb = 0;
+        for (uint32_t h = 0; h < cores; h++)
+            hb += sys.instret(h) + (sys.host().exited(h) ? 1 : 0);
+        return hb;
     });
 
     uint64_t releaseAt = 0;
     uint64_t sincePoll = 0;
     auto t0 = std::chrono::steady_clock::now();
     auto stamp = [&] {
-        r.instret = sys.instret(0);
+        r.instret = 0;
+        for (uint32_t h = 0; h < cores; h++)
+            r.instret += sys.instret(h);
         r.wallNs = static_cast<uint64_t>(
             std::chrono::duration_cast<std::chrono::nanoseconds>(
                 std::chrono::steady_clock::now() - t0)
                 .count());
+    };
+    auto foldDigest = [&] {
+        uint64_t d = dig[0].h;
+        for (uint32_t h = 1; h < cores; h++)
+            d = d * 1099511628211ull ^ dig[h].h;
+        return d;
     };
     try {
         while (k.cycleCount() < budget) {
@@ -209,14 +265,14 @@ runOne(const Assembler &prog, const FaultPlan *plan, uint64_t budget,
         r.outcome = f.kind() == cmd::FaultKind::Watchdog
                         ? FaultOutcome::Hang
                         : FaultOutcome::Detected;
-        r.digest = dig.h;
+        r.digest = foldDigest();
         r.cycles = k.cycleCount();
         r.dump = f.describe();
         stamp();
         return r;
     }
 
-    r.digest = dig.h;
+    r.digest = foldDigest();
     r.cycles = k.cycleCount();
     stamp();
     if (sys.host().failed()) {
@@ -233,6 +289,10 @@ runOne(const Assembler &prog, const FaultPlan *plan, uint64_t budget,
     }
     r.exited = true;
     r.exitCode = sys.host().exitCode(0);
+    // Secondary harts' exit codes ride the digest, so a divergent code
+    // on any hart declassifies "masked" even when hart 0 agrees.
+    for (uint32_t h = 1; h < cores; h++)
+        r.digest = r.digest * 1099511628211ull ^ sys.host().exitCode(h);
     return r;
 }
 
@@ -258,54 +318,86 @@ main(int argc, char **argv)
 
     Assembler prog = checksumWorkload();
 
-    // Golden reference: one clean run, generous budget.
-    RunResultF golden = runOne(prog, nullptr, 2000000, 20000);
-    if (!golden.exited) {
-        std::fprintf(stderr, "golden run did not exit cleanly\n");
-        return 1;
-    }
-    std::printf("golden: %llu cycles, exit %#llx, commit digest %#llx\n",
-                (unsigned long long)golden.cycles,
-                (unsigned long long)golden.exitCode,
-                (unsigned long long)golden.digest);
-
-    // Plans target cycles across ~90% of the golden run; the budget
-    // and the watchdog window scale with the clean runtime.
-    const uint64_t maxCycle = golden.cycles * 9 / 10;
-    const uint64_t budget = golden.cycles * 4 + 20000;
-    const uint64_t stall = golden.cycles / 2 + 2000;
-
+    // Golden references: one clean run per machine geometry, generous
+    // budget. The Compiled golden must match the EventDriven golden
+    // commit-for-commit — the campaign doubles as a scheduler-
+    // equivalence check.
+    using cmd::SchedulerKind;
+    struct LegSpec {
+        const char *name;
+        uint32_t cores;
+        SchedulerKind sched;
+        uint32_t n;
+        uint64_t seed;
+        const char *filter;
+        RunResultF golden;
+    };
     const uint32_t nRfSlice = std::max(8u, nFaults / 2);
-    auto campaign = [&](std::vector<FaultPlan> &plansOut) {
-        // A throwaway elaborated instance supplies the state/channel/
-        // rule tables the planner draws from (identical across
-        // instances of one design).
-        SystemConfig cfg = SystemConfig::riscyooB();
-        cfg.cores = 1;
-        System probe(cfg);
-        probe.elaborate();
-        FaultInjector planner(probe.kernel());
-        plansOut = planner.planCampaign(seed, nFaults, maxCycle);
-        // Focused register-file AVF slice: flips into the physical
-        // register file, where silent data corruptions concentrate
-        // (most other strikes are masked, detected, or hang).
-        std::vector<FaultPlan> rf = planner.planCampaign(
-            seed ^ 0x9e3779b97f4a7c15ull, nRfSlice, maxCycle,
-            "hart0.prf");
-        plansOut.insert(plansOut.end(), rf.begin(), rf.end());
+    const uint32_t nSmall = std::max(8u, nFaults / 4);
+    std::vector<LegSpec> legs = {
+        {"general", 1, SchedulerKind::EventDriven, nFaults, seed, "", {}},
+        {"regfile", 1, SchedulerKind::EventDriven, nRfSlice,
+         seed ^ 0x9e3779b97f4a7c15ull, "hart0.prf", {}},
+        {"quad", 4, SchedulerKind::EventDriven, nSmall,
+         seed ^ 0x71adc0deull, "", {}},
+        {"compiled", 1, SchedulerKind::Compiled, nSmall,
+         seed ^ 0xc09a11edull, "", {}},
+    };
+    for (LegSpec &leg : legs) {
+        leg.golden = runOne(prog, nullptr, 4000000, 40000, leg.cores,
+                            leg.sched);
+        if (!leg.golden.exited) {
+            std::fprintf(stderr, "%s golden run did not exit cleanly\n",
+                         leg.name);
+            return 1;
+        }
+        std::printf("golden[%-8s]: %llu cycles, exit %#llx, "
+                    "commit digest %#llx\n",
+                    leg.name, (unsigned long long)leg.golden.cycles,
+                    (unsigned long long)leg.golden.exitCode,
+                    (unsigned long long)leg.golden.digest);
+    }
+    const bool schedEquiv =
+        legs[3].golden.digest == legs[0].golden.digest &&
+        legs[3].golden.exitCode == legs[0].golden.exitCode;
+    if (!schedEquiv)
+        std::fprintf(stderr, "Compiled golden DIVERGES from "
+                             "EventDriven golden\n");
 
+    auto campaign = [&](std::vector<FaultPlan> &plansOut,
+                        std::vector<uint32_t> &legOut) {
         std::vector<RunResultF> runs;
-        for (uint32_t i = 0; i < plansOut.size(); i++) {
-            RunResultF r = runOne(prog, &plansOut[i], budget, stall);
-            r.outcome = classify(r, golden);
-            runs.push_back(std::move(r));
+        for (uint32_t li = 0; li < legs.size(); li++) {
+            const LegSpec &leg = legs[li];
+            // Plans target cycles across ~90% of the leg's golden run;
+            // budget and watchdog window scale with its clean runtime.
+            const uint64_t maxCycle = leg.golden.cycles * 9 / 10;
+            const uint64_t budget = leg.golden.cycles * 4 + 20000;
+            const uint64_t stall = leg.golden.cycles / 2 + 2000;
+            // A throwaway elaborated instance supplies the state/
+            // channel/rule tables the planner draws from (identical
+            // across instances of one design geometry).
+            System probe(legConfig(leg.cores, leg.sched));
+            probe.elaborate();
+            FaultInjector planner(probe.kernel());
+            std::vector<FaultPlan> plans = planner.planCampaign(
+                leg.seed, leg.n, maxCycle, leg.filter);
+            for (const FaultPlan &p : plans) {
+                RunResultF r = runOne(prog, &p, budget, stall,
+                                      leg.cores, leg.sched);
+                r.outcome = classify(r, leg.golden);
+                runs.push_back(std::move(r));
+                plansOut.push_back(p);
+                legOut.push_back(li);
+            }
         }
         return runs;
     };
 
     std::vector<FaultPlan> plans, plans2;
-    std::vector<RunResultF> runs = campaign(plans);
-    std::vector<RunResultF> rerun = campaign(plans2);
+    std::vector<uint32_t> legIdx, legIdx2;
+    std::vector<RunResultF> runs = campaign(plans, legIdx);
+    std::vector<RunResultF> rerun = campaign(plans2, legIdx2);
 
     // Bit-reproducibility: the same seed must replay the same plans,
     // outcomes, and commit digests.
@@ -320,22 +412,27 @@ main(int argc, char **argv)
     std::filesystem::create_directories("fault_dumps");
     uint32_t dumpsWritten = 0;
     std::vector<JsonObject> rows;
-    std::printf("\n%-4s %-44s %-9s %s\n", "#", "fault", "outcome",
-                "cycles");
+    std::printf("\n%-4s %-8s %-44s %-9s %s\n", "#", "leg", "fault",
+                "outcome", "cycles");
     for (size_t i = 0; i < runs.size(); i++) {
         const RunResultF &r = runs[i];
+        const LegSpec &leg = legs[legIdx[i]];
         counts[uint32_t(r.outcome)]++;
-        std::printf("%-4zu %-44s %-9s %llu\n", i,
+        std::printf("%-4zu %-8s %-44s %-9s %llu\n", i, leg.name,
                     plans[i].describe().c_str(), toString(r.outcome),
                     (unsigned long long)r.cycles);
         if (!r.dump.empty() && dumpsWritten < 16) {
             std::ofstream d(strfmt("fault_dumps/fault_%02zu_%s.txt", i,
                                    toString(r.outcome)));
-            d << plans[i].describe() << "\n\n" << r.dump;
+            d << leg.name << " " << plans[i].describe() << "\n\n"
+              << r.dump;
             dumpsWritten++;
         }
         JsonObject row;
         row.put("index", uint64_t(i));
+        row.put("leg", leg.name);
+        row.put("cores", uint64_t(leg.cores));
+        row.put("scheduler", schedName(leg.sched));
         row.put("fault", plans[i].describe());
         row.put("type", toString(plans[i].type));
         row.put("inject_cycle", plans[i].cycle);
@@ -346,27 +443,33 @@ main(int argc, char **argv)
         rows.push_back(std::move(row));
     }
 
-    std::printf("\ncampaign: %zu faults (%u general + %u regfile) -> "
-                "%u masked, %u detected, %u sdc, %u hang; "
-                "reproducible=%s\n",
-                runs.size(), nFaults, nRfSlice, counts[0], counts[1],
-                counts[2], counts[3], reproducible ? "yes" : "NO");
+    std::printf("\ncampaign: %zu faults (%u general + %u regfile + "
+                "%u quad + %u compiled) -> %u masked, %u detected, "
+                "%u sdc, %u hang; reproducible=%s, "
+                "scheduler-equivalent=%s\n",
+                runs.size(), nFaults, nRfSlice, nSmall, nSmall,
+                counts[0], counts[1], counts[2], counts[3],
+                reproducible ? "yes" : "NO", schedEquiv ? "yes" : "NO");
 
     JsonObject config;
     config.put("workload", "checksum-selfcheck");
-    config.put("system", "RiscyOO-B");
+    config.put("system", "RiscyOO-B / quad-TSO");
     config.put("seed", seed);
     config.put("faults_general", uint64_t(nFaults));
     config.put("faults_regfile_slice", uint64_t(nRfSlice));
-    config.put("golden_cycles", golden.cycles);
-    config.putHex("golden_digest", golden.digest);
-    config.put("budget_cycles", budget);
+    config.put("faults_quad_slice", uint64_t(nSmall));
+    config.put("faults_compiled_slice", uint64_t(nSmall));
+    config.put("golden_cycles", legs[0].golden.cycles);
+    config.putHex("golden_digest", legs[0].golden.digest);
+    config.put("golden_cycles_quad", legs[2].golden.cycles);
+    config.putHex("golden_digest_quad", legs[2].golden.digest);
     config.put("masked", uint64_t(counts[0]));
     config.put("detected", uint64_t(counts[1]));
     config.put("sdc", uint64_t(counts[2]));
     config.put("hang", uint64_t(counts[3]));
     config.put("reproducible", reproducible);
+    config.put("scheduler_equivalent", schedEquiv);
     writeBenchJson("faults", config, rows, outPath);
 
-    return reproducible ? 0 : 1;
+    return reproducible && schedEquiv ? 0 : 1;
 }

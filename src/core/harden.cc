@@ -183,6 +183,41 @@ FaultInjector::planCampaign(uint64_t seed, uint32_t n, uint64_t maxCycle,
     return plans;
 }
 
+std::vector<FaultPlan>
+FaultInjector::planTimingCampaign(uint64_t seed, uint32_t n,
+                                  uint64_t maxCycle, uint32_t maxDelay)
+{
+    if (!kernel_.elaborated())
+        kfault(FaultKind::ApiMisuse, "injector",
+               "planTimingCampaign() before elaboration");
+    uint32_t nChannels = uint32_t(kernel_.channelPorts().size());
+    if (nChannels == 0)
+        kfault(FaultKind::ApiMisuse, "injector",
+               "planTimingCampaign() on a design with no channels");
+    // Decorrelate from planCampaign(): a caller handing both planners
+    // the same seed gets two unrelated streams.
+    std::mt19937_64 rng(seed ^ 0xD31A5EEDULL); // "delay seed"
+    auto pick = [&rng](uint64_t bound) {
+        return bound ? rng() % bound : 0;
+    };
+    std::vector<FaultPlan> plans;
+    plans.reserve(n);
+    for (uint32_t i = 0; i < n; i++) {
+        FaultPlan p;
+        p.type = FaultType::MsgDelay;
+        p.cycle = 1 + pick(maxCycle);
+        p.target = uint32_t(pick(nChannels));
+        p.param = 1 + uint32_t(pick(std::max<uint32_t>(1, maxDelay)));
+        p.targetName = kernel_.channelPorts()[p.target]->channelName();
+        plans.push_back(std::move(p));
+    }
+    std::stable_sort(plans.begin(), plans.end(),
+                     [](const FaultPlan &a, const FaultPlan &b) {
+                         return a.cycle < b.cycle;
+                     });
+    return plans;
+}
+
 bool
 FaultInjector::apply(const FaultPlan &p)
 {

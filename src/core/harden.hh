@@ -101,6 +101,23 @@ class FaultInjector
                                         const std::string &stateFilter = "");
 
     /**
+     * Draw @p n *timing-only* perturbations: MsgDelay faults over the
+     * design's channels, injection cycles uniform in [1, maxCycle],
+     * extra delays uniform in [1, maxDelay]. Unlike planCampaign()
+     * these never corrupt data — TimedFifo::faultDelayHead() re-ages
+     * the head message but leaves its payload untouched — so the plan
+     * is a legal timing of the *intended* design, suitable for
+     * schedule-space exploration (the litmus shaker) rather than
+     * fault-tolerance campaigns. Own seed stream: the same seed given
+     * to planCampaign() and planTimingCampaign() yields unrelated
+     * plans, so the two users stop sharing one knob. Plans come back
+     * sorted by injection cycle.
+     */
+    std::vector<FaultPlan> planTimingCampaign(uint64_t seed, uint32_t n,
+                                              uint64_t maxCycle,
+                                              uint32_t maxDelay = 32);
+
+    /**
      * Apply one fault now (between cycles only). @return true if it
      * landed — a drop/delay on an empty channel, for example, has no
      * target in flight and reports false (the run counts as masked).

@@ -1,0 +1,177 @@
+#include "litmus/corpus.hh"
+
+#include "core/fault.hh"
+
+namespace riscy::litmus {
+
+using I = LitmusInst;
+
+namespace {
+
+// Location aliases for readability. Each lowers to its own cache line.
+// (z/w are reserved for future shapes that need a third location.)
+[[maybe_unused]] constexpr uint8_t x = 0, y = 1, z = 2, w = 3;
+
+LitmusProgram
+prog(std::string name, std::vector<std::vector<LitmusInst>> harts,
+     std::vector<uint8_t> finalObs = {})
+{
+    LitmusProgram p;
+    p.name = std::move(name);
+    p.harts = std::move(harts);
+    p.finalObs = std::move(finalObs);
+    return p;
+}
+
+std::vector<CorpusEntry>
+build()
+{
+    std::vector<CorpusEntry> c;
+
+    // SB (store buffering / Dekker): the canonical store-buffer
+    // litmus. r0=r1=0 is allowed under BOTH models (TSO permits
+    // store→load reordering) — but reaching it requires the stores to
+    // actually linger in a buffer past the loads, so it is the
+    // baseline coverage obligation for the shaker everywhere.
+    c.push_back({prog("SB",
+                      {{I::st(x, 1), I::ld(y)}, //
+                       {I::st(y, 1), I::ld(x)}}),
+                 {packOutcome({0, 0})},
+                 {packOutcome({0, 0})}});
+
+    // SB+fence: FENCEs restore SC; (0,0) becomes forbidden under both
+    // models. No coverage obligation — every allowed outcome is
+    // reachable by plain interleaving.
+    c.push_back({prog("SB+fence",
+                      {{I::st(x, 1), I::fence(), I::ld(y)},
+                       {I::st(y, 1), I::fence(), I::ld(x)}}),
+                 {},
+                 {}});
+
+    // SB+amo: AMO stores. Under TSO an AMO is a full barrier (drains
+    // the buffer, writes memory directly) so (0,0) is forbidden; under
+    // WMM the subsequent load may still return a stale value from the
+    // invalidation buffer — (0,0) stays allowed and separates the
+    // models, so observing it is a WMM coverage obligation.
+    c.push_back({prog("SB+amo",
+                      {{I::amoSwap(x, 1), I::ld(y)},
+                       {I::amoSwap(y, 1), I::ld(x)}}),
+                 {},
+                 {packOutcome({0, 0})}});
+
+    // MP (message passing): data + flag, no fences. r(flag)=1 ∧
+    // r(data)=0 is TSO-forbidden (the evict-kill path enforces it) but
+    // WMM-allowed — the flagship model-separating outcome.
+    c.push_back({prog("MP",
+                      {{I::st(x, 1), I::st(y, 1)}, //
+                       {I::ld(y), I::ld(x)}}),
+                 {},
+                 {packOutcome({1, 0})}});
+
+    // MP+fence: fences on both sides forbid the reorder everywhere.
+    c.push_back({prog("MP+fence",
+                      {{I::st(x, 1), I::fence(), I::st(y, 1)},
+                       {I::ld(y), I::fence(), I::ld(x)}}),
+                 {},
+                 {}});
+
+    // LB (load buffering): r0=r1=1 needs load→store reordering, which
+    // neither model permits (stores only reach memory post-commit).
+    c.push_back({prog("LB",
+                      {{I::ld(x), I::st(y, 1)}, //
+                       {I::ld(y), I::st(x, 1)}}),
+                 {},
+                 {}});
+
+    // CoRR (coherent read-read): same-address loads may never travel
+    // backwards in coherence order, under any model.
+    c.push_back({prog("CoRR",
+                      {{I::st(x, 1)}, //
+                       {I::ld(x), I::ld(x)}}),
+                 {},
+                 {}});
+
+    // S: read of the flag vs coherence order of the data. r=1 ∧
+    // final x=1 is TSO-forbidden; WMM allows it because P0 may drain
+    // y before x.
+    c.push_back({prog("S",
+                      {{I::st(x, 2), I::st(y, 1)}, //
+                       {I::ld(y), I::st(x, 1)}},
+                      {x}),
+                 {},
+                 {}});
+
+    // R: store-store on one side vs store-load on the other.
+    c.push_back({prog("R",
+                      {{I::st(x, 1), I::st(y, 1)}, //
+                       {I::st(y, 2), I::ld(x)}},
+                      {y}),
+                 {},
+                 {}});
+
+    // 2+2W: writes only; final x=1 ∧ y=1 needs both harts' second
+    // store to drain before the other's first — WMM-only.
+    c.push_back({prog("2+2W",
+                      {{I::st(x, 1), I::st(y, 2)},
+                       {I::st(y, 1), I::st(x, 2)}},
+                      {x, y}),
+                 {},
+                 {}});
+
+    // WRC (write-to-read causality), 3 harts: P2 observing y=1 must
+    // also observe x=1 under TSO; WMM lets the stale x=0 survive in
+    // P2's invalidation buffer.
+    c.push_back({prog("WRC",
+                      {{I::st(x, 1)},
+                       {I::ld(x), I::st(y, 1)},
+                       {I::ld(y), I::ld(x)}}),
+                 {},
+                 {}});
+
+    // IRIW, 4 harts: the multi-copy-atomicity test. Both readers
+    // disagreeing on the store order — (1,0) and (1,0) — is
+    // TSO-forbidden, WMM-allowed. The shaker does reach it (each
+    // reader's stale line parked in its invalidation buffer) but only
+    // at ~1% of runs, too thin to be a hard coverage obligation.
+    c.push_back({prog("IRIW",
+                      {{I::st(x, 1)},
+                       {I::st(y, 1)},
+                       {I::ld(x), I::ld(y)},
+                       {I::ld(y), I::ld(x)}}),
+                 {},
+                 {}});
+
+    // IRIW+fence: fences between the reader loads forbid the
+    // disagreement under both models (WMM is multi-copy atomic; the
+    // fence reconciles the invalidation buffer).
+    c.push_back({prog("IRIW+fence",
+                      {{I::st(x, 1)},
+                       {I::st(y, 1)},
+                       {I::ld(x), I::fence(), I::ld(y)},
+                       {I::ld(y), I::fence(), I::ld(x)}}),
+                 {},
+                 {}});
+
+    return c;
+}
+
+} // namespace
+
+const std::vector<CorpusEntry> &
+corpus()
+{
+    static const std::vector<CorpusEntry> c = build();
+    return c;
+}
+
+const CorpusEntry &
+corpusEntry(const std::string &name)
+{
+    for (const auto &e : corpus())
+        if (e.prog.name == name)
+            return e;
+    cmd::kfault(cmd::FaultKind::ApiMisuse, "litmus",
+                "unknown corpus entry '%s'", name.c_str());
+}
+
+} // namespace riscy::litmus

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * The classic litmus corpus: SB, MP, LB, CoRR, S, R, 2+2W, WRC, IRIW
+ * and FENCE/AMO-strengthened variants, as LitmusProgram structs.
+ *
+ * Allowed-outcome sets are NOT hand-coded here — the runner always
+ * checks observed outcomes against enumerateOutcomes() so the corpus
+ * cannot drift from the model. What each entry does carry is a
+ * per-model *coverage* obligation: weak outcomes (model-allowed, but
+ * only reachable through buffering/reordering) that the perturbation
+ * shaker must observe at least once across a seed matrix, proving the
+ * jitter actually visits the interesting schedules instead of
+ * replaying one fixed interleaving.
+ */
+#pragma once
+
+#include "litmus/model.hh"
+
+namespace riscy::litmus {
+
+struct CorpusEntry {
+    LitmusProgram prog;
+    /** Weak outcomes the shaker must reach under TSO (each is
+     *  enumerator-allowed; reaching it requires real store buffering
+     *  or speculation, not just a lucky interleaving). */
+    std::vector<Outcome> mustObserveTso;
+    /** Weak outcomes the shaker must reach under WMM — including the
+     *  TSO-forbidden ones that separate the two models (MP reorder,
+     *  IRIW non-atomicity, ...). */
+    std::vector<Outcome> mustObserveWmm;
+};
+
+/** The full corpus (stable order, stable names). */
+const std::vector<CorpusEntry> &corpus();
+
+/** Lookup by name; faults (ApiMisuse) on unknown name. */
+const CorpusEntry &corpusEntry(const std::string &name);
+
+} // namespace riscy::litmus

@@ -1,0 +1,146 @@
+#include "litmus/fuzz.hh"
+
+namespace riscy::litmus {
+
+LitmusProgram
+generateProgram(std::mt19937_64 &rng)
+{
+    auto pick = [&rng](uint32_t bound) { return uint32_t(rng() % bound); };
+    LitmusProgram p;
+    p.harts.resize(2);
+    uint32_t loads = 0;
+    for (auto &hart : p.harts) {
+        uint32_t len = 2 + pick(3);
+        for (uint32_t i = 0; i < len; i++) {
+            uint8_t loc = uint8_t(pick(2));
+            uint8_t val = uint8_t(1 + pick(2));
+            uint32_t roll = pick(100);
+            if (roll < 40) {
+                hart.push_back(LitmusInst::st(loc, val));
+            } else if (roll < 80 && loads < 8) {
+                hart.push_back(LitmusInst::ld(loc));
+                loads++;
+            } else if (roll < 90) {
+                hart.push_back(LitmusInst::fence());
+            } else if (roll < 95) {
+                hart.push_back(LitmusInst::amoSwap(loc, val));
+            } else {
+                hart.push_back(LitmusInst::amoAdd(loc, val));
+            }
+        }
+    }
+    if (pick(2))
+        p.finalObs.push_back(0);
+    if (pick(2))
+        p.finalObs.push_back(1);
+    // valid() needs at least one observed slot; also a pure-fence hart
+    // is legal but pointless — give it one load.
+    if (loads == 0 && p.finalObs.empty())
+        p.harts[0].push_back(LitmusInst::ld(0));
+    p.name = "fuzz";
+    return p;
+}
+
+LitmusProgram
+shrinkProgram(const LitmusProgram &p,
+              const std::function<bool(const LitmusProgram &)> &stillFails)
+{
+    LitmusProgram cur = p;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        // Whole harts first: the biggest single cut.
+        for (uint32_t h = 0; h < cur.numHarts() && cur.numHarts() > 1;
+             h++) {
+            LitmusProgram cand = cur;
+            cand.harts.erase(cand.harts.begin() + h);
+            if (cand.valid() && stillFails(cand)) {
+                cur = std::move(cand);
+                changed = true;
+                break;
+            }
+        }
+        if (changed)
+            continue;
+        // Single instructions.
+        for (uint32_t h = 0; h < cur.numHarts() && !changed; h++)
+            for (uint32_t i = 0; i < cur.harts[h].size(); i++) {
+                if (cur.harts[h].size() == 1)
+                    break; // valid() rejects empty harts
+                LitmusProgram cand = cur;
+                cand.harts[h].erase(cand.harts[h].begin() + i);
+                if (cand.valid() && stillFails(cand)) {
+                    cur = std::move(cand);
+                    changed = true;
+                    break;
+                }
+            }
+        if (changed)
+            continue;
+        // Final-memory observations.
+        for (uint32_t k = 0; k < cur.finalObs.size(); k++) {
+            LitmusProgram cand = cur;
+            cand.finalObs.erase(cand.finalObs.begin() + k);
+            if (cand.valid() && stillFails(cand)) {
+                cur = std::move(cand);
+                changed = true;
+                break;
+            }
+        }
+    }
+    return cur;
+}
+
+FuzzResult
+fuzz(const FuzzConfig &cfg)
+{
+    FuzzResult res;
+    std::mt19937_64 master(cfg.seed);
+    for (uint32_t i = 0; i < cfg.programs; i++) {
+        uint64_t progSeed = master();
+        std::mt19937_64 rng(progSeed);
+        LitmusProgram p = generateProgram(rng);
+        p.name = "fuzz-" + std::to_string(i);
+        res.programs++;
+
+        SweepResult sw =
+            sweep(p, cfg.run, progSeed ^ 0xF022ULL, cfg.runsPerProgram);
+        res.runs += cfg.runsPerProgram;
+        res.hangs += sw.hangs;
+        if (sw.forbidden.empty())
+            continue;
+
+        // Shrink against "any forbidden outcome reappears within a
+        // small seed window anchored at the first failing seed".
+        uint64_t anchor = sw.firstForbiddenSeed;
+        auto pred = [&](const LitmusProgram &q) {
+            SweepResult s = sweep(q, cfg.run, anchor, cfg.shrinkRuns);
+            res.runs += cfg.shrinkRuns;
+            return !s.forbidden.empty();
+        };
+        LitmusProgram shrunk = shrinkProgram(p, pred);
+        shrunk.name = p.name + "-shrunk";
+
+        SweepResult fin = sweep(shrunk, cfg.run, anchor, cfg.shrinkRuns);
+        res.runs += cfg.shrinkRuns;
+        uint64_t failSeed =
+            fin.forbidden.empty() ? anchor : fin.firstForbiddenSeed;
+
+        FuzzFailure fail;
+        fail.original = p;
+        fail.shrunk = shrunk;
+        fail.outcome = fin.forbidden.empty() ? sw.forbidden.front()
+                                             : fin.forbidden.front();
+        fail.failSeed = failSeed;
+        if (!cfg.bundleDir.empty()) {
+            RunConfig bc = cfg.run;
+            bc.seed = failSeed;
+            fail.bundleDir = cfg.bundleDir + "/" + shrunk.name;
+            writeReproBundle(fail.bundleDir, shrunk, bc, &fin);
+        }
+        res.failures.push_back(std::move(fail));
+    }
+    return res;
+}
+
+} // namespace riscy::litmus

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Randomized litmus stress: a seeded generator of small random litmus
+ * programs, each cosimulated against the reference-model outcome
+ * enumeration across jittered runs (diy/litmus7-style, but with the
+ * oracle computed instead of hand-listed). A forbidden outcome is
+ * shrunk to a minimal failing program by greedy delta reduction and
+ * written out as a full repro bundle.
+ */
+#pragma once
+
+#include <random>
+
+#include "litmus/runner.hh"
+
+namespace riscy::litmus {
+
+struct FuzzConfig {
+    /** Base run knobs; model/sched/seed inside are honored. */
+    RunConfig run;
+    uint64_t seed = 20260808;   ///< master stream seed
+    uint32_t programs = 16;     ///< generated programs
+    uint32_t runsPerProgram = 6;///< jittered seeds per program
+    uint32_t shrinkRuns = 4;    ///< seeds per shrink-predicate probe
+    /** Repro bundles land in <bundleDir>/<prog-name>/; empty = skip. */
+    std::string bundleDir = "litmus_repro";
+};
+
+struct FuzzFailure {
+    LitmusProgram original;
+    LitmusProgram shrunk;
+    Outcome outcome = 0;     ///< a forbidden outcome of the shrunk program
+    uint64_t failSeed = 0;   ///< run seed reproducing it
+    std::string bundleDir;   ///< written bundle ("" if disabled)
+};
+
+struct FuzzResult {
+    uint32_t programs = 0;
+    uint64_t runs = 0;
+    uint32_t hangs = 0;
+    std::vector<FuzzFailure> failures;
+
+    bool clean() const { return failures.empty() && hangs == 0; }
+};
+
+/**
+ * Draw one random small litmus program from @p rng: 2 harts, 2–4
+ * instructions each over 2 locations, ~40/40/10/10 St/Ld/Fence/AMO
+ * mix, sometimes observing final memory. Always valid().
+ */
+LitmusProgram generateProgram(std::mt19937_64 &rng);
+
+/**
+ * Greedy delta reduction: repeatedly drop a hart, an instruction, or
+ * a final-memory observation while @p stillFails keeps returning true
+ * on the candidate. Pure function of its arguments (the predicate
+ * carries all execution context), so it unit-tests without a System.
+ */
+LitmusProgram
+shrinkProgram(const LitmusProgram &p,
+              const std::function<bool(const LitmusProgram &)> &stillFails);
+
+/** Run the whole campaign. Deterministic for a fixed config. */
+FuzzResult fuzz(const FuzzConfig &cfg);
+
+} // namespace riscy::litmus

@@ -1,0 +1,449 @@
+#include "litmus/model.hh"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <unordered_set>
+
+#include "core/fault.hh"
+
+namespace riscy::litmus {
+
+const char *
+toString(MemModel m)
+{
+    return m == MemModel::Tso ? "TSO" : "WMM";
+}
+
+/** Location display names: litmus literature convention. */
+static const char *kLocName[LitmusProgram::kMaxLocs] = {"x", "y", "z",
+                                                        "w"};
+
+uint32_t
+LitmusProgram::numLoads(uint32_t h) const
+{
+    uint32_t n = 0;
+    for (const auto &i : harts[h])
+        if (i.op == LOp::Ld)
+            n++;
+    return n;
+}
+
+uint32_t
+LitmusProgram::slotBase(uint32_t h) const
+{
+    uint32_t base = 0;
+    for (uint32_t g = 0; g < h; g++)
+        base += numLoads(g);
+    return base;
+}
+
+uint32_t
+LitmusProgram::numSlots() const
+{
+    return slotBase(numHarts()) + uint32_t(finalObs.size());
+}
+
+uint32_t
+LitmusProgram::numLocs() const
+{
+    uint32_t n = 0;
+    for (const auto &hp : harts)
+        for (const auto &i : hp)
+            n = std::max(n, uint32_t(i.loc) + 1);
+    for (uint8_t l : finalObs)
+        n = std::max(n, uint32_t(l) + 1);
+    return n;
+}
+
+static std::string
+describeInst(const LitmusInst &i)
+{
+    std::string s;
+    switch (i.op) {
+    case LOp::Ld:
+        s = std::string("Ld ") + kLocName[i.loc];
+        break;
+    case LOp::St:
+        s = std::string("St ") + kLocName[i.loc] + "=" +
+            std::to_string(i.val);
+        break;
+    case LOp::Fence:
+        s = "Fence";
+        break;
+    case LOp::AmoSwap:
+        s = std::string("AmoSwap ") + kLocName[i.loc] + "<-" +
+            std::to_string(i.val);
+        break;
+    case LOp::AmoAdd:
+        s = std::string("AmoAdd ") + kLocName[i.loc] + "+=" +
+            std::to_string(i.val);
+        break;
+    }
+    return s;
+}
+
+std::string
+LitmusProgram::describe() const
+{
+    std::string s;
+    for (uint32_t h = 0; h < numHarts(); h++) {
+        if (h)
+            s += " | ";
+        s += "P" + std::to_string(h) + ":";
+        for (const auto &i : harts[h])
+            s += " " + describeInst(i) + ";";
+    }
+    if (!finalObs.empty()) {
+        s += " final{";
+        for (size_t k = 0; k < finalObs.size(); k++)
+            s += std::string(k ? "," : "") + kLocName[finalObs[k]];
+        s += "}";
+    }
+    return s;
+}
+
+bool
+LitmusProgram::valid(std::string *why) const
+{
+    auto fail = [&](const std::string &m) {
+        if (why)
+            *why = m;
+        return false;
+    };
+    if (harts.empty() || harts.size() > 4)
+        return fail("hart count must be 1..4");
+    for (uint32_t h = 0; h < numHarts(); h++) {
+        if (harts[h].empty())
+            return fail("empty hart program");
+        if (numLoads(h) > 4)
+            return fail("more than 4 loads in one hart "
+                        "(s-register lowering budget)");
+        for (const auto &i : harts[h]) {
+            if (i.loc >= kMaxLocs)
+                return fail("location out of range");
+            if (i.val > 15)
+                return fail("value exceeds 4-bit outcome packing");
+            if ((i.op == LOp::St || i.op == LOp::AmoSwap ||
+                 i.op == LOp::AmoAdd) &&
+                i.val == 0)
+                return fail("store/AMO value 0 is indistinguishable "
+                            "from the initial memory value");
+        }
+    }
+    for (uint8_t l : finalObs)
+        if (l >= kMaxLocs)
+            return fail("finalObs location out of range");
+    if (numSlots() == 0)
+        return fail("no observed slots");
+    if (numSlots() > kMaxSlots)
+        return fail("more than 15 observed slots");
+    return true;
+}
+
+std::string
+formatOutcome(const LitmusProgram &p, Outcome o)
+{
+    std::string s;
+    uint32_t slot = 0;
+    for (uint32_t h = 0; h < p.numHarts(); h++) {
+        uint32_t j = 0;
+        for (const auto &i : p.harts[h]) {
+            if (i.op != LOp::Ld)
+                continue;
+            if (!s.empty())
+                s += " ";
+            s += "P" + std::to_string(h) + ".r" + std::to_string(j++) +
+                 "=" + std::to_string(slotValue(o, slot++));
+        }
+    }
+    for (uint8_t l : p.finalObs) {
+        if (!s.empty())
+            s += " ";
+        s += std::string("[") + kLocName[l] +
+             "]=" + std::to_string(slotValue(o, slot++));
+    }
+    return s;
+}
+
+Outcome
+packOutcome(const std::vector<uint32_t> &slots)
+{
+    Outcome o = 0;
+    for (size_t i = 0; i < slots.size(); i++)
+        o |= Outcome(slots[i] & 0xf) << (4 * i);
+    return o;
+}
+
+namespace {
+
+/**
+ * The abstract machine state explored by the DFS. Kept deliberately
+ * flat so encoding for memoization is a straight byte dump.
+ */
+struct MState {
+    std::vector<uint8_t> pc; ///< next instruction index, per hart
+    Outcome partial = 0;     ///< load slots observed so far
+    std::array<uint8_t, LitmusProgram::kMaxLocs> mem{};
+    /** Store buffer, oldest first. TSO drains head-only (FIFO); WMM
+     *  drains any oldest-per-address entry. */
+    std::vector<std::vector<std::pair<uint8_t, uint8_t>>> sb;
+    /** WMM invalidation buffers: per hart, per location, the stale
+     *  values a load may still return, insertion order = coherence
+     *  order (oldest first). Unused under TSO. */
+    std::vector<std::array<std::vector<uint8_t>, LitmusProgram::kMaxLocs>>
+        ib;
+
+    std::string encode() const
+    {
+        std::string k;
+        k.reserve(64);
+        for (uint8_t p : pc)
+            k.push_back(char(p));
+        for (int i = 0; i < 8; i++)
+            k.push_back(char(partial >> (8 * i)));
+        for (uint8_t m : mem)
+            k.push_back(char(m));
+        for (const auto &b : sb) {
+            k.push_back(char(b.size()));
+            for (auto [l, v] : b) {
+                k.push_back(char(l));
+                k.push_back(char(v));
+            }
+        }
+        for (const auto &hb : ib)
+            for (const auto &locb : hb) {
+                k.push_back(char(locb.size()));
+                for (uint8_t v : locb)
+                    k.push_back(char(v));
+            }
+        return k;
+    }
+};
+
+class Enumerator
+{
+  public:
+    Enumerator(const LitmusProgram &p, MemModel m) : prog_(p), model_(m)
+    {
+        // Slot index of each Ld, addressable by (hart, pc).
+        slotOf_.resize(p.numHarts());
+        for (uint32_t h = 0; h < p.numHarts(); h++) {
+            uint32_t s = p.slotBase(h);
+            slotOf_[h].assign(p.harts[h].size(), ~0u);
+            for (uint32_t i = 0; i < p.harts[h].size(); i++)
+                if (p.harts[h][i].op == LOp::Ld)
+                    slotOf_[h][i] = s++;
+        }
+    }
+
+    std::set<Outcome> run()
+    {
+        MState s;
+        s.pc.assign(prog_.numHarts(), 0);
+        s.sb.resize(prog_.numHarts());
+        if (model_ == MemModel::Wmm)
+            s.ib.resize(prog_.numHarts());
+        explore(s);
+        return std::move(results_);
+    }
+
+  private:
+    /** Generous ceiling: corpus/fuzz programs reach a few thousand
+     *  states; a runaway would indicate an enumerator bug. */
+    static constexpr size_t kStateCap = 4u << 20;
+
+    void explore(MState s)
+    {
+        auto [it, fresh] = memo_.insert(s.encode());
+        (void)it;
+        if (!fresh)
+            return;
+        if (memo_.size() > kStateCap)
+            cmd::kfault(cmd::FaultKind::ApiMisuse, "litmus",
+                        "outcome enumeration exceeded %zu states for "
+                        "'%s' — program too large for the model DFS",
+                        kStateCap, prog_.name.c_str());
+
+        bool terminal = true;
+        for (uint32_t h = 0; h < prog_.numHarts(); h++)
+            if (s.pc[h] < prog_.harts[h].size() || !s.sb[h].empty())
+                terminal = false;
+        if (terminal) {
+            Outcome o = s.partial;
+            uint32_t slot = prog_.slotBase(prog_.numHarts());
+            for (uint8_t l : prog_.finalObs)
+                o |= Outcome(s.mem[l] & 0xf) << (4 * slot++);
+            results_.insert(o);
+            return;
+        }
+
+        for (uint32_t h = 0; h < prog_.numHarts(); h++) {
+            if (s.pc[h] < prog_.harts[h].size())
+                stepInst(s, h);
+            stepDrain(s, h);
+        }
+    }
+
+    /** Execute hart @p h's next instruction (I2E: in order, one at a
+     *  time; all weakness comes from the buffers). */
+    void stepInst(const MState &s, uint32_t h)
+    {
+        const LitmusInst &i = prog_.harts[h][s.pc[h]];
+        switch (i.op) {
+        case LOp::Ld: {
+            uint32_t slot = slotOf_[h][s.pc[h]];
+            // Youngest own store-buffer entry wins in both models.
+            const auto &b = s.sb[h];
+            auto own = std::find_if(
+                b.rbegin(), b.rend(),
+                [&](const auto &e) { return e.first == i.loc; });
+            if (own != b.rend()) {
+                next(s, h, [&](MState &n) {
+                    n.partial |= Outcome(own->second & 0xf)
+                                 << (4 * slot);
+                });
+                return;
+            }
+            // Monolithic memory. Under WMM this is also a reconcile
+            // point for the address: every ib value is staler.
+            next(s, h, [&](MState &n) {
+                n.partial |= Outcome(n.mem[i.loc] & 0xf) << (4 * slot);
+                if (model_ == MemModel::Wmm)
+                    n.ib[h][i.loc].clear();
+            });
+            // WMM only: any stale value still in the invalidation
+            // buffer. Reading entry k discards the entries older than
+            // it (a later load may not travel backwards in coherence
+            // order), but keeps k itself and everything younger.
+            if (model_ == MemModel::Wmm) {
+                const auto &stale = s.ib[h][i.loc];
+                for (size_t k = 0; k < stale.size(); k++)
+                    next(s, h, [&](MState &n) {
+                        n.partial |= Outcome(stale[k] & 0xf)
+                                     << (4 * slot);
+                        auto &v = n.ib[h][i.loc];
+                        v.erase(v.begin(), v.begin() + k);
+                    });
+            }
+            return;
+        }
+        case LOp::St:
+            next(s, h, [&](MState &n) {
+                n.sb[h].emplace_back(i.loc, i.val);
+                // Own store supersedes every stale value we could
+                // still have read for this address.
+                if (model_ == MemModel::Wmm)
+                    n.ib[h][i.loc].clear();
+            });
+            return;
+        case LOp::Fence:
+            // FENCE = Commit (sb empty) + Reconcile (drop stale
+            // values). Blocks until drains make the sb empty.
+            if (!s.sb[h].empty())
+                return;
+            next(s, h, [&](MState &n) {
+                if (model_ == MemModel::Wmm)
+                    for (auto &v : n.ib[h])
+                        v.clear();
+            });
+            return;
+        case LOp::AmoSwap:
+        case LOp::AmoAdd:
+            // Atomics act directly on monolithic memory and require
+            // the local store buffer drained first — mirroring the
+            // implementation (commit blocks until StoreBuffer empty,
+            // then RMWs the line in M state). Note: under WMM an AMO
+            // does NOT reconcile the local ib; an acquire still needs
+            // a following FENCE.
+            if (!s.sb[h].empty())
+                return;
+            next(s, h, [&](MState &n) {
+                uint8_t old = n.mem[i.loc];
+                n.mem[i.loc] =
+                    (i.op == LOp::AmoSwap ? i.val : uint8_t(old + i.val)) &
+                    0xf;
+                if (model_ == MemModel::Wmm) {
+                    n.ib[h][i.loc].clear(); // the RMW read is from memory
+                    insertStale(n, h, i.loc, old);
+                }
+            });
+            return;
+        }
+    }
+
+    /** Background store-buffer drain transitions for hart @p h. */
+    void stepDrain(const MState &s, uint32_t h)
+    {
+        const auto &b = s.sb[h];
+        for (size_t k = 0; k < b.size(); k++) {
+            // TSO: strict FIFO, only the head may drain. WMM: any
+            // entry that is the oldest for its address.
+            if (model_ == MemModel::Tso && k != 0)
+                break;
+            if (model_ == MemModel::Wmm) {
+                bool oldest = true;
+                for (size_t j = 0; j < k; j++)
+                    if (b[j].first == b[k].first)
+                        oldest = false;
+                if (!oldest)
+                    continue;
+            }
+            MState n = s;
+            auto [loc, val] = n.sb[h][k];
+            n.sb[h].erase(n.sb[h].begin() + k);
+            uint8_t old = n.mem[loc];
+            n.mem[loc] = val;
+            if (model_ == MemModel::Wmm)
+                insertStale(n, h, loc, old);
+            explore(std::move(n));
+        }
+    }
+
+    /** Memory at @p loc was overwritten, displacing @p old: every
+     *  *other* hart may still read it stale — unless that hart has its
+     *  own store to the address buffered, in which case its loads are
+     *  already bound to a younger value. */
+    void insertStale(MState &n, uint32_t h, uint8_t loc, uint8_t old)
+    {
+        for (uint32_t g = 0; g < prog_.numHarts(); g++) {
+            if (g == h)
+                continue;
+            bool ownStore = std::any_of(
+                n.sb[g].begin(), n.sb[g].end(),
+                [&](const auto &e) { return e.first == loc; });
+            if (!ownStore)
+                n.ib[g][loc].push_back(old);
+        }
+    }
+
+    /** Copy @p s, apply @p mut, advance hart @p h's pc, recurse. */
+    template <class Mut> void next(const MState &s, uint32_t h, Mut mut)
+    {
+        MState n = s;
+        mut(n);
+        n.pc[h]++;
+        explore(std::move(n));
+    }
+
+    const LitmusProgram &prog_;
+    MemModel model_;
+    std::vector<std::vector<uint32_t>> slotOf_;
+    std::unordered_set<std::string> memo_;
+    std::set<Outcome> results_;
+};
+
+} // namespace
+
+std::set<Outcome>
+enumerateOutcomes(const LitmusProgram &p, MemModel m)
+{
+    std::string why;
+    if (!p.valid(&why))
+        cmd::kfault(cmd::FaultKind::ApiMisuse, "litmus",
+                    "invalid litmus program '%s': %s", p.name.c_str(),
+                    why.c_str());
+    return Enumerator(p, m).run();
+}
+
+} // namespace riscy::litmus

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Declarative litmus programs and reference memory-model semantics.
+ *
+ * A litmus test is a handful of tiny straight-line per-hart programs
+ * over a few shared locations, plus the question "which final register
+ * / memory outcomes may a legal execution produce?". This header gives
+ * the harness both halves:
+ *
+ *  - LitmusProgram: the declarative form (per-hart instruction lists
+ *    over locations 0..3; every load is an observed slot, and the
+ *    final memory value of selected locations can be observed too).
+ *    src/litmus/runner.* lowers the same struct onto the real
+ *    quad-core System via asmkit.
+ *
+ *  - enumerateOutcomes(): an exhaustive operational-model enumeration
+ *    of the allowed outcome set under TSO or WMM. Both models follow
+ *    the instantaneous-instruction-execution (I2E) style of the WMM
+ *    paper (Zhang/Vijayaraghavan/Arvind): harts execute their program
+ *    strictly in order against a monolithic memory plus per-hart
+ *    buffers, and all weak behavior comes from the buffers:
+ *
+ *      TSO:  a per-hart FIFO store buffer with load bypassing —
+ *            exactly the classic x86-TSO machine. FENCE and AMOs
+ *            require the buffer to be empty.
+ *      WMM:  a per-hart store buffer whose entries drain in any order
+ *            that respects per-address FIFO, plus a per-hart
+ *            invalidation buffer (ib) of stale values a load may still
+ *            return (the model of load-load reordering). A store
+ *            purges the hart's own ib for that address; a load from
+ *            monolithic memory purges the address's ib entries; a load
+ *            from the ib consumes that entry and every older one for
+ *            the address (coherence); FENCE requires an empty store
+ *            buffer and clears the whole ib; AMOs require an empty
+ *            store buffer, act on monolithic memory, and push the
+ *            displaced value into every other hart's ib (they do NOT
+ *            clear the local ib — an acquire still needs a FENCE,
+ *            which the spinlock test in test_multicore relies on).
+ *
+ * The enumeration is a DFS over machine states with memoization; the
+ * programs are small (<= 4 harts x ~6 instructions), so the reachable
+ * state count is tiny. The allowed set must *contain* everything the
+ * detailed implementation can produce — the harness flags any observed
+ * outcome outside it as a memory-model violation.
+ */
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace riscy::litmus {
+
+enum class MemModel : uint8_t { Tso, Wmm };
+
+const char *toString(MemModel m);
+
+/** Litmus instruction kinds (the abstract side of the lowering). */
+enum class LOp : uint8_t {
+    Ld,      ///< observed load: value becomes one outcome slot
+    St,      ///< plain store of an immediate
+    Fence,   ///< full FENCE (the only fence the ISA subset has)
+    AmoSwap, ///< amoswap.d loc <- val (result unobserved)
+    AmoAdd,  ///< amoadd.d  loc += val (result unobserved)
+};
+
+/** One abstract instruction. Values are 1..15 (0 is the initial
+ *  memory value); locations are 0..kMaxLocs-1, each lowered to its own
+ *  cache line. */
+struct LitmusInst {
+    LOp op = LOp::Ld;
+    uint8_t loc = 0;
+    uint8_t val = 0;
+
+    static LitmusInst ld(uint8_t loc) { return {LOp::Ld, loc, 0}; }
+    static LitmusInst st(uint8_t loc, uint8_t val)
+    {
+        return {LOp::St, loc, val};
+    }
+    static LitmusInst fence() { return {LOp::Fence, 0, 0}; }
+    static LitmusInst amoSwap(uint8_t loc, uint8_t val)
+    {
+        return {LOp::AmoSwap, loc, val};
+    }
+    static LitmusInst amoAdd(uint8_t loc, uint8_t val)
+    {
+        return {LOp::AmoAdd, loc, val};
+    }
+};
+
+/**
+ * A packed outcome: 4 bits per observed slot. Slots are numbered
+ * hart-major over every Ld in program order, followed by one slot per
+ * LitmusProgram::finalObs entry (the location's final memory value).
+ */
+using Outcome = uint64_t;
+
+struct LitmusProgram {
+    static constexpr uint32_t kMaxLocs = 4;
+    /** 4 bits per slot in Outcome; 15 (not 16) because the lowering
+     *  returns outcomes through the host exit protocol, which shifts
+     *  the code left by one bit. */
+    static constexpr uint32_t kMaxSlots = 15;
+
+    std::string name;
+    std::vector<std::vector<LitmusInst>> harts;
+    /** Locations whose final (fully drained) memory value is observed,
+     *  appended after all load slots. */
+    std::vector<uint8_t> finalObs;
+
+    uint32_t numHarts() const { return uint32_t(harts.size()); }
+    /** Loads in hart @p h (each is one observed slot). */
+    uint32_t numLoads(uint32_t h) const;
+    /** Global slot index of hart @p h's first load. */
+    uint32_t slotBase(uint32_t h) const;
+    /** All load slots + final-memory slots. */
+    uint32_t numSlots() const;
+    /** Highest location index used (for lowering / model sizing). */
+    uint32_t numLocs() const;
+
+    /** Human-readable listing ("P0: St x=1; Ld y | P1: ..."). */
+    std::string describe() const;
+
+    /** Structural validity: slot/loc/value bounds for the 4-bit
+     *  packing and the s-register lowering budget. */
+    bool valid(std::string *why = nullptr) const;
+};
+
+/** Extract slot @p i of a packed outcome. */
+inline uint32_t
+slotValue(Outcome o, uint32_t i)
+{
+    return uint32_t(o >> (4 * i)) & 0xf;
+}
+
+/** "r0=1 r1=0 [x]=2" rendering of a packed outcome. */
+std::string formatOutcome(const LitmusProgram &p, Outcome o);
+
+/** Pack a list of slot values into an Outcome (tests/corpus). */
+Outcome packOutcome(const std::vector<uint32_t> &slots);
+
+/**
+ * Every outcome a legal @p m execution of @p p may produce, by
+ * exhaustive operational-model enumeration (memoized DFS). Throws
+ * cmd::KernelFault(ApiMisuse) if the program is invalid or the state
+ * space exceeds an internal safety cap (never hit by corpus/fuzz-sized
+ * programs).
+ */
+std::set<Outcome> enumerateOutcomes(const LitmusProgram &p, MemModel m);
+
+} // namespace riscy::litmus

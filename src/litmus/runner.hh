@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Litmus runner: lowers LitmusProgram structs onto the real multicore
+ * System, drives seeded perturbation-jittered runs, histograms the
+ * observed outcomes, and checks every one against the reference
+ * model's allowed set (litmus/model.hh). A forbidden outcome is a
+ * memory-model bug in the implementation; the runner can then write a
+ * self-contained repro bundle (program listing + disassembly, seed,
+ * jitter plan, Konata pipeline trace, flight-recorder dump).
+ *
+ * Lowering (see lower() for details): harts dispatch on mhartid; each
+ * abstract location lands on its own cache line in a shared data
+ * page; observed loads go to callee-saved registers and are packed
+ * 4 bits per global slot into a0. Each hart then prewarms a seeded
+ * subset of the data lines and rendezvouses on an AMO start barrier
+ * (absorbing the dispatch mispredict and cold-icache refetch that
+ * would otherwise serialize the harts) before racing into its body; a
+ * seeded per-hart start-skew delay loop plus
+ * FaultInjector::planTimingCampaign() message-delay jitter
+ * decorrelate the schedules across runs; harts signal completion on
+ * an AMO done-counter so hart 0 can observe drained final memory, and
+ * every hart exits through the host device with its packed slots —
+ * the run's Outcome is the OR of all exit codes.
+ */
+#pragma once
+
+#include <functional>
+#include <map>
+
+#include "litmus/model.hh"
+#include "proc/system.hh"
+
+namespace riscy::litmus {
+
+/** One run's knobs. Every field participates in determinism: a fixed
+ *  (program, RunConfig) pair always reproduces the same execution. */
+struct RunConfig {
+    MemModel model = MemModel::Tso;
+    cmd::SchedulerKind sched = cmd::SchedulerKind::EventDriven;
+    /** Seed for this run's start skews and timing jitter. */
+    uint64_t seed = 1;
+    /** Timing perturbations per run (0 disables the shaker). */
+    uint32_t jitterEvents = 24;
+    /** Max extra cycles per delayed message. */
+    uint32_t jitterMaxDelay = 24;
+    /** Injection window: jitter and congestion bursts land in cycles
+     *  [1, jitterHorizon]. The default covers the start rendezvous
+     *  (cycle ~2000) plus the race and drain that follow it. */
+    uint64_t jitterHorizon = 2600;
+    /**
+     * Seeded congestion bursts per run (0 disables): bounded windows
+     * during which one hart's L1 D request channel (or its
+     * invalidation-delivery channel) is frozen, modeling a congested
+     * port. The heavy-tailed half of the shaker — this is what delays
+     * one hart's older load past another hart's whole store-drain
+     * chain (the window TSO's eviction kill closes) or holds a stale
+     * line in place (the WMM invalidation-buffer window); uniform
+     * per-message jitter is far too light-tailed to do either.
+     */
+    uint32_t congestBursts = 4;
+    /** Burst length range: [16, congestMaxLen] cycles. */
+    uint32_t congestMaxLen = 160;
+    /** Max per-hart start-skew NOP-slide length. Small values keep the
+     *  harts racing within a few cycles of the rendezvous deadline;
+     *  large slides re-dilute the race window they exist to vary. */
+    uint32_t maxStartSkew = 16;
+    /**
+     * Seeded cache prewarm: before the start barrier each hart loads
+     * a per-seed subset of the data lines (initial values, discarded —
+     * semantically transparent under both models). Warm/cold line
+     * combinations open structurally different race windows; e.g. a
+     * warm younger-load line beside a cold older-load line is the
+     * load-load reorder window that TSO's eviction kill closes.
+     */
+    bool prewarm = true;
+    uint64_t maxCycles = 400000;
+    /** Last-chance config hook (negative tests disable e.g. the TSO
+     *  evict-kill here). Runs after the model/core count are set. */
+    std::function<void(SystemConfig &)> mutateCfg;
+    /** Per-cycle drive hook (directed perturbations in tests: e.g.
+     *  freeze one channel over an exact window via
+     *  Kernel::channelPorts()). Called between cycles. */
+    std::function<void(cmd::Kernel &, uint64_t)> perCycle;
+};
+
+/** What one lowered execution produced. */
+struct RunResult {
+    Outcome outcome = 0;
+    bool hang = false;    ///< budget exhausted or host failure
+    uint64_t cycles = 0;  ///< kernel cycles consumed
+};
+
+/** Aggregate of a seed sweep over one program. */
+struct SweepResult {
+    std::map<Outcome, uint64_t> hist;    ///< observed outcome counts
+    std::set<Outcome> allowed;           ///< reference-model set
+    std::vector<Outcome> forbidden;      ///< distinct outcomes ∉ allowed
+    uint64_t firstForbiddenSeed = 0;     ///< seed of first violation
+    uint32_t hangs = 0;
+
+    bool clean() const { return forbidden.empty() && hangs == 0; }
+    /** Fraction of the allowed set actually visited. */
+    double coverage() const;
+    bool observed(Outcome o) const { return hist.count(o) != 0; }
+};
+
+/** Lower @p p for @p numHarts cores at entry @p base; returns the
+ *  per-run assembled words (exposed for repro bundles / tests).
+ *  @p skews holds one delay-loop count per hart. */
+std::vector<uint32_t> lower(const LitmusProgram &p,
+                            const std::vector<uint32_t> &skews);
+
+/** Run @p p once under @p cfg on a fresh System. Deterministic. */
+RunResult runOnce(const LitmusProgram &p, const RunConfig &cfg);
+
+/** Run @p p for each seed in [seed0, seed0+runs), checking outcomes
+ *  against enumerateOutcomes(p, cfg.model). cfg.seed is overridden
+ *  per run. */
+SweepResult sweep(const LitmusProgram &p, RunConfig cfg, uint64_t seed0,
+                  uint32_t runs);
+
+/**
+ * Write a self-contained repro bundle for (p, cfg) into directory
+ * @p dir (created if needed): repro.txt (program, config, expected vs
+ * observed, disassembly), trace.kanata (Konata pipeline trace of the
+ * deterministic re-run), trace_timeline.json (rule timeline /
+ * flight recorder), flight.txt (kernel diagnostic report). @return
+ * the re-run's result (equal to the original run by determinism).
+ */
+RunResult writeReproBundle(const std::string &dir, const LitmusProgram &p,
+                           const RunConfig &cfg, const SweepResult *sw);
+
+/**
+ * Iterated message-passing stress (the e2e shape of test_multicore,
+ * under runner control): a writer hart publishes data then flag for
+ * @p rounds rounds, an observer spins on the flag and counts stale
+ * data reads. With @p fenced both sides fence. Returns the observed
+ * violation count — must be 0 under TSO unfenced and under WMM
+ * fenced; nonzero under WMM unfenced is the model-separating weak
+ * behavior (and nonzero under TSO unfenced means the implementation
+ * is broken — the negative-test hook). Jitter applies as in runOnce.
+ */
+uint64_t runMpStress(const RunConfig &cfg, uint32_t rounds, bool fenced);
+
+} // namespace riscy::litmus

@@ -31,6 +31,14 @@ struct CoreConfig {
     uint32_t mulLatency = 3;
     uint32_t divLatency = 16;
     bool tso = true;           ///< TSO when true, WMM otherwise
+    /**
+     * TSO only: kill speculatively-executed loads whose line leaves
+     * the L1 (the load-load ordering mechanism). Turning this off
+     * deliberately breaks TSO — it exists so the litmus harness can
+     * prove in a negative test that it catches the resulting
+     * forbidden outcomes. Never disable outside that test.
+     */
+    bool tsoEvictKill = true;
     IssueQueue::Ordering iqOrder = IssueQueue::Ordering::WakeupIssueEnter;
     L1Tlb::Config itlb{32, 1, false};
     L1Tlb::Config dtlb{32, 1, false};

@@ -145,7 +145,9 @@ OooCore::OooCore(Kernel &k, const std::string &name, uint32_t hartId,
     storeBuf_ = std::make_unique<StoreBuffer>(k, name + ".sb", cfg.sbSize);
     forwardQ_ = std::make_unique<CfFifo<Forwarded>>(k, name + ".fwdQ", 4);
 
-    if (cfg.tso) {
+    // tsoEvictKill=false deliberately breaks TSO load-load ordering;
+    // only the litmus harness's negative test may do that.
+    if (cfg.tso && cfg.tsoEvictKill) {
         dcache_.setEvictHook([this](Addr l) { lsq_->cacheEvict(l); },
                              {&lsq_->cacheEvictM});
     }

@@ -1,0 +1,402 @@
+/**
+ * @file
+ * Litmus harness tests (src/litmus): reference-model enumerator
+ * spot checks against textbook TSO/WMM verdicts, lowering round
+ * trips, checked corpus sweeps on the real multicore under both
+ * models, the deliberately-broken-ordering negative test (TSO
+ * evict-kill disabled must be caught and produce a complete repro
+ * bundle), and fuzzer generator/shrinker units.
+ */
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "litmus/corpus.hh"
+#include "litmus/fuzz.hh"
+#include "litmus/runner.hh"
+
+using namespace riscy;
+using namespace riscy::litmus;
+
+namespace {
+
+using I = LitmusInst;
+constexpr uint8_t x = 0, y = 1;
+
+bool
+allows(const LitmusProgram &p, MemModel m,
+       const std::vector<uint32_t> &slots)
+{
+    return enumerateOutcomes(p, m).count(packOutcome(slots)) != 0;
+}
+
+// ---------------------------------------------------------- enumerator
+
+TEST(LitmusModel, SbWeakOutcomeAllowedUnderBothModels)
+{
+    const LitmusProgram &sb = corpusEntry("SB").prog;
+    // Store buffering: (0,0) is the hallmark TSO relaxation.
+    EXPECT_TRUE(allows(sb, MemModel::Tso, {0, 0}));
+    EXPECT_TRUE(allows(sb, MemModel::Wmm, {0, 0}));
+    // All four outcomes are reachable under both models.
+    EXPECT_EQ(enumerateOutcomes(sb, MemModel::Tso).size(), 4u);
+    EXPECT_EQ(enumerateOutcomes(sb, MemModel::Wmm).size(), 4u);
+}
+
+TEST(LitmusModel, SbFenceForbidsTheWeakOutcomeEverywhere)
+{
+    const LitmusProgram &p = corpusEntry("SB+fence").prog;
+    EXPECT_FALSE(allows(p, MemModel::Tso, {0, 0}));
+    EXPECT_FALSE(allows(p, MemModel::Wmm, {0, 0}));
+    EXPECT_TRUE(allows(p, MemModel::Tso, {1, 0}));
+    EXPECT_TRUE(allows(p, MemModel::Wmm, {1, 1}));
+}
+
+TEST(LitmusModel, SbAmoSeparatesTheModels)
+{
+    // An AMO drains the buffer and writes memory, so under TSO it is
+    // a full barrier and (0,0) dies; under WMM the later load can
+    // still return a stale value from the invalidation buffer.
+    const LitmusProgram &p = corpusEntry("SB+amo").prog;
+    EXPECT_FALSE(allows(p, MemModel::Tso, {0, 0}));
+    EXPECT_TRUE(allows(p, MemModel::Wmm, {0, 0}));
+}
+
+TEST(LitmusModel, MpReorderForbiddenTsoAllowedWmm)
+{
+    const LitmusProgram &mp = corpusEntry("MP").prog;
+    // flag observed, data missed: the model-separating outcome.
+    EXPECT_FALSE(allows(mp, MemModel::Tso, {1, 0}));
+    EXPECT_TRUE(allows(mp, MemModel::Wmm, {1, 0}));
+    // Sanity: the strong outcome is allowed everywhere.
+    EXPECT_TRUE(allows(mp, MemModel::Tso, {1, 1}));
+    EXPECT_TRUE(allows(mp, MemModel::Wmm, {1, 1}));
+}
+
+TEST(LitmusModel, MpFenceForbidsReorderUnderWmmToo)
+{
+    const LitmusProgram &p = corpusEntry("MP+fence").prog;
+    EXPECT_FALSE(allows(p, MemModel::Tso, {1, 0}));
+    EXPECT_FALSE(allows(p, MemModel::Wmm, {1, 0}));
+}
+
+TEST(LitmusModel, LoadBufferingForbiddenUnderBothModels)
+{
+    // Neither model lets a store overtake a program-order-earlier
+    // load (stores leave the hart only post-commit).
+    const LitmusProgram &lb = corpusEntry("LB").prog;
+    EXPECT_FALSE(allows(lb, MemModel::Tso, {1, 1}));
+    EXPECT_FALSE(allows(lb, MemModel::Wmm, {1, 1}));
+}
+
+TEST(LitmusModel, CoRRCoherenceHoldsUnderBothModels)
+{
+    // Same-address loads never travel backwards in coherence order.
+    const LitmusProgram &p = corpusEntry("CoRR").prog;
+    EXPECT_FALSE(allows(p, MemModel::Tso, {1, 0}));
+    EXPECT_FALSE(allows(p, MemModel::Wmm, {1, 0}));
+    EXPECT_TRUE(allows(p, MemModel::Wmm, {0, 1}));
+}
+
+TEST(LitmusModel, SAllowsWmmOnlyCoherenceInversion)
+{
+    // P1 reads y=1 yet its St x=1 ends up coherence-BEFORE P0's
+    // St x=2 (final x=2): needs P0 to drain y before x — WMM only.
+    const LitmusProgram &p = corpusEntry("S").prog;
+    EXPECT_FALSE(allows(p, MemModel::Tso, {1, 2}));
+    EXPECT_TRUE(allows(p, MemModel::Wmm, {1, 2}));
+    // The benign order (P0's x=2 drains first) is allowed everywhere.
+    EXPECT_TRUE(allows(p, MemModel::Tso, {1, 1}));
+}
+
+TEST(LitmusModel, TwoPlusTwoWSeparatesTheModels)
+{
+    // Both "first" stores losing requires per-address drain
+    // reordering on both sides.
+    const LitmusProgram &p = corpusEntry("2+2W").prog;
+    EXPECT_FALSE(allows(p, MemModel::Tso, {1, 1}));
+    EXPECT_TRUE(allows(p, MemModel::Wmm, {1, 1}));
+}
+
+TEST(LitmusModel, WrcCausalityForbiddenTsoAllowedWmm)
+{
+    const LitmusProgram &p = corpusEntry("WRC").prog;
+    EXPECT_FALSE(allows(p, MemModel::Tso, {1, 1, 0}));
+    EXPECT_TRUE(allows(p, MemModel::Wmm, {1, 1, 0}));
+}
+
+TEST(LitmusModel, IriwDisagreementForbiddenTsoAllowedWmm)
+{
+    const LitmusProgram &p = corpusEntry("IRIW").prog;
+    // P2 sees x first, P3 sees y first.
+    EXPECT_FALSE(allows(p, MemModel::Tso, {1, 0, 1, 0}));
+    EXPECT_TRUE(allows(p, MemModel::Wmm, {1, 0, 1, 0}));
+}
+
+TEST(LitmusModel, IriwWithFencesForbiddenUnderBothModels)
+{
+    // WMM is multi-copy atomic; with reconciling fences between the
+    // reader loads the disagreement dies there too.
+    const LitmusProgram &p = corpusEntry("IRIW+fence").prog;
+    EXPECT_FALSE(allows(p, MemModel::Tso, {1, 0, 1, 0}));
+    EXPECT_FALSE(allows(p, MemModel::Wmm, {1, 0, 1, 0}));
+}
+
+TEST(LitmusModel, TsoOutcomesAreSubsetOfWmmOnCorpus)
+{
+    // Every corpus shape: TSO is strictly stronger, so its allowed
+    // set must embed into WMM's.
+    for (const auto &e : corpus()) {
+        auto tso = enumerateOutcomes(e.prog, MemModel::Tso);
+        auto wmm = enumerateOutcomes(e.prog, MemModel::Wmm);
+        for (Outcome o : tso)
+            EXPECT_TRUE(wmm.count(o))
+                << e.prog.name << ": TSO outcome "
+                << formatOutcome(e.prog, o) << " missing under WMM";
+    }
+}
+
+TEST(LitmusModel, ValidRejectsOverBudgetPrograms)
+{
+    LitmusProgram p;
+    p.name = "bad";
+    p.harts = {{I::ld(x), I::ld(x), I::ld(x), I::ld(x), I::ld(x)}};
+    std::string why;
+    EXPECT_FALSE(p.valid(&why)); // 5 loads in one hart
+    p.harts = {{I::st(x, 0)}};
+    EXPECT_FALSE(p.valid(&why)); // store of 0
+    p.harts = {{I::st(x, 1)}};
+    EXPECT_FALSE(p.valid(&why)); // no observed slots
+    p.finalObs = {x};
+    EXPECT_TRUE(p.valid(&why)) << why;
+}
+
+// ----------------------------------------------------------- lowering
+
+TEST(LitmusRunner, LoweringIsDeterministicAndSkewSensitive)
+{
+    const LitmusProgram &sb = corpusEntry("SB").prog;
+    auto c1 = lower(sb, {3, 7});
+    auto c2 = lower(sb, {3, 7});
+    auto c3 = lower(sb, {4, 7});
+    EXPECT_EQ(c1, c2);
+    EXPECT_NE(c1, c3);
+    EXPECT_GT(c1.size(), 16u);
+}
+
+TEST(LitmusRunner, SingleRunProducesAllowedOutcome)
+{
+    // One cheap end-to-end run per model on the event scheduler.
+    for (MemModel m : {MemModel::Tso, MemModel::Wmm}) {
+        RunConfig cfg;
+        cfg.model = m;
+        cfg.seed = 42;
+        const LitmusProgram &mp = corpusEntry("MP").prog;
+        RunResult r = runOnce(mp, cfg);
+        ASSERT_FALSE(r.hang) << toString(m);
+        EXPECT_TRUE(enumerateOutcomes(mp, m).count(r.outcome))
+            << toString(m) << " produced forbidden "
+            << formatOutcome(mp, r.outcome);
+    }
+}
+
+TEST(LitmusRunner, RunsAreSeedDeterministic)
+{
+    RunConfig cfg;
+    cfg.model = MemModel::Wmm;
+    cfg.seed = 7;
+    const LitmusProgram &sb = corpusEntry("SB").prog;
+    RunResult a = runOnce(sb, cfg);
+    RunResult b = runOnce(sb, cfg);
+    EXPECT_EQ(a.outcome, b.outcome);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.hang, b.hang);
+}
+
+TEST(LitmusRunner, FinalMemoryObservationWorks)
+{
+    // 2+2W observes only final memory; each run must land in the
+    // allowed set and see nonzero finals (all stores retire).
+    RunConfig cfg;
+    cfg.model = MemModel::Tso;
+    cfg.seed = 3;
+    const LitmusProgram &p = corpusEntry("2+2W").prog;
+    RunResult r = runOnce(p, cfg);
+    ASSERT_FALSE(r.hang);
+    EXPECT_TRUE(enumerateOutcomes(p, MemModel::Tso).count(r.outcome))
+        << formatOutcome(p, r.outcome);
+    EXPECT_NE(slotValue(r.outcome, 0), 0u);
+    EXPECT_NE(slotValue(r.outcome, 1), 0u);
+}
+
+// --------------------------------------------- checked sweeps (small)
+
+TEST(LitmusRunner, SmallSweepIsCleanUnderBothModels)
+{
+    // The heavyweight seed matrix lives in bench/ablation_litmus; this
+    // is the in-tree regression: a handful of jittered seeds per model
+    // on two representative shapes, zero forbidden outcomes.
+    for (MemModel m : {MemModel::Tso, MemModel::Wmm}) {
+        for (const char *name : {"MP", "SB+fence"}) {
+            RunConfig cfg;
+            cfg.model = m;
+            SweepResult s =
+                sweep(corpusEntry(name).prog, cfg, 1000, 5);
+            EXPECT_TRUE(s.clean())
+                << name << " under " << toString(m) << ": "
+                << s.forbidden.size() << " forbidden, " << s.hangs
+                << " hangs";
+        }
+    }
+}
+
+TEST(LitmusRunner, ShakerReachesSbWeakOutcomeUnderBothModels)
+{
+    // Coverage obligation, small in-tree edition: the shaker must
+    // actually visit the store-buffering window — SB (0,0) shows up in
+    // roughly a third of seeds under either model, so 20 seeds are
+    // plenty (and deterministic). The full per-entry obligation matrix
+    // (incl. MP (1,0) and SB+amo (0,0) under WMM) runs in
+    // bench/ablation_litmus.
+    const CorpusEntry &sb = corpusEntry("SB");
+    for (MemModel m : {MemModel::Tso, MemModel::Wmm}) {
+        RunConfig cfg;
+        cfg.model = m;
+        SweepResult sw = sweep(sb.prog, cfg, 1, 20);
+        EXPECT_TRUE(sw.clean()) << toString(m);
+        EXPECT_TRUE(sw.observed(packOutcome({0, 0})))
+            << "shaker never buffered the stores under " << toString(m);
+    }
+}
+
+TEST(LitmusRunner, NegativeControlBrokenTsoIsCaughtWithBundle)
+{
+    // Disable the TSO evict-kill (CoreConfig::tsoEvictKill=false): the
+    // implementation silently loses load-load ordering, and the
+    // harness must catch the resulting forbidden MP outcome (flag=1,
+    // data=0 — the younger data load executed early against a warm
+    // line and survived the invalidation it should have died to) and
+    // emit a complete repro bundle. This is the end-to-end proof the
+    // checker can actually fail. At default shaker settings ~5% of
+    // seeds expose it (first in [1,60]: seed 34), so a 60-seed sweep
+    // deterministically catches it; the twin positive control is
+    // SmallSweepIsCleanUnderBothModels plus the bench seed matrix,
+    // where the same sweep with the kill enabled stays clean.
+    RunConfig cfg;
+    cfg.model = MemModel::Tso;
+    cfg.mutateCfg = [](SystemConfig &s) { s.core.tsoEvictKill = false; };
+
+    const LitmusProgram &mp = corpusEntry("MP").prog;
+    SweepResult sw = sweep(mp, cfg, 1, 60);
+    ASSERT_FALSE(sw.forbidden.empty())
+        << "broken TSO (evict-kill off) produced no forbidden MP "
+           "outcome — the negative control lost its teeth";
+    EXPECT_EQ(sw.forbidden[0], packOutcome({1, 0}))
+        << formatOutcome(mp, sw.forbidden[0]);
+
+    // Re-run the first offending seed deterministically and write the
+    // bundle; the re-run must still land outside the allowed set.
+    cfg.seed = sw.firstForbiddenSeed;
+    std::string dir = "litmus_repro/negative-control";
+    RunResult r = writeReproBundle(dir, mp, cfg, &sw);
+    ASSERT_FALSE(r.hang);
+    EXPECT_FALSE(enumerateOutcomes(mp, MemModel::Tso).count(r.outcome))
+        << "bundle re-run no longer reproduces";
+    for (const char *f : {"/repro.txt", "/trace.kanata",
+                          "/trace_timeline.json", "/flight.txt"})
+        EXPECT_TRUE(std::filesystem::exists(dir + f)) << f;
+    std::ifstream rf(dir + "/repro.txt");
+    std::string txt((std::istreambuf_iterator<char>(rf)),
+                    std::istreambuf_iterator<char>());
+    EXPECT_NE(txt.find("FORBIDDEN"), std::string::npos);
+    EXPECT_NE(txt.find("disassembly"), std::string::npos);
+    EXPECT_NE(txt.find("prewarm"), std::string::npos);
+}
+
+TEST(LitmusRunner, MpStressCleanWhereTheModelPromisesIt)
+{
+    // TSO unfenced and WMM fenced must never observe stale data.
+    for (bool tso : {true, false}) {
+        RunConfig cfg;
+        cfg.model = tso ? MemModel::Tso : MemModel::Wmm;
+        cfg.seed = 11;
+        EXPECT_EQ(runMpStress(cfg, 40, /*fenced=*/!tso), 0u)
+            << (tso ? "TSO unfenced" : "WMM fenced");
+    }
+}
+
+// -------------------------------------------------------------- fuzz
+
+TEST(LitmusFuzz, GeneratorProducesValidDiversePrograms)
+{
+    std::mt19937_64 rng(123);
+    uint32_t withAmo = 0, withFence = 0, withFinals = 0;
+    for (int i = 0; i < 200; i++) {
+        LitmusProgram p = generateProgram(rng);
+        std::string why;
+        ASSERT_TRUE(p.valid(&why)) << why;
+        // The model enumerator must handle everything the generator
+        // can emit.
+        EXPECT_GE(enumerateOutcomes(p, MemModel::Wmm).size(), 1u);
+        for (const auto &h : p.harts)
+            for (const auto &in : h) {
+                withAmo += in.op == LOp::AmoSwap || in.op == LOp::AmoAdd;
+                withFence += in.op == LOp::Fence;
+            }
+        withFinals += !p.finalObs.empty();
+    }
+    EXPECT_GT(withAmo, 0u);
+    EXPECT_GT(withFence, 0u);
+    EXPECT_GT(withFinals, 0u);
+}
+
+TEST(LitmusFuzz, ShrinkerReachesMinimalFailingProgram)
+{
+    // A pure predicate: "hart 0 still stores to x and hart 1 still
+    // loads x" — the shrinker must strip everything else.
+    LitmusProgram p;
+    p.name = "shrink-me";
+    p.harts = {{I::st(y, 2), I::st(x, 1), I::fence(), I::ld(y)},
+               {I::ld(y), I::ld(x), I::st(y, 1)},
+               {I::amoAdd(y, 1), I::ld(y)}};
+    p.finalObs = {x, y};
+    auto pred = [](const LitmusProgram &q) {
+        bool st = false, ld = false;
+        for (const auto &h : q.harts)
+            for (const auto &i : h) {
+                st |= i.op == LOp::St && i.loc == x;
+                ld |= i.op == LOp::Ld && i.loc == x;
+            }
+        return st && ld;
+    };
+    ASSERT_TRUE(pred(p));
+    LitmusProgram s = shrinkProgram(p, pred);
+    ASSERT_TRUE(pred(s));
+    ASSERT_TRUE(s.valid());
+    // Minimal: two harts, one instruction each, no finals.
+    EXPECT_EQ(s.numHarts(), 2u);
+    for (const auto &h : s.harts)
+        EXPECT_EQ(h.size(), 1u);
+    EXPECT_TRUE(s.finalObs.empty());
+}
+
+TEST(LitmusFuzz, SmokeCampaignIsCleanOnTheRealMachine)
+{
+    // Tiny budget here; the CI-scale campaign lives in the bench.
+    FuzzConfig fc;
+    fc.seed = 2026;
+    fc.programs = 3;
+    fc.runsPerProgram = 2;
+    fc.run.model = MemModel::Wmm;
+    fc.bundleDir = "litmus_repro/fuzz-test";
+    FuzzResult r = fuzz(fc);
+    EXPECT_EQ(r.programs, 3u);
+    EXPECT_TRUE(r.clean())
+        << r.failures.size() << " failures, " << r.hangs << " hangs"
+        << (r.failures.empty()
+                ? ""
+                : " first: " + r.failures[0].shrunk.describe());
+}
+
+} // namespace

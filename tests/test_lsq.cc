@@ -3,8 +3,12 @@
  * LSQ unit tests exercising the paper's interface directly:
  * store-to-load forwarding, partial-overlap stalls with recorded
  * sources and wakeups, memory-dependence kills on update(), TSO
- * cacheEvict kills, wrong-path response bits, wrongSpec suffix kills,
- * and the commit-time flush that preserves committed stores.
+ * cacheEvict kills (and their line precision — the ordering mechanism
+ * the litmus MP gate rests on), wrong-path response bits, wrongSpec
+ * suffix kills, the commit-time flush that preserves committed
+ * stores, and the WMM store buffer's coalescing and parallel-drain
+ * ordering (the writer-side reorder TSO's serialized SQ drain
+ * forbids).
  */
 #include <gtest/gtest.h>
 
@@ -130,6 +134,43 @@ TEST(Lsq, CacheEvictKillsCompletedLoadUnderTso)
     Lsq::LqEntry e;
     b.atomically([&] { e = b.lsq.deqLd(); });
     EXPECT_TRUE(e.killed);
+}
+
+TEST(Lsq, CacheEvictKillsAreLinePrecise)
+{
+    // The evict kill is TSO's only load-load ordering mechanism (the
+    // litmus MP gate rests on it), so its precision matters both ways:
+    // it must catch every not-yet-retired load of the evicted line and
+    // nothing else. Idle loads are spared — they have not read a value
+    // yet, so whatever they eventually read is fresh by construction.
+    LsqBed b(true);
+    uint8_t ldHit = 0, ldOther = 0, ldIdle = 0;
+    b.atomically([&] { ldHit = b.lsq.enqLd(Op::LD, 8, 2, 10, true, 0); });
+    b.atomically(
+        [&] { ldOther = b.lsq.enqLd(Op::LD, 8, 3, 11, true, 0); });
+    b.atomically([&] { ldIdle = b.lsq.enqLd(Op::LD, 8, 4, 12, true, 0); });
+    b.atomically(
+        [&] { b.lsq.updateLd(ldHit, 0x8000, 0x8000, false, 0, false); });
+    b.atomically([&] {
+        b.lsq.updateLd(ldOther, 0x9000, 0x9000, false, 0, false);
+    });
+    // Same line as ldHit, but never issued: stays Idle.
+    b.atomically(
+        [&] { b.lsq.updateLd(ldIdle, 0x8008, 0x8008, false, 0, false); });
+    uint64_t fwd = 0;
+    for (uint8_t ld : {ldHit, ldOther})
+        b.atomically([&] {
+            b.lsq.issueLd(ld, StoreBuffer::SearchResult{}, false, fwd);
+        });
+    b.atomically([&] { b.lsq.respLd(ldHit, 1); });
+    b.atomically([&] { b.lsq.respLd(ldOther, 2); });
+
+    uint64_t kills0 = b.lsq.stats().get("evictKills");
+    b.atomically([&] { b.lsq.cacheEvict(lineAddr(0x8000)); });
+    EXPECT_TRUE(b.lsq.lqEntry(ldHit).killed);
+    EXPECT_FALSE(b.lsq.lqEntry(ldOther).killed); // different line
+    EXPECT_FALSE(b.lsq.lqEntry(ldIdle).killed);  // not yet executed
+    EXPECT_EQ(b.lsq.stats().get("evictKills"), kills0 + 1);
 }
 
 TEST(Lsq, TsoHoldsLoadBehindOlderAtomic)
@@ -274,6 +315,73 @@ TEST(StoreBufferTest, CoalesceSearchAndDrain)
     at([&] { d = sb.deq(idx); });
     EXPECT_EQ(d.data.read(0, 2), 0xaaaau);
     EXPECT_EQ(d.data.read(4, 2), 0xbbbbu);
+    EXPECT_TRUE(sb.empty());
+}
+
+TEST(StoreBufferTest, ParallelDrainReordersAcrossLines)
+{
+    // WMM drains the store buffer with MULTIPLE entries in flight:
+    // issue() marks the lowest-index unissued entry and does not wait
+    // for the previous drain to finish. Two different-line stores can
+    // therefore become globally visible in either order — the
+    // writer-side reorder behind the litmus MP (1,0) outcome (TSO
+    // instead serializes drains from the SQ head, one at a time).
+    Kernel k;
+    StoreBuffer sb(k, "sb", 2);
+    k.elaborate();
+    auto at = [&](auto &&f) {
+        ASSERT_TRUE(k.runAtomically(f));
+        k.cycle();
+    };
+    at([&] { sb.enq(0x1000, 1, 8); });  // program order: x first...
+    at([&] { sb.enq(0x1100, 1, 8); });  // ...then y
+    Addr l0 = 0, l1 = 0;
+    uint8_t i0 = 0, i1 = 0;
+    at([&] { i0 = sb.issue(l0); });
+    EXPECT_TRUE(sb.canIssue()); // second drain starts while first flies
+    at([&] { i1 = sb.issue(l1); });
+    EXPECT_FALSE(sb.canIssue());
+    EXPECT_EQ(l0, lineAddr(0x1000)); // issue picks program order...
+    EXPECT_EQ(l1, lineAddr(0x1100));
+
+    // ...but the cache may complete them inverted: y's write finishes
+    // while x still sits (searchable) in the buffer — y is visible to
+    // other harts before x.
+    StoreBuffer::DeqResult d;
+    at([&] { d = sb.deq(i1); });
+    EXPECT_EQ(d.line, lineAddr(0x1100));
+    StoreBuffer::SearchResult r;
+    at([&] { r = sb.search(0x1000, 8); });
+    EXPECT_TRUE(r.full);
+    at([&] { d = sb.deq(i0); });
+    EXPECT_EQ(d.line, lineAddr(0x1000));
+    EXPECT_TRUE(sb.empty());
+}
+
+TEST(StoreBufferTest, LateStoreCoalescesIntoInFlightEntry)
+{
+    // A store committing after its line's drain was issued (but before
+    // the cache pulled the data with deq) still merges into the entry:
+    // deq() reads the entry at completion time, so the late bytes ride
+    // the same drain instead of being lost or reordered past it.
+    Kernel k;
+    StoreBuffer sb(k, "sb", 2);
+    k.elaborate();
+    auto at = [&](auto &&f) {
+        ASSERT_TRUE(k.runAtomically(f));
+        k.cycle();
+    };
+    at([&] { sb.enq(0x2000, 0x11, 1); });
+    Addr line = 0;
+    uint8_t idx = 0;
+    at([&] { idx = sb.issue(line); });
+    at([&] { sb.enq(0x2001, 0x22, 1); }); // late, same line, in flight
+    EXPECT_EQ(sb.stats().get("coalesced"), 1u);
+    EXPECT_FALSE(sb.canIssue()); // no second drain for the same line
+    StoreBuffer::DeqResult d;
+    at([&] { d = sb.deq(idx); });
+    EXPECT_EQ(d.data.read(0, 1), 0x11u);
+    EXPECT_EQ(d.data.read(1, 1), 0x22u);
     EXPECT_TRUE(sb.empty());
 }
 
