@@ -228,6 +228,12 @@ putSimSpeed(JsonObject &row, uint64_t units, uint64_t wallNs)
     // KIPS = thousand retired units per host second.
     row.put("simulated_kips",
             wallNs ? 1e6 * double(units) / double(wallNs) : 0.0);
+    // Stamped per row (not only in the top-level host object) so a
+    // single row pasted out of a BENCH_*.json — e.g. a parallel
+    // speedup measured on a 1-thread CI runner — carries the context
+    // needed to interpret it.
+    row.put("hardware_threads",
+            uint64_t(std::thread::hardware_concurrency()));
     return row;
 }
 

@@ -577,12 +577,32 @@ HardenedRunner::run(const std::function<bool()> &done, uint64_t maxCycles)
             while (kernel_.cycleCount() < target) {
                 if (done())
                     return true;
-                kernel_.cycle();
+                // Lookahead-aware stepping: advance by the kernel's
+                // current sync stride (1 under sequential schedulers
+                // or per-cycle observers — exactly the old loop), but
+                // never past the target or across a checkpoint
+                // boundary, so checkpoints land exactly on multiples
+                // of checkpointEvery — which are sync epochs, the only
+                // points where every domain's state is coherent. done()
+                // is polled between windows; it may overshoot its
+                // condition by at most stride-1 cycles.
+                uint64_t step = kernel_.syncStride();
+                if (step > target - kernel_.cycleCount())
+                    step = target - kernel_.cycleCount();
+                if (cfg_.checkpointEvery && ckpt_) {
+                    uint64_t toCkpt =
+                        cfg_.checkpointEvery -
+                        (kernel_.cycleCount() % cfg_.checkpointEvery);
+                    if (step > toCkpt)
+                        step = toCkpt;
+                }
+                kernel_.run(step);
                 if (cfg_.checkpointEvery && ckpt_ &&
                     kernel_.cycleCount() % cfg_.checkpointEvery == 0) {
                     ckpt_->save();
                 }
-                if (++sincePoll >= cfg_.watchdogPollEvery) {
+                sincePoll += step;
+                if (sincePoll >= cfg_.watchdogPollEvery) {
                     sincePoll = 0;
                     watchdog_.observe();
                 }

@@ -242,10 +242,12 @@ Module::cm(const Method &a, const Method &b) const
 void
 Module::syncMasks()
 {
-    // Direct cycle_ access: this is framework bookkeeping, not a
-    // time-dependent guard read, so it must not mark the rule
-    // cycle-sensitive.
-    uint64_t now = kernel_.cycle_;
+    // currentCycle(), not cycleCount(): this is framework
+    // bookkeeping, not a time-dependent guard read, so it must not
+    // mark the rule cycle-sensitive — but it must see the domain's
+    // local cycle inside a multi-cycle sync window, or the fired
+    // masks would never reset between interior cycles.
+    uint64_t now = kernel_.currentCycle();
     if (firedEpoch_ != now) {
         firedEpoch_ = now;
         firedMask_ = 0;
@@ -377,14 +379,15 @@ Kernel::registerModule(Module *m)
 }
 
 void
-Kernel::registerBoundary(Module &a, Module &b, bool *crossFlag)
+Kernel::registerBoundary(Module &a, Module &b, bool *crossFlag,
+                         ChannelPort *chan)
 {
     if (elaborated_)
         kfault(FaultKind::ApiMisuse, a.name() + "/" + b.name(),
                "boundary registered after elaboration");
     a.boundarySide_ = true;
     b.boundarySide_ = true;
-    boundaries_.push_back({&a, &b, crossFlag});
+    boundaries_.push_back({&a, &b, crossFlag, chan});
 }
 
 void
@@ -515,9 +518,10 @@ Kernel::commitRuleEffects(detail::ExecContext &c)
         for (StateBase *s : c.touched)
             s->commitStaged();
     } else {
+        uint64_t now = currentCycle();
         for (StateBase *s : c.touched) {
             s->commitStaged();
-            s->lastCommitCycle_ = cycle_;
+            s->lastCommitCycle_ = now;
             if (!s->waiters_.empty())
                 wakeWaiters(s);
         }
@@ -561,7 +565,7 @@ Kernel::tryFire(detail::ExecContext &c, Rule &r)
             r.guardAborts_.inc();
 #ifndef CMD_NO_OBS
             if (obs_)
-                obs_->guardFailed(r, cycle_, r.domain_);
+                obs_->guardFailed(r, currentCycle(), r.domain_);
 #endif
             return false;
         }
@@ -593,7 +597,7 @@ Kernel::tryFire(detail::ExecContext &c, Rule &r)
             r.guardAborts_.inc();
 #ifndef CMD_NO_OBS
             if (obs_)
-                obs_->guardFailed(r, cycle_, r.domain_);
+                obs_->guardFailed(r, currentCycle(), r.domain_);
 #endif
         } else {
             fired = true;
@@ -604,7 +608,7 @@ Kernel::tryFire(detail::ExecContext &c, Rule &r)
         r.guardAborts_.inc();
 #ifndef CMD_NO_OBS
         if (obs_)
-            obs_->guardFailed(r, cycle_, r.domain_);
+            obs_->guardFailed(r, currentCycle(), r.domain_);
 #endif
     } catch (const CmBlock &) {
         r.last_ = Rule::Outcome::CmBlocked;
@@ -627,10 +631,10 @@ Kernel::tryFire(detail::ExecContext &c, Rule &r)
         commitRuleEffects(c);
         r.last_ = Rule::Outcome::Fired;
         r.fired_.inc();
-        c.noteFired(&r, cycle_);
+        c.noteFired(&r, currentCycle());
 #ifndef CMD_NO_OBS
         if (obs_)
-            obs_->ruleFired(r, cycle_, r.domain_);
+            obs_->ruleFired(r, currentCycle(), r.domain_);
 #endif
     } else {
         abortRuleEffects(c);
@@ -732,7 +736,7 @@ Kernel::fastFire(detail::ExecContext &c, const detail::CompiledEntry &e)
         r.guardAborts_.inc();
 #ifndef CMD_NO_OBS
         if (obs_)
-            obs_->guardFailed(r, cycle_, r.domain_);
+            obs_->guardFailed(r, currentCycle(), r.domain_);
 #endif
         return false;
     }
@@ -749,7 +753,7 @@ Kernel::fastFire(detail::ExecContext &c, const detail::CompiledEntry &e)
             r.guardAborts_.inc();
 #ifndef CMD_NO_OBS
             if (obs_)
-                obs_->guardFailed(r, cycle_, r.domain_);
+                obs_->guardFailed(r, currentCycle(), r.domain_);
 #endif
         } else {
             fired = true;
@@ -760,7 +764,7 @@ Kernel::fastFire(detail::ExecContext &c, const detail::CompiledEntry &e)
         r.guardAborts_.inc();
 #ifndef CMD_NO_OBS
         if (obs_)
-            obs_->guardFailed(r, cycle_, r.domain_);
+            obs_->guardFailed(r, currentCycle(), r.domain_);
 #endif
     } catch (const CmBlock &) {
         r.last_ = Rule::Outcome::CmBlocked;
@@ -780,10 +784,10 @@ Kernel::fastFire(detail::ExecContext &c, const detail::CompiledEntry &e)
         commitRuleEffects(c);
         r.last_ = Rule::Outcome::Fired;
         r.fired_.inc();
-        c.noteFired(&r, cycle_);
+        c.noteFired(&r, currentCycle());
 #ifndef CMD_NO_OBS
         if (obs_)
-            obs_->ruleFired(r, cycle_, r.domain_);
+            obs_->ruleFired(r, currentCycle(), r.domain_);
 #endif
     } else {
         abortRuleEffects(c);
@@ -871,7 +875,7 @@ Kernel::cycle()
     cycle_++;
     uint32_t fired = 0;
     if (parallelActive_) {
-        fired = cycleParallel();
+        fired = runParallelWindow(1);
     } else {
         detail::CtxScope scope(&mainCtx_);
         if (sched_ == SchedulerKind::Exhaustive) {
@@ -972,6 +976,12 @@ Kernel::runDomains()
             // matter how threads interleaved.
             domainFaults_[d] = std::current_exception();
         }
+        // Timestamp before the done-publication: the barrier release
+        // reads it to account this domain's sync wait.
+        ctxs_[d].windowDoneNs = uint64_t(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now().time_since_epoch())
+                .count());
         if (domainDone_)
             domainDone_[d].store(true, std::memory_order_release);
         doneCount_.fetch_add(1, std::memory_order_release);
@@ -981,9 +991,22 @@ Kernel::runDomains()
 void
 Kernel::runDomainCycle(detail::ExecContext &c)
 {
+    // Runs this domain through the whole sync window: windowWidth_
+    // consecutive simulated cycles with no barrier in between. The
+    // domain's kernel-visible time is c.localCycle; cross-domain
+    // reads see the mirrors published at the window start, which the
+    // latency-lagged TimedFifo views make indistinguishable from the
+    // sequential start-of-cycle views (see timed_fifo.hh).
     detail::CtxScope scope(&c);
     auto t0 = std::chrono::steady_clock::now();
-    c.lastFired = runCtxCycle(c);
+    uint64_t base = cycle_ - windowWidth_;
+    uint32_t winFired = 0;
+    for (uint32_t k = 1; k <= windowWidth_; k++) {
+        c.localCycle = base + k;
+        c.lastFired = runCtxCycle(c);
+        winFired += c.lastFired;
+    }
+    c.windowFired = winFired;
     c.execNs += nsSince(t0);
 }
 
@@ -1016,16 +1039,25 @@ Kernel::workerMain(uint64_t seen)
 }
 
 uint32_t
-Kernel::cycleParallel()
+Kernel::runParallelWindow(uint32_t width)
 {
+    // One sync epoch: every domain runs @p width consecutive cycles,
+    // then all domains meet at a single barrier where the boundary
+    // mirrors are re-published. cycle_ was already advanced past the
+    // window by the caller; domains derive their per-cycle local
+    // clocks from cycle_ - width + k. width may not exceed the
+    // effective lookahead (min cross-channel latency), which is what
+    // makes the window-start mirror views sufficient for every
+    // cross-domain read inside the window.
     ensurePool();
-    // Latch the boundary counters every cross-domain consumer may
-    // read this cycle. Published values stay frozen for the whole
-    // cycle, which is exactly the start-of-cycle (readStable) view
-    // the sequential schedulers present across TimedFifo boundaries.
+    // Batched exchange: latch the boundary counters (scalar + epoch
+    // history) every cross-domain consumer may read this window.
+    // Published values stay frozen until the next barrier.
     for (StateBase *s : mirrors_)
         s->publishMirror();
-    parallelCycles_++;
+    parallelCycles_ += width;
+    syncEpochs_++;
+    windowWidth_ = width;
     for (uint32_t d = 0; d < domainCount_; d++)
         domainDone_[d].store(false, std::memory_order_relaxed);
     doneCount_.store(0, std::memory_order_relaxed);
@@ -1038,6 +1070,9 @@ Kernel::cycleParallel()
     if (mainParticipates_)
         runDomains();
     auto t0 = std::chrono::steady_clock::now();
+    // The stuck-worker budget covers the whole window: a domain has
+    // width cycles of work to finish before this barrier.
+    uint64_t timeoutNs = barrierTimeoutNs_ * width;
     uint32_t spins = 0;
     while (doneCount_.load(std::memory_order_acquire) < domainCount_) {
         if (++spins < 1024) {
@@ -1045,9 +1080,9 @@ Kernel::cycleParallel()
             continue;
         }
         std::this_thread::yield();
-        if (barrierTimeoutNs_ && nsSince(t0) > barrierTimeoutNs_) {
+        if (timeoutNs && nsSince(t0) > timeoutNs) {
             // Stuck-worker detection: a domain failed to finish its
-            // slice of the cycle within the budget. Name the
+            // slice of the window within the budget. Name the
             // unfinished domains and fault instead of spinning
             // forever. The pool is left wedged on the stuck rule —
             // recovery means falling back to a sequential scheduler
@@ -1066,16 +1101,32 @@ Kernel::cycleParallel()
             fc.cycle = cycle_;
             throw KernelFault(
                 FaultKind::Watchdog,
-                "parallel cycle barrier timeout after " +
-                    std::to_string(barrierTimeoutNs_) +
-                    " ns; unfinished domains: " + stuck,
+                "parallel sync barrier timeout after " +
+                    std::to_string(timeoutNs) + " ns (window " +
+                    std::to_string(width) +
+                    " cycles); unfinished domains: " + stuck,
                 std::move(fc));
         }
     }
     barrierWaitNs_ += nsSince(t0);
+    // Per-domain sync wait: time between a domain finishing its
+    // window and the barrier releasing (all domains done) — the
+    // imbalance cost progressReport()/Perfetto surface per domain.
+    uint64_t releaseNs = uint64_t(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+    for (detail::ExecContext &c : ctxs_) {
+        if (releaseNs > c.windowDoneNs)
+            c.syncWaitNs += releaseNs - c.windowDoneNs;
+    }
     // Surface a worker-side fault, lowest domain first (deterministic
     // across interleavings). Barrier already reached: every other
-    // domain completed its cycle normally.
+    // domain completed its window normally. The faulting domain may
+    // have stopped mid-window; cycle_ already counts the full window
+    // (recovery restores a sync-epoch checkpoint, or accepts losing
+    // up to width-1 cycles of that domain's work — the same
+    // approximation class as the old mid-cycle resume).
     for (uint32_t d = 0; d < domainCount_; d++) {
         if (domainFaults_[d]) {
             std::exception_ptr e = domainFaults_[d];
@@ -1086,7 +1137,7 @@ Kernel::cycleParallel()
     }
     uint32_t fired = 0;
     for (detail::ExecContext &c : ctxs_)
-        fired += c.lastFired;
+        fired += c.windowFired;
     return fired;
 }
 
@@ -1110,8 +1161,10 @@ Kernel::maybeSleep(detail::ExecContext &c, Rule &r)
         // An element committed earlier this cycle still presents its
         // start-of-cycle value through readStable(); the guard may
         // flip at the next cycle edge with no further commit, so
-        // retry next cycle instead of sleeping.
-        if (s->lastCommitCycle_ == cycle_)
+        // retry next cycle instead of sleeping. (Context-local cycle:
+        // inside a parallel sync window "this cycle" is the domain's
+        // local clock.)
+        if (s->lastCommitCycle_ == currentCycle())
             return;
     }
     r.asleep_ = true;
@@ -1352,9 +1405,36 @@ Kernel::setScheduler(SchedulerKind k)
 uint64_t
 Kernel::run(uint64_t n)
 {
+    // The multi-cycle lookahead driver: under the parallel scheduler
+    // (and no per-cycle observer) advance in sync windows of up to
+    // effectiveLookahead() cycles — one barrier per window instead of
+    // one per cycle. Stops exactly at n. Sequential schedulers and
+    // cycle()/runUntil() keep the per-cycle path.
     uint64_t fired = 0;
-    for (uint64_t i = 0; i < n; i++)
-        fired += cycle();
+    uint64_t left = n;
+    while (left > 0) {
+        uint32_t stride = syncStride();
+        if (stride <= 1) {
+            fired += cycle();
+            left--;
+            continue;
+        }
+        if (!elaborated_)
+            kfault(FaultKind::ApiMisuse, "kernel",
+                   "run() before elaboration");
+        uint64_t w = stride < left ? stride : left;
+        cycle_ += w;
+        uint32_t winFired = runParallelWindow(uint32_t(w));
+        fired += winFired;
+        // cycleEnd() is intentionally not invoked for window interior
+        // cycles: syncStride() > 1 only when no installed observer
+        // needs per-cycle hooks (KernelObserver::needsPerCycle()).
+#ifndef CMD_NO_OBS
+        if (obs_)
+            obs_->cycleEnd(cycle_, winFired);
+#endif
+        left -= w;
+    }
     return fired;
 }
 
@@ -1542,6 +1622,36 @@ Kernel::computeDomains()
         if (domainNames_[d].empty())
             domainNames_[d] = "d" + std::to_string(d);
     }
+
+    // PDES lookahead: the sync window the parallel scheduler may run
+    // between barriers is bounded by the minimum latency over all
+    // channels whose endpoints landed in different domains. A
+    // latency-0 cross-domain channel would make same-cycle traffic
+    // cross the cut — it has no lookahead to give and would silently
+    // degenerate every window to per-cycle sync, so it is a named
+    // elaboration-time design error instead.
+    fifoMinLookahead_ = ~0u;
+    for (const Boundary &b : boundaries_) {
+        if (!*b.crossFlag || !b.chan)
+            continue;
+        uint32_t lat = b.chan->latency();
+        if (lat == 0) {
+            FaultContext fc;
+            fc.module = b.chan->channelName();
+            throw KernelFault(
+                FaultKind::DesignError,
+                "cross-domain channel '" + b.chan->channelName() +
+                    "' has latency 0 (cut " + domainName(b.a->domain_) +
+                    " -> " + domainName(b.b->domain_) +
+                    "): a domain boundary needs latency >= 1 to "
+                    "provide PDES lookahead",
+                std::move(fc));
+        }
+        if (lat < fifoMinLookahead_)
+            fifoMinLookahead_ = lat;
+    }
+    if (fifoMinLookahead_ == ~0u)
+        fifoMinLookahead_ = 1; // no cross cut: windows are trivial
 
     domainFaults_.assign(domainCount_, nullptr);
     domainDone_ = std::make_unique<std::atomic<bool>[]>(domainCount_);
@@ -1924,6 +2034,8 @@ Kernel::report() const
         rep.threads = effectiveThreads();
         rep.parallelCycles = parallelCycles_;
         rep.barrierWaitNs = barrierWaitNs_;
+        rep.syncEpochs = syncEpochs_;
+        rep.lookahead = effectiveLookahead();
         for (const detail::ExecContext &c : ctxs_) {
             KernelReport::DomainLine d;
             d.id = c.domainId;
@@ -1935,6 +2047,7 @@ Kernel::report() const
             d.wakes = c.wakes;
             d.sleepSkips = c.sleepSkips;
             d.execNs = c.execNs;
+            d.syncWaitNs = c.syncWaitNs;
             rep.domainLines.push_back(std::move(d));
         }
     }
@@ -1959,13 +2072,18 @@ KernelReport::text() const
         os << "compiled: fastRules=" << compiledFastRules << '\n';
     if (threads) {
         os << "parallel: threads=" << threads << " cycles=" << parallelCycles
-           << " barrierWaitNs=" << barrierWaitNs << '\n';
+           << " barrierWaitNs=" << barrierWaitNs
+           << " syncEpochs=" << syncEpochs << " lookahead=" << lookahead;
+        if (parallelCycles)
+            os << " syncsPerCycle="
+               << double(syncEpochs) / double(parallelCycles);
+        os << '\n';
         for (const DomainLine &d : domainLines) {
             os << "domain " << d.id << ": rules=" << d.rules
                << " attempts=" << d.attempts << " fired=" << d.fired
                << " sleeps=" << d.sleeps << " wakes=" << d.wakes
                << " sleepSkips=" << d.sleepSkips << " execNs=" << d.execNs
-               << '\n';
+               << " syncWaitNs=" << d.syncWaitNs << '\n';
         }
     }
     return os.str();
@@ -1985,7 +2103,9 @@ KernelReport::json() const
     if (threads) {
         os << ", \"threads\": " << threads
            << ", \"parallel_cycles\": " << parallelCycles
-           << ", \"barrier_wait_ns\": " << barrierWaitNs;
+           << ", \"barrier_wait_ns\": " << barrierWaitNs
+           << ", \"sync_epochs\": " << syncEpochs
+           << ", \"lookahead\": " << lookahead;
     }
     os << ", \"rules\": [";
     for (size_t i = 0; i < rules.size(); i++) {
@@ -2007,7 +2127,8 @@ KernelReport::json() const
                << ", \"fired\": " << d.fired << ", \"sleeps\": " << d.sleeps
                << ", \"wakes\": " << d.wakes
                << ", \"sleep_skips\": " << d.sleepSkips
-               << ", \"exec_ns\": " << d.execNs << "}";
+               << ", \"exec_ns\": " << d.execNs
+               << ", \"sync_wait_ns\": " << d.syncWaitNs << "}";
         }
         os << "]";
     }

@@ -200,6 +200,12 @@ class ChannelPort
     virtual bool faultDropHead() = 0;
     /** Age the oldest message by @p extraCycles more. @return delayed */
     virtual bool faultDelayHead(uint32_t extraCycles) = 0;
+    /**
+     * Visibility delay in cycles. When the channel is a cross-domain
+     * cut, this is its PDES lookahead contribution: the sync window
+     * is the minimum latency over all cross-domain channels.
+     */
+    virtual uint32_t latency() const = 0;
 };
 
 /**
@@ -244,6 +250,15 @@ class KernelObserver
     }
     /** Extra text for Kernel::diagnosticReport() (crash dumps). */
     virtual void appendDiagnostics(std::string &out) const { (void)out; }
+    /**
+     * Return false to let the parallel scheduler run multi-cycle sync
+     * windows. When any installed observer needs cycleEnd() called at
+     * every simulated cycle, the kernel clamps the sync stride to 1.
+     * Inside a multi-cycle window cycleEnd() is NOT invoked for the
+     * interior cycles; ruleFired/guardFailed still fire with exact
+     * per-domain local cycle numbers.
+     */
+    virtual bool needsPerCycle() const { return true; }
 };
 
 /**
@@ -274,6 +289,9 @@ struct KernelReport
         uint64_t wakes = 0;
         uint64_t sleepSkips = 0;
         uint64_t execNs = 0;
+        /// ns this domain spent waiting at sync barriers for the
+        /// other domains (window completion to barrier release).
+        uint64_t syncWaitNs = 0;
     };
 
     const char *scheduler = "exhaustive";
@@ -291,6 +309,12 @@ struct KernelReport
     uint32_t threads = 0;
     uint64_t parallelCycles = 0;
     uint64_t barrierWaitNs = 0;
+    /// Number of barrier synchronizations (== parallelCycles when the
+    /// sync stride is 1; drops by the lookahead factor otherwise).
+    uint64_t syncEpochs = 0;
+    /// Effective sync window width in cycles (min cross-channel
+    /// latency, possibly capped by setLookahead()).
+    uint32_t lookahead = 1;
     std::vector<RuleLine> rules;
     std::vector<DomainLine> domainLines;
 
@@ -427,6 +451,17 @@ struct ExecContext
     uint64_t fired = 0;
     uint64_t execNs = 0;    ///< parallel mode: time inside domain cycles
     uint32_t lastFired = 0; ///< rules fired in the most recent cycle
+    /// rules fired in the current sync window (summed at the barrier)
+    uint32_t windowFired = 0;
+
+    // Multi-cycle sync windows (parallel scheduler):
+    /// this domain's simulated cycle inside the current window; the
+    /// kernel-visible time for every rule running on this context
+    uint64_t localCycle = 0;
+    /// ns this domain spent finished-and-waiting at sync barriers
+    uint64_t syncWaitNs = 0;
+    /// monotonic timestamp when this domain finished its window
+    uint64_t windowDoneNs = 0;
 
     /// Ring of the last kFireRingSize (rule, cycle) fires of this
     /// context, for watchdog/fault crash dumps. firePos counts total
@@ -912,6 +947,25 @@ class Kernel
         detail::ExecContext *c = detail::activeCtx;
         if (c && c->readMode == detail::ReadMode::Capture)
             c->cycleRead = true;
+        if (c && c->domainId != detail::kNoDomain)
+            return c->localCycle;
+        return cycle_;
+    }
+
+    /**
+     * The simulated cycle as seen by the calling context: a domain
+     * context inside a parallel sync window sees its own local cycle
+     * (domains advance through the window independently); everywhere
+     * else this is the global cycle counter. Unlike cycleCount() this
+     * never marks the running attempt time-dependent — it is the
+     * kernel-internal clock for commit stamps and observers.
+     */
+    uint64_t
+    currentCycle() const
+    {
+        detail::ExecContext *c = detail::activeCtx;
+        if (c && c->domainId != detail::kNoDomain)
+            return c->localCycle;
         return cycle_;
     }
 
@@ -959,8 +1013,43 @@ class Kernel
     const std::string &domainName(uint32_t d) const;
     /** True when cycles are currently executed by the domain pool. */
     bool parallelActive() const { return parallelActive_; }
-    /** Time the driving thread spent waiting on cycle barriers. */
+    /** Time the driving thread spent waiting at sync-epoch barriers. */
     uint64_t barrierWaitNs() const { return barrierWaitNs_; }
+    /** Barrier synchronizations performed by the parallel scheduler. */
+    uint64_t syncEpochs() const { return syncEpochs_; }
+
+    /**
+     * Cap the parallel scheduler's sync window (lookahead) at @p n
+     * cycles; 0 (the default) means "fifo-min": the minimum latency
+     * over all cross-domain channels, computed at elaboration. The
+     * effective window is always min(cap, fifo-min) — running past
+     * fifo-min would let a domain observe cycles it must not see.
+     */
+    void setLookahead(uint32_t n) { lookahead_ = n; }
+    uint32_t lookahead() const { return lookahead_; }
+    /** Min cross-domain channel latency (1 when there is no cut). */
+    uint32_t fifoMinLookahead() const { return fifoMinLookahead_; }
+    /** The sync window actually used: min(cap, fifo-min), >= 1. */
+    uint32_t
+    effectiveLookahead() const
+    {
+        uint32_t w = fifoMinLookahead_;
+        if (lookahead_ && lookahead_ < w)
+            w = lookahead_;
+        return w ? w : 1;
+    }
+    /**
+     * Cycles run(n) may advance between barriers right now: the
+     * effective lookahead when the domain pool drives execution and
+     * no installed observer demands per-cycle hooks; 1 otherwise.
+     */
+    uint32_t
+    syncStride() const
+    {
+        if (!parallelActive_ || (obs_ && obs_->needsPerCycle()))
+            return 1;
+        return effectiveLookahead();
+    }
 
     /**
      * True when every domain of the last started parallel cycle has
@@ -1098,7 +1187,8 @@ class Kernel
      * nodes (the cut), and after partitioning stores into @p crossFlag
      * whether the two ends landed in different domains.
      */
-    void registerBoundary(Module &a, Module &b, bool *crossFlag);
+    void registerBoundary(Module &a, Module &b, bool *crossFlag,
+                          ChannelPort *chan = nullptr);
     /** Publish @p s to cross-domain readers at every cycle barrier. */
     void registerMirror(StateBase *s);
     void onMethodCall(const Method &m);
@@ -1179,7 +1269,8 @@ class Kernel
     void computeDomains();
     /** Point every rule at the context the current scheduler uses. */
     void bindContexts();
-    uint32_t cycleParallel();
+    /** Run a @p width cycle sync window on the domain pool. */
+    uint32_t runParallelWindow(uint32_t width);
     /** Claim and run unprocessed domains until none remain. */
     void runDomains();
     void runDomainCycle(detail::ExecContext &c);
@@ -1242,6 +1333,7 @@ class Kernel
         Module *a;
         Module *b;
         bool *crossFlag;
+        ChannelPort *chan; ///< latency source (null for non-channels)
     };
     std::vector<Boundary> boundaries_;
     std::vector<StateBase *> mirrors_;
@@ -1272,6 +1364,12 @@ class Kernel
     std::atomic<uint32_t> doneCount_{0};   ///< domains finished
     uint64_t barrierWaitNs_ = 0;
     uint64_t parallelCycles_ = 0;
+
+    // Multi-cycle lookahead PDES:
+    uint32_t lookahead_ = 0;         ///< user cap; 0 = fifo-min (auto)
+    uint32_t fifoMinLookahead_ = 1;  ///< min cross-channel latency
+    uint32_t windowWidth_ = 1;       ///< cycles in the released window
+    uint64_t syncEpochs_ = 0;        ///< barrier synchronizations run
 };
 
 inline void
@@ -1314,7 +1412,7 @@ Kernel::noteStateTouched(StateBase *s)
 inline uint64_t
 StateBase::kernelCycle() const
 {
-    return kernel_.cycle_;
+    return kernel_.currentCycle();
 }
 
 /**

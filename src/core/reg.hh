@@ -135,6 +135,212 @@ class Reg final : public StateBase
 };
 
 /**
+ * A monotonic uint64 counter whose committed value is queryable at
+ * *past cycle epochs*: readAt(c) returns the value as of the end of
+ * cycle c, from a bounded ring of (cycle, value) commit records.
+ *
+ * This is the state element behind TimedFifo's enq/deq totals under
+ * multi-cycle lookahead PDES. A consumer domain running ahead inside
+ * a lookahead window is only allowed to see the producer's counter as
+ * of `now - latency` — an epoch that is always covered by the batch
+ * published at the last sync barrier (the window width never exceeds
+ * the channel latency). The sequential schedulers use the *same*
+ * lagged views on the live history, which is why parallel-with-
+ * lookahead stays bit-identical to them.
+ *
+ * The ring records at most one entry per cycle (the counters are
+ * written by one conflicting method, so they commit at most once per
+ * cycle; a same-cycle atomic-action bump updates the entry in place).
+ * Capacity 2*lag+8 therefore retains every epoch a reader may query:
+ * queries reach back at most `lag` cycles behind a local clock that
+ * itself runs at most `window <= lag` cycles ahead of the publish
+ * epoch. Evicted entries fold into floor_, the value before the
+ * oldest retained record. History is part of save()/restore() so a
+ * restored run reproduces lagged guard reads bit-exactly.
+ */
+class EpochCounter final : public StateBase
+{
+  public:
+    EpochCounter(Kernel &kernel, std::string name, uint32_t lagCycles,
+                 uint64_t init = 0)
+        : StateBase(kernel, std::move(name)), cur_(init), floor_(init),
+          pubCur_(init), pubFloor_(init),
+          hist_(2 * size_t(lagCycles ? lagCycles : 1) + 8),
+          pubHist_(hist_.size())
+    {
+    }
+
+    /** Committed value (as of the start of the current rule). */
+    uint64_t
+    read() const
+    {
+        noteRead();
+        return cur_;
+    }
+
+    /** Value as of the start of the current cycle. */
+    uint64_t
+    readStable() const
+    {
+        noteRead();
+        uint64_t c = kernelCycle();
+        // Before the first cycle nothing is stable yet: the start-of-
+        // cycle view is the initial value, not this cycle's commits
+        // (c - 1 would wrap and admit them).
+        if (c == 0)
+            return floor_;
+        return valueAt(hist_, floor_, pos_, count_, c - 1);
+    }
+
+    /**
+     * Committed value as of the end of cycle @p c, from the live
+     * history. Same-domain (or sequential-scheduler) readers only;
+     * cross-domain readers must use readPublishedAt(). @p c at or
+     * before the first commit returns the initial/floor value.
+     */
+    uint64_t
+    readAt(uint64_t c) const
+    {
+        noteRead();
+        return valueAt(hist_, floor_, pos_, count_, c);
+    }
+
+    /**
+     * Value as of the end of cycle @p c, from the epoch batch latched
+     * at the last sync barrier (Kernel::registerMirror). Complete for
+     * every epoch up to the publish cycle; written solely by the
+     * driving thread at the barrier, so cross-domain reads are
+     * race-free. Bypasses noteRead() — callers flag themselves with
+     * detail::noteCrossRead().
+     */
+    uint64_t
+    readPublishedAt(uint64_t c) const
+    {
+        return valueAt(pubHist_, pubFloor_, pubPos_, pubCount_, c);
+    }
+
+    /** Scalar value as latched at the last sync barrier. */
+    uint64_t readPublished() const { return pubCur_; }
+
+    void
+    publishMirror() override
+    {
+        pubCur_ = cur_;
+        pubFloor_ = floor_;
+        pubPos_ = pos_;
+        pubCount_ = count_;
+        pubHist_ = hist_;
+    }
+
+    /** Stage a write; commits only if the enclosing rule fires. */
+    void
+    write(uint64_t v)
+    {
+        if (stagedValid_)
+            kfault(FaultKind::DesignError, name(),
+                   "double write within one rule");
+        kernel_.noteStateTouched(this);
+        staged_ = v;
+        stagedValid_ = true;
+    }
+
+    void
+    commitStaged() override
+    {
+        uint64_t now = kernelCycle();
+        if (count_ && hist_[newestIdx()].cycle == now) {
+            hist_[newestIdx()].value = staged_;
+        } else {
+            if (count_ == hist_.size()) {
+                // Evict the oldest record into the floor. Readers
+                // never query epochs that old (see class comment).
+                floor_ = hist_[pos_].value;
+                pos_ = (pos_ + 1) % hist_.size();
+                count_--;
+            }
+            hist_[(pos_ + count_) % hist_.size()] = {now, staged_};
+            count_++;
+        }
+        cur_ = staged_;
+        stagedValid_ = false;
+    }
+
+    void abortStaged() override { stagedValid_ = false; }
+
+    void
+    save(std::vector<uint8_t> &out) const override
+    {
+        auto put64 = [&out](uint64_t v) {
+            const uint8_t *p = reinterpret_cast<const uint8_t *>(&v);
+            out.insert(out.end(), p, p + 8);
+        };
+        put64(cur_);
+        put64(floor_);
+        put64(pos_);
+        put64(count_);
+        for (const Entry &e : hist_) {
+            put64(e.cycle);
+            put64(e.value);
+        }
+    }
+
+    void
+    restore(const uint8_t *&in) override
+    {
+        auto get64 = [&in] {
+            uint64_t v;
+            std::memcpy(&v, in, 8);
+            in += 8;
+            return v;
+        };
+        cur_ = get64();
+        floor_ = get64();
+        pos_ = get64();
+        count_ = get64();
+        for (Entry &e : hist_) {
+            e.cycle = get64();
+            e.value = get64();
+        }
+        stagedValid_ = false;
+    }
+
+  private:
+    struct Entry
+    {
+        uint64_t cycle = 0;
+        uint64_t value = 0;
+    };
+
+    size_t newestIdx() const { return (pos_ + count_ - 1) % hist_.size(); }
+
+    /** Newest record with record.cycle <= c, else the floor. */
+    static uint64_t
+    valueAt(const std::vector<Entry> &hist, uint64_t floorValue,
+            uint64_t pos, uint64_t count, uint64_t c)
+    {
+        for (uint64_t i = 0; i < count; i++) {
+            const Entry &e = hist[(pos + count - 1 - i) % hist.size()];
+            if (e.cycle <= c)
+                return e.value;
+        }
+        return floorValue;
+    }
+
+    uint64_t cur_;
+    uint64_t staged_ = 0;
+    bool stagedValid_ = false;
+    uint64_t floor_;    ///< value before the oldest retained record
+    uint64_t pos_ = 0;  ///< ring index of the oldest record
+    uint64_t count_ = 0;
+    uint64_t pubCur_;
+    uint64_t pubFloor_;
+    uint64_t pubPos_ = 0;
+    uint64_t pubCount_ = 0;
+    std::vector<Entry> hist_;
+    std::vector<Entry> pubHist_; ///< barrier-latched batch copy
+};
+
+/**
  * A register array (register file / RAM macro) with per-element
  * journaled writes. Element reads see committed state; writes commit
  * in program order within the rule. Writing the same index twice in

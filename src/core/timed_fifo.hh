@@ -15,13 +15,35 @@
  * counter; the deq side owns the head pointer and a monotonic dequeue
  * counter — so each side's rules commit only domain-local state (the
  * old shared read-modify-write `count` register would have needed a
- * cross-domain merge). Occupancy is the counter difference. Each
- * side's view of the *other* side's counter is start-of-cycle only:
- * readStable() under the sequential schedulers, and the barrier-
- * published mirror under the parallel one — the same value, which is
- * why the schedulers stay bit-identical. Payload/ready slots the
- * consumer reads were written at least one cycle ago (the stable-
- * count guard imposes a one-cycle visibility delay even at delay 0),
+ * cross-domain merge). Occupancy is the counter difference.
+ *
+ * Cross-side counter views under multi-cycle lookahead PDES (see
+ * DESIGN.md "Multi-cycle lookahead PDES"): domains synchronize only
+ * every W = min-cross-latency cycles, so a view of the other side's
+ * counter can be at most W cycles stale. The fifo therefore defines
+ * every cross-capable view with a *latency-sized* lag, uniformly
+ * under every scheduler, which keeps them all bit-identical:
+ *
+ *  - Data direction (canDeq/first/deq): the enqueue count is read as
+ *    the published (sync-latched) scalar under a domain context and
+ *    readStable() otherwise. Any such count is exact for deq-ability:
+ *    the head's per-slot ready stamp (enq cycle + latency) already
+ *    rejects every element the lagged count could spuriously admit,
+ *    so the outcome equals the exact-count outcome at any staleness
+ *    up to `latency` cycles — which the window never exceeds.
+ *  - Credit direction (canEnq/enq) and the consumer-side pending()
+ *    probe: read the other side's counter as of cycle
+ *    `now - max(latency, 1)` through the EpochCounter history (the
+ *    live one sequentially, the sync-published batch across domains).
+ *    For latency <= 1 this is exactly the historical start-of-cycle
+ *    view; for latency >= 2 it models the credit-return wire taking
+ *    as long as the data wire. Lagged guards are time-dependent, so
+ *    they conservatively stay out of the sleep machinery.
+ *
+ * Payload/ready slots the consumer reads were written before the last
+ * sync barrier (the published count only admits elements enqueued at
+ * least `latency >= W` cycles ago), and the producer cannot reuse a
+ * slot until its lagged credit view proves the consumer dequeued it,
  * so reading them raw from another domain is race-free.
  */
 #pragma once
@@ -69,10 +91,10 @@ class TimedFifo : public ChannelPort
           ready_(kernel, name + ".ready", capacity),
           head_(kernel, name + ".head", 0),
           tail_(kernel, name + ".tail", 0),
-          enqTotal_(kernel, name + ".enqTotal", 0),
-          deqTotal_(kernel, name + ".deqTotal", 0)
+          enqTotal_(kernel, name + ".enqTotal", delay < 1 ? 1 : delay, 0),
+          deqTotal_(kernel, name + ".deqTotal", delay < 1 ? 1 : delay, 0)
     {
-        kernel.registerBoundary(enqSide_, deqSide_, &cross_);
+        kernel.registerBoundary(enqSide_, deqSide_, &cross_, this);
         kernel.registerChannel(this);
         // The cross-read counters are published at every parallel
         // cycle barrier; everything else is strictly side-local.
@@ -95,6 +117,8 @@ class TimedFifo : public ChannelPort
     const std::string &channelName() const override { return name_; }
     uint32_t occupancy() const override { return size(); }
     uint32_t channelCapacity() const override { return cap_; }
+    /** Visibility delay in cycles — the PDES lookahead this cut buys. */
+    uint32_t latency() const override { return delay_; }
 
     /** Message-loss fault: silently discard the head element. */
     bool
@@ -129,7 +153,7 @@ class TimedFifo : public ChannelPort
     bool
     canEnq() const
     {
-        return enqTotal_.readStable() - deqTotalView() < cap_;
+        return enqTotal_.readStable() - creditView(deqTotal_) < cap_;
     }
     bool
     canDeq() const
@@ -145,16 +169,17 @@ class TimedFifo : public ChannelPort
     }
     /**
      * Occupancy as the consumer side may observe it: enqueues as of
-     * the start of the cycle minus committed dequeues. Unlike size()
-     * this is safe to read from the consumer's domain (the producer's
-     * same-cycle enqueues are invisible either way), and it cannot go
-     * negative: every dequeued element is counted in the stable
-     * enqueue total.
+     * `max(latency, 1)` cycles ago minus committed dequeues. Unlike
+     * size() this is safe to read from the consumer's domain, and it
+     * cannot go negative: the consumer can only have dequeued
+     * elements whose ready stamp matured, i.e. enqueued at least
+     * `latency` cycles ago — all counted in the lagged view.
      */
     uint32_t
     pending() const
     {
-        return static_cast<uint32_t>(enqTotalView() - deqTotal_.read());
+        return static_cast<uint32_t>(creditView(enqTotal_) -
+                                     deqTotal_.read());
     }
 
     /** Enqueue; becomes visible @p delay cycles from now. */
@@ -162,7 +187,7 @@ class TimedFifo : public ChannelPort
     enq(const T &v)
     {
         enqM();
-        require(enqTotal_.readStable() - deqTotalView() < cap_);
+        require(enqTotal_.readStable() - creditView(deqTotal_) < cap_);
         uint32_t t = tail_.readStable();
         data_.write(t, v);
         ready_.write(t, kernel_.cycleCount() + delay_);
@@ -219,14 +244,33 @@ class TimedFifo : public ChannelPort
         }
         return enqTotal_.readStable();
     }
+    /**
+     * Credit-direction view of the other side's counter, lagged by
+     * `max(latency, 1)` cycles for cross-domain fifos. For latency
+     * <= 1 this is exactly the PR-2 start-of-cycle view (a delay-1
+     * cross fifo caps the sync window at 1, so the published scalar
+     * *is* the start-of-cycle value) and stays sleep-friendly. For
+     * latency >= 2 the view ages like the data wire; it can flip a
+     * guard true with no commit, so reading cycleCount() flags the
+     * rule time-dependent and keeps it out of the sleep machinery.
+     */
     uint64_t
-    deqTotalView() const
+    creditView(const EpochCounter &c) const
     {
+        if (!cross_ || delay_ <= 1) {
+            if (crossNow()) {
+                detail::noteCrossRead();
+                return c.readPublished();
+            }
+            return c.readStable();
+        }
+        uint64_t now = kernel_.cycleCount();
+        uint64_t at = now > delay_ ? now - delay_ : 0;
         if (crossNow()) {
             detail::noteCrossRead();
-            return deqTotal_.readPublished();
+            return c.readPublishedAt(at);
         }
-        return deqTotal_.readStable();
+        return c.readAt(at);
     }
     uint64_t
     readyView(uint32_t i) const
@@ -259,8 +303,10 @@ class TimedFifo : public ChannelPort
     Reg<uint32_t> head_, tail_;
     /// monotonic totals; occupancy = difference. Each is written by
     /// exactly one side, which is what lets the sides commit
-    /// domain-locally with no cross-domain merge.
-    Reg<uint64_t> enqTotal_, deqTotal_;
+    /// domain-locally with no cross-domain merge. Epoch-stamped so
+    /// credit views can be read as of `now - latency` under
+    /// multi-cycle sync windows.
+    EpochCounter enqTotal_, deqTotal_;
 };
 
 } // namespace cmd

@@ -316,7 +316,12 @@ planCongestion(cmd::Kernel &k, const RunConfig &cfg)
 /**
  * The shared drive loop: jitter plan applied at commit boundaries,
  * congestion bursts re-aging their channel head while active, plain
- * Kernel::cycle() steps, stop on all-exited/failure/budget.
+ * Kernel::cycle() steps while any perturbation can still fire. Once
+ * the jitter plan and every congestion burst are exhausted (and no
+ * per-cycle hook is installed), the tail switches to windowed
+ * Kernel::run() steps so the parallel spot checks exercise
+ * multi-cycle lookahead sync (stride > 1); sequential schedulers see
+ * the identical per-cycle semantics either way.
  * @return false on hang (budget exhausted or host Fail).
  */
 bool
@@ -330,16 +335,29 @@ drive(System &sys, const RunConfig &cfg)
                                       cfg.jitterHorizon,
                                       cfg.jitterMaxDelay);
     std::vector<Burst> bursts = planCongestion(k, cfg);
+    uint64_t burstsEnd = 0;
+    for (const Burst &b : bursts)
+        burstsEnd = std::max(burstsEnd, b.until);
     size_t pi = 0;
     while (!sys.host().allExited() && !sys.host().failed() &&
            k.cycleCount() < cfg.maxCycles) {
-        while (pi < plan.size() && plan[pi].cycle <= k.cycleCount())
+        uint64_t now = k.cycleCount();
+        if (pi >= plan.size() && now >= burstsEnd && !cfg.perCycle) {
+            // Perturbation-free tail: windowed steps. The stride is 1
+            // except under the parallel scheduler with lookahead.
+            uint64_t step = std::max<uint32_t>(1, k.syncStride());
+            if (step > cfg.maxCycles - now)
+                step = cfg.maxCycles - now;
+            k.run(step);
+            continue;
+        }
+        while (pi < plan.size() && plan[pi].cycle <= now)
             inj.apply(plan[pi++]);
         for (const Burst &b : bursts)
-            if (k.cycleCount() >= b.from && k.cycleCount() < b.until)
+            if (now >= b.from && now < b.until)
                 b.port->faultDelayHead(2);
         if (cfg.perCycle)
-            cfg.perCycle(k, k.cycleCount());
+            cfg.perCycle(k, now);
         k.cycle();
     }
     return sys.host().allExited();

@@ -76,6 +76,14 @@ class ObsHub final : public cmd::KernelObserver
                      uint32_t domain) override;
     void cycleEnd(uint64_t cycle, uint32_t fired) override;
     void appendDiagnostics(std::string &out) const override;
+    /**
+     * The hub itself never needs per-cycle callbacks — ruleFired /
+     * guardFailed carry exact cycle numbers, so the timeline, flight
+     * recorder, and pipeline tracers are window-safe. Only an
+     * installed post-cycle hook (CPI sampling, warmup reset) forces
+     * the parallel scheduler back to per-cycle sync.
+     */
+    bool needsPerCycle() const override { return postHook_ != nullptr; }
 
   private:
     cmd::Kernel &k_;

@@ -72,6 +72,14 @@ struct SystemConfig {
      */
     uint32_t threads = 0;
     /**
+     * Cap on the parallel scheduler's multi-cycle sync window
+     * (lookahead), in cycles. 0 = auto: use the minimum latency over
+     * all cross-domain channels ("fifo-min"), computed at
+     * elaboration. The effective window is always min(cap, fifo-min).
+     * Ignored by the sequential schedulers.
+     */
+    uint32_t lookahead = 0;
+    /**
      * SchedulerKind::Compiled: cycles of event-driven profiling
      * before the dispatch table is re-specialized once, promoting
      * rules attempted on at least compiledHotRate of the profiled
@@ -268,6 +276,13 @@ struct SystemConfig {
         s.core.lqSize = 16;
         s.core.sqSize = 10;
         s.core.tso = tso;
+        // Latency-bearing domain cuts: give every cross-domain channel
+        // (core<->L2 request/response and the page-walk ports; the
+        // L2->L1 parent channel already sits at 6) at least 4 cycles,
+        // so the parallel scheduler's lookahead window is 4 — one
+        // barrier per 4 simulated cycles instead of one per cycle.
+        s.mem.childChanDelay = 4;
+        s.mem.walkPortDelay = 4;
         return s;
     }
 };

@@ -32,6 +32,7 @@ System::System(const SystemConfig &cfg) : cfg_(cfg)
 {
     k_.setScheduler(cfg_.scheduler);
     k_.setParallelThreads(cfg_.threads);
+    k_.setLookahead(cfg_.lookahead);
     k_.setBarrierTimeoutNs(cfg_.barrierTimeoutNs);
     k_.setCompiledProfile(cfg_.compiledProfileCycles, cfg_.compiledHotRate);
     cfg_.mem.cores = cfg_.cores;
@@ -684,6 +685,7 @@ System::events(uint32_t i) const
     ev.instret = instret(i);
     ev.cycles = k_.cycleCount();
     ev.wallNs = runWallNs_;
+    ev.syncEpochs = k_.syncEpochs();
     // Per-core modules are named hart<i>.<module>; walk the stats by
     // poking the known modules directly.
     if (!cfg_.inOrder) {

@@ -140,6 +140,9 @@ class System
         uint64_t l2Misses = 0;
         uint64_t ldKills = 0;
         uint64_t evictKills = 0;
+        /// parallel scheduler: barrier synchronizations performed
+        /// (== cycles at stride 1; divided by the lookahead otherwise)
+        uint64_t syncEpochs = 0;
     };
     EventCounts events(uint32_t i) const;
 

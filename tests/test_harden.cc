@@ -397,7 +397,8 @@ struct Wedgeable
     std::unique_ptr<Reg<uint64_t>> beat, fed, consumed;
     std::unique_ptr<TimedFifo<uint64_t>> chan;
 
-    explicit Wedgeable(SchedulerKind kind, uint64_t feedCap)
+    explicit Wedgeable(SchedulerKind kind, uint64_t feedCap,
+                       uint32_t chanDelay = 1, uint32_t threads = 1)
     {
         {
             DomainHint left(k, "left");
@@ -408,7 +409,8 @@ struct Wedgeable
             DomainHint right(k, "right");
             consumed = std::make_unique<Reg<uint64_t>>(k, "consumed", 0);
         }
-        chan = std::make_unique<TimedFifo<uint64_t>>(k, "chan", 4, 1);
+        chan = std::make_unique<TimedFifo<uint64_t>>(k, "chan", 4,
+                                                     chanDelay);
         {
             DomainHint left(k, "left");
             k.rule("beat", [this] { beat->write(beat->read() + 1); });
@@ -430,7 +432,7 @@ struct Wedgeable
                 .uses({&chan->deqM});
         }
         k.setScheduler(kind);
-        k.setParallelThreads(1);
+        k.setParallelThreads(threads);
         k.elaborate();
     }
 };
@@ -781,6 +783,133 @@ TEST(HardenedRunner, CompletesAfterRestoreWhenFaultIsTransient)
     EXPECT_TRUE(hr.run([&] { return t.read() >= 1000; }, 100000));
     EXPECT_EQ(t.read(), 1000u);
     EXPECT_EQ(hr.faultRetries(), 1u);
+}
+
+// ------------------------------------- hardening under lookahead > 1
+//
+// The multi-cycle lookahead PDES lets each domain run several cycles
+// between barriers, so every hardening mechanism has to stay sound at
+// window granularity: checkpoints may only be taken at sync epochs
+// (the only points where all domains are coherent), faults thrown
+// mid-window surface at the next barrier, and the watchdog still
+// trips while stepping in windows.
+
+TEST(Checkpoint, WindowedDiskRoundTripReplaysBitExactly)
+{
+    TmpFile f("windowtrip");
+    // Healthy (never-wedging) two-domain design, channel latency 4 so
+    // the parallel scheduler really runs 4-cycle windows.
+    Wedgeable d(SchedulerKind::Parallel, ~0ull, 4, 2);
+    ASSERT_TRUE(d.k.parallelActive());
+    ASSERT_EQ(d.k.effectiveLookahead(), 4u);
+    CheckpointManager ck(d.k, f.path);
+
+    d.k.run(64); // windowed stepping: 16 sync epochs
+    ck.save();
+    std::vector<uint64_t> ref;
+    for (int i = 0; i < 10; i++) {
+        d.k.run(8); // 2 windows per observation
+        ref.push_back(digest(d.k.snapshot()));
+    }
+
+    ASSERT_TRUE(ck.load()); // rewind to cycle 64
+    EXPECT_EQ(d.k.cycleCount(), 64u);
+    for (int i = 0; i < 10; i++) {
+        d.k.run(8);
+        ASSERT_EQ(digest(d.k.snapshot()), ref[i])
+            << "windowed replay diverged " << (i + 1) * 8
+            << " cycles after restore";
+    }
+}
+
+TEST(HardenedRunner, WindowedWatchdogTripRestoresSyncEpochCheckpoint)
+{
+    TmpFile f("wdwindow");
+    // Permanently wedged under 4-cycle windows: every retry restores
+    // the sync-epoch checkpoint and re-starves.
+    Wedgeable d(SchedulerKind::Parallel, 10, 4, 2);
+    ASSERT_TRUE(d.k.parallelActive());
+    ASSERT_EQ(d.k.effectiveLookahead(), 4u);
+    HardenedConfig hc;
+    hc.watchdogStallCycles = 100;
+    hc.watchdogPollEvery = 16;
+    hc.checkpointEvery = 64;
+    hc.checkpointPath = f.path;
+    hc.maxFaultRetries = 2;
+    HardenedRunner hr(d.k, hc);
+    hr.watchdog().setHeartbeat([&] { return d.consumed->read(); });
+
+    EXPECT_THROW(hr.run([] { return false; }, 100000), KernelFault);
+    EXPECT_EQ(hr.faultRetries(), 2u);
+    EXPECT_EQ(hr.faultLog().size(), 3u);
+    // The runner clamps its stride at checkpoint boundaries, so saves
+    // really happened (a checkpoint misaligned with the window would
+    // simply never be reached and this count would be zero).
+    EXPECT_GT(hr.checkpoints()->savedCount(), 0u);
+}
+
+TEST(HardenedRunner, WindowedTransientFaultCompletesAfterRestore)
+{
+    TmpFile f("wtransient");
+    // Two domains over a latency-4 channel; the producer faults once
+    // mid-window at t == 500. The fault is rethrown at the next sync
+    // barrier, the runner restores the last sync-epoch checkpoint
+    // (rewinding the skewed window), degrades Parallel to the
+    // sequential event-driven scheduler, and still reaches the target.
+    Kernel k;
+    std::unique_ptr<Reg<uint64_t>> t, consumed;
+    std::unique_ptr<TimedFifo<uint64_t>> chan;
+    bool armed = true;
+    {
+        DomainHint left(k, "left");
+        t = std::make_unique<Reg<uint64_t>>(k, "t", 0);
+    }
+    {
+        DomainHint right(k, "right");
+        consumed = std::make_unique<Reg<uint64_t>>(k, "consumed", 0);
+    }
+    chan = std::make_unique<TimedFifo<uint64_t>>(k, "chan", 4, 4);
+    {
+        DomainHint left(k, "left");
+        k.rule("produce", [&] {
+             if (armed && t->read() == 500) {
+                 armed = false;
+                 kfault(FaultKind::DesignError, "testmod",
+                        "mid-window blip");
+             }
+             if (chan->canEnq())
+                 chan->enq(t->read());
+             t->write(t->read() + 1);
+         }).uses({&chan->enqM});
+    }
+    {
+        DomainHint right(k, "right");
+        k.rule("consume", [&] {
+             consumed->write(consumed->read() + chan->deq());
+         })
+            .when([&] { return chan->canDeq(); })
+            .uses({&chan->deqM});
+    }
+    k.setScheduler(SchedulerKind::Parallel);
+    k.setParallelThreads(2);
+    k.elaborate();
+    ASSERT_TRUE(k.parallelActive());
+    ASSERT_EQ(k.effectiveLookahead(), 4u);
+
+    HardenedConfig hc;
+    hc.watchdogStallCycles = 0;
+    hc.checkpointEvery = 128;
+    hc.checkpointPath = f.path;
+    HardenedRunner hr(k, hc);
+    EXPECT_TRUE(hr.run([&] { return t->read() >= 1000; }, 100000));
+    // done() is polled at window boundaries, so the target may be
+    // overshot by at most stride-1 cycles.
+    EXPECT_GE(t->read(), 1000u);
+    EXPECT_LE(t->read(), 1003u);
+    EXPECT_EQ(hr.faultRetries(), 1u);
+    EXPECT_EQ(k.scheduler(), SchedulerKind::EventDriven)
+        << "Parallel should degrade to the checked sequential walk";
+    EXPECT_GT(consumed->read(), 0u);
 }
 
 // ------------------------------------------------- System crash recovery

@@ -7,6 +7,7 @@
  */
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <random>
 #include <vector>
@@ -162,15 +163,19 @@ struct DomainSoup {
         return regs[d * kRegsPerDomain + i].get();
     }
 
-    DomainSoup(uint32_t seed, SchedulerKind kind, uint32_t threads)
+    DomainSoup(uint32_t seed, SchedulerKind kind, uint32_t threads,
+               uint32_t minDelay = 1)
     {
         std::mt19937 rng(seed);
         // Ring fifos first (outside any hint scope; the endpoints
         // detach and join the caller domains). Randomized capacity and
-        // delay exercise different lookahead windows.
+        // delay exercise different lookahead windows; a cross-domain
+        // channel needs latency >= 1, and the windowed tests raise
+        // minDelay to guarantee multi-cycle lookahead.
         for (uint32_t d = 0; d < kDomains; d++) {
             ring.push_back(std::make_unique<TimedFifo<uint64_t>>(
-                k, strfmt("ring%u", d), 2 + rng() % 3, rng() % 3));
+                k, strfmt("ring%u", d), 2 + rng() % 3,
+                minDelay + rng() % 3));
         }
         for (uint32_t d = 0; d < kDomains; d++) {
             DomainHint hint(k, strfmt("dom%u", d));
@@ -273,6 +278,102 @@ TEST(Parallel, LockstepRandomSoups)
                     << " diverged at cycle " << c + 1;
             }
         }
+    }
+}
+
+/**
+ * Multi-cycle lookahead PDES acceptance: parallel execution under
+ * sync windows wider than one cycle — lookahead caps {1, 2, 8} x
+ * threads {1, 2, 4} — stays bit-identical to the exhaustive
+ * reference at every window-aligned observation point, and the
+ * barrier count really drops by the window width.
+ *
+ * The soups are built with minDelay 2 so every cross-domain channel
+ * has latency >= 2 and the fifo-min lookahead is genuinely > 1
+ * (otherwise the sweep would be vacuous: effective = min(cap,
+ * fifo-min)).
+ */
+TEST(Parallel, WindowedLookaheadCosim)
+{
+    constexpr uint64_t kChunk = 250;
+    constexpr uint64_t kTotal = 1500;
+    for (uint32_t seed : {3u, 11u, 77u}) {
+        DomainSoup ex(seed, SchedulerKind::Exhaustive, 0, 2);
+        std::vector<uint64_t> exDigests;
+        for (uint64_t c = 0; c < kTotal; c += kChunk) {
+            ex.k.run(kChunk);
+            exDigests.push_back(digest(ex.k.snapshot()));
+        }
+
+        for (uint32_t threads : {1u, 2u, 4u}) {
+            for (uint32_t la : {1u, 2u, 8u}) {
+                DomainSoup par(seed, SchedulerKind::Parallel, threads, 2);
+                par.k.setLookahead(la);
+                ASSERT_TRUE(par.k.parallelActive());
+                ASSERT_GE(par.k.fifoMinLookahead(), 2u);
+                uint32_t eff = par.k.effectiveLookahead();
+                ASSERT_EQ(eff, std::min(la, par.k.fifoMinLookahead()));
+                for (uint64_t c = 0; c < kTotal; c += kChunk) {
+                    par.k.run(kChunk);
+                    ASSERT_EQ(exDigests[c / kChunk],
+                              digest(par.k.snapshot()))
+                        << "seed " << seed << " threads " << threads
+                        << " lookahead " << la << " diverged by cycle "
+                        << c + kChunk;
+                }
+                // Each run(kChunk) call syncs ceil(kChunk / eff)
+                // times; the whole point of the window is that this
+                // is ~eff-times fewer than one-per-cycle.
+                uint64_t expect =
+                    (kTotal / kChunk) * ((kChunk + eff - 1) / eff);
+                EXPECT_EQ(par.k.syncEpochs(), expect)
+                    << "seed " << seed << " threads " << threads
+                    << " lookahead " << la;
+            }
+        }
+    }
+}
+
+/**
+ * A latency-0 TimedFifo crossing a domain cut provides no PDES
+ * lookahead; elaboration must reject it with a catchable DesignError
+ * naming the channel and the domain pair — not deadlock or race at
+ * run time.
+ */
+TEST(Parallel, LatencyZeroCrossChannelFaults)
+{
+    Kernel k;
+    TimedFifo<uint64_t> q(k, "combo", 4, 0);
+    EXPECT_EQ(q.latency(), 0u);
+    std::unique_ptr<Reg<uint64_t>> a, b;
+    {
+        DomainHint hl(k, "left");
+        a = std::make_unique<Reg<uint64_t>>(k, "a", 1);
+        k.rule("produce", [&] { q.enq(a->read()); })
+            .when([&] { return q.canEnq(); })
+            .uses({&q.enqM});
+    }
+    {
+        DomainHint hr(k, "right");
+        b = std::make_unique<Reg<uint64_t>>(k, "b", 0);
+        k.rule("consume", [&] { b->write(b->read() + q.deq()); })
+            .when([&] { return q.canDeq(); })
+            .uses({&q.deqM});
+    }
+    k.setScheduler(SchedulerKind::Parallel);
+    try {
+        k.elaborate();
+        FAIL() << "latency-0 cross-domain channel must not elaborate";
+    } catch (const KernelFault &f) {
+        EXPECT_EQ(f.kind(), FaultKind::DesignError);
+        EXPECT_NE(f.message().find("combo"), std::string::npos)
+            << f.message();
+        EXPECT_NE(f.message().find("latency 0"), std::string::npos)
+            << f.message();
+        EXPECT_NE(f.message().find("left"), std::string::npos)
+            << f.message();
+        EXPECT_NE(f.message().find("right"), std::string::npos)
+            << f.message();
     }
 }
 

@@ -51,6 +51,21 @@ TEST(TimedFifo, PreservesOrderUnderPipelining)
         EXPECT_EQ(out[i], static_cast<int>(i));
 }
 
+TEST(TimedFifo, LatencyAccessorReportsDelay)
+{
+    Kernel k;
+    TimedFifo<int> a(k, "a", 4, 3);
+    TimedFifo<int> b(k, "b", 4, 1);
+    TimedFifo<int> c(k, "c", 4, 0);
+    // latency() is the ChannelPort view the kernel uses to size the
+    // PDES lookahead window at elaboration.
+    EXPECT_EQ(a.latency(), 3u);
+    EXPECT_EQ(b.latency(), 1u);
+    EXPECT_EQ(c.latency(), 0u);
+    ChannelPort &p = a;
+    EXPECT_EQ(p.latency(), 3u);
+}
+
 TEST(TimedFifo, CapacityBackpressure)
 {
     Kernel k;
