@@ -41,6 +41,7 @@
 #include <string>
 #include <vector>
 
+#include "asmkit/assembler.hh"
 #include "bench_common.hh"
 
 using namespace riscy;
@@ -316,6 +317,85 @@ main(int argc, char **argv)
         riscy::bench::putSimSpeed(o, r.instret, r.wallNs);
         out.push_back(std::move(o));
     }
+
+    // One server-config row: the 21-domain serverConfig(16,4) topology
+    // (16 hart domains + 4 L2 bank slices + DramCtl) under the same
+    // event-vs-parallel-4 comparison, on a load-only accumulator so
+    // snapshot digests fully capture the replayed state. Tracks that
+    // the banked-front domain cuts stay profitable for PDES.
+    {
+        using namespace riscy::asmkit;
+        SystemConfig scfg = SystemConfig::serverConfig(16, 4);
+        scfg.scheduler = cmd::SchedulerKind::EventDriven;
+        System ssys(scfg);
+        Assembler a(kDramBase);
+        a.li(5, kDramBase + 0x10000);
+        a.li(6, 0);
+        a.li(7, 0);
+        auto loop = a.newLabel();
+        a.bind(loop);
+        a.andi(28, 6, 511);
+        a.slli(28, 28, 3);
+        a.add(28, 28, 5);
+        a.ld(29, 0, 28);
+        a.add(7, 7, 29);
+        a.addi(6, 6, 1);
+        a.j(loop);
+        a.load(ssys.mem(), kDramBase);
+        ssys.elaborate();
+        std::vector<Addr> sstacks;
+        for (uint32_t i = 0; i < 16; i++)
+            sstacks.push_back(kDramBase + 0x200000 + i * 0x10000);
+        ssys.start(kDramBase, 0, sstacks);
+        const std::vector<uint8_t> ssnap = ssys.kernel().snapshot();
+        const uint64_t scycles = 20000;
+        auto run1 = [&](cmd::SchedulerKind kind, uint32_t threads) {
+            ssys.kernel().restore(ssnap);
+            if (threads)
+                ssys.kernel().setParallelThreads(threads);
+            ssys.kernel().setLookahead(0);
+            ssys.kernel().setScheduler(kind);
+            auto t0 = std::chrono::steady_clock::now();
+            ssys.kernel().run(scycles);
+            auto t1 = std::chrono::steady_clock::now();
+            uint64_t ns = static_cast<uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    t1 - t0)
+                    .count());
+            return std::make_pair(ns,
+                                  digest(ssys.kernel().snapshot()));
+        };
+        auto evLeg = run1(cmd::SchedulerKind::EventDriven, 0);
+        auto paLeg = run1(cmd::SchedulerKind::Parallel, 4);
+        bool match = evLeg.second == paLeg.second;
+        std::printf("server-16c4b leg: event %.1f ms, parallel-4 %.1f "
+                    "ms (%u domains, fifo-min %u) -> %s\n",
+                    double(evLeg.first) * 1e-6,
+                    double(paLeg.first) * 1e-6,
+                    ssys.kernel().domainCount(),
+                    ssys.kernel().fifoMinLookahead(),
+                    match ? "digest match" : "DIVERGENCE");
+        if (!match) {
+            std::printf("GATE: server-config parallel leg diverged "
+                        "from event\n");
+            ok = false;
+        }
+        JsonObject o;
+        o.put("mode", "server-16c4b-parallel-4")
+            .put("cycles", scycles)
+            .put("wall_ns", paLeg.first)
+            .put("domains", uint64_t(ssys.kernel().domainCount()))
+            .put("fifo_min_lookahead",
+                 uint64_t(ssys.kernel().fifoMinLookahead()))
+            .put("effective_lookahead",
+                 uint64_t(ssys.kernel().effectiveLookahead()))
+            .put("speedup_vs_event",
+                 double(evLeg.first) / double(paLeg.first))
+            .putHex("digest", paLeg.second)
+            .put("digest_match", match);
+        out.push_back(std::move(o));
+    }
+
     bool wrote = writeBenchJson("parallel", jcfg, out);
     if (ci && !wrote) {
         std::fprintf(stderr, "GATE: --ci requires BENCH_parallel.json "

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "cache/l2.hh"
+#include "cache/l2_banks.hh"
 
 namespace riscy {
 
@@ -23,6 +24,13 @@ struct MemHierarchyConfig {
     uint32_t childChanDelay = 1;  ///< cross-bar hop toward L2
     uint32_t parentChanDelay = 6; ///< L2 pipeline + hop toward the L1s
     uint32_t walkPortDelay = 1;
+    /** >1 switches to the banked server-scale front: `l2Banks`
+     *  line-interleaved L2 slices (each `l2.sizeKb` big, its own PDES
+     *  domain) behind the DramCtl contention model configured by
+     *  `dramCtl`. The default (1) keeps the monolithic L2 + fixed-
+     *  latency Dram topology bit-for-bit. */
+    uint32_t l2Banks = 1;
+    DramCtl::Config dramCtl{};
 };
 
 class MemHierarchy
@@ -38,16 +46,23 @@ class MemHierarchy
         // proper). The cross-bar channels and walk ports are TimedFifo
         // boundaries — the partitioner cuts at their endpoints, so
         // they need no hint.
-        {
+        const bool bankedFront = cfg.l2Banks > 1;
+        if (!bankedFront) {
             cmd::DomainHint mh(k, "mem");
             dram_ = std::make_unique<Dram>(k, name + ".dram", mem, cfg.dram);
         }
+        // Banked front: the L1<->router hop is intra-domain, so its
+        // channels take delay 1 — the configured cross-bar delays move
+        // to the router<->bank channels, which are the partition cuts.
+        uint32_t toL2 = bankedFront ? 1 : cfg.childChanDelay;
+        uint32_t fromL2 = bankedFront ? 1 : cfg.parentChanDelay;
+        uint32_t walkDelay = bankedFront ? 1 : cfg.walkPortDelay;
         std::vector<CacheChannel *> chans;
         std::vector<UncachedPort *> ports;
         for (uint32_t i = 0; i < cfg.cores; i++) {
             auto mkChan = [&](const std::string &n) {
                 chan_.push_back(std::make_unique<CacheChannel>(
-                    k, n, cfg.childChanDelay, cfg.parentChanDelay));
+                    k, n, toL2, fromL2));
                 return chan_.back().get();
             };
             CacheChannel *dc = mkChan(name + cmd::strfmt(".chanD%u", i));
@@ -62,10 +77,21 @@ class MemHierarchy
             chans.push_back(dc);
             chans.push_back(ic);
             walk_.push_back(std::make_unique<UncachedPort>(
-                k, name + cmd::strfmt(".walk%u", i), cfg.walkPortDelay));
+                k, name + cmd::strfmt(".walk%u", i), walkDelay));
             ports.push_back(walk_.back().get());
         }
-        {
+        if (bankedFront) {
+            BankedL2Config bc;
+            bc.cores = cfg.cores;
+            bc.banks = cfg.l2Banks;
+            bc.l2 = cfg.l2;
+            bc.dram = cfg.dramCtl;
+            bc.childChanDelay = cfg.childChanDelay;
+            bc.parentChanDelay = cfg.parentChanDelay;
+            bc.walkPortDelay = cfg.walkPortDelay;
+            banked_ = std::make_unique<BankedL2Front>(k, name, mem, bc,
+                                                      chans, ports);
+        } else {
             cmd::DomainHint mh(k, "mem");
             l2_ = std::make_unique<L2Cache>(k, name + ".l2", cfg.l2, chans,
                                             ports, *dram_);
@@ -83,7 +109,10 @@ class MemHierarchy
     void
     debugPatchLine(Addr line, const Line &src)
     {
-        l2_->debugPatchLine(line, src);
+        if (banked_)
+            banked_->debugPatchLine(line, src);
+        else
+            l2_->debugPatchLine(line, src);
         for (auto &c : dcache_)
             c->debugPatchLine(line, src);
         for (auto &c : icache_)
@@ -116,6 +145,8 @@ class MemHierarchy
             auto &side = (c & 1) ? icache_ : dcache_;
             side[c / 2]->warmInvalidate(ln);
         };
+        if (banked_)
+            return banked_->warmEnsure(child, line, src, recall);
         return l2_->warmEnsure(child, line, src, recall);
     }
 
@@ -136,8 +167,12 @@ class MemHierarchy
         Addr victim = 0;
         if (!l1.warmInstall(line, src, evicted, victim))
             return false;
-        if (evicted)
-            l2_->warmChildEvicted(child, victim);
+        if (evicted) {
+            if (banked_)
+                banked_->warmChildEvicted(child, victim);
+            else
+                l2_->warmChildEvicted(child, victim);
+        }
         return true;
     }
 
@@ -152,8 +187,12 @@ class MemHierarchy
         for (auto &c : icache_)
             if (!c->quiescent())
                 return false;
-        if (!l2_->quiescent() || !dram_->quiescent())
+        if (banked_) {
+            if (!banked_->quiescent())
+                return false;
+        } else if (!l2_->quiescent() || !dram_->quiescent()) {
             return false;
+        }
         for (auto &ch : chan_)
             if (ch->req.size() || ch->resp.size() || ch->fromParent.size())
                 return false;
@@ -166,8 +205,34 @@ class MemHierarchy
     L1Cache &dcache(uint32_t i) { return *dcache_[i]; }
     L1Cache &icache(uint32_t i) { return *icache_[i]; }
     UncachedPort &walkPort(uint32_t i) { return *walk_[i]; }
+    /** Monolithic-front accessors (unbanked configs only). */
     L2Cache &l2() { return *l2_; }
     Dram &dram() { return *dram_; }
+    // ---- topology-independent views
+    bool banked() const { return banked_ != nullptr; }
+    uint32_t l2Banks() const { return banked_ ? banked_->banks() : 1; }
+    L2Cache &
+    l2Bank(uint32_t b)
+    {
+        return banked_ ? banked_->bank(b) : *l2_;
+    }
+    BankedL2Front *bankedFront() { return banked_.get(); }
+    /** Sum of L2 counter @p stat across every slice (or the one L2). */
+    uint64_t
+    l2StatSum(const std::string &stat) const
+    {
+        if (banked_)
+            return banked_->statSum(stat);
+        return l2_->stats().get(stat);
+    }
+    /** CPI-split probe: is the D-miss holding @p line DRAM-bound? */
+    bool
+    dramPending(Addr line) const
+    {
+        if (banked_)
+            return banked_->dramPending(line);
+        return l2_->dramPending(line);
+    }
     const MemHierarchyConfig &config() const { return cfg_; }
 
   private:
@@ -177,6 +242,7 @@ class MemHierarchy
     std::vector<std::unique_ptr<UncachedPort>> walk_;
     std::unique_ptr<L2Cache> l2_;
     std::unique_ptr<Dram> dram_;
+    std::unique_ptr<BankedL2Front> banked_;
 };
 
 } // namespace riscy

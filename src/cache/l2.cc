@@ -6,7 +6,7 @@ using namespace cmd;
 
 L2Cache::L2Cache(Kernel &k, const std::string &name, const Config &cfg,
                  std::vector<CacheChannel *> children,
-                 std::vector<UncachedPort *> uncached, Dram &dram)
+                 std::vector<UncachedPort *> uncached, MemPort &dram)
     : Module(k, name, Conflict::CF), cfg_(cfg),
       sets_(cfg.sizeKb * 1024 / kLineBytes / cfg.ways), ways_(cfg.ways),
       children_(std::move(children)), uncached_(std::move(uncached)),
@@ -48,7 +48,7 @@ L2Cache::L2Cache(Kernel &k, const std::string &name, const Config &cfg,
         startUses.push_back(&p->resp.enqM);
         stepUses.push_back(&p->resp.enqM);
     }
-    stepUses.push_back(&dram_.reqM);
+    stepUses.push_back(&dram_.reqMethod());
 
     k.rule(name + ".drainResp", [this] { ruleDrainResp(); })
         .when([this] {
@@ -61,7 +61,7 @@ L2Cache::L2Cache(Kernel &k, const std::string &name, const Config &cfg,
         .uses(drainUses);
     k.rule(name + ".dramResp", [this] { ruleDramResp(); })
         .when([this] { return dram_.respReady(); })
-        .uses({&dram_.respM});
+        .uses({&dram_.respMethod()});
     k.rule(name + ".startTxn", [this] { ruleStartTxn(); })
         .when([this] {
             for (CacheChannel *c : children_) {
@@ -131,13 +131,13 @@ L2Cache::warmEnsure(int child, Addr line, const Line &src,
         DirEntry d = dir_.read(sl);
         for (uint32_t c = 0; c < children_.size(); c++) {
             if (static_cast<int>(c) != child &&
-                d.st[c] >= static_cast<uint8_t>(Msi::E))
+                d.get(c) >= static_cast<uint8_t>(Msi::E))
                 return false;
         }
         data_.write(sl, src);
         dirty_.write(sl, 0); // src is the memory image
-        if (d.st[child] == static_cast<uint8_t>(Msi::I)) {
-            d.st[child] = static_cast<uint8_t>(Msi::S);
+        if (d.get(child) == static_cast<uint8_t>(Msi::I)) {
+            d.set(child, static_cast<uint8_t>(Msi::S));
             dir_.write(sl, d);
         }
         return true;
@@ -152,7 +152,7 @@ L2Cache::warmEnsure(int child, Addr line, const Line &src,
         Addr vline = tags_.read(sl);
         const DirEntry &d = dir_.read(sl);
         for (uint32_t c = 0; c < children_.size(); c++) {
-            if (d.st[c] != static_cast<uint8_t>(Msi::I))
+            if (d.get(c) != static_cast<uint8_t>(Msi::I))
                 recall(c, vline);
         }
     }
@@ -160,7 +160,7 @@ L2Cache::warmEnsure(int child, Addr line, const Line &src,
     valid_.write(sl, 1);
     dirty_.write(sl, 0);
     DirEntry nd{};
-    nd.st[child] = static_cast<uint8_t>(Msi::S);
+    nd.set(child, static_cast<uint8_t>(Msi::S));
     dir_.write(sl, nd);
     data_.write(sl, src);
     lruPtr_.write(set, (v + 1) % ways_);
@@ -175,8 +175,21 @@ L2Cache::warmChildEvicted(int child, Addr line)
         return; // inclusivity says resident; defensive
     uint32_t sl = slot(setOf(line), w);
     DirEntry d = dir_.read(sl);
-    d.st[child] = static_cast<uint8_t>(Msi::I);
+    d.set(child, static_cast<uint8_t>(Msi::I));
     dir_.write(sl, d);
+}
+
+bool
+L2Cache::dramPending(Addr line) const
+{
+    for (uint32_t i = 0; i < txn_.size(); i++) {
+        const Txn &t = txn_.read(i);
+        if (t.valid && t.line == line &&
+            (t.phase == EvictWb || t.phase == NeedFill ||
+             t.phase == WaitDram))
+            return true;
+    }
+    return false;
 }
 
 bool
@@ -230,7 +243,7 @@ L2Cache::upgradeGrant(const DirEntry &d, int child, Msi want) const
         return want;
     for (uint32_t c = 0; c < children_.size(); c++) {
         if (static_cast<int>(c) != child &&
-            d.st[c] != static_cast<uint8_t>(Msi::I))
+            d.get(c) != static_cast<uint8_t>(Msi::I))
             return want; // another sharer exists: plain S
     }
     eGrants_.inc();
@@ -246,7 +259,7 @@ L2Cache::computeTargets(uint32_t sl, int child, Msi want, Msi &downTo) const
     for (uint32_t c = 0; c < children_.size(); c++) {
         if (static_cast<int>(c) == child)
             continue;
-        Msi st = static_cast<Msi>(d.st[c]);
+        Msi st = static_cast<Msi>(d.get(c));
         // A child at E may have silently upgraded to M, so reads must
         // recall any >=E holder (data travels with the ack).
         if (want >= Msi::E ? st != Msi::I : st >= Msi::E)
@@ -281,7 +294,7 @@ L2Cache::ruleDrainResp()
         dirty_.write(sl, 1);
     }
     DirEntry d = dir_.read(sl);
-    d.st[child] = static_cast<uint8_t>(m.newState);
+    d.set(child, static_cast<uint8_t>(m.newState));
     dir_.write(sl, d);
 
     if (!m.voluntary) {
@@ -366,11 +379,11 @@ L2Cache::ruleStartTxn()
                 g.kind = FromParentKind::Grant;
                 g.line = line;
                 g.state = grant;
-                g.hasData = d.st[child] == static_cast<uint8_t>(Msi::I);
+                g.hasData = d.get(child) == static_cast<uint8_t>(Msi::I);
                 if (g.hasData)
                     g.data = data_.read(sl);
                 children_[child]->fromParent.enq(g);
-                d.st[child] = static_cast<uint8_t>(grant);
+                d.set(child, static_cast<uint8_t>(grant));
                 dir_.write(sl, d);
             }
             consumeReq();
@@ -433,7 +446,7 @@ L2Cache::ruleStartTxn()
     if (t.victimValid) {
         const DirEntry &d = dir_.read(sl);
         for (uint32_t c = 0; c < children_.size(); c++) {
-            if (d.st[c] != static_cast<uint8_t>(Msi::I)) {
+            if (d.get(c) != static_cast<uint8_t>(Msi::I)) {
                 FromParent dreq;
                 dreq.kind = FromParentKind::DowngradeReq;
                 dreq.line = t.victimLine;
@@ -513,13 +526,13 @@ L2Cache::ruleTxnStep()
             g.kind = FromParentKind::Grant;
             g.line = t.line;
             g.state = grant;
-            g.hasData =
-                d.st[static_cast<int>(t.child)] ==
-                static_cast<uint8_t>(Msi::I);
+            g.hasData = d.get(static_cast<uint32_t>(t.child)) ==
+                        static_cast<uint8_t>(Msi::I);
             if (g.hasData)
                 g.data = data_.read(sl);
             children_[t.child]->fromParent.enq(g);
-            d.st[static_cast<int>(t.child)] = static_cast<uint8_t>(grant);
+            d.set(static_cast<uint32_t>(t.child),
+                  static_cast<uint8_t>(grant));
             dir_.write(sl, d);
         }
         wayBusy_.write(sl, 0);
@@ -535,7 +548,7 @@ L2Cache::ruleTxnStep()
 void
 L2Cache::ruleDramResp()
 {
-    Dram::Resp r = dram_.resp();
+    MemResp r = dram_.resp();
     for (uint32_t i = 0; i < txn_.size(); i++) {
         Txn t = txn_.read(i);
         if (t.valid && t.phase == WaitDram && t.line == r.line) {

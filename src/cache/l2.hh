@@ -41,7 +41,9 @@ struct UncachedPort {
 class L2Cache : public cmd::Module
 {
   public:
-    static constexpr uint32_t kMaxChildren = 8;
+    /** 64 cores x (D + I side). The directory packs 2 bits per child,
+     *  so raising this costs 1 byte of DirEntry per 4 children. */
+    static constexpr uint32_t kMaxChildren = 128;
 
     struct Config {
         uint32_t sizeKb = 1024;
@@ -49,11 +51,15 @@ class L2Cache : public cmd::Module
         uint32_t txns = 16;
         /** Grant E on sharer-free read misses (MESI extension). */
         bool mesi = false;
+        /** Line-index bits to skip below the set index — the bank
+         *  bits when this cache is one slice of a banked L2, so the
+         *  slice uses its full set array. */
+        uint32_t setShift = 0;
     };
 
     L2Cache(cmd::Kernel &k, const std::string &name, const Config &cfg,
             std::vector<CacheChannel *> children,
-            std::vector<UncachedPort *> uncached, Dram &dram);
+            std::vector<UncachedPort *> uncached, MemPort &mem);
 
     // ---- warm-handoff interface (see L1Cache::debugPatchLine)
     /** Data-only resync of @p line when resident; protocol state,
@@ -81,9 +87,29 @@ class L2Cache : public cmd::Module
      *  its sharer bit (the analogue of a voluntary DowngradeResp). */
     void warmChildEvicted(int child, Addr line);
 
+    /** True while an open transaction on @p line is waiting on DRAM
+     *  (fill or victim writeback still to be queued or answered).
+     *  Between-cycle observability probe: the CPI stack uses it to
+     *  split D-miss stall cycles into L2-bound vs DRAM-bound. */
+    bool dramPending(Addr line) const;
+
   private:
+    /** Per-line directory: 2-bit Msi state per child, packed. */
     struct DirEntry {
-        uint8_t st[kMaxChildren] = {};
+        uint8_t bits[kMaxChildren / 4] = {};
+
+        uint8_t
+        get(uint32_t c) const
+        {
+            return (bits[c >> 2] >> ((c & 3) * 2)) & 3;
+        }
+        void
+        set(uint32_t c, uint8_t v)
+        {
+            uint32_t sh = (c & 3) * 2;
+            bits[c >> 2] = static_cast<uint8_t>(
+                (bits[c >> 2] & ~(3u << sh)) | ((v & 3u) << sh));
+        }
     };
 
     enum Phase : uint8_t {
@@ -110,7 +136,8 @@ class L2Cache : public cmd::Module
 
     uint32_t setOf(Addr line) const
     {
-        return static_cast<uint32_t>((line >> kLineShift) & (sets_ - 1));
+        return static_cast<uint32_t>(
+            (line >> (kLineShift + cfg_.setShift)) & (sets_ - 1));
     }
     uint32_t slot(uint32_t set, uint32_t way) const
     {
@@ -137,7 +164,7 @@ class L2Cache : public cmd::Module
     uint32_t sets_, ways_;
     std::vector<CacheChannel *> children_;
     std::vector<UncachedPort *> uncached_;
-    Dram &dram_;
+    MemPort &dram_;
 
     cmd::RegArray<Addr> tags_;
     cmd::RegArray<uint8_t> valid_;

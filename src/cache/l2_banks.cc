@@ -1,0 +1,272 @@
+#include "cache/l2_banks.hh"
+
+namespace riscy {
+
+using namespace cmd;
+
+// ------------------------------------------------------- BankRouter
+
+BankRouter::BankRouter(Kernel &k, const std::string &name, uint32_t banks,
+                       CacheChannel &sideD, CacheChannel &sideI,
+                       UncachedPort &walk,
+                       std::vector<CacheChannel *> bankD,
+                       std::vector<CacheChannel *> bankI,
+                       std::vector<UncachedPort *> bankWalk)
+    : Module(k, name, Conflict::CF), banks_(banks), sideD_(&sideD),
+      sideI_(&sideI), walk_(&walk), bankD_(std::move(bankD)),
+      bankI_(std::move(bankI)), bankWalk_(std::move(bankWalk)),
+      rrSide_(k, name + ".rrSide", 0),
+      rrMerge_(k, name + ".rrMerge", 0),
+      rrWalk_(k, name + ".rrWalk", 0)
+{
+    std::vector<const Method *> reqUses, respUses, fpUses, wrespUses;
+    for (CacheChannel *c : {sideD_, sideI_}) {
+        reqUses.push_back(&c->req.firstM);
+        reqUses.push_back(&c->req.deqM);
+        respUses.push_back(&c->resp.firstM);
+        respUses.push_back(&c->resp.deqM);
+        fpUses.push_back(&c->fromParent.enqM);
+    }
+    for (uint32_t b = 0; b < banks_; b++) {
+        for (CacheChannel *c : {bankD_[b], bankI_[b]}) {
+            reqUses.push_back(&c->req.enqM);
+            respUses.push_back(&c->resp.enqM);
+            fpUses.push_back(&c->fromParent.firstM);
+            fpUses.push_back(&c->fromParent.deqM);
+        }
+        wrespUses.push_back(&bankWalk_[b]->resp.firstM);
+        wrespUses.push_back(&bankWalk_[b]->resp.deqM);
+    }
+    wrespUses.push_back(&walk_->resp.enqM);
+
+    k.rule(name + ".req", [this] { ruleReq(); })
+        .when([this] {
+            return sideD_->req.canDeq() || sideI_->req.canDeq();
+        })
+        .uses(reqUses);
+    k.rule(name + ".resp", [this] { ruleResp(); })
+        .when([this] {
+            return sideD_->resp.canDeq() || sideI_->resp.canDeq();
+        })
+        .uses(respUses);
+    k.rule(name + ".fromParent", [this] { ruleFromParent(); })
+        .when([this] {
+            for (uint32_t b = 0; b < banks_; b++) {
+                if (bankD_[b]->fromParent.canDeq() ||
+                    bankI_[b]->fromParent.canDeq())
+                    return true;
+            }
+            return false;
+        })
+        .uses(fpUses);
+
+    std::vector<const Method *> wreqUses;
+    wreqUses.push_back(&walk_->req.firstM);
+    wreqUses.push_back(&walk_->req.deqM);
+    for (uint32_t b = 0; b < banks_; b++)
+        wreqUses.push_back(&bankWalk_[b]->req.enqM);
+    k.rule(name + ".walkReq", [this] { ruleWalkReq(); })
+        .when([this] { return walk_->req.canDeq(); })
+        .uses(wreqUses);
+    k.rule(name + ".walkResp", [this] { ruleWalkResp(); })
+        .when([this] {
+            for (uint32_t b = 0; b < banks_; b++) {
+                if (bankWalk_[b]->resp.canDeq())
+                    return true;
+            }
+            return false;
+        })
+        .uses(wrespUses);
+}
+
+void
+BankRouter::ruleReq()
+{
+    // A side's earlier downgrade responses must reach the bank before
+    // its next request becomes visible there (the cross-channel
+    // ordering of msg.hh, enforced per hop). The side's resp queue is
+    // same-domain, so size() — which counts even not-yet-aged
+    // elements — closes the in-flight window.
+    uint32_t start = rrSide_.read();
+    for (uint32_t i = 0; i < 2; i++) {
+        uint32_t s = (start + i) & 1;
+        CacheChannel &in = side(s);
+        if (!in.req.canDeq() || in.resp.size() != 0)
+            continue;
+        UpgradeReq r = in.req.first();
+        CacheChannel &out = toBank(s, bankOf(r.line));
+        if (!out.req.canEnq())
+            continue;
+        in.req.deq();
+        out.req.enq(r);
+        rrSide_.write((s + 1) & 1);
+        return;
+    }
+    // heads exist but are gated/blocked: cheap no-op commit
+}
+
+void
+BankRouter::ruleResp()
+{
+    uint32_t start = rrSide_.read();
+    for (uint32_t i = 0; i < 2; i++) {
+        uint32_t s = (start + i) & 1;
+        CacheChannel &in = side(s);
+        if (!in.resp.canDeq())
+            continue;
+        DowngradeResp m = in.resp.first();
+        CacheChannel &out = toBank(s, bankOf(m.line));
+        if (!out.resp.canEnq())
+            continue;
+        in.resp.deq();
+        out.resp.enq(m);
+        return;
+    }
+}
+
+void
+BankRouter::ruleFromParent()
+{
+    // Merge the banks' ordered grant/downgrade streams toward the L1s.
+    // Forwarding each stream FIFO keeps per-(bank,side) order, which
+    // contains per-line order — all a line's traffic is on one bank.
+    uint32_t n = 2 * banks_;
+    uint32_t start = rrMerge_.read();
+    for (uint32_t i = 0; i < n; i++) {
+        uint32_t m = (start + i) % n;
+        uint32_t s = m & 1;
+        uint32_t b = m >> 1;
+        CacheChannel &in = toBank(s, b);
+        if (!in.fromParent.canDeq() || !side(s).fromParent.canEnq())
+            continue;
+        side(s).fromParent.enq(in.fromParent.deq());
+        rrMerge_.write((m + 1) % n);
+        return;
+    }
+}
+
+void
+BankRouter::ruleWalkReq()
+{
+    Addr a = walk_->req.first();
+    UncachedPort &out = *bankWalk_[bankOf(lineAddr(a))];
+    if (!out.req.canEnq())
+        return;
+    walk_->req.deq();
+    out.req.enq(a);
+}
+
+void
+BankRouter::ruleWalkResp()
+{
+    // Unordered merge: the walker matches responses by line address.
+    uint32_t start = rrWalk_.read();
+    for (uint32_t i = 0; i < banks_; i++) {
+        uint32_t b = (start + i) % banks_;
+        if (!bankWalk_[b]->resp.canDeq())
+            continue;
+        if (!walk_->resp.canEnq())
+            return;
+        walk_->resp.enq(bankWalk_[b]->resp.deq());
+        rrWalk_.write((b + 1) % banks_);
+        return;
+    }
+}
+
+// ---------------------------------------------------- BankedL2Front
+
+static uint32_t
+log2u(uint32_t v)
+{
+    uint32_t s = 0;
+    while ((1u << s) < v)
+        s++;
+    return s;
+}
+
+BankedL2Front::BankedL2Front(Kernel &k, const std::string &name,
+                             PhysMem &mem, const BankedL2Config &cfg,
+                             const std::vector<CacheChannel *> &coreChans,
+                             const std::vector<UncachedPort *> &walkPorts)
+    : cfg_(cfg)
+{
+    if ((cfg.banks & (cfg.banks - 1)) != 0 || cfg.banks == 0)
+        cmd::fatal("%s: bank count %u not a power of two", name.c_str(),
+                   cfg.banks);
+
+    {
+        DomainHint dh(k, "dram");
+        ctl_ = std::make_unique<DramCtl>(k, name + ".dramctl", mem,
+                                         cfg.dram, cfg.banks);
+    }
+
+    // Per-(core,bank) channel fabric. Layout: core-major, then bank,
+    // D before I — so bank b's child index for (core i, side s) is
+    // 2*i + s, the same convention as the unbanked hierarchy.
+    auto chanAt = [&](uint32_t core, uint32_t b, uint32_t s) {
+        return chan_[(core * cfg_.banks + b) * 2 + s].get();
+    };
+    for (uint32_t i = 0; i < cfg.cores; i++) {
+        for (uint32_t b = 0; b < cfg.banks; b++) {
+            chan_.push_back(std::make_unique<CacheChannel>(
+                k, name + strfmt(".c%ub%uD", i, b), cfg.childChanDelay,
+                cfg.parentChanDelay));
+            chan_.push_back(std::make_unique<CacheChannel>(
+                k, name + strfmt(".c%ub%uI", i, b), cfg.childChanDelay,
+                cfg.parentChanDelay));
+            bwalk_.push_back(std::make_unique<UncachedPort>(
+                k, name + strfmt(".walk%ub%u", i, b), cfg.walkPortDelay));
+        }
+    }
+
+    L2Cache::Config slice = cfg.l2;
+    slice.setShift = log2u(cfg.banks);
+    for (uint32_t b = 0; b < cfg.banks; b++) {
+        DomainHint bh(k, strfmt("l2b%u", b));
+        port_.push_back(std::make_unique<DramPortClient>(
+            k, name + strfmt(".dport%u", b), ctl_->channel(b)));
+        std::vector<CacheChannel *> children;
+        std::vector<UncachedPort *> uncached;
+        for (uint32_t i = 0; i < cfg.cores; i++) {
+            children.push_back(chanAt(i, b, 0));
+            children.push_back(chanAt(i, b, 1));
+            uncached.push_back(bwalk_[i * cfg_.banks + b].get());
+        }
+        bank_.push_back(std::make_unique<L2Cache>(
+            k, name + strfmt(".l2b%u", b), slice, children, uncached,
+            *port_.back()));
+    }
+
+    for (uint32_t i = 0; i < cfg.cores; i++) {
+        DomainHint hh(k, strfmt("hart%u", i));
+        std::vector<CacheChannel *> bd, bi;
+        std::vector<UncachedPort *> bw;
+        for (uint32_t b = 0; b < cfg.banks; b++) {
+            bd.push_back(chanAt(i, b, 0));
+            bi.push_back(chanAt(i, b, 1));
+            bw.push_back(bwalk_[i * cfg_.banks + b].get());
+        }
+        router_.push_back(std::make_unique<BankRouter>(
+            k, name + strfmt(".rt%u", i), cfg.banks, *coreChans[2 * i],
+            *coreChans[2 * i + 1], *walkPorts[i], bd, bi, bw));
+    }
+}
+
+bool
+BankedL2Front::quiescent() const
+{
+    for (auto &b : bank_)
+        if (!b->quiescent())
+            return false;
+    if (!ctl_->quiescent())
+        return false;
+    for (auto &c : chan_)
+        if (c->req.size() || c->resp.size() || c->fromParent.size())
+            return false;
+    for (auto &w : bwalk_)
+        if (w->req.size() || w->resp.size())
+            return false;
+    return true;
+}
+
+} // namespace riscy

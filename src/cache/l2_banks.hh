@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Address-sliced banked shared L2 + contended DRAM assembly — the
+ * server-scale memory front. N independent L2Cache directory slices
+ * (one PDES domain each, "l2b<b>") serve line-interleaved address
+ * slices: bank = line-index & (banks-1), and each slice indexes its
+ * set array with the bank bits stripped (L2Cache::Config::setShift).
+ *
+ * Each core keeps its single-channel L1 interface: a per-core
+ * BankRouter (living in that core's "hart<i>" domain) dispatches the
+ * L1s' request/response traffic to per-bank channels by line address
+ * and merges the banks' grant/downgrade streams back. Per-line
+ * ordering is preserved because a line maps to exactly one bank and
+ * every hop is a FIFO; the protocol's responses-before-requests
+ * cross-channel invariant is preserved per hop (the router only
+ * forwards a side's request when that side's response queue is empty,
+ * and each bank re-checks resp.pending() on its own channel).
+ *
+ * Behind the banks sits the DramCtl contention model; each bank owns
+ * a DramPortClient, so bank<->DRAM channels are partition cuts too.
+ */
+#pragma once
+
+#include "cache/l2.hh"
+#include "mem/dram_ctl.hh"
+
+namespace riscy {
+
+struct BankedL2Config {
+    uint32_t cores = 16;
+    uint32_t banks = 4;     ///< power of two
+    L2Cache::Config l2;     ///< per-bank geometry (sizeKb per slice)
+    DramCtl::Config dram;
+    uint32_t childChanDelay = 4;  ///< router -> bank hop
+    uint32_t parentChanDelay = 6; ///< bank -> router hop
+    uint32_t walkPortDelay = 4;   ///< router -> bank walk hop
+};
+
+/**
+ * Per-core address router between the L1s' channels and the per-bank
+ * channels. Construct inside the core's DomainHint group.
+ */
+class BankRouter : public cmd::Module
+{
+  public:
+    BankRouter(cmd::Kernel &k, const std::string &name, uint32_t banks,
+               CacheChannel &sideD, CacheChannel &sideI,
+               UncachedPort &walk,
+               std::vector<CacheChannel *> bankD,
+               std::vector<CacheChannel *> bankI,
+               std::vector<UncachedPort *> bankWalk);
+
+  private:
+    uint32_t
+    bankOf(Addr line) const
+    {
+        return static_cast<uint32_t>((line >> kLineShift) & (banks_ - 1));
+    }
+    CacheChannel &side(uint32_t s) { return s ? *sideI_ : *sideD_; }
+    CacheChannel &toBank(uint32_t s, uint32_t b)
+    {
+        return s ? *bankI_[b] : *bankD_[b];
+    }
+
+    void ruleReq();
+    void ruleResp();
+    void ruleFromParent();
+    void ruleWalkReq();
+    void ruleWalkResp();
+
+    uint32_t banks_;
+    CacheChannel *sideD_, *sideI_;
+    UncachedPort *walk_;
+    std::vector<CacheChannel *> bankD_, bankI_;
+    std::vector<UncachedPort *> bankWalk_;
+
+    cmd::Reg<uint32_t> rrSide_;   ///< req/resp side round-robin
+    cmd::Reg<uint32_t> rrMerge_;  ///< fromParent (bank,side) round-robin
+    cmd::Reg<uint32_t> rrWalk_;   ///< walk-resp bank round-robin
+};
+
+/**
+ * The banked front: per-(core,side,bank) channels, per-(core,bank)
+ * walk ports, one BankRouter per core, one L2Cache slice per bank, and
+ * the shared DramCtl. @p coreChans are the L1-side channels in the
+ * hierarchy's fixed order (core 0 D, core 0 I, core 1 D, ...);
+ * @p walkPorts are the per-core walker-side ports.
+ */
+class BankedL2Front
+{
+  public:
+    BankedL2Front(cmd::Kernel &k, const std::string &name, PhysMem &mem,
+                  const BankedL2Config &cfg,
+                  const std::vector<CacheChannel *> &coreChans,
+                  const std::vector<UncachedPort *> &walkPorts);
+
+    uint32_t banks() const { return cfg_.banks; }
+    uint32_t
+    bankOf(Addr line) const
+    {
+        return static_cast<uint32_t>((line >> kLineShift) &
+                                     (cfg_.banks - 1));
+    }
+    L2Cache &bank(uint32_t b) { return *bank_[b]; }
+    const L2Cache &bank(uint32_t b) const { return *bank_[b]; }
+    DramCtl &dramCtl() { return *ctl_; }
+    const DramCtl &dramCtl() const { return *ctl_; }
+
+    /** Sum of counter @p stat across every bank slice. */
+    uint64_t
+    statSum(const std::string &stat) const
+    {
+        uint64_t n = 0;
+        for (auto &b : bank_)
+            n += b->stats().get(stat);
+        return n;
+    }
+
+    /** CPI-split probe: is @p line's miss currently DRAM-bound? */
+    bool
+    dramPending(Addr line) const
+    {
+        return bank_[bankOf(line)]->dramPending(line);
+    }
+
+    bool quiescent() const;
+
+    // ---- warm-handoff plumbing (MemHierarchy routes by line)
+    bool
+    debugPatchLine(Addr line, const Line &src)
+    {
+        return bank_[bankOf(line)]->debugPatchLine(line, src);
+    }
+    bool
+    warmEnsure(int child, Addr line, const Line &src,
+               const std::function<void(uint32_t, Addr)> &recall)
+    {
+        return bank_[bankOf(line)]->warmEnsure(child, line, src, recall);
+    }
+    void
+    warmChildEvicted(int child, Addr line)
+    {
+        bank_[bankOf(line)]->warmChildEvicted(child, line);
+    }
+
+  private:
+    BankedL2Config cfg_;
+    std::unique_ptr<DramCtl> ctl_;
+    std::vector<std::unique_ptr<DramPortClient>> port_;
+    /// [core][bank] channels, [core][bank] walk ports
+    std::vector<std::unique_ptr<CacheChannel>> chan_;
+    std::vector<std::unique_ptr<UncachedPort>> bwalk_;
+    std::vector<std::unique_ptr<BankRouter>> router_;
+    std::vector<std::unique_ptr<L2Cache>> bank_;
+};
+
+} // namespace riscy

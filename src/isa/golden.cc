@@ -165,7 +165,7 @@ GoldenModel::memLoad(Addr pa, const Inst &inst)
     }
     uint64_t raw;
     if (isMmioAddr(pa))
-        raw = host_.load(hartId_, pa);
+        raw = host_.load(hartId_, pa, instret_);
     else if (loadPg_.ptr && (pa & ~(kPageSize - 1)) == loadPg_.paPage) {
         raw = 0;
         std::memcpy(&raw, loadPg_.ptr + (pa & (kPageSize - 1)),

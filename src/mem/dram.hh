@@ -13,7 +13,36 @@
 
 namespace riscy {
 
-class Dram : public cmd::Module
+/** A memory read response: the line address and its data. */
+struct MemResp {
+    Addr line;
+    Line data;
+};
+
+/**
+ * Abstract line-granular memory port. The L2 (each bank, when banked)
+ * talks to its backing memory exclusively through this interface, so
+ * the fixed-latency Dram and the contended DramCtl (per-channel
+ * DramPortClient) are interchangeable behind it. Method handles are
+ * exposed so rules can list the port's req/resp in their `uses` sets.
+ */
+class MemPort
+{
+  public:
+    virtual ~MemPort() = default;
+    /** Enqueue a line read or write. */
+    virtual void req(bool isWrite, Addr line, const Line &data) = 0;
+    /** Next read response (guarded). */
+    virtual MemResp resp() = 0;
+    virtual bool canReq() const = 0;
+    virtual bool respReady() const = 0;
+    /** Warm handoff: no request or in-flight response. */
+    virtual bool quiescent() const = 0;
+    virtual cmd::Method &reqMethod() = 0;
+    virtual cmd::Method &respMethod() = 0;
+};
+
+class Dram : public cmd::Module, public MemPort
 {
   public:
     struct Config {
@@ -22,24 +51,27 @@ class Dram : public cmd::Module
         uint32_t issueInterval = 10;  ///< min cycles between line issues
     };
 
-    struct Resp {
-        Addr line;
-        Line data;
-    };
+    using Resp = MemResp;
 
     Dram(cmd::Kernel &k, const std::string &name, PhysMem &mem,
          const Config &cfg);
 
     /** Enqueue a line read or write. */
-    void req(bool isWrite, Addr line, const Line &data);
+    void req(bool isWrite, Addr line, const Line &data) override;
     /** Next read response (guarded). */
-    Resp resp();
+    Resp resp() override;
 
-    bool canReq() const { return reqQ_.canEnq(); }
-    bool respReady() const { return respQ_.canDeq(); }
+    bool canReq() const override { return reqQ_.canEnq(); }
+    bool respReady() const override { return respQ_.canDeq(); }
     /** Warm handoff: no request or in-flight response (between cycles,
      *  so delayed TimedFifo elements count as occupancy). */
-    bool quiescent() const { return reqQ_.size() == 0 && respQ_.size() == 0; }
+    bool
+    quiescent() const override
+    {
+        return reqQ_.size() == 0 && respQ_.size() == 0;
+    }
+    cmd::Method &reqMethod() override { return reqM; }
+    cmd::Method &respMethod() override { return respM; }
 
     cmd::Method &reqM, &respM;
 

@@ -1,0 +1,272 @@
+#include "mem/dram_ctl.hh"
+
+namespace riscy {
+
+using namespace cmd;
+
+static uint32_t
+log2u(uint32_t v)
+{
+    uint32_t s = 0;
+    while ((1u << s) < v)
+        s++;
+    return s;
+}
+
+DramCtl::DramCtl(Kernel &k, const std::string &name, PhysMem &mem,
+                 const Config &cfg, uint32_t nPorts)
+    : Module(k, name, Conflict::CF), cfg_(cfg), mem_(mem),
+      bankShift_(log2u(cfg.banks)), rowShift_(log2u(cfg.linesPerRow)),
+      pool_(k, name + ".pool", cfg.poolSlots),
+      openRow_(k, name + ".openRow", cfg.banks, 0),
+      rowValid_(k, name + ".rowValid", cfg.banks, 0),
+      nextSeq_(k, name + ".nextSeq", 0),
+      lastIssue_(k, name + ".lastIssue", 0),
+      rrPort_(k, name + ".rrPort", 0),
+      reads_(stats().counter("reads")), writes_(stats().counter("writes")),
+      rowHits_(stats().counter("rowHits")),
+      rowMisses_(stats().counter("rowMisses")),
+      rowConflicts_(stats().counter("rowConflicts"))
+{
+    if ((cfg.banks & (cfg.banks - 1)) != 0)
+        cmd::fatal("%s: bank count %u not a power of two", name.c_str(),
+                   cfg.banks);
+    if ((cfg.linesPerRow & (cfg.linesPerRow - 1)) != 0)
+        cmd::fatal("%s: linesPerRow %u not a power of two", name.c_str(),
+                   cfg.linesPerRow);
+    stats().formula("rowHitRate", [this] {
+        uint64_t n = rowHits_.value() + rowMisses_.value() +
+                     rowConflicts_.value();
+        return n ? double(rowHits_.value()) / double(n) : 0.0;
+    });
+    uint32_t occHi = cfg.queuedPerBank + cfg.perBankInflight + 1;
+    for (uint32_t b = 0; b < cfg.banks; b++) {
+        bankReqs_.push_back(
+            &stats().counter(strfmt("bank%u.reqs", b)));
+        bankOcc_.push_back(&stats().histogram(
+            strfmt("bank%u.occupancy", b), 0, occHi, occHi));
+    }
+
+    for (uint32_t p = 0; p < nPorts; p++) {
+        chans_.push_back(std::make_unique<DramChannel>(
+            k, name + strfmt(".chan%u", p), cfg.chanDelay));
+    }
+
+    std::vector<const Method *> acceptUses, completeUses;
+    for (auto &c : chans_) {
+        acceptUses.push_back(&c->req.firstM);
+        acceptUses.push_back(&c->req.deqM);
+        completeUses.push_back(&c->resp.enqM);
+    }
+
+    k.rule(name + ".accept", [this] { ruleAccept(); })
+        .when([this] {
+            for (auto &c : chans_) {
+                if (c->req.canDeq())
+                    return true;
+            }
+            return false;
+        })
+        .uses(acceptUses);
+    k.rule(name + ".issue", [this] { ruleIssue(); })
+        .when([this] {
+            if (kernel().cycleCount() <
+                lastIssue_.read() + cfg_.issueInterval)
+                return false;
+            for (uint32_t i = 0; i < pool_.size(); i++) {
+                const Entry &e = pool_.read(i);
+                if (e.valid && !e.issued)
+                    return true;
+            }
+            return false;
+        })
+        .uses({});
+    k.rule(name + ".complete", [this] { ruleComplete(); })
+        .when([this] {
+            uint64_t now = kernel().cycleCount();
+            for (uint32_t i = 0; i < pool_.size(); i++) {
+                const Entry &e = pool_.read(i);
+                if (e.valid && e.issued && e.doneCycle <= now)
+                    return true;
+            }
+            return false;
+        })
+        .uses(completeUses);
+}
+
+uint32_t
+DramCtl::countBank(uint32_t bank, bool issuedOnly) const
+{
+    uint32_t n = 0;
+    for (uint32_t i = 0; i < pool_.size(); i++) {
+        const Entry &e = pool_.read(i);
+        if (e.valid && e.bank == bank && (!issuedOnly || e.issued))
+            n++;
+    }
+    return n;
+}
+
+bool
+DramCtl::olderSameLine(const Entry &e) const
+{
+    for (uint32_t i = 0; i < pool_.size(); i++) {
+        const Entry &o = pool_.read(i);
+        if (o.valid && !o.issued && o.line == e.line && o.seq < e.seq)
+            return true;
+    }
+    return false;
+}
+
+void
+DramCtl::ruleAccept()
+{
+    // Round-robin over ports; skip a port whose head targets a bank
+    // with no queue room (head-of-line blocking backpressures that
+    // client alone; the queue drains as the bank issues).
+    uint32_t start = rrPort_.read();
+    for (uint32_t i = 0; i < chans_.size(); i++) {
+        uint32_t p = (start + i) % chans_.size();
+        DramChannel *c = chans_[p].get();
+        if (!c->req.canDeq())
+            continue;
+        DramChannel::Req r = c->req.first();
+        uint32_t bank = bankOf(r.line);
+        uint32_t queued = countBank(bank, false) -
+                          countBank(bank, true);
+        if (queued >= cfg_.queuedPerBank)
+            continue;
+        int slot = -1;
+        for (uint32_t s = 0; s < pool_.size(); s++) {
+            if (!pool_.read(s).valid) {
+                slot = static_cast<int>(s);
+                break;
+            }
+        }
+        if (slot < 0)
+            return; // pool full: heads wait, cheap no-op commit
+        uint32_t occAfter = countBank(bank, false) + 1;
+        c->req.deq();
+        Entry e;
+        e.valid = true;
+        e.issued = false;
+        e.isWrite = r.isWrite;
+        e.port = static_cast<uint8_t>(p);
+        e.bank = static_cast<uint8_t>(bank);
+        e.line = r.line;
+        e.seq = nextSeq_.read();
+        e.data = r.data;
+        pool_.write(static_cast<uint32_t>(slot), e);
+        nextSeq_.write(e.seq + 1);
+        rrPort_.write((p + 1) % chans_.size());
+        bankReqs_[bank]->inc();
+        bankOcc_[bank]->sample(occAfter);
+        return;
+    }
+}
+
+void
+DramCtl::ruleIssue()
+{
+    require(kernel().cycleCount() >=
+            lastIssue_.read() + cfg_.issueInterval);
+    // FR-FCFS: oldest row-hit first, else oldest; per-line order is
+    // never violated and a bank at its inflight cap admits no reads.
+    int best = -1;
+    bool bestHit = false;
+    uint64_t bestSeq = 0;
+    for (uint32_t i = 0; i < pool_.size(); i++) {
+        const Entry &e = pool_.read(i);
+        if (!e.valid || e.issued)
+            continue;
+        if (!e.isWrite &&
+            countBank(e.bank, true) >= cfg_.perBankInflight)
+            continue;
+        if (olderSameLine(e))
+            continue;
+        bool hit = rowValid_.read(e.bank) != 0 &&
+                   openRow_.read(e.bank) == rowOf(e.line);
+        if (best < 0 || (hit && !bestHit) ||
+            (hit == bestHit && e.seq < bestSeq)) {
+            best = static_cast<int>(i);
+            bestHit = hit;
+            bestSeq = e.seq;
+        }
+    }
+    if (best < 0)
+        return; // requests exist but all blocked this cycle
+
+    Entry e = pool_.read(best);
+    uint32_t lat;
+    if (!rowValid_.read(e.bank)) {
+        lat = cfg_.rowMissLat;
+        rowMisses_.inc();
+    } else if (openRow_.read(e.bank) == rowOf(e.line)) {
+        lat = cfg_.rowHitLat;
+        rowHits_.inc();
+    } else {
+        lat = cfg_.rowConflictLat;
+        rowConflicts_.inc();
+    }
+    openRow_.write(e.bank, rowOf(e.line));
+    rowValid_.write(e.bank, 1);
+    lastIssue_.write(kernel().cycleCount());
+
+    if (e.isWrite) {
+        // Writes retire at issue: PhysMem is the backing store and the
+        // per-line issue order above keeps later reads consistent.
+        writeLine(mem_, e.line, e.data);
+        writes_.inc();
+        e.valid = false;
+    } else {
+        e.data = readLine(mem_, e.line);
+        e.doneCycle = kernel().cycleCount() + lat;
+        e.issued = true;
+        reads_.inc();
+    }
+    pool_.write(static_cast<uint32_t>(best), e);
+}
+
+void
+DramCtl::ruleComplete()
+{
+    // Deliver the earliest-finished read whose response channel has
+    // room; ties resolve by age so every scheduler picks identically.
+    uint64_t now = kernel().cycleCount();
+    int best = -1;
+    uint64_t bestDone = 0, bestSeq = 0;
+    for (uint32_t i = 0; i < pool_.size(); i++) {
+        const Entry &e = pool_.read(i);
+        if (!e.valid || !e.issued || e.doneCycle > now)
+            continue;
+        if (!chans_[e.port]->resp.canEnq())
+            continue;
+        if (best < 0 || e.doneCycle < bestDone ||
+            (e.doneCycle == bestDone && e.seq < bestSeq)) {
+            best = static_cast<int>(i);
+            bestDone = e.doneCycle;
+            bestSeq = e.seq;
+        }
+    }
+    if (best < 0)
+        return; // finished reads exist but their channels are full
+
+    Entry e = pool_.read(best);
+    chans_[e.port]->resp.enq({e.line, e.data});
+    e.valid = false;
+    e.issued = false;
+    pool_.write(static_cast<uint32_t>(best), e);
+}
+
+bool
+DramCtl::quiescent() const
+{
+    for (uint32_t i = 0; i < pool_.size(); i++)
+        if (pool_.read(i).valid)
+            return false;
+    for (auto &c : chans_)
+        if (c->req.size() != 0 || c->resp.size() != 0)
+            return false;
+    return true;
+}
+
+} // namespace riscy

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Contended DRAM model: a multi-bank controller with per-bank queues,
+ * open-row tracking (row-hit / row-miss / row-conflict latencies),
+ * FR-FCFS-style scheduling, and bounded per-bank inflight reads —
+ * replacing the fixed-latency Dram behind the same MemPort interface.
+ *
+ * Topology: each client (an L2 bank) owns a DramPortClient, a thin
+ * MemPort adapter over a DramChannel (one TimedFifo pair). The
+ * controller proper is a single module living in its own PDES domain;
+ * the channels are the partition cuts, so their delay adds to the
+ * fifo-min lookahead rather than constraining it.
+ *
+ * Scheduling (one issue per issueInterval cycles, modeling the shared
+ * data bus): among accepted-but-unissued requests whose bank has a free
+ * inflight slot, prefer the oldest row-hit, else the oldest overall —
+ * but never bypass an older unissued request to the same line, which
+ * preserves the per-line write-then-read ordering the L2's victim
+ * writeback + refill traffic relies on. Writes update PhysMem and
+ * retire at issue (no response); reads capture their data at issue and
+ * respond after the row-state-dependent latency.
+ */
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "mem/dram.hh"
+
+namespace riscy {
+
+/** Request/response channel pair between one client and the ctl. */
+struct DramChannel {
+    struct Req {
+        bool isWrite = false;
+        Addr line = 0;
+        Line data;
+    };
+
+    DramChannel(cmd::Kernel &k, const std::string &name, uint32_t delay)
+        : req(k, name + ".req", 8, delay), resp(k, name + ".resp", 8, delay)
+    {
+    }
+
+    cmd::TimedFifo<Req> req;
+    cmd::TimedFifo<MemResp> resp;
+};
+
+/**
+ * Client-side MemPort over a DramChannel. Construct it inside the
+ * client's DomainHint group so the channel endpoints become the
+ * domain boundary.
+ */
+class DramPortClient : public cmd::Module, public MemPort
+{
+  public:
+    DramPortClient(cmd::Kernel &k, const std::string &name,
+                   DramChannel &chan)
+        : Module(k, name, cmd::Conflict::CF),
+          reqM(method("req")), respM(method("resp")), chan_(chan)
+    {
+        reqM.subcalls({&chan_.req.enqM});
+        respM.subcalls({&chan_.resp.deqM});
+    }
+
+    void
+    req(bool isWrite, Addr line, const Line &data) override
+    {
+        reqM();
+        chan_.req.enq({isWrite, line, data});
+    }
+    MemResp
+    resp() override
+    {
+        respM();
+        return chan_.resp.deq();
+    }
+    bool canReq() const override { return chan_.req.canEnq(); }
+    bool respReady() const override { return chan_.resp.canDeq(); }
+    /** Channel empty both ways (between cycles); the controller's own
+     *  pool is covered by DramCtl::quiescent(). */
+    bool
+    quiescent() const override
+    {
+        return chan_.req.size() == 0 && chan_.resp.size() == 0;
+    }
+    cmd::Method &reqMethod() override { return reqM; }
+    cmd::Method &respMethod() override { return respM; }
+
+    cmd::Method &reqM, &respM;
+
+  private:
+    DramChannel &chan_;
+};
+
+class DramCtl : public cmd::Module
+{
+  public:
+    struct Config {
+        uint32_t banks = 8;           ///< DRAM banks (power of two)
+        uint32_t linesPerRow = 128;   ///< row buffer: 8 KB of 64 B lines
+        uint32_t rowHitLat = 40;      ///< CAS only
+        uint32_t rowMissLat = 90;     ///< activate + CAS (bank idle)
+        uint32_t rowConflictLat = 140;///< precharge + activate + CAS
+        uint32_t issueInterval = 10;  ///< shared-bus pacing per line
+        uint32_t perBankInflight = 4; ///< issued, unanswered reads/bank
+        uint32_t queuedPerBank = 8;   ///< accepted, unissued reqs/bank
+        uint32_t poolSlots = 32;      ///< total request-table entries
+        uint32_t chanDelay = 4;       ///< client<->ctl channel latency
+    };
+
+    DramCtl(cmd::Kernel &k, const std::string &name, PhysMem &mem,
+            const Config &cfg, uint32_t nPorts);
+
+    DramChannel &channel(uint32_t p) { return *chans_[p]; }
+    uint32_t ports() const { return static_cast<uint32_t>(chans_.size()); }
+    const Config &config() const { return cfg_; }
+
+    uint32_t
+    bankOf(Addr line) const
+    {
+        return static_cast<uint32_t>((line >> kLineShift) &
+                                     (cfg_.banks - 1));
+    }
+    Addr
+    rowOf(Addr line) const
+    {
+        return (line >> kLineShift) >> (bankShift_ + rowShift_);
+    }
+
+    /** Warm handoff: no queued or inflight request anywhere (between
+     *  cycles; channel occupancy is checked too). */
+    bool quiescent() const;
+
+  private:
+    struct Entry {
+        bool valid = false;
+        bool issued = false;
+        bool isWrite = false;
+        uint8_t port = 0;
+        uint8_t bank = 0;
+        Addr line = 0;
+        uint64_t seq = 0;
+        uint64_t doneCycle = 0;
+        Line data;
+    };
+
+    void ruleAccept();
+    void ruleIssue();
+    void ruleComplete();
+
+    /** Entries in the pool for @p bank (valid; optionally only
+     *  issued-and-waiting reads). */
+    uint32_t countBank(uint32_t bank, bool issuedOnly) const;
+    /** True when an older unissued request targets the same line. */
+    bool olderSameLine(const Entry &e) const;
+
+    Config cfg_;
+    PhysMem &mem_;
+    uint32_t bankShift_, rowShift_;
+    std::vector<std::unique_ptr<DramChannel>> chans_;
+
+    cmd::RegArray<Entry> pool_;
+    cmd::RegArray<Addr> openRow_;
+    cmd::RegArray<uint8_t> rowValid_;
+    cmd::Reg<uint64_t> nextSeq_;
+    cmd::Reg<uint64_t> lastIssue_;
+    cmd::Reg<uint32_t> rrPort_;
+
+    cmd::Stat &reads_, &writes_, &rowHits_, &rowMisses_, &rowConflicts_;
+    std::vector<cmd::Stat *> bankReqs_;
+    std::vector<cmd::Histogram *> bankOcc_;
+};
+
+} // namespace riscy

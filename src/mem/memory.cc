@@ -184,6 +184,10 @@ HostDevice::store(uint32_t hart, Addr addr, uint64_t value, uint64_t now)
         failCode_.store(value);
         failed_.store(true, std::memory_order_release);
         break;
+      case HostReg::KvDone:
+        if (kv_)
+            kv_->done(hart, value, now);
+        break;
       default:
         cmd::warn("HostDevice: store to unknown MMIO %#llx",
                   (unsigned long long)addr);
@@ -259,11 +263,15 @@ HostDevice::deserialize(const std::vector<uint8_t> &image)
 }
 
 uint64_t
-HostDevice::load(uint32_t hart, Addr addr) const
+HostDevice::load(uint32_t hart, Addr addr, uint64_t now)
 {
     switch (static_cast<HostReg>(addr - kMmioBase)) {
       case HostReg::Exit:
         return exited_[hart] ? (exitCode_[hart] << 1) | 1 : 0;
+      case HostReg::KvPop:
+        // No generator attached: read a stop descriptor so a worker
+        // loop exits instead of spinning forever.
+        return kv_ ? kv_->pop(hart, now) : 0x5;
       default:
         return 0;
     }

@@ -45,6 +45,28 @@ enum class HostReg : Addr {
     RoiEnd = 0x18,   ///< mark end of the region of interest
     PutHex = 0x20,   ///< print a 64-bit value in hex
     Fail = 0x28,     ///< assertion failure with a code
+    KvPop = 0x40,    ///< load: pop this hart's next KV request descriptor
+    KvDone = 0x48,   ///< store a reqId to mark its request complete
+};
+
+/**
+ * Host-side traffic source behind the KvPop/KvDone MMIO registers
+ * (the open-loop key-value generator of the server workload). Not CMD
+ * state: implementations must be deterministic functions of
+ * (hart, now) and their own per-hart queues, and must touch only
+ * per-hart data so concurrent access from per-core domains under the
+ * parallel scheduler stays race-free.
+ */
+class KvTraffic
+{
+  public:
+    virtual ~KvTraffic() = default;
+    /** Pop the next arrived request for @p hart at cycle @p now.
+     *  Descriptor: bit0 valid, bit1 put, bit2 stop (schedule drained),
+     *  bits 39..8 key, bits 63..40 reqId; 0 = nothing arrived yet. */
+    virtual uint64_t pop(uint32_t hart, uint64_t now) = 0;
+    /** Request @p reqId finished on @p hart at cycle @p now. */
+    virtual void done(uint32_t hart, uint64_t reqId, uint64_t now) = 0;
 };
 
 /** Sparse physical memory, 4 KiB pages, zero-initialized. */
@@ -118,8 +140,14 @@ class HostDevice
 
     /** Perform an MMIO store from @p hart. */
     void store(uint32_t hart, Addr addr, uint64_t value, uint64_t now);
-    /** Perform an MMIO load from @p hart (status readback). */
-    uint64_t load(uint32_t hart, Addr addr) const;
+    /** Perform an MMIO load from @p hart (status readback, or a
+     *  destructive KvPop — loads reach here non-speculatively only,
+     *  the paper's MMIO-at-commit rule). */
+    uint64_t load(uint32_t hart, Addr addr, uint64_t now);
+
+    /** Attach/detach the KV traffic source (nullptr detaches; with no
+     *  source, KvPop reads a stop descriptor so workers exit). */
+    void attachKv(KvTraffic *kv) { kv_ = kv; }
 
     bool exited(uint32_t hart) const { return exited_[hart].load(); }
     bool allExited() const;
@@ -149,6 +177,7 @@ class HostDevice
     std::atomic<uint64_t> failCode_{0};
     std::mutex consoleMutex_;
     std::string console_;
+    KvTraffic *kv_ = nullptr;
 };
 
 } // namespace riscy

@@ -26,6 +26,8 @@ toString(StallCause c)
         return "tlb_miss";
       case StallCause::Serialization:
         return "serialization";
+      case StallCause::DMissDram:
+        return "d_miss_dram";
     }
     return "?";
 }

@@ -35,6 +35,10 @@ namespace obs {
  *    the corresponding structure is exerting rename backpressure.
  *  - DMiss: the head is a memory op waiting on the data cache (or an
  *    MMIO/atomic access at commit).
+ *  - DMissDram: DMiss refinement — the blocked load's line is in
+ *    flight at the DRAM controller, so the stall is memory-bandwidth
+ *    bound rather than an L2 hit / intra-hierarchy transfer (only
+ *    split when the core has a dram-bound probe installed).
  *  - TlbMiss: the head is a memory op waiting on translation.
  *  - Serialization: flush recovery other than a branch mispredict
  *    (CSR/fence/satp/load-order-kill), a serialized instruction
@@ -50,9 +54,10 @@ enum class StallCause : uint8_t {
     DMiss,
     TlbMiss,
     Serialization,
+    DMissDram,
 };
 
-constexpr uint32_t kNumStallCauses = 9;
+constexpr uint32_t kNumStallCauses = 10;
 
 const char *toString(StallCause c);
 

@@ -285,6 +285,41 @@ struct SystemConfig {
         s.mem.walkPortDelay = 4;
         return s;
     }
+
+    /**
+     * Server-scale config: @p nCores cores (8/16/32/64) behind
+     * @p nBanks line-interleaved L2 directory slices and the DramCtl
+     * contention model — the topology the KV-serving bench drives.
+     * The quad presets are untouched by this family; banking only
+     * activates through mem.l2Banks > 1.
+     */
+    static SystemConfig
+    serverConfig(uint32_t nCores, uint32_t nBanks = 4)
+    {
+        SystemConfig s = riscyooTPlus();
+        s.name = "server-" + std::to_string(nCores) + "c" +
+                 std::to_string(nBanks) + "b";
+        s.cores = nCores;
+        s.mem.cores = nCores;
+        // Same per-core sizing as the quad preset: the interesting
+        // scaling is in the shared memory system, not the cores.
+        s.core.robSize = 48;
+        s.core.lqSize = 16;
+        s.core.sqSize = 10;
+        s.core.tso = true;
+        s.mem.l2Banks = nBanks;
+        // Per-slice geometry: 512 KB x banks of shared L2, 16 ways.
+        s.mem.l2 = {512, 16, 16};
+        s.mem.dramCtl = DramCtl::Config{};
+        // Keep every cross-domain cut (router<->bank channels at
+        // childChanDelay/parentChanDelay, bank<->DRAM channels at
+        // dramCtl.chanDelay) at >= 4 cycles so the parallel
+        // scheduler's fifo-min lookahead window stays 4.
+        s.mem.childChanDelay = 4;
+        s.mem.walkPortDelay = 4;
+        s.mem.dramCtl.chanDelay = 4;
+        return s;
+    }
 };
 
 } // namespace riscy

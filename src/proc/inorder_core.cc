@@ -516,7 +516,7 @@ InOrderCore::doMemTlbResp()
     if (isMmioAddr(r.pa)) {
         // MMIO performed directly (in order, at the access point).
         if (ins.isLoad()) {
-            uint64_t v = loadExtend(ins.op, host_.load(hartId_, r.pa));
+            uint64_t v = loadExtend(ins.op, host_.load(hartId_, r.pa, k_.cycleCount()));
             writeback(ins.rd, v);
             busy_.write(ins.rd, 0);
             emit(m.pc, ins.raw, ins, ins.writesRd(), v, true, false, 0);

@@ -1732,7 +1732,7 @@ OooCore::doCommit()
             require(lsq_->sqEmpty() ||
                     lsq_->firstSt().memSeq > le.memSeq);
             require(storeBuf_->empty());
-            uint64_t raw = host_.load(hartId_, le.pa);
+            uint64_t raw = host_.load(hartId_, le.pa, k_.cycleCount());
             uint64_t val = loadExtend(i0.op, raw);
             lsq_->dropLd();
             if (e0.hasPd) {
@@ -2054,8 +2054,11 @@ OooCore::classifyCycle()
             if (le.valid && le.addrValid) {
                 // Address known: blocked on the D-cache if issued,
                 // else it's still contending in the LSQ (base).
-                if (le.state == Lsq::LdState::Issued)
+                if (le.state == Lsq::LdState::Issued) {
+                    if (dramBound_ && dramBound_(le.pa))
+                        return obs::StallCause::DMissDram;
                     return obs::StallCause::DMiss;
+                }
             } else if (inflight_.read(memId(true, e.lsqIdx)).valid) {
                 return obs::StallCause::TlbMiss;
             }

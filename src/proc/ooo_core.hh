@@ -120,6 +120,14 @@ class OooCore
     void setTracer(obs::PipelineTracer *t) { tracer_ = t; }
     /** CPI-stack accumulator for this hart (null = off). */
     void setCpiStack(obs::CpiStack *c) { cpiStack_ = c; }
+    /** D-miss refinement probe: given the blocked load's physical
+     *  address, is the line DRAM-bound right now? (null = no split,
+     *  every cache-blocked cycle stays in plain DMiss). */
+    void
+    setDramBoundProbe(std::function<bool(Addr)> p)
+    {
+        dramBound_ = std::move(p);
+    }
     /**
      * Suppress per-cycle CPI/occupancy sampling (sampled-mode warmup
      * windows): with muting toggled around each measured interval the
@@ -318,6 +326,7 @@ class OooCore
     // the kernel snapshot, and none of it feeds back into timing)
     obs::PipelineTracer *tracer_ = nullptr;
     obs::CpiStack *cpiStack_ = nullptr;
+    std::function<bool(Addr)> dramBound_;
     /// instret at the last CPI sample (commit-per-cycle delta)
     uint64_t cpiLastInstret_ = 0;
     /// refilling after a mispredict redirect / a commit-point flush

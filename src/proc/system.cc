@@ -75,6 +75,13 @@ System::setupObs()
         for (uint32_t i = 0; i < cfg_.cores; i++) {
             oooCores_[i]->setTracer(obsHub_->pipeline(i));
             oooCores_[i]->setCpiStack(obsHub_->cpi(i));
+            // D-miss split: cycles whose blocked line sits at the DRAM
+            // controller report as d_miss_dram instead of d_miss. The
+            // probe runs in the between-cycles sampling hook, where
+            // cross-domain reads of the L2 transaction tables are safe.
+            oooCores_[i]->setDramBoundProbe([this](Addr pa) {
+                return hier_->dramPending(lineAddr(pa));
+            });
         }
     }
     // Between kernel cycles (driving thread, all domains quiesced):
@@ -703,7 +710,7 @@ System::events(uint32_t i) const
     }
     ev.l1dMisses = hier_->dcache(i).stats().get("ldMisses") +
                    hier_->dcache(i).stats().get("stMisses");
-    ev.l2Misses = hier_->l2().stats().get("misses");
+    ev.l2Misses = hier_->l2StatSum("misses");
     return ev;
 }
 

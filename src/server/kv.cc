@@ -1,0 +1,225 @@
+#include "server/kv.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+#include "core/cmd.hh"
+
+namespace riscy::server {
+
+using namespace asmkit;
+
+KvHost::KvHost(const KvConfig &cfg)
+    : cfg_(cfg), q_(cfg.harts), head_(cfg.harts, 0),
+      depthSum_(cfg.harts, 0), depthSamples_(cfg.harts, 0),
+      depthMax_(cfg.harts, 0)
+{
+    if (cfg.harts == 0 || (cfg.keys & (cfg.keys - 1)) != 0 ||
+        (cfg.tableSlots & (cfg.tableSlots - 1)) != 0 ||
+        cfg.tableSlots < cfg.keys)
+        cmd::fatal("KvHost: bad geometry (keys %u, slots %u, harts %u)",
+                   cfg.keys, cfg.tableSlots, cfg.harts);
+    if (cfg.requests >= (1u << 24))
+        cmd::fatal("KvHost: reqId field is 24 bits (%u requests)",
+                   cfg.requests);
+
+    // mt19937_64 output is specified bit-for-bit by the standard; the
+    // inverse-CDF transforms below avoid std::*_distribution, whose
+    // sequences are implementation-defined.
+    std::mt19937_64 rng(cfg.seed);
+    auto u01 = [&] { // uniform in [0, 1)
+        return double(rng() >> 11) * (1.0 / 9007199254740992.0);
+    };
+
+    // Zipf CDF over popularity ranks; rank -> key through an odd
+    // multiplicative permutation so the hot keys are scattered over
+    // the key space (and therefore over lines and L2 banks).
+    std::vector<double> cdf(cfg.keys);
+    double sum = 0.0;
+    for (uint32_t k = 0; k < cfg.keys; k++) {
+        sum += cfg.zipf == 0.0 ? 1.0
+                               : 1.0 / std::pow(double(k + 1), cfg.zipf);
+        cdf[k] = sum;
+    }
+
+    double mean = 1000.0 / cfg.reqPerKilocycle;
+    double t = double(cfg.startCycle);
+    reqs_.reserve(cfg.requests);
+    for (uint32_t i = 0; i < cfg.requests; i++) {
+        t += cfg.poisson ? -std::log(1.0 - u01()) * mean : mean;
+        double u = u01() * sum;
+        uint32_t rank = static_cast<uint32_t>(
+            std::lower_bound(cdf.begin(), cdf.end(), u) - cdf.begin());
+        rank = std::min(rank, cfg.keys - 1);
+        Req r;
+        r.arrival = static_cast<uint64_t>(t);
+        r.key = (rank * 0x9E3779B1u) & (cfg.keys - 1);
+        r.put = u01() < cfg.putFrac;
+        r.hart = i % cfg.harts;
+        q_[r.hart].push_back(i);
+        reqs_.push_back(r);
+    }
+}
+
+uint64_t
+KvHost::pop(uint32_t hart, uint64_t now)
+{
+    std::vector<uint32_t> &q = q_[hart];
+    uint32_t &h = head_[hart];
+    if (h >= q.size())
+        return 0x5; // valid | stop: schedule drained
+    Req &r = reqs_[q[h]];
+    if (r.arrival > now)
+        return 0; // open loop: next request hasn't arrived yet
+    // Backlog this hart sees right now (arrived but unserved),
+    // including the request being popped.
+    uint64_t depth = 0;
+    for (uint32_t i = h; i < q.size() && reqs_[q[i]].arrival <= now; i++)
+        depth++;
+    depthSum_[hart] += depth;
+    depthSamples_[hart]++;
+    depthMax_[hart] = std::max(depthMax_[hart], depth);
+    r.popped = now;
+    uint64_t d = 1 | (r.put ? 2u : 0u) | (uint64_t(r.key) << 8) |
+                 (uint64_t(q[h]) << 40);
+    h++;
+    return d;
+}
+
+void
+KvHost::done(uint32_t hart, uint64_t reqId, uint64_t now)
+{
+    if (reqId >= reqs_.size() || reqs_[reqId].hart != hart) {
+        cmd::warn("KvHost: bogus KvDone reqId %llu from hart %u",
+                  (unsigned long long)reqId, hart);
+        return;
+    }
+    reqs_[reqId].completion = now;
+}
+
+KvSummary
+KvHost::summarize() const
+{
+    KvSummary s;
+    s.offered = reqs_.size();
+    std::vector<uint64_t> lat;
+    uint64_t firstArrival = ~0ull, lastCompletion = 0;
+    double latSum = 0.0;
+    for (const Req &r : reqs_) {
+        firstArrival = std::min(firstArrival, r.arrival);
+        if (!r.completion)
+            continue;
+        s.completed++;
+        lastCompletion = std::max(lastCompletion, r.completion);
+        uint64_t l = r.completion - r.arrival;
+        lat.push_back(l);
+        latSum += double(l);
+    }
+    if (!s.completed)
+        return s;
+    std::sort(lat.begin(), lat.end());
+    auto pct = [&](double p) {
+        size_t i = static_cast<size_t>(p * double(lat.size() - 1));
+        return lat[i];
+    };
+    s.p50 = pct(0.50);
+    s.p95 = pct(0.95);
+    s.p99 = pct(0.99);
+    s.p999 = pct(0.999);
+    s.maxLat = lat.back();
+    s.meanLat = latSum / double(lat.size());
+    s.windowCycles = lastCompletion - firstArrival;
+    if (s.windowCycles)
+        s.throughputPerKc =
+            1000.0 * double(s.completed) / double(s.windowCycles);
+    uint64_t dSum = 0, dSamples = 0;
+    for (uint32_t i = 0; i < cfg_.harts; i++) {
+        dSum += depthSum_[i];
+        dSamples += depthSamples_[i];
+        s.maxQueueDepth = std::max(s.maxQueueDepth, depthMax_[i]);
+    }
+    if (dSamples)
+        s.meanQueueDepth = double(dSum) / double(dSamples);
+    return s;
+}
+
+void
+preloadKvTable(PhysMem &mem, const KvConfig &cfg)
+{
+    uint32_t mask = cfg.tableSlots - 1;
+    for (uint32_t key = 0; key < cfg.keys; key++) {
+        uint32_t idx = static_cast<uint32_t>(key * kKvHashMul) & mask;
+        // Linear probe to the first free slot — the same walk the
+        // worker performs, so placement and lookup always agree.
+        while (mem.read(cfg.tableBase + uint64_t(idx) * 16, 8) != 0)
+            idx = (idx + 1) & mask;
+        Addr slot = cfg.tableBase + uint64_t(idx) * 16;
+        mem.write(slot, uint64_t(key) + 1, 8);
+        mem.write(slot + 8, uint64_t(key) * kKvValMul, 8);
+    }
+}
+
+void
+emitKvWorker(Assembler &a, const KvConfig &cfg)
+{
+    // Register map: s5 table base, s6 hash multiplier, s7 slot mask,
+    // s8 value multiplier, t6 MMIO base; t0 descriptor, s3 key,
+    // s4 reqId, t3 slot index, t4 slot address.
+    a.li(s5, static_cast<int64_t>(cfg.tableBase));
+    a.li(s6, static_cast<int64_t>(kKvHashMul));
+    a.li(s7, static_cast<int64_t>(cfg.tableSlots - 1));
+    a.li(s8, static_cast<int64_t>(kKvValMul));
+    a.li(t6, static_cast<int64_t>(kMmioBase));
+    auto poll = a.newLabel();
+    auto probe = a.newLabel();
+    auto found = a.newLabel();
+    auto isput = a.newLabel();
+    auto donereq = a.newLabel();
+    auto stop = a.newLabel();
+
+    a.bind(poll);
+    a.ld(t0, static_cast<int32_t>(HostReg::KvPop), t6);
+    a.beqz(t0, poll); // open loop: nothing arrived yet
+    a.andi(t1, t0, 4);
+    a.bnez(t1, stop);
+    a.slli(s3, t0, 24); // key = descriptor bits 39..8
+    a.srli(s3, s3, 32);
+    a.srli(s4, t0, 40); // reqId = bits 63..40
+    a.mul(t3, s3, s6);
+    a.and_(t3, t3, s7);
+    a.bind(probe);
+    a.slli(t4, t3, 4);
+    a.add(t4, t4, s5);
+    a.ld(t5, 0, t4);
+    a.addi(t2, s3, 1); // stored key tag is key+1 (0 = empty)
+    a.beq(t5, t2, found);
+    a.addi(t3, t3, 1);
+    a.and_(t3, t3, s7);
+    a.j(probe);
+    a.bind(found);
+    a.andi(t1, t0, 2);
+    a.bnez(t1, isput);
+    a.ld(t5, 8, t4); // GET: verify value == key * kKvValMul
+    a.mul(t2, s3, s8);
+    a.beq(t5, t2, donereq);
+    a.sd(s3, static_cast<int32_t>(HostReg::Fail), t6);
+    a.j(donereq);
+    a.bind(isput);
+    a.mul(t2, s3, s8); // PUT: rewrite the canonical value
+    a.sd(t2, 8, t4);
+    a.bind(donereq);
+    a.sd(s4, static_cast<int32_t>(HostReg::KvDone), t6);
+    a.j(poll);
+
+    a.bind(stop);
+    a.li(a0, 0);
+    a.slli(a0, a0, 1);
+    a.ori(a0, a0, 1);
+    a.sd(a0, static_cast<int32_t>(HostReg::Exit), t6);
+    auto spin = a.newLabel();
+    a.bind(spin);
+    a.j(spin);
+}
+
+} // namespace riscy::server

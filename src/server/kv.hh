@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Server workload: an open-loop key-value service.
+ *
+ * KvHost is the host-side traffic generator and measurement harness —
+ * the "load generator box" next to the simulated server. At
+ * construction it precomputes a deterministic, seeded arrival schedule
+ * (Poisson or uniform interarrivals at a configured aggregate offered
+ * load, Zipf key popularity, GET/PUT mix), split round-robin into
+ * per-hart queues. The cores run emitKvWorker(): each worker polls its
+ * own KvPop MMIO register, serves the request against an in-memory
+ * hash table preloaded into simulated DRAM by preloadKvTable(), and
+ * acknowledges through KvDone — which timestamps the completion.
+ *
+ * Open loop means arrivals do not wait for service: a request's
+ * sojourn time (completion - arrival) includes the queueing delay
+ * that builds up when the offered load approaches saturation, which
+ * is exactly the tail-latency effect the ablation sweeps for.
+ *
+ * Determinism: the schedule is a pure function of the config (no
+ * std::*_distribution, whose sequences are implementation-defined);
+ * pop()/done() touch only per-hart queues and per-request slots owned
+ * by that hart, so concurrent MMIO from per-core domains under the
+ * parallel scheduler is race-free and scheduler-independent.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "asmkit/assembler.hh"
+#include "mem/memory.hh"
+
+namespace riscy::server {
+
+/** Multiplicative hash spreading keys over table slots (odd, so the
+ *  map is injective on the low slot-index bits). */
+constexpr uint64_t kKvHashMul = 0x9E3779B97F4A7C15ull;
+/** Value stored for a key is key * kKvValMul — PUTs rewrite the same
+ *  value, so GETs can verify against it regardless of request order. */
+constexpr uint64_t kKvValMul = 0x2545F4914F6CDD1Dull;
+
+struct KvConfig {
+    uint32_t harts = 1;     ///< worker cores (one queue each)
+    uint64_t seed = 1;      ///< arrival-schedule seed
+    uint32_t requests = 2000;     ///< total requests generated
+    double reqPerKilocycle = 5.0; ///< aggregate offered load
+    bool poisson = true;    ///< exponential interarrivals (else uniform)
+    uint32_t keys = 4096;   ///< key space (power of two)
+    double zipf = 0.8;      ///< popularity skew exponent (0 = uniform)
+    double putFrac = 0.1;   ///< fraction of PUTs
+    uint64_t startCycle = 2000;   ///< warmup before the first arrival
+    Addr tableBase = kDramBase + 0x100000; ///< hash table in DRAM
+    uint32_t tableSlots = 8192;   ///< 16 B slots (power of two >= keys)
+};
+
+/** Aggregate results over the completed requests. */
+struct KvSummary {
+    uint64_t offered = 0;   ///< requests generated
+    uint64_t completed = 0; ///< requests acknowledged via KvDone
+    uint64_t windowCycles = 0;    ///< first arrival .. last completion
+    double throughputPerKc = 0.0; ///< completed per 1000 cycles
+    /** Sojourn-time (completion - arrival) percentiles, in cycles. */
+    uint64_t p50 = 0, p95 = 0, p99 = 0, p999 = 0, maxLat = 0;
+    double meanLat = 0.0;
+    /** Backlog (arrived, unserved) observed at each pop. */
+    double meanQueueDepth = 0.0;
+    uint64_t maxQueueDepth = 0;
+};
+
+class KvHost : public KvTraffic
+{
+  public:
+    struct Req {
+        uint64_t arrival = 0;    ///< injection cycle (precomputed)
+        uint32_t key = 0;
+        bool put = false;
+        uint32_t hart = 0;
+        uint64_t popped = 0;     ///< service-start cycle (0 = not yet)
+        uint64_t completion = 0; ///< KvDone cycle (0 = outstanding)
+    };
+
+    explicit KvHost(const KvConfig &cfg);
+
+    uint64_t pop(uint32_t hart, uint64_t now) override;
+    void done(uint32_t hart, uint64_t reqId, uint64_t now) override;
+
+    const KvConfig &config() const { return cfg_; }
+    const std::vector<Req> &requests() const { return reqs_; }
+    KvSummary summarize() const;
+
+  private:
+    KvConfig cfg_;
+    std::vector<Req> reqs_;
+    std::vector<std::vector<uint32_t>> q_; ///< per-hart reqIds, by arrival
+    std::vector<uint32_t> head_;           ///< per-hart next unpopped
+    std::vector<uint64_t> depthSum_, depthSamples_, depthMax_;
+};
+
+/** Preload the hash table image (every key resident, linear-probe
+ *  placement matching the worker's lookup) into simulated memory. */
+void preloadKvTable(PhysMem &mem, const KvConfig &cfg);
+
+/** Emit the per-hart worker loop: poll KvPop, probe the table, verify
+ *  GETs / apply PUTs, acknowledge via KvDone; exit 0 on the stop
+ *  descriptor (non-zero exit codes signal a corrupted table). */
+void emitKvWorker(asmkit::Assembler &a, const KvConfig &cfg);
+
+} // namespace riscy::server

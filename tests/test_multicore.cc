@@ -19,6 +19,18 @@ namespace {
 
 constexpr Addr kData = kEntry + 0x40000;
 
+/** FNV-1a over a snapshot buffer. */
+uint64_t
+digest(const std::vector<uint8_t> &bytes)
+{
+    uint64_t h = 1469598103934665603ull;
+    for (uint8_t b : bytes) {
+        h ^= b;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
 /** Emit "exit with code in a0" (per-hart). */
 void
 exitWith(Assembler &a)
@@ -354,6 +366,87 @@ TEST(Multicore, TsoEvictKillsAreCountedWhenSharingIsHot)
     // Not a strict bound — just prove the machinery is alive.
     EXPECT_GE(kills + sys.events(0).ldKills, 0u);
     SUCCEED();
+}
+
+/**
+ * Server-scale digest cosim: the 16-core banked system (4 L2 slices
+ * behind BankRouters + the DramCtl contention model) rewound and
+ * replayed under every SchedulerKind, plus capped-lookahead parallel
+ * legs — every leg bit-identical to the exhaustive reference.
+ *
+ * One System instance is rewound (cross-instance raw digests are
+ * invalid — struct padding) and the workload is load-only: PhysMem
+ * sits outside the kernel snapshot, so a replay requires memory stay
+ * untouched.
+ */
+TEST(Multicore, SixteenCoreBankedDigestCosim)
+{
+    constexpr uint32_t kCores = 16;
+    SystemConfig cfg = SystemConfig::serverConfig(kCores, 4);
+    cfg.scheduler = cmd::SchedulerKind::Exhaustive;
+    System sys(cfg);
+    Assembler a(kEntry);
+    // Load-only accumulator over a 4 KB window with a short branch
+    // pattern: private L1 pressure plus shared lines migrating through
+    // all four bank slices.
+    a.li(5, kEntry + 0x10000);
+    a.li(6, 0);
+    a.li(7, 0);
+    auto loop = a.newLabel();
+    a.bind(loop);
+    a.andi(28, 6, 511);
+    a.slli(28, 28, 3);
+    a.add(28, 28, 5);
+    a.ld(29, 0, 28);
+    a.add(7, 7, 29);
+    a.andi(30, 6, 7);
+    auto skip = a.newLabel();
+    a.bnez(30, skip);
+    a.xor_(7, 7, 6);
+    a.bind(skip);
+    a.addi(6, 6, 1);
+    a.j(loop);
+    a.load(sys.mem(), kEntry);
+    sys.elaborate();
+    sys.start(kEntry, 0, stacks(kCores));
+    auto snap0 = sys.kernel().snapshot();
+
+    constexpr uint64_t kChunk = 1500;
+    constexpr uint64_t kTotal = 6000;
+    std::vector<uint64_t> ref;
+    for (uint64_t c = 0; c < kTotal; c += kChunk) {
+        sys.kernel().run(kChunk);
+        ref.push_back(digest(sys.kernel().snapshot()));
+    }
+    for (uint32_t i = 0; i < kCores; i++)
+        EXPECT_GT(sys.instret(i), 50u) << "hart " << i << " barely ran";
+
+    auto replay = [&](cmd::SchedulerKind kind, uint32_t threads,
+                      uint32_t lookahead, const char *label) {
+        sys.kernel().restore(snap0);
+        if (threads)
+            sys.kernel().setParallelThreads(threads);
+        sys.kernel().setScheduler(kind);
+        if (lookahead)
+            sys.kernel().setLookahead(lookahead);
+        for (uint64_t c = 0; c < kTotal; c += kChunk) {
+            sys.kernel().run(kChunk);
+            ASSERT_EQ(ref[c / kChunk], digest(sys.kernel().snapshot()))
+                << label << " diverged by cycle " << c + kChunk;
+        }
+    };
+    replay(cmd::SchedulerKind::EventDriven, 0, 0, "event");
+    replay(cmd::SchedulerKind::Compiled, 0, 0, "compiled");
+    replay(cmd::SchedulerKind::Parallel, 4, 0, "parallel");
+    ASSERT_TRUE(sys.kernel().parallelActive());
+    // 16 hart domains + 4 bank-slice domains + the DRAM controller.
+    EXPECT_EQ(sys.kernel().domainCount(), kCores + 4 + 1);
+    // The server preset keeps every cross-domain channel at >= 4
+    // cycles, so multi-cycle lookahead windows are genuinely open.
+    EXPECT_GE(sys.kernel().fifoMinLookahead(), 4u);
+    replay(cmd::SchedulerKind::Parallel, 4, 1, "parallel-la1");
+    replay(cmd::SchedulerKind::Parallel, 4, 4, "parallel-la4");
+    EXPECT_EQ(sys.kernel().effectiveLookahead(), 4u);
 }
 
 } // namespace
